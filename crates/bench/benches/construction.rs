@@ -1,0 +1,40 @@
+//! Criterion microbenchmark: filter construction throughput (Figure 7's
+//! quantity at a fixed n, with statistical error bars).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grafite_bench::registry::{build_filter, BuildCtx, FilterSpec};
+use grafite_workloads::{datasets::Dataset, generate, uncorrelated_queries};
+
+fn construction(c: &mut Criterion) {
+    let n = 50_000;
+    let keys = generate(Dataset::Uniform, n, 42);
+    let l = 32u64;
+    let sample: Vec<(u64, u64)> = uncorrelated_queries(&keys, 512, l, 9)
+        .iter()
+        .map(|q| (q.lo, q.hi))
+        .collect();
+    let ctx = BuildCtx {
+        keys: &keys,
+        bits_per_key: 20.0,
+        max_range: l,
+        sample: &sample,
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("construction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(n as u64));
+    for spec in FilterSpec::ALL_FIG3 {
+        group.bench_with_input(BenchmarkId::new(spec.label(), n), &ctx, |b, ctx| {
+            b.iter(|| std::hint::black_box(build_filter(spec, ctx).map(|f| f.size_in_bits())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

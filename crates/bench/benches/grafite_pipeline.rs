@@ -1,0 +1,63 @@
+//! Criterion microbenchmark of Grafite's construction pipeline stages
+//! (paper Algorithm 1 / §6.6: "BuildEliasFano runs in linear time, while
+//! Sort takes the time to sort n integers" — i.e. construction is
+//! sort-bound). Each stage is measured in isolation, plus the paper's
+//! alternative sorts from the §6.6 ablation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grafite_core::sort;
+use grafite_hash::LocalityHash;
+use grafite_succinct::EliasFano;
+use grafite_workloads::{datasets::Dataset, generate};
+
+fn pipeline(c: &mut Criterion) {
+    let n = 500_000usize;
+    let keys = generate(Dataset::Uniform, n, 42);
+    let r = (n as u64) << 14; // 16 bits/key regime
+    let h = LocalityHash::from_seed(42, r);
+
+    let hashed: Vec<u64> = keys.iter().map(|&k| h.eval(k)).collect();
+    let mut sorted = hashed.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    let mut group = c.benchmark_group("grafite_pipeline_500k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("1_hash_keys", |b| {
+        b.iter(|| {
+            let codes: Vec<u64> = keys.iter().map(|&k| h.eval(k)).collect();
+            std::hint::black_box(codes.len())
+        })
+    });
+    group.bench_function("2_sort_codes_std", |b| {
+        b.iter(|| {
+            let mut v = hashed.clone();
+            sort::std_sort(&mut v);
+            std::hint::black_box(v[0])
+        })
+    });
+    group.bench_function("2_sort_codes_radix", |b| {
+        b.iter(|| {
+            let mut v = hashed.clone();
+            sort::radix_sort(&mut v);
+            std::hint::black_box(v[0])
+        })
+    });
+    group.bench_function("3_build_elias_fano", |b| {
+        b.iter(|| {
+            let ef = EliasFano::new(&sorted, r);
+            std::hint::black_box(ef.size_in_bits())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

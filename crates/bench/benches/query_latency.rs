@@ -1,0 +1,63 @@
+//! Criterion microbenchmark: per-filter range-emptiness query latency on
+//! the paper's three range sizes (uncorrelated workload, 20 bits/key).
+//!
+//! This is the microbenchmark backing the query-time columns of Figures
+//! 3–5; the `repro` binary reports the same quantity from a single batch
+//! pass, Criterion adds statistical rigour for the README numbers.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grafite_bench::registry::{build_filter, BuildCtx, FilterSpec};
+use grafite_workloads::{datasets::Dataset, generate, uncorrelated_queries};
+
+fn query_latency(c: &mut Criterion) {
+    let n = 100_000;
+    let keys = generate(Dataset::Uniform, n, 42);
+    let mut group = c.benchmark_group("query_latency");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for (l, size_name) in [(1u64, "point"), (32, "small"), (1024, "large")] {
+        let queries = uncorrelated_queries(&keys, 4096, l, 7);
+        let sample: Vec<(u64, u64)> = uncorrelated_queries(&keys, 512, l, 9)
+            .iter()
+            .map(|q| (q.lo, q.hi))
+            .collect();
+        let ctx = BuildCtx {
+            keys: &keys,
+            bits_per_key: 20.0,
+            max_range: l,
+            sample: &sample,
+            seed: 42,
+        };
+        for spec in FilterSpec::ALL_FIG3 {
+            let spec = if spec == FilterSpec::SurfReal && l == 1 {
+                FilterSpec::SurfHash
+            } else {
+                spec
+            };
+            let Some(filter) = build_filter(spec, &ctx) else {
+                continue;
+            };
+            group.bench_with_input(
+                BenchmarkId::new(spec.label(), size_name),
+                &queries,
+                |b, queries| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let q = &queries[i % queries.len()];
+                        i += 1;
+                        std::hint::black_box(filter.may_contain_range(q.lo, q.hi))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_latency);
+criterion_main!(benches);

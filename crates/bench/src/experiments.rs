@@ -1,0 +1,647 @@
+//! One function per table/figure of the paper's evaluation (§6), plus the
+//! ablations called out in DESIGN.md §5. Each prints the paper's rows/series
+//! as a text table and writes a CSV under the configured output directory.
+
+use grafite_core::{sort, BucketingFilter, GrafiteFilter, RangeFilter};
+use grafite_filters::Snarf;
+use grafite_workloads::{
+    correlated_queries, datasets::Dataset, extract_real_queries, non_empty_queries, sosd,
+    uncorrelated_queries, RangeQuery,
+};
+
+use crate::harness::{fmt_fpr, measure, time_it, RunConfig};
+use crate::registry::{build_filter, BuildCtx, FilterSpec};
+use crate::report::Table;
+
+/// The paper's three query sizes: point (2^0), small (2^5), large (2^10).
+pub const RANGE_SIZES: [(u64, &str); 3] = [(1, "point"), (32, "small"), (1024, "large")];
+
+fn queries_as_pairs(qs: &[RangeQuery]) -> Vec<(u64, u64)> {
+    qs.iter().map(|q| (q.lo, q.hi)).collect()
+}
+
+/// Figure 1 (intro teaser): FPR and query time vs correlation degree for the
+/// six headline filters, small ranges, 20 bits/key.
+pub fn fig1(cfg: &RunConfig) {
+    println!("== Figure 1: FPR and time vs correlation degree (small ranges, 20 bits/key) ==");
+    run_correlation_sweep(cfg, &FilterSpec::FIG1, &[(32, "small")], "fig1");
+}
+
+/// Figure 3 (§6.2): the full robustness grid — nine filters, three range
+/// sizes, correlation degree swept 0 → 1 at 20 bits/key.
+pub fn fig3(cfg: &RunConfig) {
+    println!("== Figure 3: robustness to key-query correlation (20 bits/key) ==");
+    run_correlation_sweep(cfg, &FilterSpec::ALL_FIG3, &RANGE_SIZES, "fig3");
+}
+
+fn run_correlation_sweep(
+    cfg: &RunConfig,
+    specs: &[FilterSpec],
+    sizes: &[(u64, &str)],
+    csv_name: &str,
+) {
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let degrees = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut table = Table::new(&["range", "degree", "filter", "bits/key", "fpr", "ns/query"]);
+    for &(l, size_name) in sizes {
+        for &degree in &degrees {
+            let queries = correlated_queries(&keys, cfg.queries, l, degree, cfg.seed ^ 0xF16_3);
+            if queries.is_empty() {
+                continue;
+            }
+            let sample =
+                queries_as_pairs(&correlated_queries(&keys, 1024, l, degree, cfg.seed ^ 0x5A));
+            let ctx = BuildCtx {
+                keys: &keys,
+                bits_per_key: 20.0,
+                max_range: l,
+                sample: &sample,
+                seed: cfg.seed,
+            };
+            for &spec in specs {
+                // Per the paper (§6.1): hashed suffixes for point queries.
+                let spec = if spec == FilterSpec::SurfReal && l == 1 {
+                    FilterSpec::SurfHash
+                } else {
+                    spec
+                };
+                let Some(filter) = build_filter(spec, &ctx) else {
+                    continue;
+                };
+                let m = measure(filter.as_ref(), &queries);
+                table.row(vec![
+                    size_name.to_string(),
+                    format!("{degree:.1}"),
+                    spec.label().to_string(),
+                    format!("{:.1}", m.bits_per_key),
+                    fmt_fpr(m.positive_rate),
+                    format!("{:.0}", m.ns_per_query),
+                ]);
+            }
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, csv_name);
+}
+
+/// The four dataset/workload rows of Figures 4 and 5. Returns, per row:
+/// `(label, filter-build keys, queries per range size, tuning sample)`.
+#[allow(clippy::type_complexity)]
+fn figure_grid_rows(
+    cfg: &RunConfig,
+    l: u64,
+) -> Vec<(&'static str, Vec<u64>, Vec<RangeQuery>, Vec<(u64, u64)>)> {
+    let uniform = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let books = sosd::dataset_or_synthetic(Dataset::Books, cfg.n, cfg.seed, &cfg.data_dir);
+    let osm = sosd::dataset_or_synthetic(Dataset::Osm, cfg.n, cfg.seed, &cfg.data_dir);
+    let mut rows = Vec::new();
+
+    // Correlated on Uniform (D = 0.8, the paper's default).
+    let q = correlated_queries(&uniform, cfg.queries, l, 0.8, cfg.seed ^ 0xC0);
+    let s = queries_as_pairs(&correlated_queries(&uniform, 1024, l, 0.8, cfg.seed ^ 0xC1));
+    rows.push(("Correlated", uniform.clone(), q, s));
+
+    // Uncorrelated on Uniform.
+    let q = uncorrelated_queries(&uniform, cfg.queries, l, cfg.seed ^ 0xD0);
+    let s = queries_as_pairs(&uncorrelated_queries(&uniform, 1024, l, cfg.seed ^ 0xD1));
+    rows.push(("Uncorrelated", uniform, q, s));
+
+    // Real workloads: left endpoints extracted (and removed) from the data.
+    for (name, keys) in [("Books", books), ("Osm", osm)] {
+        let (remaining, q) = extract_real_queries(&keys, cfg.queries, l, cfg.seed ^ 0xE0);
+        let (_, s_q) = extract_real_queries(&keys, 1024, l, cfg.seed ^ 0xE1);
+        rows.push((name, remaining, q, queries_as_pairs(&s_q)));
+    }
+    rows
+}
+
+/// Figures 4 and 5 (§6.3/§6.4): FPR vs space budget over the four
+/// dataset/workload rows and three range sizes, plus the per-row average
+/// query-time tables.
+pub fn fig4(cfg: &RunConfig) {
+    println!("== Figure 4: heuristic filters, FPR vs space ==");
+    run_space_grid(cfg, &FilterSpec::HEURISTIC, "fig4");
+}
+
+/// Figure 5 (§6.4): the robust filters on the same grid.
+pub fn fig5(cfg: &RunConfig) {
+    println!("== Figure 5: robust filters, FPR vs space ==");
+    run_space_grid(cfg, &FilterSpec::ROBUST, "fig5");
+}
+
+fn run_space_grid(cfg: &RunConfig, specs: &[FilterSpec], csv_name: &str) {
+    let mut table = Table::new(&["workload", "range", "filter", "bits/key", "fpr", "ns/query"]);
+    let mut avg_time: std::collections::HashMap<(&str, &str), (f64, usize)> =
+        std::collections::HashMap::new();
+    for &(l, size_name) in &RANGE_SIZES {
+        for (row_name, keys, queries, sample) in figure_grid_rows(cfg, l) {
+            if queries.is_empty() {
+                continue;
+            }
+            for &budget in &cfg.budgets {
+                let ctx = BuildCtx {
+                    keys: &keys,
+                    bits_per_key: budget,
+                    max_range: l,
+                    sample: &sample,
+                    seed: cfg.seed,
+                };
+                for &spec in specs {
+                    let spec = if spec == FilterSpec::SurfReal && l == 1 {
+                        FilterSpec::SurfHash
+                    } else {
+                        spec
+                    };
+                    let Some(filter) = build_filter(spec, &ctx) else {
+                        continue;
+                    };
+                    let m = measure(filter.as_ref(), &queries);
+                    let e = avg_time.entry((row_name, spec.label())).or_insert((0.0, 0));
+                    e.0 += m.ns_per_query;
+                    e.1 += 1;
+                    table.row(vec![
+                        row_name.to_string(),
+                        size_name.to_string(),
+                        spec.label().to_string(),
+                        format!("{:.1}", m.bits_per_key),
+                        fmt_fpr(m.positive_rate),
+                        format!("{:.0}", m.ns_per_query),
+                    ]);
+                }
+            }
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, csv_name);
+
+    // The per-row average-time side tables of Figures 4/5.
+    println!("-- average query time per workload row (all budgets & sizes) --");
+    let mut time_table = Table::new(&["workload", "filter", "avg ns/query"]);
+    let mut entries: Vec<_> = avg_time.into_iter().collect();
+    entries.sort_by(|a, b| (a.0 .0, (a.1 .0 / a.1 .1 as f64) as u64).cmp(&(b.0 .0, (b.1 .0 / b.1 .1 as f64) as u64)));
+    for ((row, filter), (total, count)) in entries {
+        time_table.row(vec![
+            row.to_string(),
+            filter.to_string(),
+            format!("{:.0}", total / count as f64),
+        ]);
+    }
+    time_table.print();
+    let _ = time_table.write_csv(&cfg.out_dir, &format!("{csv_name}_times"));
+}
+
+/// Figure 6 (§6.5): query time on *non-empty* queries vs space budget.
+pub fn fig6(cfg: &RunConfig) {
+    println!("== Figure 6: query time on non-empty queries ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let mut table = Table::new(&["range", "filter", "bits/key", "ns/query", "positive_rate"]);
+    for &(l, size_name) in &RANGE_SIZES {
+        let queries = non_empty_queries(&keys, cfg.queries, l, cfg.seed ^ 0x6E);
+        let sample = queries_as_pairs(&uncorrelated_queries(&keys, 1024, l, cfg.seed ^ 0x6F));
+        for &budget in &cfg.budgets {
+            let ctx = BuildCtx {
+                keys: &keys,
+                bits_per_key: budget,
+                max_range: l,
+                sample: &sample,
+                seed: cfg.seed,
+            };
+            for &spec in &FilterSpec::ALL_FIG3 {
+                let spec = if spec == FilterSpec::SurfReal && l == 1 {
+                    FilterSpec::SurfHash
+                } else {
+                    spec
+                };
+                let Some(filter) = build_filter(spec, &ctx) else {
+                    continue;
+                };
+                let m = measure(filter.as_ref(), &queries);
+                table.row(vec![
+                    size_name.to_string(),
+                    spec.label().to_string(),
+                    format!("{:.1}", m.bits_per_key),
+                    format!("{:.0}", m.ns_per_query),
+                    format!("{:.3}", m.positive_rate),
+                ]);
+            }
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "fig6");
+}
+
+/// Figure 7 (§6.6): construction time per key as n grows, averaged over two
+/// budgets, including the auto-tuners' sample cost (which runs inside the
+/// constructors, as in the paper's shaded bars).
+pub fn fig7(cfg: &RunConfig) {
+    println!("== Figure 7: construction time vs number of keys ==");
+    let mut table = Table::new(&["n", "filter", "ns/key"]);
+    let sizes = [10_000usize, 100_000, 1_000_000].map(|n| n.min(cfg.n.max(10_000)));
+    let mut seen = std::collections::HashSet::new();
+    for n in sizes {
+        if !seen.insert(n) {
+            continue;
+        }
+        let keys = sosd::dataset_or_synthetic(Dataset::Uniform, n, cfg.seed, &cfg.data_dir);
+        let l = 32u64;
+        let sample = queries_as_pairs(&uncorrelated_queries(&keys, 1024, l, cfg.seed ^ 0x71));
+        for &spec in &FilterSpec::ALL_FIG3 {
+            let mut total = 0.0;
+            let budgets = [12.0, 20.0];
+            let mut built = 0;
+            for &budget in &budgets {
+                let ctx = BuildCtx {
+                    keys: &keys,
+                    bits_per_key: budget,
+                    max_range: l,
+                    sample: &sample,
+                    seed: cfg.seed,
+                };
+                let (secs, filter) = time_it(|| build_filter(spec, &ctx));
+                if filter.is_some() {
+                    total += secs;
+                    built += 1;
+                }
+            }
+            if built > 0 {
+                table.row(vec![
+                    n.to_string(),
+                    spec.label().to_string(),
+                    format!("{:.0}", total / built as f64 * 1e9 / n as f64),
+                ]);
+            }
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "fig7");
+}
+
+/// Table 1 (§5): the theoretical space bounds next to the space our
+/// implementations actually measure at the reference configuration
+/// ε = 0.01, L = 2^10.
+pub fn table1(cfg: &RunConfig) {
+    println!("== Table 1: theoretical bounds vs measured space (eps=0.01, L=2^10) ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let l = 1024u64;
+    let eps = 0.01f64;
+    let log_l_eps = (l as f64 / eps).log2(); // 16.64
+    let b = log_l_eps + 2.0;
+    let sample = queries_as_pairs(&uncorrelated_queries(&keys, 1024, l, cfg.seed ^ 0x7A));
+    let ctx = BuildCtx {
+        keys: &keys,
+        bits_per_key: b,
+        max_range: l,
+        sample: &sample,
+        seed: cfg.seed,
+    };
+    let mut table = Table::new(&["filter", "theory bits/key", "measured bits/key", "note"]);
+    table.row(vec![
+        "Lower bound (Thm 2.1)".into(),
+        format!("{:.1}", (l as f64).log2() + (1.0f64 / eps).log2() - 2.0),
+        "-".into(),
+        "log2(L^(1-O(eps))/eps) - O(1)".into(),
+    ]);
+    table.row(vec![
+        "Goswami et al.".into(),
+        format!("{:.1}", log_l_eps + 3.0),
+        "-".into(),
+        "not practical; +3n lower-order".into(),
+    ]);
+    for (spec, theory, note) in [
+        (FilterSpec::Grafite, log_l_eps + 2.0, "n log(L/eps) + 2n + o(n)"),
+        (FilterSpec::Rosetta, 1.44 * log_l_eps, "1.44 n log(L/eps)"),
+        (FilterSpec::TrivialBloom, 1.44 * log_l_eps, "point Bloom at eps/L, O(L) query"),
+        (FilterSpec::SurfReal, 10.0 + (b - 11.0).round(), "(10+m)n + 10z + o(n+z)"),
+        (FilterSpec::Snarf, (b - 2.4 - 1.4).max(1.0) + 2.4, "n log K + 2.4n"),
+        (FilterSpec::Bucketing, f64::NAN, "t(log(u/ts) + 2): data-dependent"),
+        (FilterSpec::REncoder, f64::NAN, "O(n(k + log 1/eps))"),
+        (FilterSpec::Proteus, f64::NAN, "no closed formula (auto-tuned)"),
+    ] {
+        let measured = build_filter(spec, &ctx)
+            .map(|f| format!("{:.1}", f.bits_per_key()))
+            .unwrap_or_else(|| "-".into());
+        let theory_s = if theory.is_nan() { "?".into() } else { format!("{theory:.1}") };
+        table.row(vec![spec.label().into(), theory_s, measured, note.into()]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "table1");
+}
+
+/// The §6.1 Fb case study: at ~12 bits/key, Grafite's reduced universe
+/// nearly covers Fb's effective universe, driving the FPR to (near) zero
+/// while heuristic filters still err.
+pub fn fb(cfg: &RunConfig) {
+    println!("== Fb case study (§6.1): Grafite at 12 bits/key ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Fb, cfg.n, cfg.seed, &cfg.data_dir);
+    let l = 32u64;
+    let queries = correlated_queries(&keys, cfg.queries, l, 0.8, cfg.seed ^ 0xFB);
+    let sample = queries_as_pairs(&correlated_queries(&keys, 1024, l, 0.8, cfg.seed ^ 0xFC));
+    let ctx = BuildCtx {
+        keys: &keys,
+        bits_per_key: 12.0,
+        max_range: l,
+        sample: &sample,
+        seed: cfg.seed,
+    };
+    let mut table = Table::new(&["filter", "bits/key", "fpr"]);
+    for &spec in &FilterSpec::ALL_FIG3 {
+        let Some(filter) = build_filter(spec, &ctx) else {
+            table.row(vec![spec.label().into(), "-".into(), "infeasible at 12".into()]);
+            continue;
+        };
+        let m = measure(filter.as_ref(), &queries);
+        table.row(vec![
+            spec.label().into(),
+            format!("{:.1}", m.bits_per_key),
+            fmt_fpr(m.positive_rate),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "fb");
+}
+
+/// §6.6 text: multi-threaded construction sorting (the paper reports
+/// 1.5/1.8/2.0× speedups at 2/4/8 threads on 200M keys).
+pub fn sort_ablation(cfg: &RunConfig) {
+    println!("== Sort ablation (§6.6): construction is sort-bound ==");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "   (machine reports {cores} available core(s); the paper's 1.5-2.0x \
+         speedups need >= 2)"
+    );
+    let n = cfg.n.max(1_000_000);
+    let keys = grafite_workloads::generate(Dataset::Uniform, n, cfg.seed);
+    let mut table = Table::new(&["sort", "ns/key", "speedup vs std"]);
+    let (std_secs, _) = time_it(|| {
+        let mut v = keys.clone();
+        sort::std_sort(&mut v);
+        v.len()
+    });
+    table.row(vec!["std (pdqsort)".into(), format!("{:.1}", std_secs * 1e9 / n as f64), "1.0x".into()]);
+    let (radix_secs, _) = time_it(|| {
+        let mut v = keys.clone();
+        sort::radix_sort(&mut v);
+        v.len()
+    });
+    table.row(vec![
+        "radix (LSD-8)".into(),
+        format!("{:.1}", radix_secs * 1e9 / n as f64),
+        format!("{:.1}x", std_secs / radix_secs),
+    ]);
+    for threads in [2usize, 4, 8] {
+        let (secs, _) = time_it(|| {
+            let mut v = keys.clone();
+            sort::parallel_sort(&mut v, threads);
+            v.len()
+        });
+        table.row(vec![
+            format!("parallel x{threads}"),
+            format!("{:.1}", secs * 1e9 / n as f64),
+            format!("{:.1}x", std_secs / secs),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "sort_ablation");
+}
+
+/// Ablation: exact `r = nL/ε` vs power-of-two `r` (§7's shift-and-mask
+/// proposal) — space, FPR, and query time.
+pub fn ablation_pow2(cfg: &RunConfig) {
+    println!("== Ablation: Grafite with power-of-two reduced universe ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let l = 32u64;
+    let queries = uncorrelated_queries(&keys, cfg.queries, l, cfg.seed ^ 0xAB);
+    let mut table = Table::new(&["variant", "bits/key", "fpr", "ns/query"]);
+    for (label, pow2) in [("exact r = nL/eps", false), ("r rounded to 2^k", true)] {
+        let filter = GrafiteFilter::builder()
+            .bits_per_key(16.0)
+            .pow2_reduced_universe(pow2)
+            .seed(cfg.seed)
+            .build(&keys)
+            .unwrap();
+        let m = measure(&filter, &queries);
+        table.row(vec![
+            label.into(),
+            format!("{:.2}", m.bits_per_key),
+            fmt_fpr(m.positive_rate),
+            format!("{:.0}", m.ns_per_query),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "ablation_pow2");
+}
+
+/// Ablation: SNARF with the original overflow-prone model (paper footnote
+/// 5) — demonstrates the false negatives on an Fb-like gap structure.
+pub fn ablation_snarf_overflow(cfg: &RunConfig) {
+    println!("== Ablation: SNARF model overflow (paper footnote 5) ==");
+    // Keys spaced 2^55 apart make every outlier spline segment span ~2^62,
+    // so the u64 rank interpolation (x−k0)·Δr wraps (needs 69 bits).
+    let mut keys: Vec<u64> = grafite_workloads::generate(Dataset::Uniform, cfg.n / 2, cfg.seed)
+        .iter()
+        .map(|k| k % (1 << 40))
+        .collect();
+    keys.extend((0..256u64).map(|j| (1u64 << 62) + (j << 55)));
+    keys.sort_unstable();
+    keys.dedup();
+    let mut table = Table::new(&["model", "false negatives", "trials"]);
+    for (label, faithful) in [("u128-safe (ours)", false), ("u64 faithful (original)", true)] {
+        let filter = if faithful {
+            Snarf::with_faithful_overflow(&keys, 16.0).unwrap()
+        } else {
+            Snarf::new(&keys, 16.0).unwrap()
+        };
+        let mut fns = 0usize;
+        let mut trials = 0usize;
+        for &k in keys.iter().filter(|&&k| k >= 1 << 62) {
+            for shift in [40u32, 48, 50, 52, 54] {
+                let a = k.saturating_sub(1u64 << shift);
+                let b = k.saturating_add(1u64 << shift);
+                trials += 1;
+                if !filter.may_contain_range(a, b) {
+                    fns += 1;
+                }
+            }
+        }
+        table.row(vec![label.into(), fns.to_string(), trials.to_string()]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "ablation_snarf_overflow");
+}
+
+/// Ablation: Rosetta with and without sample-based level re-weighting.
+pub fn ablation_rosetta_tuning(cfg: &RunConfig) {
+    println!("== Ablation: Rosetta sample tuning ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let l = 32u64;
+    let queries = correlated_queries(&keys, cfg.queries, l, 0.8, cfg.seed ^ 0xBB);
+    let sample = queries_as_pairs(&correlated_queries(&keys, 1024, l, 0.8, cfg.seed ^ 0xBC));
+    let mut table = Table::new(&["variant", "bits/key", "fpr", "ns/query"]);
+    for (label, use_sample) in [("untuned", false), ("sample-tuned", true)] {
+        let filter = grafite_filters::Rosetta::new(
+            &keys,
+            20.0,
+            l,
+            if use_sample { Some(&sample) } else { None },
+            cfg.seed,
+        )
+        .unwrap();
+        let m = measure(&filter, &queries);
+        table.row(vec![
+            label.into(),
+            format!("{:.1}", m.bits_per_key),
+            fmt_fpr(m.positive_rate),
+            format!("{:.0}", m.ns_per_query),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "ablation_rosetta_tuning");
+}
+
+/// Ablation: Bucketing's space/FPR trade as the bucket size s sweeps.
+pub fn ablation_bucketing(cfg: &RunConfig) {
+    println!("== Ablation: Bucketing bucket-size sweep ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let l = 32u64;
+    let queries = uncorrelated_queries(&keys, cfg.queries, l, cfg.seed ^ 0xCC);
+    let mut table = Table::new(&["log2(s)", "buckets", "bits/key", "fpr", "ns/query"]);
+    for log2_s in [20u32, 26, 32, 38, 44, 50] {
+        let filter = BucketingFilter::builder()
+            .bucket_size(1u64 << log2_s)
+            .build(&keys)
+            .unwrap();
+        let m = measure(&filter, &queries);
+        table.row(vec![
+            log2_s.to_string(),
+            filter.num_buckets().to_string(),
+            format!("{:.2}", m.bits_per_key),
+            fmt_fpr(m.positive_rate),
+            format!("{:.0}", m.ns_per_query),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "ablation_bucketing");
+}
+
+/// §6.1 "Other datasets and query workloads": the Normal dataset must not
+/// change the relative ranking of the filters vs Uniform (the paper found
+/// "no interesting change" and omits the plots; we verify the claim).
+pub fn normal_check(cfg: &RunConfig) {
+    println!("== Normal-dataset check (§6.1): relative ranking vs Uniform ==");
+    let l = 32u64;
+    let mut table = Table::new(&["dataset", "filter", "fpr", "ns/query"]);
+    let mut rankings: Vec<Vec<(String, f64)>> = Vec::new();
+    for dataset in [Dataset::Uniform, Dataset::Normal] {
+        let keys = sosd::dataset_or_synthetic(dataset, cfg.n, cfg.seed, &cfg.data_dir);
+        let queries = correlated_queries(&keys, cfg.queries, l, 0.8, cfg.seed ^ 0x42);
+        let sample = queries_as_pairs(&correlated_queries(&keys, 1024, l, 0.8, cfg.seed ^ 0x43));
+        let ctx = BuildCtx {
+            keys: &keys,
+            bits_per_key: 20.0,
+            max_range: l,
+            sample: &sample,
+            seed: cfg.seed,
+        };
+        let mut ranking = Vec::new();
+        for &spec in &FilterSpec::ALL_FIG3 {
+            let Some(filter) = build_filter(spec, &ctx) else {
+                continue;
+            };
+            let m = measure(filter.as_ref(), &queries);
+            ranking.push((spec.label().to_string(), m.positive_rate));
+            table.row(vec![
+                dataset.name().to_string(),
+                spec.label().to_string(),
+                fmt_fpr(m.positive_rate),
+                format!("{:.0}", m.ns_per_query),
+            ]);
+        }
+        ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        rankings.push(ranking);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "normal_check");
+    let best = |r: &Vec<(String, f64)>| r.first().map(|x| x.0.clone()).unwrap_or_default();
+    println!(
+        "best filter on Uniform: {}; on Normal: {} (paper: relative performance unchanged)",
+        best(&rankings[0]),
+        best(&rankings[1])
+    );
+}
+
+/// Ablation: the §7 future-work workload-aware Bucketing against plain
+/// Bucketing on a skewed (hot-band) workload.
+pub fn ablation_wa_bucketing(cfg: &RunConfig) {
+    println!("== Ablation: workload-aware Bucketing (§7 future work) ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let l = 32u64;
+    // A hot band around the median key: 80% of queries land there.
+    let hot_center = keys[keys.len() / 2];
+    let span = 1u64 << 44;
+    let mut rng = grafite_workloads::WorkloadRng::new(cfg.seed ^ 0x3A);
+    let propose = |rng: &mut grafite_workloads::WorkloadRng| {
+        if rng.below(10) < 8 {
+            hot_center.saturating_sub(span / 2).saturating_add(rng.below(span))
+        } else {
+            rng.next_u64()
+        }
+    };
+    let mut sample = Vec::new();
+    let mut queries = Vec::new();
+    while queries.len() < cfg.queries {
+        let a = propose(&mut rng);
+        let b = match a.checked_add(l - 1) {
+            Some(b) => b,
+            None => continue,
+        };
+        let i = keys.partition_point(|&k| k < a);
+        if i < keys.len() && keys[i] <= b {
+            continue;
+        }
+        if sample.len() < 2000 {
+            sample.push(a);
+        } else {
+            queries.push(grafite_workloads::RangeQuery { lo: a, hi: b });
+        }
+    }
+    let mut table = Table::new(&["variant", "regions", "bits/key", "fpr", "ns/query"]);
+    for &budget in &[6.0, 10.0, 14.0] {
+        let plain = BucketingFilter::builder().bits_per_key(budget).build(&keys).unwrap();
+        let aware =
+            grafite_core::WorkloadAwareBucketing::new(&keys, budget, &sample).unwrap();
+        for (label, f, regions) in [
+            ("plain", &plain as &dyn RangeFilter, 1usize),
+            ("workload-aware", &aware as &dyn RangeFilter, aware.num_regions()),
+        ] {
+            let m = measure(f, &queries);
+            table.row(vec![
+                format!("{label} @{budget:.0}bpk"),
+                regions.to_string(),
+                format!("{:.2}", m.bits_per_key),
+                fmt_fpr(m.positive_rate),
+                format!("{:.0}", m.ns_per_query),
+            ]);
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "ablation_wa_bucketing");
+}
+
+/// Runs every experiment.
+pub fn all(cfg: &RunConfig) {
+    fig1(cfg);
+    fig3(cfg);
+    fig4(cfg);
+    fig5(cfg);
+    fig6(cfg);
+    fig7(cfg);
+    table1(cfg);
+    fb(cfg);
+    sort_ablation(cfg);
+    ablation_pow2(cfg);
+    ablation_snarf_overflow(cfg);
+    ablation_rosetta_tuning(cfg);
+    ablation_bucketing(cfg);
+    ablation_wa_bucketing(cfg);
+    normal_check(cfg);
+}

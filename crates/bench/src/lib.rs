@@ -1,0 +1,14 @@
+//! The experiment harness regenerating every table and figure of the
+//! Grafite paper's evaluation (§6), plus the DESIGN.md ablations.
+//!
+//! Entry point: the `repro` binary (`cargo run --release -p grafite-bench
+//! --bin repro -- <experiment>`). Criterion microbenchmarks live under
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod registry;
+pub mod report;

@@ -1,0 +1,96 @@
+//! Text tables and CSV output for the experiment harness.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table printer.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        print_row(&self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            print_row(row);
+        }
+    }
+
+    /// Writes the table as CSV to `dir/name.csv`.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        eprintln!("  [csv] {}", path.display());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        t.row(vec!["2".into(), "z".into()]);
+        let dir = std::env::temp_dir().join("grafite_report_test");
+        t.write_csv(&dir, "t").unwrap();
+        let body = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(body.lines().count(), 3);
+        assert!(body.starts_with("a,b\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn print_does_not_panic() {
+        let mut t = Table::new(&["col"]);
+        t.row(vec!["value-longer-than-header".into()]);
+        t.print();
+    }
+}

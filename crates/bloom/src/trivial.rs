@@ -1,0 +1,123 @@
+//! The paper's "theoretical baseline" (§2): a point filter with
+//! false-positive probability `γ = ε/L`, probed at every point of the query
+//! range. Space `n·log(L/ε) + O(n)` bits — the same as Grafite — but `O(L)`
+//! query time, which is exactly the gap Grafite closes.
+
+use crate::bloom::BloomFilter;
+use grafite_core::RangeFilter;
+
+/// The trivial Bloom-filter-based range filter.
+#[derive(Clone, Debug)]
+pub struct TrivialRangeFilter {
+    bloom: BloomFilter,
+    n_keys: usize,
+    max_range: u64,
+}
+
+impl TrivialRangeFilter {
+    /// Builds for `n = keys.len()` keys with target FPP `epsilon` at range
+    /// size `max_range` (the point filter gets `γ = ε/L`).
+    pub fn new(keys: &[u64], epsilon: f64, max_range: u64, seed: u64) -> Self {
+        let gamma = (epsilon / max_range.max(1) as f64).clamp(1e-12, 0.9999);
+        let mut bloom = BloomFilter::for_fpr(keys.len(), gamma, seed);
+        for &k in keys {
+            bloom.insert(k);
+        }
+        Self {
+            bloom,
+            n_keys: keys.len(),
+            max_range,
+        }
+    }
+
+    /// The design-point maximum range size `L`.
+    pub fn max_range(&self) -> u64 {
+        self.max_range
+    }
+}
+
+impl RangeFilter for TrivialRangeFilter {
+    fn may_contain_range(&self, a: u64, b: u64) -> bool {
+        assert!(a <= b, "inverted range [{a}, {b}]");
+        // O(L) probes — the whole point of the baseline. A union-bound over
+        // the probes keeps the FPP at ε for ranges up to L.
+        let mut x = a;
+        loop {
+            if self.bloom.contains(x) {
+                return true;
+            }
+            if x == b {
+                return false;
+            }
+            x += 1;
+        }
+    }
+
+    fn size_in_bits(&self) -> usize {
+        self.bloom.size_in_bits()
+    }
+
+    fn num_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    fn name(&self) -> &'static str {
+        "TrivialBloom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<u64> = (0..300u64).map(|i| i * 1_000_001).collect();
+        let f = TrivialRangeFilter::new(&keys, 0.05, 64, 1);
+        for &k in &keys {
+            assert!(f.may_contain(k));
+            assert!(f.may_contain_range(k.saturating_sub(30), k + 30));
+        }
+    }
+
+    #[test]
+    fn fpr_bounded_by_epsilon() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let epsilon = 0.05;
+        let l = 32u64;
+        let f = TrivialRangeFilter::new(&keys, epsilon, l, 9);
+        let mut fps = 0;
+        let mut empties = 0;
+        let mut state = 77u64;
+        while empties < 5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state;
+            let b = match a.checked_add(l - 1) {
+                Some(b) => b,
+                None => continue,
+            };
+            let idx = sorted.partition_point(|&k| k < a);
+            if idx < sorted.len() && sorted[idx] <= b {
+                continue;
+            }
+            empties += 1;
+            if f.may_contain_range(a, b) {
+                fps += 1;
+            }
+        }
+        let fpr = fps as f64 / empties as f64;
+        assert!(fpr < epsilon * 2.0, "fpr {fpr} above design {epsilon}");
+    }
+
+    #[test]
+    fn space_matches_information_bound_shape() {
+        // n log(L/eps) + O(n) bits: for L=1024, eps=0.01 that's ~16.7+c bits.
+        let keys: Vec<u64> = (0..5000u64).map(|i| i * 977).collect();
+        let f = TrivialRangeFilter::new(&keys, 0.01, 1024, 0);
+        let bpk = f.bits_per_key();
+        let theory = (1024f64 / 0.01).log2();
+        assert!(bpk > theory * 0.8 && bpk < theory * 1.8, "bpk {bpk} vs theory {theory}");
+    }
+}

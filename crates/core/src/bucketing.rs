@@ -1,0 +1,548 @@
+//! The Bucketing heuristic range filter (paper Section 4).
+//!
+//! The universe is split into buckets of size `s`; a conceptual bitvector `C`
+//! marks the non-empty buckets, and only the positions of its 1-bits are
+//! kept, Elias–Fano-compressed. A query `[a, b]` answers "not empty" iff
+//! `predecessor(⌊b/s⌋) ≥ ⌊a/s⌋`. The space is `t(log(u/(ts)) + 2) + o(t)`
+//! bits, where `t ≤ min{n, u/s}` is the number of non-empty buckets.
+//!
+//! Bucketing is *deliberately* simple: the paper introduces it to show that,
+//! on the uncorrelated workloads heuristic filters are usually evaluated on,
+//! nothing more sophisticated is needed. Like every heuristic filter it
+//! offers no FPR guarantee and stops filtering under key–query correlation.
+
+use grafite_succinct::EliasFano;
+
+use crate::error::FilterError;
+use crate::traits::RangeFilter;
+
+/// The Bucketing heuristic range filter.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BucketingFilter {
+    s: u64,
+    buckets: EliasFano,
+    n_keys: usize,
+}
+
+impl BucketingFilter {
+    /// Starts building a filter. See [`BucketingBuilder`].
+    pub fn builder() -> BucketingBuilder {
+        BucketingBuilder::default()
+    }
+
+    /// The bucket size `s`.
+    #[inline]
+    pub fn bucket_size(&self) -> u64 {
+        self.s
+    }
+
+    /// The number `t` of non-empty buckets.
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn from_sorted_dedup_buckets(bucket_ids: &[u64], s: u64, n_keys: usize) -> Self {
+        let universe = bucket_ids.last().map_or(1, |&b| b + 1);
+        Self {
+            s,
+            buckets: EliasFano::new(bucket_ids, universe),
+            n_keys,
+        }
+    }
+}
+
+impl RangeFilter for BucketingFilter {
+    fn may_contain_range(&self, a: u64, b: u64) -> bool {
+        assert!(a <= b, "inverted range [{a}, {b}]");
+        if self.n_keys == 0 {
+            return false;
+        }
+        match self.buckets.predecessor(b / self.s) {
+            Some(bucket) => bucket >= a / self.s,
+            None => false,
+        }
+    }
+
+    fn size_in_bits(&self) -> usize {
+        self.buckets.size_in_bits() + 3 * 64
+    }
+
+    fn num_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    fn name(&self) -> &'static str {
+        "Bucketing"
+    }
+}
+
+/// How the bucket size is chosen.
+#[derive(Clone, Copy, Debug)]
+enum Sizing {
+    /// Explicit bucket size `s >= 1`.
+    BucketSize(u64),
+    /// Space budget: the smallest power-of-two `s` whose encoding fits in
+    /// `bits`-per-key is chosen (larger `s` = coarser = smaller).
+    BitsPerKey(f64),
+}
+
+/// Builder for [`BucketingFilter`].
+#[derive(Clone, Copy, Debug)]
+pub struct BucketingBuilder {
+    sizing: Sizing,
+}
+
+impl Default for BucketingBuilder {
+    fn default() -> Self {
+        Self {
+            sizing: Sizing::BitsPerKey(16.0),
+        }
+    }
+}
+
+impl BucketingBuilder {
+    /// Uses an explicit bucket size `s` (paper notation).
+    pub fn bucket_size(mut self, s: u64) -> Self {
+        self.sizing = Sizing::BucketSize(s);
+        self
+    }
+
+    /// Targets a space budget in bits per key, choosing the finest
+    /// power-of-two bucket size that fits.
+    pub fn bits_per_key(mut self, bits: f64) -> Self {
+        self.sizing = Sizing::BitsPerKey(bits);
+        self
+    }
+
+    /// Builds the filter. Keys may be unsorted and contain duplicates.
+    pub fn build(self, keys: &[u64]) -> Result<BucketingFilter, FilterError> {
+        let n = keys.len();
+        if n == 0 {
+            return Ok(BucketingFilter::from_sorted_dedup_buckets(&[], 1, 0));
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        match self.sizing {
+            Sizing::BucketSize(s) => {
+                if s == 0 {
+                    return Err(FilterError::InvalidBucketSize(s));
+                }
+                let mut ids: Vec<u64> = sorted.iter().map(|&k| k / s).collect();
+                ids.dedup();
+                Ok(BucketingFilter::from_sorted_dedup_buckets(&ids, s, n))
+            }
+            Sizing::BitsPerKey(bits) => {
+                if !(bits > 0.0 && bits.is_finite()) {
+                    return Err(FilterError::InvalidBudget(bits));
+                }
+                let budget = bits * n as f64;
+                // Walk s through powers of two from the finest; the number
+                // of distinct buckets t is non-increasing in s, so the first
+                // fitting estimate is the finest (lowest-FPR) choice.
+                for log2_s in 0..=63u32 {
+                    let mut t = 0usize;
+                    let mut prev = u64::MAX;
+                    let mut last_bucket = 0u64;
+                    for &k in &sorted {
+                        let b = k >> log2_s;
+                        if b != prev {
+                            t += 1;
+                            prev = b;
+                            last_bucket = b;
+                        }
+                    }
+                    // Elias–Fano estimate: t (log2(universe/t) + 2) bits.
+                    let universe = (last_bucket + 1).max(1) as f64;
+                    let est = t as f64 * ((universe / t as f64).log2().max(0.0) + 2.0);
+                    if est * 1.05 <= budget || log2_s == 63 {
+                        let s = 1u64 << log2_s;
+                        let mut ids: Vec<u64> = sorted.iter().map(|&k| k >> log2_s).collect();
+                        ids.dedup();
+                        return Ok(BucketingFilter::from_sorted_dedup_buckets(&ids, s, n));
+                    }
+                }
+                unreachable!("loop always returns at log2_s = 63")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn reference_query(keys: &BTreeSet<u64>, s: u64, a: u64, b: u64) -> bool {
+        // True iff any key falls in a bucket overlapping [a/s, b/s].
+        let lo_bucket = a / s;
+        let hi_bucket = b / s;
+        keys.iter().any(|&k| {
+            let bk = k / s;
+            bk >= lo_bucket && bk <= hi_bucket
+        })
+    }
+
+    #[test]
+    fn matches_reference_on_small_input() {
+        let keys = [3u64, 17, 64, 65, 900, 1023, 5000];
+        let set: BTreeSet<u64> = keys.iter().copied().collect();
+        for s in [1u64, 2, 7, 16, 100] {
+            let f = BucketingFilter::builder().bucket_size(s).build(&keys).unwrap();
+            for a in (0..6000u64).step_by(13) {
+                for width in [0u64, 1, 5, 50, 500] {
+                    let b = a + width;
+                    assert_eq!(
+                        f.may_contain_range(a, b),
+                        reference_query(&set, s, a, b),
+                        "s={s} range [{a}, {b}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut state = 77u64;
+        let keys: Vec<u64> = (0..3000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect();
+        for &bpk in &[4.0, 8.0, 16.0] {
+            let f = BucketingFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            for &k in keys.iter().step_by(11) {
+                assert!(f.may_contain(k));
+                assert!(f.may_contain_range(k.saturating_sub(100), k.saturating_add(100)));
+            }
+        }
+    }
+
+    #[test]
+    fn s_equal_one_is_exact_on_points() {
+        // With s = 1 the encoding is lossless: point queries are exact.
+        let keys = [10u64, 20, 30];
+        let f = BucketingFilter::builder().bucket_size(1).build(&keys).unwrap();
+        for x in 0..50u64 {
+            assert_eq!(f.may_contain(x), keys.contains(&x), "point {x}");
+        }
+    }
+
+    #[test]
+    fn budget_controls_space() {
+        let mut state = 3u64;
+        let keys: Vec<u64> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect();
+        let mut last_s = 0u64;
+        for &bpk in &[24.0, 16.0, 10.0, 6.0] {
+            let f = BucketingFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            assert!(
+                f.bits_per_key() <= bpk * 1.30 + 4.0,
+                "bpk target {bpk} produced {}",
+                f.bits_per_key()
+            );
+            assert!(f.bucket_size() >= last_s, "s must grow as budget shrinks");
+            last_s = f.bucket_size();
+        }
+    }
+
+    #[test]
+    fn empty_and_extremes() {
+        let f = BucketingFilter::builder().build(&[]).unwrap();
+        assert!(!f.may_contain_range(0, u64::MAX));
+
+        let f = BucketingFilter::builder().bucket_size(1 << 40).build(&[u64::MAX, 0]).unwrap();
+        assert!(f.may_contain(0));
+        assert!(f.may_contain(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_zero_bucket() {
+        assert!(matches!(
+            BucketingFilter::builder().bucket_size(0).build(&[1]),
+            Err(FilterError::InvalidBucketSize(0))
+        ));
+    }
+}
+
+/// Workload-aware Bucketing — the paper's §7 future-work sketch: "creating
+/// larger buckets for key ranges that are queried less frequently".
+///
+/// The universe is split into regions at the quantiles of a sample of query
+/// left-endpoints; regions receiving more sampled queries get finer buckets
+/// (smaller `s`), cold regions get coarser ones, under the same total
+/// bucket budget as a plain [`BucketingFilter`]. Bucket ids stay globally
+/// monotone in the key, so a range query still reduces to one Elias–Fano
+/// predecessor probe.
+///
+/// Like its plain parent, this is a heuristic: it inherits the
+/// no-false-negative guarantee but not an FPR bound, and still collapses
+/// under key-correlated queries.
+#[derive(Clone, Debug)]
+pub struct WorkloadAwareBucketing {
+    /// Region `i` covers `[region_starts[i], region_starts[i+1])`
+    /// (the last region extends to `u64::MAX`).
+    region_starts: Vec<u64>,
+    /// Per-region bucket width exponent: bucket size `2^region_log2_s[i]`.
+    region_log2_s: Vec<u32>,
+    /// Number of bucket slots before region `i` (cumulative, monotone).
+    region_offsets: Vec<u64>,
+    buckets: EliasFano,
+    n_keys: usize,
+}
+
+impl WorkloadAwareBucketing {
+    /// Builds from keys, a bits-per-key budget, and a sample of query left
+    /// endpoints. With an empty sample this degenerates to a single region
+    /// (= plain power-of-two Bucketing).
+    pub fn new(keys: &[u64], bits_per_key: f64, sample: &[u64]) -> Result<Self, FilterError> {
+        if !(bits_per_key > 0.0 && bits_per_key.is_finite()) {
+            return Err(FilterError::InvalidBudget(bits_per_key));
+        }
+        let n = keys.len();
+        if n == 0 {
+            return Ok(Self {
+                region_starts: vec![0],
+                region_log2_s: vec![63],
+                region_offsets: vec![0],
+                buckets: EliasFano::new(&[], 1),
+                n_keys: 0,
+            });
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+
+        // Baseline bucket width from the plain budget search.
+        let plain = BucketingFilter::builder().bits_per_key(bits_per_key).build(keys)?;
+        let base_log2_s = plain.bucket_size().trailing_zeros();
+
+        // Region boundaries: quantiles of the sampled query endpoints.
+        let mut region_starts = vec![0u64];
+        let mut region_hotness: Vec<bool> = Vec::new();
+        if !sample.is_empty() {
+            let mut s = sample.to_vec();
+            s.sort_unstable();
+            const REGIONS: usize = 16;
+            // Hot regions = between consecutive quantiles (dense sample);
+            // the left-over cold space beyond the sample's tails keeps the
+            // base width.
+            for q in 0..REGIONS {
+                let lo = s[q * s.len() / REGIONS];
+                if *region_starts.last().unwrap() < lo {
+                    region_starts.push(lo);
+                    region_hotness.push(false); // gap before this quantile
+                }
+                region_hotness.push(true);
+            }
+            // Close the hot span after the last quantile.
+            let hi = *s.last().unwrap();
+            if *region_starts.last().unwrap() < hi {
+                region_starts.push(hi);
+            }
+            while region_hotness.len() < region_starts.len() {
+                region_hotness.push(false);
+            }
+        } else {
+            region_hotness.push(false);
+        }
+
+        // Hot regions get 4x finer buckets, cold regions 4x coarser: the
+        // budget balances because hot regions are (by construction of the
+        // quantiles) narrow.
+        let region_log2_s: Vec<u32> = region_hotness
+            .iter()
+            .map(|&hot| {
+                if hot {
+                    base_log2_s.saturating_sub(2)
+                } else {
+                    (base_log2_s + 2).min(63)
+                }
+            })
+            .collect();
+
+        // Cumulative bucket-slot offsets keep global bucket ids monotone.
+        let mut region_offsets = Vec::with_capacity(region_starts.len());
+        let mut acc = 0u64;
+        for i in 0..region_starts.len() {
+            region_offsets.push(acc);
+            let start = region_starts[i];
+            let end = if i + 1 < region_starts.len() {
+                region_starts[i + 1]
+            } else {
+                u64::MAX
+            };
+            let span = end - start;
+            acc = acc
+                .checked_add((span >> region_log2_s[i]) + 1)
+                .expect("bucket-slot space fits in u64");
+        }
+
+        let mut filter = Self {
+            region_starts,
+            region_log2_s,
+            region_offsets,
+            buckets: EliasFano::new(&[], 1),
+            n_keys: n,
+        };
+        let mut ids: Vec<u64> = sorted.iter().map(|&k| filter.bucket_of(k)).collect();
+        ids.dedup();
+        let universe = ids.last().map_or(1, |&b| b + 1);
+        filter.buckets = EliasFano::new(&ids, universe);
+        Ok(filter)
+    }
+
+    /// Global, monotone bucket id of a key.
+    #[inline]
+    fn bucket_of(&self, x: u64) -> u64 {
+        let r = self.region_starts.partition_point(|&s| s <= x) - 1;
+        self.region_offsets[r] + ((x - self.region_starts[r]) >> self.region_log2_s[r])
+    }
+
+    /// Number of regions in use.
+    pub fn num_regions(&self) -> usize {
+        self.region_starts.len()
+    }
+
+    /// Number of non-empty buckets stored.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+impl RangeFilter for WorkloadAwareBucketing {
+    fn may_contain_range(&self, a: u64, b: u64) -> bool {
+        assert!(a <= b, "inverted range [{a}, {b}]");
+        if self.n_keys == 0 {
+            return false;
+        }
+        match self.buckets.predecessor(self.bucket_of(b)) {
+            Some(bucket) => bucket >= self.bucket_of(a),
+            None => false,
+        }
+    }
+
+    fn size_in_bits(&self) -> usize {
+        self.buckets.size_in_bits() + self.region_starts.len() * (64 + 32 + 64) + 2 * 64
+    }
+
+    fn num_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    fn name(&self) -> &'static str {
+        "Bucketing-WA"
+    }
+}
+
+#[cfg(test)]
+mod workload_aware_tests {
+    use super::*;
+
+    fn pseudo_keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bucket_ids_monotone() {
+        let keys = pseudo_keys(2000, 1);
+        let sample: Vec<u64> = pseudo_keys(500, 9).iter().map(|x| x % (1 << 40)).collect();
+        let f = WorkloadAwareBucketing::new(&keys, 12.0, &sample).unwrap();
+        let mut probes = pseudo_keys(3000, 5);
+        probes.sort_unstable();
+        let mut prev = 0u64;
+        for &x in &probes {
+            let b = f.bucket_of(x);
+            assert!(b >= prev, "bucket ids must be monotone at {x}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys = pseudo_keys(3000, 3);
+        let sample: Vec<u64> = keys.iter().step_by(10).map(|&k| k.saturating_add(5)).collect();
+        let f = WorkloadAwareBucketing::new(&keys, 12.0, &sample).unwrap();
+        for &k in keys.iter().step_by(7) {
+            assert!(f.may_contain(k));
+            assert!(f.may_contain_range(k.saturating_sub(100), k.saturating_add(100)));
+        }
+    }
+
+    #[test]
+    fn beats_plain_bucketing_on_skewed_workload() {
+        // Keys everywhere; queries concentrated in one narrow hot band
+        // *around an actual key*, so coarse buckets produce false positives.
+        let keys = pseudo_keys(20_000, 7);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let hot_center = sorted[10_000];
+        let hot_lo = hot_center.saturating_sub(1 << 44);
+        let hot_hi = hot_center.saturating_add(1 << 44);
+        let mut state = 99u64;
+        let mut hot_queries = Vec::new();
+        let mut sample = Vec::new();
+        while hot_queries.len() < 4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = hot_lo + state % (hot_hi - hot_lo);
+            let b = a + 31;
+            let i = sorted.partition_point(|&k| k < a);
+            if i < sorted.len() && sorted[i] <= b {
+                continue;
+            }
+            if sample.len() < 1000 {
+                sample.push(a);
+            } else {
+                hot_queries.push((a, b));
+            }
+        }
+
+        let plain = BucketingFilter::builder().bits_per_key(6.0).build(&keys).unwrap();
+        let aware = WorkloadAwareBucketing::new(&keys, 6.0, &sample).unwrap();
+        let fpr = |f: &dyn RangeFilter| {
+            hot_queries.iter().filter(|&&(a, b)| f.may_contain_range(a, b)).count() as f64
+                / hot_queries.len() as f64
+        };
+        let fpr_plain = fpr(&plain);
+        let fpr_aware = fpr(&aware);
+        assert!(
+            fpr_aware < fpr_plain * 0.7,
+            "workload-aware {fpr_aware} should beat plain {fpr_plain} on its hot band"
+        );
+        // And the space stays in the same ballpark.
+        assert!(
+            aware.size_in_bits() < plain.size_in_bits() * 3,
+            "aware {} vs plain {} bits",
+            aware.size_in_bits(),
+            plain.size_in_bits()
+        );
+    }
+
+    #[test]
+    fn empty_sample_still_works() {
+        let keys = pseudo_keys(1000, 11);
+        let f = WorkloadAwareBucketing::new(&keys, 10.0, &[]).unwrap();
+        assert_eq!(f.num_regions(), 1);
+        for &k in keys.iter().step_by(13) {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn empty_keys() {
+        let f = WorkloadAwareBucketing::new(&[], 10.0, &[1, 2, 3]).unwrap();
+        assert!(!f.may_contain_range(0, u64::MAX));
+    }
+}

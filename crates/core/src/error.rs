@@ -1,0 +1,54 @@
+//! Error types for filter construction.
+
+use std::fmt;
+
+/// Errors returned by filter builders.
+///
+/// Queries never fail: once a filter is built, `may_contain_range` is total
+/// over `a <= b`. All validation happens at construction time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FilterError {
+    /// `epsilon` must lie in the open interval (0, 1).
+    InvalidEpsilon(f64),
+    /// The maximum range size `L` must be at least 1.
+    InvalidMaxRange(u64),
+    /// The bits-per-key budget must exceed the 2-bit Elias–Fano overhead.
+    InvalidBudget(f64),
+    /// The bucket size `s` must be at least 1.
+    InvalidBucketSize(u64),
+    /// The requested configuration needs a reduced universe `r` beyond the
+    /// supported bound (the pairwise-independent family's prime `2^61 − 1`).
+    ReducedUniverseTooLarge {
+        /// The `r` the configuration asked for.
+        requested: u128,
+        /// The largest supported `r`.
+        supported: u64,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be in (0, 1), got {e}")
+            }
+            FilterError::InvalidMaxRange(l) => {
+                write!(f, "max range size L must be >= 1, got {l}")
+            }
+            FilterError::InvalidBudget(b) => write!(
+                f,
+                "bits-per-key budget must exceed 2 (the Elias-Fano overhead), got {b}"
+            ),
+            FilterError::InvalidBucketSize(s) => {
+                write!(f, "bucket size must be >= 1, got {s}")
+            }
+            FilterError::ReducedUniverseTooLarge { requested, supported } => write!(
+                f,
+                "reduced universe r = {requested} exceeds the supported bound {supported}; \
+                 lower the budget/L or raise epsilon"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}

@@ -1,0 +1,529 @@
+//! The Grafite range filter (paper Section 3).
+
+use grafite_hash::LocalityHash;
+use grafite_succinct::EliasFano;
+
+use crate::error::FilterError;
+use crate::traits::RangeFilter;
+
+/// Largest supported reduced universe: the pairwise-independent family's
+/// prime must exceed `r` (see [`grafite_hash::pairwise::MERSENNE_61`]).
+pub const MAX_REDUCED_UNIVERSE: u64 = grafite_hash::pairwise::MERSENNE_61 - 1;
+
+const DEFAULT_SEED: u64 = 0x6772_6166_6974_65; // "grafite"
+
+/// The Grafite approximate range-emptiness filter.
+///
+/// Built over a set of `u64` keys with either an (ε, L) target — false
+/// positive probability at most ε for query ranges of size up to L — or a
+/// plain space budget in bits per key (Corollary 3.5). Queries never return
+/// false negatives, for *any* key set and *any* query distribution,
+/// adversarial ones included: that robustness is the point of the paper.
+///
+/// # Guarantees (Theorem 3.4 / Corollary 3.5)
+///
+/// With budget `B` bits per key, a query of size ℓ is a false positive with
+/// probability at most `min{1, ℓ/2^(B−2)}`. Query time is a constant number
+/// of Elias–Fano predecessor probes (each a `O(log(L/ε))`-step binary search
+/// within one high-bucket).
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GrafiteFilter {
+    h: LocalityHash,
+    codes: EliasFano,
+    n_keys: usize,
+    r: u64,
+}
+
+impl GrafiteFilter {
+    /// Starts building a filter. See [`GrafiteBuilder`].
+    pub fn builder() -> GrafiteBuilder {
+        GrafiteBuilder::default()
+    }
+
+    /// Builds from an explicit, already-drawn hash function. The main entry
+    /// points are [`GrafiteFilter::builder`]; this constructor exists so
+    /// tests can pin the exact hash of the paper's worked Example 3.2, and
+    /// for ablations that swap the hash family.
+    #[doc(hidden)]
+    pub fn from_hash(h: LocalityHash, keys: &[u64]) -> Self {
+        let r = h.r();
+        let mut codes: Vec<u64> = keys.iter().map(|&k| h.eval(k)).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let codes = EliasFano::new(&codes, r);
+        Self {
+            h,
+            codes,
+            n_keys: keys.len(),
+            r,
+        }
+    }
+
+    /// The reduced universe size `r = nL/ε`.
+    #[inline]
+    pub fn reduced_universe(&self) -> u64 {
+        self.r
+    }
+
+    /// Number of distinct hash codes stored (can be slightly below the number
+    /// of keys due to collisions; paper footnote 3).
+    #[inline]
+    pub fn num_codes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Upper bound on the false-positive probability for query ranges of
+    /// size `l` (Lemma 3.1 union bound: `n·l / r`, clamped to 1).
+    pub fn fpp_for_range_size(&self, l: u64) -> f64 {
+        if self.n_keys == 0 {
+            return 0.0;
+        }
+        (self.n_keys as f64 * l as f64 / self.r as f64).min(1.0)
+    }
+
+    /// Range-emptiness test over a single `r`-block: both endpoints have the
+    /// same `⌊x/r⌋`, so the hashed image of `[a, b]` is the (possibly
+    /// wrapped) interval `[h(a), h(b)]` and the paper's conditions (2) apply.
+    #[inline]
+    fn query_within_block(&self, a: u64, b: u64) -> bool {
+        debug_assert_eq!(self.h.block(a), self.h.block(b));
+        let ha = self.h.eval(a);
+        let hb = self.h.eval(b);
+        if ha <= hb {
+            match self.codes.predecessor(hb) {
+                Some(z) => z >= ha,
+                None => false,
+            }
+        } else {
+            // Wrapped image: [ha, r) ∪ [0, hb].
+            self.codes.first() <= hb || self.codes.last() >= ha
+        }
+    }
+
+    /// Approximate number of keys intersecting `[a, b]` — the counting
+    /// extension described at the end of the paper's Section 3: the
+    /// difference of Elias–Fano ranks at the hashed endpoints.
+    ///
+    /// The count is over *distinct hash codes*: collisions of keys inside
+    /// the range deflate it slightly, collisions from outside the range
+    /// inflate it (by at most the same `ℓε/L`-style probability per key);
+    /// with duplicate input keys, duplicates count once. For a range
+    /// spanning a whole `r`-block the reduction is uninformative and the
+    /// total code count is returned.
+    pub fn approx_range_count(&self, a: u64, b: u64) -> usize {
+        assert!(a <= b, "inverted range [{a}, {b}]");
+        if self.n_keys == 0 {
+            return 0;
+        }
+        let (block_a, block_b) = (self.h.block(a), self.h.block(b));
+        if block_a == block_b {
+            self.count_within_block(a, b)
+        } else if block_b == block_a + 1 {
+            let b_first = b - b % self.r;
+            self.count_within_block(a, b_first - 1) + self.count_within_block(b_first, b)
+        } else {
+            self.codes.len()
+        }
+    }
+
+    fn count_within_block(&self, a: u64, b: u64) -> usize {
+        let ha = self.h.eval(a);
+        let hb = self.h.eval(b);
+        if ha <= hb {
+            // Codes in [ha, hb]: rank counts strictly-smaller values and both
+            // arguments stay <= r = universe, which EliasFano::rank accepts.
+            self.codes.rank(hb + 1) - self.codes.rank(ha)
+        } else {
+            (self.codes.len() - self.codes.rank(ha)) + self.codes.rank(hb + 1)
+        }
+    }
+}
+
+impl RangeFilter for GrafiteFilter {
+    /// Algorithm 2 of the paper plus the two structural cases: footnote 2's
+    /// split when `[a, b]` crosses one `r`-block boundary, and an immediate
+    /// "not empty" when it spans two or more boundaries (then it contains a
+    /// whole block, whose hashed image is the entire reduced universe).
+    fn may_contain_range(&self, a: u64, b: u64) -> bool {
+        assert!(a <= b, "inverted range [{a}, {b}]");
+        if self.n_keys == 0 {
+            return false;
+        }
+        let (block_a, block_b) = (self.h.block(a), self.h.block(b));
+        if block_a == block_b {
+            self.query_within_block(a, b)
+        } else if block_b == block_a + 1 {
+            // Split at b' = b − (b mod r), the first value of b's block
+            // (footnote 2); each sub-range lies within a single block.
+            let b_first = b - b % self.r;
+            self.query_within_block(b_first, b) || self.query_within_block(a, b_first - 1)
+        } else {
+            true
+        }
+    }
+
+    fn size_in_bits(&self) -> usize {
+        // Elias–Fano payload + the hash parameters and counters (4 words).
+        self.codes.size_in_bits() + 4 * 64
+    }
+
+    fn num_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    fn name(&self) -> &'static str {
+        "Grafite"
+    }
+}
+
+/// How the reduced universe is derived from the keys.
+#[derive(Clone, Copy, Debug)]
+enum Sizing {
+    /// `r = ⌈nL/ε⌉` (Theorem 3.4): FPP ≤ ε at range size L.
+    EpsilonL {
+        /// target false-positive probability
+        epsilon: f64,
+        /// max range size the ε guarantee is stated for
+        l: u64,
+    },
+    /// `r = n · 2^(B−2)` (Corollary 3.5): B bits per key.
+    BitsPerKey(f64),
+}
+
+/// Builder for [`GrafiteFilter`].
+///
+/// Exactly the two knobs the paper advertises (§1 "exposing just simple
+/// knobs"): either `epsilon_and_max_range(ε, L)` or `bits_per_key(B)`.
+/// A seed can be pinned for reproducibility; construction is deterministic
+/// given (keys, sizing, seed).
+#[derive(Clone, Copy, Debug)]
+pub struct GrafiteBuilder {
+    sizing: Sizing,
+    seed: u64,
+    pow2_universe: bool,
+}
+
+impl Default for GrafiteBuilder {
+    fn default() -> Self {
+        Self {
+            sizing: Sizing::BitsPerKey(16.0),
+            seed: DEFAULT_SEED,
+            pow2_universe: false,
+        }
+    }
+}
+
+impl GrafiteBuilder {
+    /// Target a false-positive probability of `epsilon` for query ranges of
+    /// size up to `l` (larger ranges degrade proportionally, smaller ranges
+    /// improve proportionally — Theorem 3.4).
+    pub fn epsilon_and_max_range(mut self, epsilon: f64, l: u64) -> Self {
+        self.sizing = Sizing::EpsilonL { epsilon, l };
+        self
+    }
+
+    /// Target a space budget of `bits` per key; the FPP for a range of size
+    /// ℓ is then at most `min{1, ℓ/2^(bits−2)}` (Corollary 3.5).
+    pub fn bits_per_key(mut self, bits: f64) -> Self {
+        self.sizing = Sizing::BitsPerKey(bits);
+        self
+    }
+
+    /// Pins the seed used to draw the hash function.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Rounds the reduced universe up to a power of two, as the paper's §7
+    /// suggests for replacing divisions/moduli with shifts/masks. Slightly
+    /// more space (up to 1 extra bit per key), strictly smaller FPP.
+    pub fn pow2_reduced_universe(mut self, enable: bool) -> Self {
+        self.pow2_universe = enable;
+        self
+    }
+
+    /// Builds the filter. Keys may be unsorted and may contain duplicates.
+    pub fn build(self, keys: &[u64]) -> Result<GrafiteFilter, FilterError> {
+        let n = keys.len();
+        let r_target: u128 = match self.sizing {
+            Sizing::EpsilonL { epsilon, l } => {
+                if !(epsilon > 0.0 && epsilon < 1.0) {
+                    return Err(FilterError::InvalidEpsilon(epsilon));
+                }
+                if l == 0 {
+                    return Err(FilterError::InvalidMaxRange(l));
+                }
+                ((n.max(1) as f64) * (l as f64) / epsilon).ceil() as u128
+            }
+            Sizing::BitsPerKey(bits) => {
+                if !(bits > 2.0 && bits.is_finite()) {
+                    return Err(FilterError::InvalidBudget(bits));
+                }
+                ((n.max(1) as f64) * (bits - 2.0).exp2()).ceil() as u128
+            }
+        };
+        let r_target = if self.pow2_universe {
+            r_target.next_power_of_two()
+        } else {
+            r_target
+        };
+        if r_target > MAX_REDUCED_UNIVERSE as u128 {
+            return Err(FilterError::ReducedUniverseTooLarge {
+                requested: r_target,
+                supported: MAX_REDUCED_UNIVERSE,
+            });
+        }
+        let r = (r_target as u64).max(1);
+        let h = LocalityHash::from_seed(self.seed, r);
+        Ok(GrafiteFilter::from_hash(h, keys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grafite_hash::PairwiseHash;
+
+    /// The paper's set S of Examples 3.2/3.3.
+    const PAPER_S: [u64; 10] = [9, 48, 50, 191, 226, 269, 335, 446, 487, 511];
+
+    fn paper_filter() -> GrafiteFilter {
+        // Example 3.2: p = 2^31 − 1, c1 = 10, c2 = 5, r = nL/ε = 100.
+        let q = PairwiseHash::with_params(10, 5, (1 << 31) - 1, 100);
+        GrafiteFilter::from_hash(LocalityHash::from_pairwise(q), &PAPER_S)
+    }
+
+    #[test]
+    fn paper_example_false_positive() {
+        let f = paper_filter();
+        assert_eq!(f.reduced_universe(), 100);
+        assert_eq!(f.num_codes(), 10); // the example's codes are all distinct
+        // Example 3.3: [44, 47] ∩ S = ∅, yet the filter says "not empty".
+        assert!(f.may_contain_range(44, 47));
+    }
+
+    #[test]
+    fn paper_example_no_false_negatives() {
+        let f = paper_filter();
+        for &k in &PAPER_S {
+            assert!(f.may_contain(k), "false negative on key {k}");
+            assert!(f.may_contain_range(k.saturating_sub(3), k + 3));
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_randomized() {
+        let mut state = 1u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let keys: Vec<u64> = (0..5000).map(|_| next()).collect();
+        for &bpk in &[4.0, 8.0, 12.0, 20.0] {
+            let f = GrafiteFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            for (i, &k) in keys.iter().enumerate().step_by(7) {
+                assert!(f.may_contain(k), "bpk={bpk} point FN at key {i}");
+                let lo = k.saturating_sub(i as u64 % 800);
+                let hi = k.saturating_add((i as u64 * 31) % 800);
+                assert!(f.may_contain_range(lo, hi), "bpk={bpk} range FN around key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_filter_answers_empty() {
+        let f = GrafiteFilter::builder().build(&[]).unwrap();
+        assert!(!f.may_contain_range(0, u64::MAX));
+        assert_eq!(f.approx_range_count(0, u64::MAX), 0);
+        assert_eq!(f.num_keys(), 0);
+    }
+
+    #[test]
+    fn single_key_and_duplicates() {
+        let f = GrafiteFilter::builder().bits_per_key(12.0).build(&[7, 7, 7]).unwrap();
+        assert_eq!(f.num_keys(), 3);
+        assert_eq!(f.num_codes(), 1);
+        assert!(f.may_contain(7));
+        assert!(f.may_contain_range(0, 100));
+    }
+
+    #[test]
+    fn extreme_universe_edges() {
+        let keys = [0u64, 1, u64::MAX - 1, u64::MAX];
+        let f = GrafiteFilter::builder().bits_per_key(20.0).build(&keys).unwrap();
+        for &k in &keys {
+            assert!(f.may_contain(k));
+        }
+        assert!(f.may_contain_range(u64::MAX - 5, u64::MAX));
+        assert!(f.may_contain_range(0, 0));
+    }
+
+    #[test]
+    fn block_boundary_split_has_no_false_negatives() {
+        // Keys straddling every r-block boundary pattern. r depends only on
+        // (n, budget): n = 147 keys at 10 bits/key gives r = 147 * 2^8.
+        let r = 147u64 << 8;
+        let keys: Vec<u64> = (1..50u64)
+            .flat_map(|i| [i * r - 1, i * r, i * r + 1])
+            .collect();
+        let f = GrafiteFilter::builder().bits_per_key(10.0).seed(9).build(&keys).unwrap();
+        assert_eq!(f.reduced_universe(), r, "r formula drifted");
+        for i in 1..50u64 {
+            // Crosses exactly one boundary.
+            assert!(f.may_contain_range(i * r - 2, i * r + 2), "boundary {i}");
+            // Spans multiple boundaries: must be (trivially) non-empty.
+            assert!(f.may_contain_range(i * r - 2, i * r + 2 * r));
+        }
+    }
+
+    #[test]
+    fn spanning_query_over_empty_filterless_blocks() {
+        // A query spanning >= 2 block boundaries always answers "not empty"
+        // on a non-empty filter (the hashed image covers all of [r]).
+        let f = GrafiteFilter::builder().bits_per_key(8.0).build(&[1234]).unwrap();
+        let r = f.reduced_universe();
+        assert!(f.may_contain_range(0, 3 * r));
+    }
+
+    #[test]
+    fn fpr_respects_corollary_bound() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        let n = 4000usize;
+        let keys: Vec<u64> = (0..n).map(|_| next()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let bpk = 12.0;
+        let l = 32u64;
+        let f = GrafiteFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+        let bound = f.fpp_for_range_size(l);
+        assert!(bound <= 32.0 / 1024.0 + 1e-9, "bound formula drifted: {bound}");
+
+        let mut fps = 0usize;
+        let mut empties = 0usize;
+        let mut probe_state = 4242u64;
+        while empties < 20_000 {
+            probe_state = probe_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = probe_state;
+            let b = match a.checked_add(l - 1) {
+                Some(b) => b,
+                None => continue,
+            };
+            // Keep only truly empty ranges.
+            let idx = sorted.partition_point(|&k| k < a);
+            if idx < sorted.len() && sorted[idx] <= b {
+                continue;
+            }
+            empties += 1;
+            if f.may_contain_range(a, b) {
+                fps += 1;
+            }
+        }
+        let fpr = fps as f64 / empties as f64;
+        assert!(
+            fpr <= bound * 1.5 + 0.002,
+            "empirical FPR {fpr} exceeds bound {bound} beyond statistical slack"
+        );
+    }
+
+    #[test]
+    fn approx_count_exact_when_collision_free() {
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 1_000_003).collect();
+        let f = GrafiteFilter::builder().bits_per_key(30.0).seed(3).build(&keys).unwrap();
+        // Ranges well inside one block (r = 100 * 2^28 >> any range here).
+        for (a, b, expect) in [
+            (0u64, 999_999u64, 1usize),
+            (0, 5_000_000, 5),
+            (1_000_003, 1_000_003, 1),
+            (1, 1_000_002, 0),
+            (0, 99 * 1_000_003, 100),
+        ] {
+            assert_eq!(f.approx_range_count(a, b), expect, "count [{a}, {b}]");
+        }
+    }
+
+    #[test]
+    fn builder_validation() {
+        let keys = [1u64, 2, 3];
+        assert!(matches!(
+            GrafiteFilter::builder().epsilon_and_max_range(0.0, 8).build(&keys),
+            Err(FilterError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            GrafiteFilter::builder().epsilon_and_max_range(1.5, 8).build(&keys),
+            Err(FilterError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            GrafiteFilter::builder().epsilon_and_max_range(0.1, 0).build(&keys),
+            Err(FilterError::InvalidMaxRange(0))
+        ));
+        assert!(matches!(
+            GrafiteFilter::builder().bits_per_key(2.0).build(&keys),
+            Err(FilterError::InvalidBudget(_))
+        ));
+        assert!(matches!(
+            GrafiteFilter::builder().bits_per_key(64.0).build(&keys),
+            Err(FilterError::ReducedUniverseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn space_tracks_budget() {
+        let mut state = 5u64;
+        let keys: Vec<u64> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect();
+        for &bpk in &[8.0, 12.0, 16.0, 24.0] {
+            let f = GrafiteFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            let measured = f.bits_per_key();
+            assert!(
+                measured > bpk - 2.0 && measured < bpk + 3.0,
+                "budget {bpk} produced {measured} bits/key"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_sizing_matches_formula() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * 97_000).collect();
+        let f = GrafiteFilter::builder()
+            .epsilon_and_max_range(0.01, 64)
+            .build(&keys)
+            .unwrap();
+        // r = nL/ε = 1000 * 64 / 0.01 = 6.4e6.
+        assert_eq!(f.reduced_universe(), 6_400_000);
+        assert!((f.fpp_for_range_size(64) - 0.01).abs() < 1e-9);
+        assert!((f.fpp_for_range_size(32) - 0.005).abs() < 1e-9);
+    }
+}
+
+#[cfg(all(test, feature = "serde"))]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn filter_roundtrips_through_serde() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let filter = GrafiteFilter::builder().bits_per_key(14.0).seed(3).build(&keys).unwrap();
+        let bytes = serde_json::to_vec(&filter).expect("serialize");
+        let back: GrafiteFilter = serde_json::from_slice(&bytes).expect("deserialize");
+        for &k in &keys {
+            assert_eq!(filter.may_contain(k), back.may_contain(k));
+        }
+        for probe in 0..2000u64 {
+            let a = probe.wrapping_mul(0xABCDEF);
+            let b = a.saturating_add(100);
+            assert_eq!(filter.may_contain_range(a, b), back.may_contain_range(a, b));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The paper's contributions: the **Grafite** optimal range filter (§3) and
+//! the **Bucketing** heuristic range filter (§4).
+//!
+//! # Grafite in one paragraph
+//!
+//! Grafite reduces the key universe `[u]` to a smaller universe `[r]`,
+//! `r = nL/ε`, with the locality-preserving hash
+//! `h(x) = (q(⌊x/r⌋) + x) mod r` (`q` pairwise independent), stores the
+//! deduplicated sorted hash codes in an Elias–Fano sequence, and answers a
+//! range-emptiness query `[a, b]` with a single `predecessor(h(b)) ≥ h(a)`
+//! test (two tests when the range wraps the reduced universe or crosses an
+//! `r`-block boundary). This gives, for a space budget of `B` bits per key,
+//! `O(1)` query time and a false-positive probability of at most
+//! `min{1, ℓ/2^(B−2)}` for ranges of size `ℓ` — *independently of the data
+//! and query distribution* (paper Theorem 3.4 and Corollary 3.5).
+//!
+//! # Example
+//!
+//! ```
+//! use grafite_core::{GrafiteFilter, RangeFilter};
+//!
+//! let keys = vec![100u64, 2_000, 30_000, 400_000];
+//! let filter = GrafiteFilter::builder()
+//!     .epsilon_and_max_range(0.01, 1 << 10)
+//!     .build(&keys)
+//!     .unwrap();
+//! assert!(filter.may_contain_range(1_500, 2_500)); // contains 2_000
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucketing;
+pub mod error;
+pub mod grafite;
+pub mod sort;
+pub mod string_keys;
+pub mod traits;
+
+pub use bucketing::{BucketingBuilder, BucketingFilter, WorkloadAwareBucketing};
+pub use error::FilterError;
+pub use grafite::{GrafiteBuilder, GrafiteFilter};
+pub use string_keys::StringGrafite;
+pub use traits::RangeFilter;

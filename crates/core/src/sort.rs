@@ -1,0 +1,147 @@
+//! Sorting routines for filter construction.
+//!
+//! Grafite's construction is sort-bound (paper Algorithm 1 and §6.6): hash
+//! all keys, sort the codes, Elias–Fano-encode. The paper notes that faster
+//! or parallel sorts translate directly into construction speedups (their
+//! §6.6 reports 1.5–2.0× with 2–8 threads). We provide three interchangeable
+//! sorts for the §6.6 ablation:
+//!
+//! * [`std_sort`] — `slice::sort_unstable` (pdqsort), the default;
+//! * [`radix_sort`] — an LSD radix sort with 8-bit digits;
+//! * [`parallel_sort`] — chunked sort + k-way merge on `std::thread::scope`.
+
+/// Sorts in place with the standard unstable sort.
+pub fn std_sort(data: &mut [u64]) {
+    data.sort_unstable();
+}
+
+/// LSD radix sort with 8-bit digits (8 stable counting passes).
+///
+/// Skips passes whose digit is constant across the input — on keys from a
+/// small universe this makes it adaptive.
+pub fn radix_sort(data: &mut Vec<u64>) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let mut buf = vec![0u64; n];
+    for pass in 0..8u32 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for &x in data.iter() {
+            counts[((x >> shift) & 0xFF) as usize] += 1;
+        }
+        if counts.iter().any(|&c| c == n) {
+            continue; // constant digit: nothing to do this pass
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for d in 0..256 {
+            offsets[d] = acc;
+            acc += counts[d];
+        }
+        for &x in data.iter() {
+            let d = ((x >> shift) & 0xFF) as usize;
+            buf[offsets[d]] = x;
+            offsets[d] += 1;
+        }
+        data.copy_from_slice(&buf);
+    }
+}
+
+/// Parallel merge sort: recursively split across threads, sort halves
+/// concurrently, merge. Mirrors the paper's multi-threaded construction
+/// experiment (§6.6); the final single-threaded merge bounds the speedup to
+/// the same ~1.5–2x regime the paper reports.
+pub fn parallel_sort(data: &mut [u64], threads: usize) {
+    let n = data.len();
+    let threads = threads.max(1).min(n.max(1));
+    if n <= 1 {
+        return;
+    }
+    let mut scratch = vec![0u64; n];
+    sort_rec(data, &mut scratch, threads);
+}
+
+fn sort_rec(data: &mut [u64], scratch: &mut [u64], threads: usize) {
+    if threads <= 1 || data.len() < 4096 {
+        data.sort_unstable();
+        return;
+    }
+    let mid = data.len() / 2;
+    let (left, right) = data.split_at_mut(mid);
+    let (s_left, s_right) = scratch.split_at_mut(mid);
+    std::thread::scope(|scope| {
+        scope.spawn(|| sort_rec(left, s_left, threads / 2));
+        sort_rec(right, s_right, threads - threads / 2);
+    });
+    // Merge the sorted halves through the scratch buffer.
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in scratch.iter_mut() {
+        let take_left = j >= right.len() || (i < left.len() && left[i] <= right[j]);
+        if take_left {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+    data.copy_from_slice(scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radix_matches_std() {
+        for n in [0usize, 1, 2, 100, 4097] {
+            let mut a = pseudo_random(n, 42);
+            let mut b = a.clone();
+            a.sort_unstable();
+            radix_sort(&mut b);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_small_universe_adaptive() {
+        let mut data: Vec<u64> = pseudo_random(5000, 7).iter().map(|x| x % 1000).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        radix_sort(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn parallel_matches_std() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut a = pseudo_random(10_001, 3);
+            let mut b = a.clone();
+            a.sort_unstable();
+            parallel_sort(&mut b, threads);
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_tiny_inputs() {
+        let mut v = vec![3u64, 1];
+        parallel_sort(&mut v, 16);
+        assert_eq!(v, vec![1, 3]);
+        let mut v: Vec<u64> = vec![];
+        parallel_sort(&mut v, 4);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! The string-key extension of Grafite sketched in the paper's Section 7:
+//! choose `r = 2^k` so the reduction becomes
+//! `h(x) = (q(x >> k) + x) & (r − 1)` — pure shifts, masks, and adds — and
+//! realise `q` with a practical string hash (xxHash64).
+//!
+//! Byte-string keys are first mapped to `u64` by taking their first eight
+//! bytes big-endian (zero-padded). The mapping is monotone with respect to
+//! lexicographic order, so a key inside the query range always lands inside
+//! the mapped range: **no false negatives**. Strings sharing an 8-byte
+//! prefix become indistinguishable, which can only add false positives; the
+//! paper's integer guarantees apply to the mapped 64-bit universe.
+
+use grafite_hash::xxhash::xxh64;
+use grafite_succinct::EliasFano;
+
+use crate::error::FilterError;
+
+/// A Grafite range filter over byte-string keys.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StringGrafite {
+    k: u32,
+    seed: u64,
+    codes: EliasFano,
+    n_keys: usize,
+}
+
+impl StringGrafite {
+    /// Builds over string keys with a space budget in bits per key.
+    ///
+    /// `r` is rounded to the power of two `2^k` with
+    /// `k = ⌈log2(n)⌉ + ⌈bits − 2⌉`, honouring the Corollary 3.5 sizing.
+    pub fn new<K: AsRef<[u8]>>(
+        keys: &[K],
+        bits_per_key: f64,
+        seed: u64,
+    ) -> Result<Self, FilterError> {
+        if !(bits_per_key > 2.0 && bits_per_key.is_finite()) {
+            return Err(FilterError::InvalidBudget(bits_per_key));
+        }
+        let n = keys.len();
+        if n == 0 {
+            return Ok(Self {
+                k: 1,
+                seed,
+                codes: EliasFano::new(&[], 2),
+                n_keys: 0,
+            });
+        }
+        let k = ((n.max(2) as f64).log2().ceil() + (bits_per_key - 2.0).ceil()) as u32;
+        if k >= 61 {
+            return Err(FilterError::ReducedUniverseTooLarge {
+                requested: 1u128 << k,
+                supported: (1u64 << 60) as u64,
+            });
+        }
+        let mut filter = Self {
+            k,
+            seed,
+            codes: EliasFano::new(&[], 2),
+            n_keys: n,
+        };
+        let mut codes: Vec<u64> = keys
+            .iter()
+            .map(|key| filter.h(Self::key_to_u64(key.as_ref())))
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        filter.codes = EliasFano::new(&codes, 1u64 << k);
+        Ok(filter)
+    }
+
+    /// The order-preserving 8-byte-prefix embedding of a byte string into
+    /// the `u64` universe.
+    pub fn key_to_u64(key: &[u8]) -> u64 {
+        let mut buf = [0u8; 8];
+        let take = key.len().min(8);
+        buf[..take].copy_from_slice(&key[..take]);
+        u64::from_be_bytes(buf)
+    }
+
+    #[inline]
+    fn r(&self) -> u64 {
+        1u64 << self.k
+    }
+
+    /// `q` realised with xxHash64 over the block index, as §7 suggests.
+    #[inline]
+    fn q(&self, block: u64) -> u64 {
+        xxh64(&block.to_le_bytes(), self.seed) & (self.r() - 1)
+    }
+
+    /// `h(x) = (q(x >> k) + x) & (r − 1)`.
+    #[inline]
+    fn h(&self, x: u64) -> u64 {
+        self.q(x >> self.k).wrapping_add(x) & (self.r() - 1)
+    }
+
+    fn query_within_block(&self, a: u64, b: u64) -> bool {
+        let (ha, hb) = (self.h(a), self.h(b));
+        if ha <= hb {
+            match self.codes.predecessor(hb) {
+                Some(z) => z >= ha,
+                None => false,
+            }
+        } else {
+            self.codes.first() <= hb || self.codes.last() >= ha
+        }
+    }
+
+    /// Whether the lexicographic closed range `[a, b]` may contain a key.
+    ///
+    /// # Panics
+    /// Panics if `a > b` lexicographically.
+    pub fn may_contain_range(&self, a: &[u8], b: &[u8]) -> bool {
+        assert!(a <= b, "inverted string range");
+        if self.n_keys == 0 {
+            return false;
+        }
+        let (ia, ib) = (Self::key_to_u64(a), Self::key_to_u64(b));
+        let (block_a, block_b) = (ia >> self.k, ib >> self.k);
+        if block_a == block_b {
+            self.query_within_block(ia, ib)
+        } else if block_b == block_a + 1 {
+            let b_first = ib & !(self.r() - 1);
+            self.query_within_block(b_first, ib) || self.query_within_block(ia, b_first - 1)
+        } else {
+            true
+        }
+    }
+
+    /// Point-membership test.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.may_contain_range(key, key)
+    }
+
+    /// Number of keys indexed.
+    pub fn num_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Heap size in bits.
+    pub fn size_in_bits(&self) -> usize {
+        self.codes.size_in_bits() + 3 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORDS: &[&str] = &[
+        "apple", "apricot", "banana", "blueberry", "cherry", "durian", "elderberry", "fig",
+        "grape", "grapefruit", "kiwi", "lemon", "lime", "mango", "melon", "nectarine", "orange",
+        "papaya", "peach", "pear", "plum", "raspberry", "strawberry", "tangerine", "watermelon",
+    ];
+
+    #[test]
+    fn embedding_is_monotone() {
+        let mut mapped: Vec<u64> = WORDS.iter().map(|w| StringGrafite::key_to_u64(w.as_bytes())).collect();
+        let mut sorted = mapped.clone();
+        sorted.sort_unstable();
+        mapped.dedup();
+        assert_eq!(mapped, sorted, "8-byte-prefix embedding must be monotone");
+    }
+
+    #[test]
+    fn no_false_negatives_on_words() {
+        let f = StringGrafite::new(WORDS, 14.0, 7).unwrap();
+        for w in WORDS {
+            assert!(f.may_contain(w.as_bytes()), "FN on {w}");
+        }
+        // Ranges bounded by existing words are never negative.
+        assert!(f.may_contain_range(b"apple", b"banana"));
+        assert!(f.may_contain_range(b"peach", b"plum"));
+        assert!(f.may_contain_range(b"a", b"z"));
+    }
+
+    #[test]
+    fn empty_filter() {
+        let f = StringGrafite::new::<&str>(&[], 14.0, 0).unwrap();
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn far_ranges_mostly_filtered() {
+        let f = StringGrafite::new(WORDS, 20.0, 1).unwrap();
+        // Count positives over disjoint probes far from the keys (digits sort
+        // before letters, so these ranges are key-free).
+        let mut positives = 0;
+        for i in 0..2000u32 {
+            let a = format!("0query{i:05}");
+            let b = format!("0query{i:05}~");
+            if f.may_contain_range(a.as_bytes(), b.as_bytes()) {
+                positives += 1;
+            }
+        }
+        assert!(positives < 100, "string filter not filtering: {positives}/2000");
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(StringGrafite::new(WORDS, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn long_shared_prefixes_fold_together() {
+        // Strings sharing the first 8 bytes are indistinguishable: positives,
+        // never negatives.
+        let keys = ["prefix00suffix-a", "prefix00suffix-b"];
+        let f = StringGrafite::new(&keys, 16.0, 0).unwrap();
+        assert!(f.may_contain(b"prefix00-anything"));
+    }
+}

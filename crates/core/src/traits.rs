@@ -1,0 +1,40 @@
+//! The common interface every range filter in this workspace implements.
+
+/// An approximate range-emptiness data structure (paper Problem 1).
+///
+/// Implementations must guarantee **no false negatives**: if any stored key
+/// lies in `[a, b]`, `may_contain_range(a, b)` returns `true`. They may
+/// return `true` for empty ranges (a false positive); how often is the whole
+/// game, and is what the paper's experiments measure.
+pub trait RangeFilter {
+    /// Whether the closed range `[a, b]` *may* intersect the key set.
+    ///
+    /// # Panics
+    /// Implementations may panic if `a > b`.
+    fn may_contain_range(&self, a: u64, b: u64) -> bool;
+
+    /// Whether the point `x` may be in the key set.
+    #[inline]
+    fn may_contain(&self, x: u64) -> bool {
+        self.may_contain_range(x, x)
+    }
+
+    /// Total heap size of the filter in bits, directories included.
+    fn size_in_bits(&self) -> usize;
+
+    /// Number of keys the filter was built on.
+    fn num_keys(&self) -> usize;
+
+    /// Space per key in bits — the x-axis of the paper's Figures 4–6.
+    #[inline]
+    fn bits_per_key(&self) -> f64 {
+        if self.num_keys() == 0 {
+            0.0
+        } else {
+            self.size_in_bits() as f64 / self.num_keys() as f64
+        }
+    }
+
+    /// Short display name used by the experiment harness.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,113 @@
+//! Property tests for the paper's two filters: the no-false-negative
+//! invariant must hold for arbitrary key sets, budgets, and query ranges.
+
+use grafite_core::{BucketingFilter, GrafiteFilter, RangeFilter, StringGrafite};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every key k in the set and every query range containing k,
+    /// Grafite must answer "not empty".
+    #[test]
+    fn grafite_never_false_negative(
+        keys in prop::collection::vec(any::<u64>(), 1..400),
+        bpk in 3.0f64..24.0,
+        seed in any::<u64>(),
+        offsets in prop::collection::vec((0u64..5000, 0u64..5000), 1..40),
+    ) {
+        let f = GrafiteFilter::builder().bits_per_key(bpk).seed(seed).build(&keys).unwrap();
+        for (i, &(dl, dr)) in offsets.iter().enumerate() {
+            let k = keys[i % keys.len()];
+            let a = k.saturating_sub(dl);
+            let b = k.saturating_add(dr);
+            prop_assert!(f.may_contain_range(a, b), "FN: key {} in [{}, {}]", k, a, b);
+        }
+    }
+
+    /// Same for Bucketing.
+    #[test]
+    fn bucketing_never_false_negative(
+        keys in prop::collection::vec(any::<u64>(), 1..400),
+        bpk in 1.0f64..24.0,
+        offsets in prop::collection::vec((0u64..5000, 0u64..5000), 1..40),
+    ) {
+        let f = BucketingFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+        for (i, &(dl, dr)) in offsets.iter().enumerate() {
+            let k = keys[i % keys.len()];
+            let a = k.saturating_sub(dl);
+            let b = k.saturating_add(dr);
+            prop_assert!(f.may_contain_range(a, b), "FN: key {} in [{}, {}]", k, a, b);
+        }
+    }
+
+    /// Bucketing with explicit s must agree exactly with the naive
+    /// bucket-bitmap semantics (both positives and negatives).
+    #[test]
+    fn bucketing_matches_bitmap_semantics(
+        keys in prop::collection::vec(0u64..100_000, 1..200),
+        s in 1u64..5000,
+        queries in prop::collection::vec((0u64..100_000, 0u64..2000), 1..60),
+    ) {
+        let f = BucketingFilter::builder().bucket_size(s).build(&keys).unwrap();
+        let buckets: std::collections::HashSet<u64> = keys.iter().map(|&k| k / s).collect();
+        for &(a, w) in &queries {
+            let b = a + w;
+            let expect = (a / s..=b / s).any(|bk| buckets.contains(&bk));
+            prop_assert_eq!(f.may_contain_range(a, b), expect, "s={} [{}, {}]", s, a, b);
+        }
+    }
+
+    /// Grafite's approximate count never undercounts the distinct keys in
+    /// the range when they hash without in-range collisions; in general it
+    /// is >= 1 whenever the range is non-empty.
+    #[test]
+    fn grafite_count_lower_bounded(
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+        seed in any::<u64>(),
+        widths in prop::collection::vec(0u64..10_000, 1..30),
+    ) {
+        let f = GrafiteFilter::builder().bits_per_key(20.0).seed(seed).build(&keys).unwrap();
+        for (i, &w) in widths.iter().enumerate() {
+            let k = keys[i % keys.len()];
+            let a = k.saturating_sub(w);
+            let b = k.saturating_add(w);
+            prop_assert!(f.approx_range_count(a, b) >= 1, "count 0 but key {} in [{}, {}]", k, a, b);
+        }
+    }
+
+    /// The string filter inherits no-false-negatives through the monotone
+    /// embedding.
+    #[test]
+    fn string_grafite_never_false_negative(
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..20), 1..100),
+        bpk in 3.0f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        let f = StringGrafite::new(&keys, bpk, seed).unwrap();
+        for k in &keys {
+            prop_assert!(f.may_contain(k), "FN on {:?}", k);
+        }
+        // Ranges bounded by two existing keys always contain a key.
+        let mut sorted = keys.clone();
+        sorted.sort();
+        let lo = &sorted[0];
+        let hi = &sorted[sorted.len() - 1];
+        prop_assert!(f.may_contain_range(lo, hi));
+    }
+
+    /// Grafite's FPP bound is monotone in the range size and matches the
+    /// closed formula.
+    #[test]
+    fn fpp_formula_monotone(n in 1usize..10_000, bpk in 3.0f64..20.0) {
+        let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let f = GrafiteFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+        let mut prev = 0.0f64;
+        for l in [1u64, 2, 16, 256, 1 << 20] {
+            let fpp = f.fpp_for_range_size(l);
+            prop_assert!(fpp >= prev);
+            prop_assert!(fpp <= 1.0);
+            prev = fpp;
+        }
+    }
+}

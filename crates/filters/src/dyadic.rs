@@ -1,0 +1,104 @@
+//! Greedy dyadic decomposition of integer ranges.
+//!
+//! A *dyadic interval* at level `j` is `[p·2^j, (p+1)·2^j)`. Rosetta,
+//! REncoder, and bloomRF (paper §2) all decompose a query range into
+//! maximal dyadic intervals and probe per-level structures.
+
+/// One dyadic interval: the aligned block of `2^j` values starting at
+/// `prefix << j`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dyadic {
+    /// The block index (the high `64 − j` bits).
+    pub prefix: u64,
+    /// The level: block size is `2^j`.
+    pub j: u32,
+}
+
+/// Decomposes the closed range `[a, b]` into the minimal set of maximal
+/// dyadic intervals with level at most `max_j`, in left-to-right order.
+///
+/// The classic greedy walk: at each step take the largest aligned block that
+/// starts at the cursor and fits in the remainder. With `max_j = 64` a range
+/// of size ℓ yields at most `2·log2(ℓ)` intervals; a smaller `max_j` caps
+/// the block size (filters that only store bottom levels need this) at the
+/// cost of more intervals.
+pub fn cover(a: u64, b: u64, max_j: u32) -> Vec<Dyadic> {
+    assert!(a <= b, "inverted range [{a}, {b}]");
+    let max_j = max_j.min(63);
+    let mut out = Vec::new();
+    let mut cur = a as u128;
+    let end = b as u128 + 1;
+    while cur < end {
+        let align = if cur == 0 { 64 } else { (cur as u64).trailing_zeros() };
+        let remaining = end - cur;
+        let fit = 127 - remaining.leading_zeros(); // floor(log2(remaining))
+        let j = align.min(fit).min(max_j);
+        out.push(Dyadic {
+            prefix: (cur as u64) >> j,
+            j,
+        });
+        cur += 1u128 << j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expand(d: &Dyadic) -> impl Iterator<Item = u64> {
+        let lo = d.prefix << d.j;
+        let size = 1u64 << d.j;
+        lo..lo + size
+    }
+
+    fn check_exact(a: u64, b: u64, max_j: u32) {
+        let cover = cover(a, b, max_j);
+        let mut points: Vec<u64> = cover.iter().flat_map(expand).collect();
+        points.sort_unstable();
+        let expect: Vec<u64> = (a..=b).collect();
+        assert_eq!(points, expect, "[{a}, {b}] max_j={max_j}");
+        for d in &cover {
+            assert!(d.j <= max_j);
+        }
+    }
+
+    #[test]
+    fn small_ranges_exact() {
+        for a in 0..40u64 {
+            for width in 0..40u64 {
+                check_exact(a, a + width, 64);
+                check_exact(a, a + width, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_blocks_are_single_intervals() {
+        let c = cover(16, 31, 64);
+        assert_eq!(c, vec![Dyadic { prefix: 1, j: 4 }]);
+        let c = cover(0, 1023, 64);
+        assert_eq!(c, vec![Dyadic { prefix: 0, j: 10 }]);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let c = cover(0, 1023, 4);
+        assert_eq!(c.len(), 64);
+        assert!(c.iter().all(|d| d.j <= 4));
+    }
+
+    #[test]
+    fn top_of_universe() {
+        let c = cover(u64::MAX - 3, u64::MAX, 64);
+        assert_eq!(c, vec![Dyadic { prefix: (u64::MAX - 3) >> 2, j: 2 }]);
+        let c = cover(u64::MAX, u64::MAX, 64);
+        assert_eq!(c, vec![Dyadic { prefix: u64::MAX, j: 0 }]);
+    }
+
+    #[test]
+    fn interval_count_logarithmic() {
+        let c = cover(12345, 12345 + (1 << 20) - 7, 64);
+        assert!(c.len() <= 42, "cover used {} intervals", c.len());
+    }
+}

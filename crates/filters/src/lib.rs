@@ -1,0 +1,29 @@
+//! The competitor range filters of the Grafite paper's evaluation (§2, §6):
+//! SuRF, Rosetta, SNARF, Proteus, and REncoder with its SS/SE variants —
+//! all implemented from scratch on the workspace's substrates, all
+//! implementing [`grafite_core::RangeFilter`], and all property-tested for
+//! the no-false-negative invariant.
+//!
+//! | Filter | §2 design | Our substrate |
+//! |---|---|---|
+//! | SuRF | Fast Succinct Trie + suffix bits | `grafite-fst` |
+//! | Rosetta | per-level Bloom filters + dyadic "doubting" | `grafite-bloom` |
+//! | SNARF | learned spline MCDF + compressed bit array | `grafite-succinct::golomb` |
+//! | Proteus | l1-deep trie + l2 prefix Bloom, sample-tuned | `grafite-fst` + `grafite-bloom` |
+//! | REncoder | local range-tree encoder in a bit array | `grafite-succinct::bitvec` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dyadic;
+pub mod proteus;
+pub mod rencoder;
+pub mod rosetta;
+pub mod snarf;
+pub mod surf;
+
+pub use proteus::Proteus;
+pub use rencoder::{REncoder, REncoderVariant};
+pub use rosetta::Rosetta;
+pub use snarf::Snarf;
+pub use surf::{SuffixMode, Surf};

@@ -1,0 +1,89 @@
+//! Property tests for both trie encodings against ordered-set references.
+
+use std::collections::BTreeSet;
+
+use grafite_fst::{builder, FstDs, Lookup};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Fixed-length keys: lookup and seek match a BTreeSet for every dense
+    /// depth, including pure sparse.
+    #[test]
+    fn lookup_and_seek_match_btreeset(
+        keys in prop::collection::btree_set(any::<u64>(), 1..400),
+        probes in prop::collection::vec(any::<u64>(), 1..100),
+        dense_depth in 0usize..4,
+    ) {
+        let set: BTreeSet<u64> = keys.iter().copied().collect();
+        let byte_keys: Vec<[u8; 8]> = set.iter().map(|k| k.to_be_bytes()).collect();
+        let refs: Vec<&[u8]> = byte_keys.iter().map(|k| k.as_slice()).collect();
+        let ds = FstDs::build_with_depth(&refs, dense_depth);
+        prop_assert_eq!(ds.fst.num_leaves(), set.len());
+        for &p in &probes {
+            let present = set.contains(&p);
+            let found = matches!(ds.fst.lookup(&p.to_be_bytes()), Lookup::Leaf { depth: 8, .. });
+            prop_assert_eq!(found, present, "lookup({}) dense_depth={}", p, dense_depth);
+            let expect = set.range(p..).next().map(|k| k.to_be_bytes().to_vec());
+            let got = ds.fst.seek(&p.to_be_bytes()).map(|it| it.key());
+            prop_assert_eq!(got, expect, "seek({}) dense_depth={}", p, dense_depth);
+        }
+    }
+
+    /// Variable-length prefix-free keys: iteration yields the sorted set.
+    #[test]
+    fn iteration_in_order_on_prefix_free_sets(
+        raw in prop::collection::btree_set(prop::collection::vec(1u8..255, 1..6), 1..150),
+        dense_depth in 0usize..3,
+    ) {
+        // Make the set prefix-free by dropping keys that prefix another.
+        let all: Vec<Vec<u8>> = raw.iter().cloned().collect();
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        'outer: for k in &all {
+            for other in &all {
+                if other != k && other.starts_with(k) {
+                    continue 'outer;
+                }
+            }
+            keys.push(k.clone());
+        }
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let ds = FstDs::build_with_depth(&refs, dense_depth);
+        let mut it = match ds.fst.seek(&[]) {
+            Some(it) => it,
+            None => return Err(TestCaseError::fail("empty iterator on non-empty trie")),
+        };
+        let mut seen = vec![it.key()];
+        while it.advance() {
+            seen.push(it.key());
+        }
+        prop_assert_eq!(seen, keys);
+    }
+
+    /// The builder's distinguishing-prefix truncation always produces a
+    /// sorted set whose lookup identifies the right key.
+    #[test]
+    fn distinguishing_prefix_lookup_roundtrip(
+        keys in prop::collection::btree_set(any::<u64>(), 2..300),
+    ) {
+        let sorted: Vec<u64> = keys.iter().copied().collect();
+        let byte_keys: Vec<[u8; 8]> = sorted.iter().map(|k| k.to_be_bytes()).collect();
+        let refs: Vec<&[u8]> = byte_keys.iter().map(|k| k.as_slice()).collect();
+        let lens = builder::distinguishing_lengths(&refs);
+        let truncated: Vec<&[u8]> = refs.iter().zip(&lens).map(|(k, &l)| &k[..l]).collect();
+        let result = builder::build(&truncated);
+        for (i, k) in refs.iter().enumerate() {
+            match result.fst.lookup(k) {
+                Lookup::Leaf { leaf, depth } => {
+                    prop_assert_eq!(result.leaf_to_key[leaf], i);
+                    prop_assert_eq!(depth, lens[i]);
+                }
+                other => return Err(TestCaseError::fail(format!("lookup {i}: {other:?}"))),
+            }
+        }
+    }
+}

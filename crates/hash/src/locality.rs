@@ -1,0 +1,188 @@
+//! The locality-preserving universe reduction of Goswami et al. \[18\], the
+//! key ingredient of Grafite (paper eq. (1)).
+//!
+//! `h(x) = (q(⌊x/r⌋) + x) mod r` maps the universe `[u]` to `[r]` such that
+//! within one aligned block of `r` consecutive keys the mapping is a pure
+//! translation — consecutive keys stay consecutive modulo `r` — while two
+//! keys from different blocks collide pairwise-independently with probability
+//! `1/r`. This is exactly what lets a range `[a, b]` of length at most `r`
+//! be answered by at most two contiguous range probes in the reduced
+//! universe (paper conditions (2) and footnote 2).
+
+use crate::pairwise::PairwiseHash;
+
+/// The reduction `h(x) = (q(⌊x/r⌋) + x) mod r` for an arbitrary modulus `r`.
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LocalityHash {
+    q: PairwiseHash,
+    r: u64,
+}
+
+impl LocalityHash {
+    /// Draws a reduction into `[0, r)` with parameters derived from `seed`.
+    pub fn from_seed(seed: u64, r: u64) -> Self {
+        Self {
+            q: PairwiseHash::from_seed(seed, r),
+            r,
+        }
+    }
+
+    /// Builds from an explicit inner hash (tests use the paper's Example 3.2
+    /// parameters).
+    pub fn from_pairwise(q: PairwiseHash) -> Self {
+        let r = q.range();
+        Self { q, r }
+    }
+
+    /// The reduced universe size `r`.
+    #[inline]
+    pub fn r(&self) -> u64 {
+        self.r
+    }
+
+    /// Evaluates `h(x)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        // (q + x) mod r with both addends already < r: a single conditional
+        // subtraction replaces the division.
+        let s = self.q.eval(x / self.r) + x % self.r;
+        if s >= self.r {
+            s - self.r
+        } else {
+            s
+        }
+    }
+
+    /// The block index `⌊x/r⌋` of a key: two keys in the same block are
+    /// mapped by the same translation.
+    #[inline]
+    pub fn block(&self, x: u64) -> u64 {
+        x / self.r
+    }
+}
+
+/// The power-of-two variant `h(x) = (q(x >> k) + x) & (r − 1)` with
+/// `r = 2^k`, proposed in the paper's Section 7: divisions and moduli become
+/// shifts and masks.
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LocalityHashPow2 {
+    q: PairwiseHash,
+    k: u32,
+}
+
+impl LocalityHashPow2 {
+    /// Draws a reduction into `[0, 2^k)`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k >= 61` (the inner prime must exceed `r`).
+    pub fn from_seed(seed: u64, k: u32) -> Self {
+        assert!(k > 0 && k < 61, "k = {k} out of supported range [1, 60]");
+        Self {
+            q: PairwiseHash::from_seed(seed, 1u64 << k),
+            k,
+        }
+    }
+
+    /// The reduced universe size `r = 2^k`.
+    #[inline]
+    pub fn r(&self) -> u64 {
+        1u64 << self.k
+    }
+
+    /// The exponent `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Evaluates `h(x)` with shifts and masks only.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        (self.q.eval(x >> self.k).wrapping_add(x)) & (self.r() - 1)
+    }
+
+    /// The block index `x >> k`.
+    #[inline]
+    pub fn block(&self, x: u64) -> u64 {
+        x >> self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full worked Example 3.2 of the paper.
+    #[test]
+    fn paper_example_hash_codes() {
+        let q = PairwiseHash::with_params(10, 5, (1 << 31) - 1, 100);
+        let h = LocalityHash::from_pairwise(q);
+        let s = [9u64, 48, 50, 191, 226, 269, 335, 446, 487, 511];
+        let expected = [14u64, 53, 55, 6, 51, 94, 70, 91, 32, 66];
+        let got: Vec<u64> = s.iter().map(|&x| h.eval(x)).collect();
+        assert_eq!(got, expected);
+        // Example 3.3's query endpoints.
+        assert_eq!(h.eval(44), 49);
+        assert_eq!(h.eval(47), 52);
+    }
+
+    #[test]
+    fn locality_within_block() {
+        let h = LocalityHash::from_seed(3, 1 << 20);
+        let r = h.r();
+        // Any two keys in the same block keep their distance modulo r.
+        for base in [0u64, r * 5, r * 1234] {
+            let h0 = h.eval(base);
+            for d in 1..100 {
+                let hd = h.eval(base + d);
+                assert_eq!(hd, (h0 + d) % r, "distance not preserved at {base}+{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_locality_within_block() {
+        let h = LocalityHashPow2::from_seed(3, 20);
+        let r = h.r();
+        for base in [0u64, r * 7, r * 99] {
+            let h0 = h.eval(base);
+            for d in 1..100 {
+                assert_eq!(h.eval(base + d), (h0 + d) & (r - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_block_collision_rate_near_inverse_r() {
+        // Empirical check of [18, Lemma 3.1]: Pr[h(x) = h(y)] <= 1/r for x, y
+        // in different blocks. With r = 1024 and 2000 independent pairs,
+        // expect about 2 collisions; allow generous slack.
+        let r = 1024u64;
+        let mut collisions = 0;
+        let trials = 4000u64;
+        for t in 0..trials {
+            let h = LocalityHash::from_seed(t, r);
+            let x = 123 + t; // block 0..small
+            let y = r * 1000 + 77 + t * 13; // far block
+            if h.eval(x) == h.eval(y) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(rate < 4.0 / r as f64, "collision rate {rate} too high");
+    }
+
+    #[test]
+    fn outputs_in_range() {
+        let h = LocalityHash::from_seed(5, 999);
+        for x in (0..2_000_000u64).step_by(7919) {
+            assert!(h.eval(x) < 999);
+        }
+        let hp = LocalityHashPow2::from_seed(5, 33);
+        for x in (0..u64::MAX).step_by(u64::MAX as usize / 1000) {
+            assert!(hp.eval(x) < 1u64 << 33);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The pairwise-independent hash family of Wegman and Carter \[39\] used by
+//! Grafite as its inner hash `q : [u/r] -> [r]`.
+//!
+//! `q(x) = ((c1·x + c2) mod p) mod r`, where `p` is a large prime and
+//! `0 < c1 < p`, `0 <= c2 < p` are drawn at random. Pairwise independence
+//! holds for inputs below `p`; Grafite's inputs are block indices
+//! `⌊x/r⌋ < u/r`, far below our default prime `2^61 − 1` for every
+//! configuration in the paper (and a debug assertion guards the domain).
+
+use crate::mix::SplitMix64;
+
+/// The Mersenne prime `2^61 − 1`, the default modulus.
+pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
+
+/// A hash function drawn from the pairwise-independent family
+/// `{x -> ((c1·x + c2) mod p) mod r}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PairwiseHash {
+    c1: u64,
+    c2: u64,
+    p: u64,
+    r: u64,
+}
+
+impl PairwiseHash {
+    /// Draws a function with random parameters (from `seed`) mapping into
+    /// `[0, r)` with the default prime [`MERSENNE_61`].
+    ///
+    /// # Panics
+    /// Panics if `r == 0` or `r >= p`.
+    pub fn from_seed(seed: u64, r: u64) -> Self {
+        let mut gen = SplitMix64::new(seed);
+        let c1 = 1 + gen.next_below(MERSENNE_61 - 1); // c1 in [1, p)
+        let c2 = gen.next_below(MERSENNE_61); // c2 in [0, p)
+        Self::with_params(c1, c2, MERSENNE_61, r)
+    }
+
+    /// Builds a function with explicit parameters (used by tests to reproduce
+    /// the paper's Example 3.2, which sets `p = 2^31 − 1`, `c1 = 10`,
+    /// `c2 = 5`).
+    ///
+    /// # Panics
+    /// Panics if `c1 == 0`, `c1 >= p`, `c2 >= p`, `r == 0`, or `r >= p`.
+    pub fn with_params(c1: u64, c2: u64, p: u64, r: u64) -> Self {
+        assert!(r > 0, "range must be positive");
+        assert!(r < p, "prime {p} must exceed range {r}");
+        assert!(c1 > 0 && c1 < p, "c1 must be in [1, p)");
+        assert!(c2 < p, "c2 must be in [0, p)");
+        Self { c1, c2, p, r }
+    }
+
+    /// Evaluates the hash.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        debug_assert!(
+            x < self.p,
+            "input {x} outside the pairwise-independence domain [0, {})",
+            self.p
+        );
+        let v = (self.c1 as u128 * x as u128 + self.c2 as u128) % self.p as u128;
+        (v % self.r as u128) as u64
+    }
+
+    /// The output range `r`.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        self.r
+    }
+
+    /// The modulus `p`.
+    #[inline]
+    pub fn prime(&self) -> u64 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_parameters() {
+        // Example 3.2: p = 2^31 - 1, c1 = 10, c2 = 5, r = 100.
+        let q = PairwiseHash::with_params(10, 5, (1 << 31) - 1, 100);
+        assert_eq!(q.eval(0), 5);
+        assert_eq!(q.eval(1), 15);
+        assert_eq!(q.eval(5), 55);
+    }
+
+    #[test]
+    fn outputs_within_range() {
+        let q = PairwiseHash::from_seed(42, 1000);
+        for x in 0..10_000u64 {
+            assert!(q.eval(x) < 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = PairwiseHash::from_seed(7, 12345);
+        let b = PairwiseHash::from_seed(7, 12345);
+        for x in 0..1000 {
+            assert_eq!(a.eval(x), b.eval(x));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = PairwiseHash::from_seed(1, 1 << 30);
+        let b = PairwiseHash::from_seed(2, 1 << 30);
+        let same = (0..1000u64).filter(|&x| a.eval(x) == b.eval(x)).count();
+        assert!(same < 10, "seeds produce near-identical functions");
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        // Chi-square-ish sanity check on bucket occupancy.
+        let r = 64u64;
+        let q = PairwiseHash::from_seed(99, r);
+        let mut counts = vec![0usize; r as usize];
+        let n = 64_000u64;
+        for x in 0..n {
+            counts[q.eval(x) as usize] += 1;
+        }
+        let expect = (n / r) as f64;
+        for (bucket, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.5, "bucket {bucket} occupancy {c} vs expected {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed range")]
+    fn range_at_least_prime_rejected() {
+        PairwiseHash::with_params(1, 0, 97, 97);
+    }
+}

@@ -1,0 +1,125 @@
+//! Branch-reduced bit tricks on single 64-bit words.
+//!
+//! The only non-trivial primitive needed by the rank/select structures is
+//! *select within a word*: the position of the `k`-th set bit. We use a
+//! portable halving search (six rounds of popcount on progressively narrower
+//! halves), which needs no lookup tables and compiles to straight-line code.
+
+/// Returns the position (0-based, from the LSB) of the `k`-th (0-based) set
+/// bit of `word`.
+///
+/// # Panics
+/// In debug builds, panics if `word` has fewer than `k + 1` set bits.
+#[inline]
+pub fn select_in_word(word: u64, k: u32) -> u32 {
+    debug_assert!(
+        k < word.count_ones(),
+        "select_in_word: rank {k} out of range for word with {} ones",
+        word.count_ones()
+    );
+    let mut w = word;
+    let mut k = k;
+    let mut pos = 0u32;
+    // Invariant: the answer lies within the low `width` bits of `w`,
+    // and equals `pos` + (position of the `k`-th one of `w`).
+    let mut width = 64u32;
+    while width > 1 {
+        let half = width / 2;
+        let lo = w & (!0u64 >> (64 - half));
+        let ones_lo = lo.count_ones();
+        if k >= ones_lo {
+            k -= ones_lo;
+            pos += half;
+            w >>= half;
+        } else {
+            w = lo;
+        }
+        width = half;
+    }
+    pos
+}
+
+/// Returns the position of the `k`-th (0-based) **zero** bit of `word`.
+#[inline]
+pub fn select_zero_in_word(word: u64, k: u32) -> u32 {
+    select_in_word(!word, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_select(word: u64, k: u32) -> u32 {
+        let mut seen = 0;
+        for i in 0..64 {
+            if word & (1u64 << i) != 0 {
+                if seen == k {
+                    return i;
+                }
+                seen += 1;
+            }
+        }
+        panic!("rank out of range");
+    }
+
+    #[test]
+    fn single_bits() {
+        for i in 0..64 {
+            assert_eq!(select_in_word(1u64 << i, 0), i);
+        }
+    }
+
+    #[test]
+    fn all_ones() {
+        for k in 0..64 {
+            assert_eq!(select_in_word(!0u64, k), k);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_patterns() {
+        let patterns = [
+            0x8000_0000_0000_0001u64,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x5555_5555_5555_5555,
+            0xF0F0_F0F0_F0F0_F0F0,
+            0x0123_4567_89AB_CDEF,
+            0xFFFF_0000_FFFF_0000,
+            u64::MAX,
+            1,
+            1 << 63,
+        ];
+        for &w in &patterns {
+            for k in 0..w.count_ones() {
+                assert_eq!(select_in_word(w, k), naive_select(w, k), "w={w:#x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_random_words() {
+        // SplitMix64-style generator keeps the test dependency-free.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..2000 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let w = z ^ (z >> 31);
+            if w == 0 {
+                continue;
+            }
+            for k in 0..w.count_ones() {
+                assert_eq!(select_in_word(w, k), naive_select(w, k));
+            }
+        }
+    }
+
+    #[test]
+    fn select_zero() {
+        assert_eq!(select_zero_in_word(0, 0), 0);
+        assert_eq!(select_zero_in_word(0, 63), 63);
+        assert_eq!(select_zero_in_word(0b1011, 0), 2);
+        assert_eq!(select_zero_in_word(u64::MAX - 1, 0), 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! The Elias–Fano encoding of monotone integer sequences, with the
+//! `predecessor` operation Grafite's query algorithm is built on (paper §3).
+//!
+//! Given `n` non-decreasing values `z_0 <= … <= z_{n-1}` from a universe
+//! `[0, universe)`, each value is split into `l = floor(log2(universe / n))`
+//! low bits, stored verbatim in an [`IntVec`] `V`, and the remaining high
+//! bits, encoded in negated-unary form in a bit vector `H`: bit `(z_i >> l) + i`
+//! of `H` is set. The total size is `n * l + 2n + o(n)` bits, which is what
+//! gives Grafite its `n log(L/eps) + 2n + o(n)` space bound (Theorem 3.4).
+//!
+//! `predecessor(y)` follows the paper's three steps (Example 3.3): locate the
+//! bucket of `y`'s high part with two `select0` calls, binary search the low
+//! parts within the bucket, and fall back to the last element of an earlier
+//! bucket via `select1` when the bucket yields nothing.
+
+use crate::intvec::IntVec;
+use crate::rs_bitvec::RsBitVec;
+use crate::BitVec;
+
+/// An Elias–Fano encoded monotone sequence supporting random access,
+/// predecessor/successor, and rank.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EliasFano {
+    n: usize,
+    universe: u64,
+    low_bits: usize,
+    low: IntVec,
+    high: RsBitVec,
+    first: u64,
+    last: u64,
+}
+
+impl EliasFano {
+    /// Encodes `values`, which must be non-decreasing and all `< universe`.
+    ///
+    /// Duplicate values are allowed (the encoding is a multiset); Grafite
+    /// deduplicates before encoding, as in the paper, but other users (and
+    /// tests) may not.
+    ///
+    /// # Panics
+    /// Panics if the values are not non-decreasing or exceed the universe.
+    pub fn new(values: &[u64], universe: u64) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                universe,
+                low_bits: 0,
+                low: IntVec::new(0),
+                high: RsBitVec::new(BitVec::zeros(1)),
+                first: 0,
+                last: 0,
+            };
+        }
+        assert!(universe > 0, "universe must be positive for a non-empty set");
+        let low_bits = if universe > n as u64 {
+            (universe / n as u64).ilog2() as usize
+        } else {
+            0
+        };
+        let mask = if low_bits == 0 { 0 } else { (1u64 << low_bits) - 1 };
+
+        let hi_max = (universe - 1) >> low_bits;
+        let mut high = BitVec::zeros((hi_max as usize) + n + 1);
+        let mut low = IntVec::with_capacity(low_bits, n);
+        let mut prev = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v < universe, "value {v} >= universe {universe}");
+            assert!(i == 0 || v >= prev, "values must be non-decreasing");
+            prev = v;
+            high.set((v >> low_bits) as usize + i, true);
+            low.push(v & mask);
+        }
+
+        Self {
+            n,
+            universe,
+            low_bits,
+            low,
+            high: RsBitVec::new(high),
+            first: values[0],
+            last: values[n - 1],
+        }
+    }
+
+    /// Number of stored values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The universe bound the sequence was built with.
+    #[inline]
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The number of low bits `l` per element.
+    #[inline]
+    pub fn low_bit_width(&self) -> usize {
+        self.low_bits
+    }
+
+    /// The smallest stored value.
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty.
+    #[inline]
+    pub fn first(&self) -> u64 {
+        assert!(self.n > 0, "empty sequence");
+        self.first
+    }
+
+    /// The largest stored value.
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty.
+    #[inline]
+    pub fn last(&self) -> u64 {
+        assert!(self.n > 0, "empty sequence");
+        self.last
+    }
+
+    /// Random access: the `i`-th smallest stored value.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.n, "index {i} out of range {}", self.n);
+        let hi = (self.high.select1(i) - i) as u64;
+        (hi << self.low_bits) | self.low.get(i)
+    }
+
+    /// Index range `[start, end)` of the elements whose high part equals `p`.
+    #[inline]
+    fn bucket(&self, p: u64) -> (usize, usize) {
+        let p = p as usize;
+        let start = if p == 0 {
+            0
+        } else {
+            self.high.select0(p - 1) - (p - 1)
+        };
+        let end = self.high.select0(p) - p;
+        (start, end)
+    }
+
+    /// The largest stored value `<= y`, or `None` if every value is `> y`.
+    ///
+    /// This is the `predecessor` of the paper's Section 3; it runs in
+    /// `O(log(universe / n))` time (the binary search spans one bucket of at
+    /// most `2^l` low parts).
+    pub fn predecessor(&self, y: u64) -> Option<u64> {
+        if self.n == 0 || y < self.first {
+            return None;
+        }
+        if y >= self.last {
+            return Some(self.last);
+        }
+        let y = y.min(self.universe - 1);
+        let p = y >> self.low_bits;
+        let y_lo = y & if self.low_bits == 0 { 0 } else { (1u64 << self.low_bits) - 1 };
+        let (start, end) = self.bucket(p);
+        // Binary search for the first index in [start, end) with low > y_lo.
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.low.get(mid) <= y_lo {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo > start {
+            // Predecessor lies inside the bucket.
+            Some((p << self.low_bits) | self.low.get(lo - 1))
+        } else if start > 0 {
+            // Bucket is empty of candidates; take the last element of the
+            // previous non-empty bucket (corner case of the paper, recovered
+            // through select1).
+            Some(self.get(start - 1))
+        } else {
+            None
+        }
+    }
+
+    /// The smallest stored value `>= y`, or `None` if every value is `< y`.
+    pub fn successor(&self, y: u64) -> Option<u64> {
+        if self.n == 0 || y > self.last {
+            return None;
+        }
+        if y <= self.first {
+            return Some(self.first);
+        }
+        let p = y >> self.low_bits;
+        let y_lo = y & if self.low_bits == 0 { 0 } else { (1u64 << self.low_bits) - 1 };
+        let (start, end) = self.bucket(p);
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.low.get(mid) < y_lo {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < end {
+            Some((p << self.low_bits) | self.low.get(lo))
+        } else {
+            // First element of a later bucket; `end < n` is guaranteed
+            // because y <= last.
+            Some(self.get(end))
+        }
+    }
+
+    /// Number of stored values strictly smaller than `y`.
+    ///
+    /// Combined with `predecessor`, this provides the approximate range-count
+    /// extension of the paper (Section 3, last paragraph): the number of
+    /// stored values in `[a, b]` is `rank(b + 1) - rank(a)`.
+    pub fn rank(&self, y: u64) -> usize {
+        if self.n == 0 || y <= self.first {
+            return 0;
+        }
+        if y > self.last {
+            return self.n;
+        }
+        let p = y >> self.low_bits;
+        let y_lo = y & if self.low_bits == 0 { 0 } else { (1u64 << self.low_bits) - 1 };
+        let (start, end) = self.bucket(p);
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.low.get(mid) < y_lo {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Whether any stored value lies in the closed interval `[a, b]`.
+    #[inline]
+    pub fn any_in_range(&self, a: u64, b: u64) -> bool {
+        debug_assert!(a <= b);
+        match self.predecessor(b) {
+            Some(v) => v >= a,
+            None => false,
+        }
+    }
+
+    /// Iterator over the stored values in non-decreasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.high
+            .bits()
+            .iter_ones()
+            .enumerate()
+            .map(move |(i, pos)| (((pos - i) as u64) << self.low_bits) | self.low.get(i))
+    }
+
+    /// Total heap size in bits (low parts + high bits + rank/select
+    /// directories). This is the quantity reported as "space" in the
+    /// experiments.
+    pub fn size_in_bits(&self) -> usize {
+        self.low.size_in_bits() + self.high.size_in_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn reference_predecessor(set: &BTreeSet<u64>, y: u64) -> Option<u64> {
+        set.range(..=y).next_back().copied()
+    }
+
+    fn reference_successor(set: &BTreeSet<u64>, y: u64) -> Option<u64> {
+        set.range(y..).next().copied()
+    }
+
+    fn check(values: &[u64], universe: u64, probes: impl Iterator<Item = u64>) {
+        let ef = EliasFano::new(values, universe);
+        let set: BTreeSet<u64> = values.iter().copied().collect();
+        assert_eq!(ef.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i), v, "get({i})");
+        }
+        let collected: Vec<u64> = ef.iter().collect();
+        assert_eq!(collected, values);
+        for y in probes {
+            let y = y.min(universe - 1);
+            assert_eq!(ef.predecessor(y), reference_predecessor(&set, y), "pred({y})");
+            assert_eq!(ef.successor(y), reference_successor(&set, y), "succ({y})");
+            let expect_rank = values.iter().filter(|&&v| v < y).count();
+            assert_eq!(ef.rank(y), expect_rank, "rank({y})");
+        }
+    }
+
+    #[test]
+    fn paper_example_3_2() {
+        // Hash codes of Example 3.2: sorted h(S) with r = 100.
+        let codes = [6u64, 14, 32, 51, 53, 55, 66, 70, 91, 94];
+        let ef = EliasFano::new(&codes, 100);
+        // l = floor(log2(100 / 10)) = 3, exactly as in Figure 2.
+        assert_eq!(ef.low_bit_width(), 3);
+        // Example 3.3: predecessor(52) = 51 (= z_4 in 1-based indexing).
+        assert_eq!(ef.predecessor(52), Some(51));
+        // And the query [44, 47] hashes to [49, 52]: pred(52)=51 >= 49, so the
+        // structure reports "not empty" — the paper's false positive.
+        assert!(ef.any_in_range(49, 52));
+        check(&codes, 100, 0..100);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let ef = EliasFano::new(&[], 1000);
+        assert!(ef.is_empty());
+        assert_eq!(ef.predecessor(500), None);
+        assert_eq!(ef.successor(500), None);
+        assert_eq!(ef.rank(500), 0);
+        assert!(!ef.any_in_range(0, 999));
+    }
+
+    #[test]
+    fn single_value() {
+        let ef = EliasFano::new(&[42], 100);
+        assert_eq!(ef.predecessor(41), None);
+        assert_eq!(ef.predecessor(42), Some(42));
+        assert_eq!(ef.predecessor(99), Some(42));
+        assert_eq!(ef.successor(42), Some(42));
+        assert_eq!(ef.successor(43), None);
+        assert_eq!(ef.first(), 42);
+        assert_eq!(ef.last(), 42);
+    }
+
+    #[test]
+    fn duplicates() {
+        let values = [5u64, 5, 5, 9, 9, 20];
+        check(&values, 32, 0..32);
+    }
+
+    #[test]
+    fn dense_universe() {
+        // universe == n: zero low bits.
+        let values: Vec<u64> = (0..64).collect();
+        check(&values, 64, 0..64);
+    }
+
+    #[test]
+    fn value_at_universe_edge() {
+        let values = [0u64, u64::MAX - 1];
+        let ef = EliasFano::new(&values, u64::MAX);
+        assert_eq!(ef.predecessor(u64::MAX - 1), Some(u64::MAX - 1));
+        assert_eq!(ef.predecessor(1), Some(0));
+        assert_eq!(ef.successor(1), Some(u64::MAX - 1));
+    }
+
+    #[test]
+    fn clustered_values() {
+        let mut values = Vec::new();
+        for base in [0u64, 10_000, 10_001, 500_000, 999_999] {
+            values.push(base);
+        }
+        check(&values, 1_000_000, (0..1000).map(|i| i * 997));
+    }
+
+    #[test]
+    fn pseudo_random_bulk() {
+        let mut state = 999u64;
+        let mut values: Vec<u64> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state % 1_000_000
+            })
+            .collect();
+        values.sort_unstable();
+        let probes: Vec<u64> = (0..3000u64).map(|i| (i * 337) % 1_000_000).collect();
+        check(&values, 1_000_000, probes.into_iter());
+    }
+
+    #[test]
+    fn space_close_to_theory() {
+        let n = 10_000usize;
+        let universe = 1u64 << 40;
+        let values: Vec<u64> = (0..n as u64).map(|i| i * (universe / n as u64)).collect();
+        let ef = EliasFano::new(&values, universe);
+        // Theory: n * (log2(u/n) + 2) + o(n) bits.
+        let theory = n as f64 * ((universe as f64 / n as f64).log2() + 2.0);
+        let actual = ef.size_in_bits() as f64;
+        assert!(
+            actual < theory * 1.35,
+            "EF size {actual} too far above theory {theory}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! A packed vector of fixed-width integers.
+
+use crate::bitvec::BitVec;
+
+/// A vector of `len` integers, each stored in exactly `width` bits
+/// (`0 <= width <= 64`).
+///
+/// This is the array `V` of low parts in the paper's Elias–Fano layout
+/// (Figure 2), but it is generally useful: the FST uses it for value slots and
+/// SNARF for spline bookkeeping.
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IntVec {
+    bits: BitVec,
+    width: usize,
+    len: usize,
+}
+
+impl IntVec {
+    /// Creates an empty vector of `width`-bit integers.
+    pub fn new(width: usize) -> Self {
+        assert!(width <= 64, "width {width} > 64");
+        Self {
+            bits: BitVec::new(),
+            width,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty vector with room for `cap` values.
+    pub fn with_capacity(width: usize, cap: usize) -> Self {
+        assert!(width <= 64);
+        Self {
+            bits: BitVec::with_capacity(width * cap),
+            width,
+            len: 0,
+        }
+    }
+
+    /// Builds from a slice, using the given width.
+    ///
+    /// # Panics
+    /// Panics if any value does not fit in `width` bits.
+    pub fn from_slice(width: usize, values: &[u64]) -> Self {
+        let mut v = Self::with_capacity(width, values.len());
+        for &x in values {
+            v.push(x);
+        }
+        v
+    }
+
+    /// The width in bits of each element.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a value.
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in `width` bits.
+    #[inline]
+    pub fn push(&mut self, value: u64) {
+        self.bits.push_bits(value, self.width);
+        self.len += 1;
+    }
+
+    /// Returns the `i`-th value.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.bits.get_bits(i * self.width, self.width)
+    }
+
+    /// Overwrites the `i`-th value.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.bits.set_bits(i * self.width, value, self.width);
+    }
+
+    /// Iterator over the values.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Heap size in bits.
+    pub fn size_in_bits(&self) -> usize {
+        self.bits.size_in_bits() + 128 // width + len bookkeeping
+    }
+
+    /// Smallest width able to represent `value`.
+    #[inline]
+    pub fn width_for(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for width in [0usize, 1, 3, 7, 8, 13, 31, 32, 33, 63, 64] {
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..200u64)
+                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & mask)
+                .collect();
+            let iv = IntVec::from_slice(width, &values);
+            assert_eq!(iv.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(iv.get(i), v, "width={width} i={i}");
+            }
+            let collected: Vec<u64> = iv.iter().collect();
+            assert_eq!(collected, values);
+        }
+    }
+
+    #[test]
+    fn zero_width_is_all_zeros() {
+        let iv = IntVec::from_slice(0, &[0, 0, 0]);
+        assert_eq!(iv.len(), 3);
+        assert_eq!(iv.get(2), 0);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut iv = IntVec::from_slice(10, &[1, 2, 3, 4]);
+        iv.set(2, 1023);
+        assert_eq!(iv.get(1), 2);
+        assert_eq!(iv.get(2), 1023);
+        assert_eq!(iv.get(3), 4);
+    }
+
+    #[test]
+    fn width_for_values() {
+        assert_eq!(IntVec::width_for(0), 0);
+        assert_eq!(IntVec::width_for(1), 1);
+        assert_eq!(IntVec::width_for(2), 2);
+        assert_eq!(IntVec::width_for(255), 8);
+        assert_eq!(IntVec::width_for(256), 9);
+        assert_eq!(IntVec::width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_too_wide_panics() {
+        let mut iv = IntVec::new(4);
+        iv.push(16);
+    }
+}

@@ -1,0 +1,45 @@
+//! Succinct data structures underpinning the Grafite range-filter reproduction.
+//!
+//! This crate provides, from scratch, the storage layer that the paper's data
+//! structures are built on:
+//!
+//! * [`BitVec`] — a plain, word-packed bit vector with arbitrary-width bit-field
+//!   reads and writes.
+//! * [`RsBitVec`] — an immutable bit vector augmented with *rank* and *select*
+//!   support for both bit polarities, in `o(n)` extra space.
+//! * [`IntVec`] — a fixed-width packed integer vector (the `V` array of the
+//!   paper's Figure 2).
+//! * [`EliasFano`] — the quasi-succinct monotone-sequence encoding of
+//!   Elias \[14\] and Fano \[16\], extended with the `predecessor`, `successor`,
+//!   and `rank` operations that Section 3 of the paper builds Grafite's query
+//!   algorithm on.
+//! * [`GolombRiceSeq`] — a block-compressed monotone sequence with Golomb–Rice
+//!   coded gaps, used as the compressed bit array of our SNARF reproduction.
+//!
+//! All structures are deterministic, allocation-conscious, and extensively
+//! unit- and property-tested against naive references.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod broadword;
+pub mod elias_fano;
+pub mod golomb;
+pub mod intvec;
+pub mod rs_bitvec;
+
+pub use bitvec::BitVec;
+pub use elias_fano::EliasFano;
+pub use golomb::GolombRiceSeq;
+pub use intvec::IntVec;
+pub use rs_bitvec::RsBitVec;
+
+/// Number of bits in a machine word used throughout the crate.
+pub const WORD_BITS: usize = 64;
+
+/// Ceiling division of `a` by `b`.
+#[inline]
+pub(crate) fn div_ceil(a: usize, b: usize) -> usize {
+    (a + b - 1) / b
+}

@@ -1,0 +1,319 @@
+//! An immutable bit vector with constant-time rank and fast select for both
+//! bit polarities.
+//!
+//! Layout: the bit sequence is divided into 512-bit blocks (8 words). A block
+//! directory stores the absolute number of ones before each block (12.5 %
+//! overhead); `rank` popcounts at most 8 words on top of a directory lookup.
+//! `select` uses sampled *hints* — the index of the block containing every
+//! 512-th occurrence — followed by a directory scan and an in-word broadword
+//! select. This is the classic engineering trade-off described by
+//! Navarro \[28\] and used by all the filters in the paper; queries are
+//! `O(1)` amortised at our densities.
+
+use crate::bitvec::BitVec;
+use crate::broadword::select_in_word;
+use crate::WORD_BITS;
+
+const BLOCK_WORDS: usize = 8;
+const BLOCK_BITS: usize = BLOCK_WORDS * WORD_BITS; // 512
+const SELECT_SAMPLE: usize = 512;
+
+/// An immutable rank/select bit vector.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RsBitVec {
+    bits: BitVec,
+    /// `blocks[b]` = number of ones in bits `[0, b * 512)`; one sentinel entry
+    /// at the end holding the total.
+    blocks: Vec<u64>,
+    /// `select1_hints[i]` = index of the block containing the
+    /// `(i * SELECT_SAMPLE)`-th one.
+    select1_hints: Vec<u64>,
+    /// Same for zeros.
+    select0_hints: Vec<u64>,
+    ones: usize,
+}
+
+impl RsBitVec {
+    /// Freezes `bits` and builds rank/select support.
+    pub fn new(bits: BitVec) -> Self {
+        let n_blocks = crate::div_ceil(bits.len().max(1), BLOCK_BITS);
+        let mut blocks = Vec::with_capacity(n_blocks + 1);
+        let mut acc = 0u64;
+        for b in 0..n_blocks {
+            blocks.push(acc);
+            let start = b * BLOCK_WORDS;
+            let end = ((b + 1) * BLOCK_WORDS).min(bits.words().len());
+            for w in start..end {
+                acc += bits.word(w).count_ones() as u64;
+            }
+        }
+        blocks.push(acc);
+        let ones = acc as usize;
+        let zeros = bits.len() - ones;
+
+        let mut select1_hints = Vec::with_capacity(ones / SELECT_SAMPLE + 1);
+        let mut select0_hints = Vec::with_capacity(zeros / SELECT_SAMPLE + 1);
+        {
+            // For each sampled occurrence index, record the containing block.
+            let mut next1 = 0usize;
+            let mut next0 = 0usize;
+            for b in 0..n_blocks {
+                let ones_through = blocks[b + 1] as usize;
+                let bits_through = ((b + 1) * BLOCK_BITS).min(bits.len());
+                let zeros_through = bits_through - ones_through;
+                while next1 < ones && next1 < ones_through {
+                    select1_hints.push(b as u64);
+                    next1 += SELECT_SAMPLE;
+                }
+                while next0 < zeros && next0 < zeros_through {
+                    select0_hints.push(b as u64);
+                    next0 += SELECT_SAMPLE;
+                }
+            }
+        }
+
+        Self {
+            bits,
+            blocks,
+            select1_hints,
+            select0_hints,
+            ones,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Number of zero bits.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.ones
+    }
+
+    /// The bit at `pos`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> bool {
+        self.bits.get(pos)
+    }
+
+    /// The underlying bit vector.
+    #[inline]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Number of ones in `[0, pos)`. `pos` may equal `len`.
+    #[inline]
+    pub fn rank1(&self, pos: usize) -> usize {
+        assert!(pos <= self.len(), "rank position {pos} out of range");
+        if pos == 0 {
+            return 0;
+        }
+        let block = pos / BLOCK_BITS;
+        let mut r = self.blocks[block] as usize;
+        let first_word = block * BLOCK_WORDS;
+        let last_word = pos / WORD_BITS;
+        for w in first_word..last_word {
+            r += self.bits.word(w).count_ones() as usize;
+        }
+        let rem = pos % WORD_BITS;
+        if rem != 0 {
+            r += (self.bits.word(last_word) & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Number of zeros in `[0, pos)`.
+    #[inline]
+    pub fn rank0(&self, pos: usize) -> usize {
+        pos - self.rank1(pos)
+    }
+
+    /// Position of the `k`-th (0-based) set bit.
+    ///
+    /// # Panics
+    /// Panics if `k >= count_ones()`.
+    pub fn select1(&self, k: usize) -> usize {
+        assert!(k < self.ones, "select1 rank {k} out of range {}", self.ones);
+        // Start from the sampled hint and scan the block directory forward.
+        let mut block = self.select1_hints[k / SELECT_SAMPLE] as usize;
+        while self.blocks[block + 1] as usize <= k {
+            block += 1;
+        }
+        let mut remaining = k - self.blocks[block] as usize;
+        let first_word = block * BLOCK_WORDS;
+        let last_word = self.bits.words().len();
+        for w in first_word..last_word {
+            let ones = self.bits.word(w).count_ones() as usize;
+            if remaining < ones {
+                return w * WORD_BITS + select_in_word(self.bits.word(w), remaining as u32) as usize;
+            }
+            remaining -= ones;
+        }
+        unreachable!("select1: inconsistent rank directory");
+    }
+
+    /// Position of the `k`-th (0-based) zero bit.
+    ///
+    /// # Panics
+    /// Panics if `k >= count_zeros()`.
+    pub fn select0(&self, k: usize) -> usize {
+        let zeros = self.count_zeros();
+        assert!(k < zeros, "select0 rank {k} out of range {zeros}");
+        let mut block = self.select0_hints[k / SELECT_SAMPLE] as usize;
+        // Zeros before block b+1 = min(len, (b+1)*512) - ones before it.
+        loop {
+            let bits_through = ((block + 1) * BLOCK_BITS).min(self.len());
+            let zeros_through = bits_through - self.blocks[block + 1] as usize;
+            if zeros_through > k {
+                break;
+            }
+            block += 1;
+        }
+        let zeros_before = (block * BLOCK_BITS).min(self.len()) - self.blocks[block] as usize;
+        let mut remaining = k - zeros_before;
+        let first_word = block * BLOCK_WORDS;
+        let last_word = self.bits.words().len();
+        for w in first_word..last_word {
+            // Mask out phantom zeros beyond len in the final partial word.
+            let word_start = w * WORD_BITS;
+            let valid = (self.len() - word_start).min(WORD_BITS);
+            let inv = !self.bits.word(w) & if valid == 64 { !0 } else { (1u64 << valid) - 1 };
+            let zeros_here = inv.count_ones() as usize;
+            if remaining < zeros_here {
+                return word_start + select_in_word(inv, remaining as u32) as usize;
+            }
+            remaining -= zeros_here;
+        }
+        unreachable!("select0: inconsistent rank directory");
+    }
+
+    /// Heap size of the structure in bits, including the directories.
+    pub fn size_in_bits(&self) -> usize {
+        self.bits.size_in_bits()
+            + self.blocks.len() * 64
+            + self.select1_hints.len() * 64
+            + self.select0_hints.len() * 64
+    }
+
+    /// Size of the rank/select overhead only, in bits.
+    pub fn overhead_in_bits(&self) -> usize {
+        self.size_in_bits() - self.bits.size_in_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Naive {
+        bits: Vec<bool>,
+    }
+
+    impl Naive {
+        fn rank1(&self, pos: usize) -> usize {
+            self.bits[..pos].iter().filter(|&&b| b).count()
+        }
+        fn select1(&self, k: usize) -> usize {
+            self.bits
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .nth(k)
+                .unwrap()
+                .0
+        }
+        fn select0(&self, k: usize) -> usize {
+            self.bits
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| !b)
+                .nth(k)
+                .unwrap()
+                .0
+        }
+    }
+
+    fn check_all(pattern: Vec<bool>) {
+        let naive = Naive {
+            bits: pattern.clone(),
+        };
+        let rs = RsBitVec::new(pattern.iter().copied().collect());
+        assert_eq!(rs.len(), pattern.len());
+        let ones = pattern.iter().filter(|&&b| b).count();
+        assert_eq!(rs.count_ones(), ones);
+        for pos in 0..=pattern.len() {
+            assert_eq!(rs.rank1(pos), naive.rank1(pos), "rank1({pos})");
+            assert_eq!(rs.rank0(pos), pos - naive.rank1(pos), "rank0({pos})");
+        }
+        for k in 0..ones {
+            assert_eq!(rs.select1(k), naive.select1(k), "select1({k})");
+        }
+        for k in 0..(pattern.len() - ones) {
+            assert_eq!(rs.select0(k), naive.select0(k), "select0({k})");
+        }
+    }
+
+    #[test]
+    fn small_patterns() {
+        check_all(vec![true]);
+        check_all(vec![false]);
+        check_all(vec![true, false, true, true, false]);
+        check_all((0..64).map(|i| i % 2 == 0).collect());
+        check_all((0..65).map(|i| i % 2 == 1).collect());
+    }
+
+    #[test]
+    fn block_boundaries() {
+        check_all((0..513).map(|i| i == 512).collect());
+        check_all((0..1025).map(|i| i % 512 == 0).collect());
+        check_all((0..1024).map(|_| true).collect());
+        check_all((0..1024).map(|_| false).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_and_dense_mix() {
+        // Long run of zeros, burst of ones, long run of zeros.
+        let mut v = vec![false; 5000];
+        for item in v.iter_mut().skip(2000).take(100) {
+            *item = true;
+        }
+        v[4999] = true;
+        check_all(v);
+    }
+
+    #[test]
+    fn pseudo_random_large() {
+        let mut state = 12345u64;
+        let v: Vec<bool> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) & 1 == 1
+            })
+            .collect();
+        check_all(v);
+    }
+
+    #[test]
+    fn rank_at_len() {
+        let rs = RsBitVec::new((0..100).map(|i| i < 50).collect());
+        assert_eq!(rs.rank1(100), 50);
+        assert_eq!(rs.rank0(100), 50);
+    }
+}

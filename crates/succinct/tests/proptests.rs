@@ -1,0 +1,111 @@
+//! Property-based tests pitting the succinct structures against naive
+//! references on arbitrary inputs.
+
+use std::collections::BTreeSet;
+
+use grafite_succinct::{BitVec, EliasFano, GolombRiceSeq, IntVec, RsBitVec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rsbitvec_rank_select_match_naive(pattern in prop::collection::vec(any::<bool>(), 1..2048)) {
+        let rs = RsBitVec::new(pattern.iter().copied().collect());
+        let mut ones_seen = 0usize;
+        let mut zeros_seen = 0usize;
+        for (i, &b) in pattern.iter().enumerate() {
+            prop_assert_eq!(rs.rank1(i), ones_seen);
+            prop_assert_eq!(rs.rank0(i), zeros_seen);
+            if b {
+                prop_assert_eq!(rs.select1(ones_seen), i);
+                ones_seen += 1;
+            } else {
+                prop_assert_eq!(rs.select0(zeros_seen), i);
+                zeros_seen += 1;
+            }
+        }
+        prop_assert_eq!(rs.rank1(pattern.len()), ones_seen);
+    }
+
+    #[test]
+    fn elias_fano_matches_btreeset(
+        mut values in prop::collection::vec(0u64..100_000, 0..600),
+        probes in prop::collection::vec(0u64..100_000, 1..200),
+        universe_slack in 1u64..1000,
+    ) {
+        values.sort_unstable();
+        let universe = values.last().copied().unwrap_or(0) + universe_slack;
+        let ef = EliasFano::new(&values, universe);
+        let set: BTreeSet<u64> = values.iter().copied().collect();
+        for &y in &probes {
+            let y = y.min(universe - 1);
+            prop_assert_eq!(ef.predecessor(y), set.range(..=y).next_back().copied());
+            prop_assert_eq!(ef.successor(y), set.range(y..).next().copied());
+            prop_assert_eq!(ef.rank(y), values.iter().filter(|&&v| v < y).count());
+        }
+        let back: Vec<u64> = ef.iter().collect();
+        prop_assert_eq!(back, values);
+    }
+
+    #[test]
+    fn elias_fano_range_queries(
+        mut values in prop::collection::vec(0u64..50_000, 1..300),
+        ranges in prop::collection::vec((0u64..50_000, 0u64..100), 1..100),
+    ) {
+        values.sort_unstable();
+        values.dedup();
+        let universe = 50_200u64;
+        let ef = EliasFano::new(&values, universe);
+        let set: BTreeSet<u64> = values.iter().copied().collect();
+        for &(a, width) in &ranges {
+            let b = (a + width).min(universe - 1);
+            let expect = set.range(a..=b).next().is_some();
+            prop_assert_eq!(ef.any_in_range(a, b), expect, "range [{}, {}]", a, b);
+        }
+    }
+
+    #[test]
+    fn golomb_rice_matches_btreeset(
+        mut values in prop::collection::vec(0u64..1_000_000, 0..500),
+        probes in prop::collection::vec(0u64..1_000_000, 1..100),
+        param in 0usize..12,
+        block_size in 1usize..200,
+    ) {
+        values.sort_unstable();
+        let seq = GolombRiceSeq::with_params(&values, param, block_size);
+        let set: BTreeSet<u64> = values.iter().copied().collect();
+        let decoded: Vec<u64> = seq.iter().collect();
+        prop_assert_eq!(&decoded, &values);
+        for &y in &probes {
+            prop_assert_eq!(seq.successor(y), set.range(y..).next().copied());
+        }
+    }
+
+    #[test]
+    fn intvec_roundtrip(values in prop::collection::vec(any::<u64>(), 0..300), width in 0usize..=64) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let masked: Vec<u64> = values.iter().map(|v| v & mask).collect();
+        let iv = IntVec::from_slice(width, &masked);
+        let back: Vec<u64> = iv.iter().collect();
+        prop_assert_eq!(back, masked);
+    }
+
+    #[test]
+    fn bitvec_field_roundtrip(ops in prop::collection::vec((any::<u64>(), 0usize..=64), 1..100)) {
+        let mut bv = BitVec::new();
+        let mut expected = Vec::new();
+        for &(value, width) in &ops {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let v = value & mask;
+            bv.push_bits(v, width);
+            expected.push((v, width));
+        }
+        let mut pos = 0usize;
+        for &(v, width) in &expected {
+            prop_assert_eq!(bv.get_bits(pos, width), v);
+            pos += width;
+        }
+        prop_assert_eq!(bv.len(), pos);
+    }
+}

@@ -1,0 +1,225 @@
+//! Key-set generators reproducing the gap structure of the paper's datasets.
+//!
+//! All generators return a **sorted, deduplicated** key vector — the input
+//! contract of every filter builder in the workspace (builders also accept
+//! unsorted input, but the harness keeps a sorted copy for emptiness checks
+//! anyway).
+
+use crate::rng::WorkloadRng;
+
+/// The datasets of the paper's §6.1 (plus the §6.1 Fb case study and the
+/// "other datasets" Normal check).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Keys chosen uniformly at random from `[0, 2^64)`.
+    Uniform,
+    /// Books-like: cumulative counts of a heavy-tailed (lognormal)
+    /// popularity process — smooth but skewed gaps, like the SOSD `books`
+    /// file of Amazon sale counts.
+    Books,
+    /// Osm-like: a mixture of Gaussian clusters around uniform centres —
+    /// strong local clustering, like OpenStreetMap cell ids.
+    Osm,
+    /// Normal distribution with mean `2^63` and standard deviation
+    /// `0.1 · 2^64` (the paper's §6.1 "other datasets" experiment).
+    Normal,
+    /// Fb-like: mean around `2^38` with 21 huge outliers (the paper's §6.1
+    /// case study showing Grafite reaches FPR 0 at 12 bits/key).
+    Fb,
+}
+
+impl Dataset {
+    /// All datasets, in the order the paper's figures present them.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::Uniform,
+        Dataset::Books,
+        Dataset::Osm,
+        Dataset::Normal,
+        Dataset::Fb,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Uniform => "Uniform",
+            Dataset::Books => "Books",
+            Dataset::Osm => "Osm",
+            Dataset::Normal => "Normal",
+            Dataset::Fb => "Fb",
+        }
+    }
+
+    /// Parses a case-insensitive dataset name.
+    pub fn parse(name: &str) -> Option<Dataset> {
+        match name.to_ascii_lowercase().as_str() {
+            "uniform" => Some(Dataset::Uniform),
+            "books" => Some(Dataset::Books),
+            "osm" => Some(Dataset::Osm),
+            "normal" => Some(Dataset::Normal),
+            "fb" => Some(Dataset::Fb),
+            _ => None,
+        }
+    }
+}
+
+/// Generates `n` sorted deduplicated keys from `dataset` (the result can be
+/// marginally shorter than `n` after deduplication; at the paper's densities
+/// the loss is negligible and is reported by the harness).
+pub fn generate(dataset: Dataset, n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = WorkloadRng::new(seed ^ 0xDA7A_5E7 ^ dataset.name().len() as u64);
+    let mut keys: Vec<u64> = match dataset {
+        Dataset::Uniform => (0..n).map(|_| rng.next_u64()).collect(),
+        Dataset::Books => books_like(n, &mut rng),
+        Dataset::Osm => osm_like(n, &mut rng),
+        Dataset::Normal => normal(n, &mut rng),
+        Dataset::Fb => fb_like(n, &mut rng),
+    };
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Cumulative sums of lognormal increments, scaled to span roughly half the
+/// universe: the gap distribution is smooth but heavy-tailed, mimicking
+/// cumulative sale counts.
+fn books_like(n: usize, rng: &mut WorkloadRng) -> Vec<u64> {
+    let sigma = 2.0;
+    let gaps: Vec<f64> = (0..n).map(|_| (sigma * rng.gaussian()).exp()).collect();
+    let total: f64 = gaps.iter().sum();
+    let scale = (0.5 * u64::MAX as f64) / total;
+    let mut cur = 0u64;
+    gaps.iter()
+        .map(|g| {
+            let step = ((g * scale) as u64).max(1);
+            cur = cur.saturating_add(step);
+            cur
+        })
+        .collect()
+}
+
+/// Gaussian clusters around uniform centres: heavy local clustering, so that
+/// "real workload" queries (left endpoints extracted from the data) behave
+/// like correlated queries — the property that drives the paper's Osm rows.
+fn osm_like(n: usize, rng: &mut WorkloadRng) -> Vec<u64> {
+    let n_clusters = (n / 1000).max(1);
+    let centers: Vec<u64> = (0..n_clusters).map(|_| rng.next_u64()).collect();
+    let spread = 2f64.powi(34);
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.below(n_clusters as u64) as usize];
+            let offset = rng.gaussian() * spread;
+            if offset >= 0.0 {
+                c.saturating_add(offset as u64)
+            } else {
+                c.saturating_sub((-offset) as u64)
+            }
+        })
+        .collect()
+}
+
+/// The paper's Normal dataset: mean `2^63`, standard deviation `0.1 · 2^64`.
+fn normal(n: usize, rng: &mut WorkloadRng) -> Vec<u64> {
+    let mean = 2f64.powi(63);
+    let sd = 0.1 * 2f64.powi(64);
+    (0..n)
+        .map(|_| {
+            let v = mean + rng.gaussian() * sd;
+            if v <= 0.0 {
+                0
+            } else if v >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                v as u64
+            }
+        })
+        .collect()
+}
+
+/// Fb-like: all keys but 21 land in a dense region with universe-to-key
+/// ratio `u/n = 2^10` — the regime of the paper's §6.1 case study, where an
+/// Elias–Fano encoding (log2(u/n) + 2 = 12 bits/key) is exact, and hence
+/// Grafite at a 12-bits-per-key budget has a reduced universe covering the
+/// dense region and a false positive rate of zero. 21 outliers spread up to
+/// the top of the universe, as in the real Fb file.
+fn fb_like(n: usize, rng: &mut WorkloadRng) -> Vec<u64> {
+    let outliers = 21.min(n);
+    let dense_span = (n as u64).saturating_mul(1 << 10).max(2);
+    let mut keys: Vec<u64> = (0..n - outliers).map(|_| rng.below(dense_span)).collect();
+    for _ in 0..outliers {
+        keys.push(rng.range_inclusive(1u64 << 50, u64::MAX - 1));
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sorted() {
+        for ds in Dataset::ALL {
+            let a = generate(ds, 5000, 42);
+            let b = generate(ds, 5000, 42);
+            assert_eq!(a, b, "{} not deterministic", ds.name());
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "{} not sorted/dedup", ds.name());
+            assert!(a.len() > 4500, "{} lost too many keys to dedup", ds.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(Dataset::Uniform, 1000, 1);
+        let b = generate(Dataset::Uniform, 1000, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn osm_is_clustered() {
+        // Clustered data has much smaller median gap than uniform data.
+        let n = 20_000;
+        let uni = generate(Dataset::Uniform, n, 7);
+        let osm = generate(Dataset::Osm, n, 7);
+        let median_gap = |keys: &[u64]| {
+            let mut gaps: Vec<u64> = keys.windows(2).map(|w| w[1] - w[0]).collect();
+            gaps.sort_unstable();
+            gaps[gaps.len() / 2]
+        };
+        assert!(
+            median_gap(&osm) < median_gap(&uni) / 8,
+            "osm median gap {} vs uniform {}",
+            median_gap(&osm),
+            median_gap(&uni)
+        );
+    }
+
+    #[test]
+    fn books_gaps_are_skewed() {
+        let keys = generate(Dataset::Books, 20_000, 9);
+        let gaps: Vec<u64> = keys.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut sorted = gaps.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        let mean = gaps.iter().map(|&g| g as f64).sum::<f64>() / gaps.len() as f64;
+        assert!(mean > 4.0 * median, "books gaps not heavy-tailed: mean {mean} median {median}");
+    }
+
+    #[test]
+    fn fb_has_low_mass_plus_outliers() {
+        let n = 10_000;
+        let keys = generate(Dataset::Fb, n, 3);
+        let above = keys.iter().filter(|&&k| k > 1u64 << 45).count();
+        assert!((15..=21).contains(&above), "outlier count {above}");
+        let dense_span = n as u64 * 1024;
+        let below = keys.iter().filter(|&&k| k < dense_span).count();
+        assert!(below > 9_900);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for ds in Dataset::ALL {
+            assert_eq!(Dataset::parse(ds.name()), Some(ds));
+            assert_eq!(Dataset::parse(&ds.name().to_uppercase()), Some(ds));
+        }
+        assert_eq!(Dataset::parse("nope"), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! A small deterministic RNG for workload generation.
+//!
+//! Wraps the SplitMix64 generator from `grafite-hash` and adds the samplers
+//! the dataset models need (uniform bounded, unit floats, Gaussians via
+//! Box–Muller). Everything downstream is reproducible from a single seed.
+
+use grafite_hash::mix::SplitMix64;
+
+/// Deterministic RNG with the samplers used by the workload generators.
+#[derive(Clone, Debug)]
+pub struct WorkloadRng {
+    inner: SplitMix64,
+    cached_gaussian: Option<f64>,
+}
+
+impl WorkloadRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: SplitMix64::new(seed),
+            cached_gaussian: None,
+        }
+    }
+
+    /// Uniform `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.inner.next_below(bound)
+    }
+
+    /// Uniform value in the **closed** interval `[lo, hi]`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Standard Gaussian via Box–Muller (caches the second value).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.cached_gaussian.take() {
+            return z;
+        }
+        // Avoid log(0).
+        let u1 = loop {
+            let u = self.unit_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.unit_f64();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached_gaussian = Some(radius * theta.sin());
+        radius * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = WorkloadRng::new(5);
+        let mut b = WorkloadRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let mut r = WorkloadRng::new(1);
+        for _ in 0..1000 {
+            let v = r.range_inclusive(10, 12);
+            assert!((10..=12).contains(&v));
+        }
+        // Degenerate single-point interval.
+        assert_eq!(r.range_inclusive(7, 7), 7);
+        // Full-width interval must not overflow.
+        let _ = r.range_inclusive(0, u64::MAX);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = WorkloadRng::new(42);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let z = r.gaussian();
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

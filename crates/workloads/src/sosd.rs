@@ -1,0 +1,112 @@
+//! Loader for SOSD-format datasets, so the harness uses the *real* Books /
+//! Osm / Fb files when the user provides them.
+//!
+//! The SOSD benchmark stores a dataset as a little-endian `u64` element
+//! count followed by that many little-endian `u64` keys. Drop e.g.
+//! `books_200M_uint64` into `data/` and the harness picks it up instead of
+//! the synthetic stand-in.
+
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+
+use crate::datasets::{generate, Dataset};
+use crate::rng::WorkloadRng;
+
+/// Reads a SOSD `uint64` binary file.
+pub fn load_sosd(path: &Path) -> io::Result<Vec<u64>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut count_buf = [0u8; 8];
+    reader.read_exact(&mut count_buf)?;
+    let count = u64::from_le_bytes(count_buf) as usize;
+    let mut data = vec![0u8; count.saturating_mul(8)];
+    reader.read_exact(&mut data)?;
+    Ok(data
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Canonical SOSD file names for the paper's datasets.
+pub fn sosd_file_name(dataset: Dataset) -> Option<&'static str> {
+    match dataset {
+        Dataset::Books => Some("books_200M_uint64"),
+        Dataset::Osm => Some("osm_cellids_200M_uint64"),
+        Dataset::Fb => Some("fb_200M_uint64"),
+        Dataset::Uniform | Dataset::Normal => None,
+    }
+}
+
+/// Loads `dataset` from `data_dir` when a real SOSD file is present,
+/// otherwise falls back to the synthetic generator. Either way the result is
+/// sorted, deduplicated, and subsampled to at most `n` keys.
+pub fn dataset_or_synthetic(dataset: Dataset, n: usize, seed: u64, data_dir: &Path) -> Vec<u64> {
+    if let Some(file) = sosd_file_name(dataset) {
+        let path = data_dir.join(file);
+        if let Ok(mut keys) = load_sosd(&path) {
+            keys.sort_unstable();
+            keys.dedup();
+            return subsample(keys, n, seed);
+        }
+    }
+    generate(dataset, n, seed)
+}
+
+/// Uniform subsample without replacement, preserving sortedness.
+fn subsample(keys: Vec<u64>, n: usize, seed: u64) -> Vec<u64> {
+    if keys.len() <= n {
+        return keys;
+    }
+    let mut rng = WorkloadRng::new(seed ^ 0x5085_0A3B);
+    // Reservoir-free approach: pick a sorted random subset of indices by
+    // stepping with random strides ~ len/n.
+    let mut out = Vec::with_capacity(n);
+    let stride = keys.len() as f64 / n as f64;
+    let mut pos = 0f64;
+    while out.len() < n && (pos as usize) < keys.len() {
+        out.push(keys[pos as usize]);
+        pos += stride * (0.5 + rng.unit_f64());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn roundtrip_sosd_format() {
+        let dir = std::env::temp_dir().join("grafite_sosd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny_uint64");
+        let keys = [5u64, 10, 42, u64::MAX];
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&(keys.len() as u64).to_le_bytes()).unwrap();
+            for k in keys {
+                f.write_all(&k.to_le_bytes()).unwrap();
+            }
+        }
+        let loaded = load_sosd(&path).unwrap();
+        assert_eq!(loaded, keys);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fallback_to_synthetic_when_missing() {
+        let dir = std::env::temp_dir().join("grafite_sosd_missing");
+        let keys = dataset_or_synthetic(Dataset::Books, 1000, 7, &dir);
+        assert!(!keys.is_empty());
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn subsample_keeps_sorted_and_bounded() {
+        let keys: Vec<u64> = (0..10_000u64).collect();
+        let sub = subsample(keys, 500, 3);
+        assert!(sub.len() <= 500);
+        assert!(sub.len() > 350);
+        assert!(sub.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,152 @@
+//! A realistic deployment scenario from the paper's introduction: an
+//! LSM-style key-value store keeps several immutable sorted runs on disk and
+//! a small in-memory range filter per run. Every range read consults the
+//! filters first; only runs whose filter says "maybe" are fetched from disk.
+//! False positives translate directly into wasted I/O.
+//!
+//! This example simulates the store, counts disk fetches with and without
+//! filters, and contrasts Grafite with a heuristic filter under a
+//! *correlated* (time-locality) read pattern — the workload the paper's §1
+//! names as common and adversarial.
+//!
+//! ```sh
+//! cargo run --release --example kv_store_guard
+//! ```
+
+use std::cell::Cell;
+
+use grafite::{BucketingFilter, GrafiteFilter, RangeFilter};
+use grafite_workloads::WorkloadRng;
+
+/// One immutable sorted run "on disk".
+struct Run {
+    keys: Vec<u64>, // sorted
+    fetches: Cell<u64>,
+}
+
+impl Run {
+    /// The simulated disk read: scans the run for the range.
+    fn fetch_range(&self, lo: u64, hi: u64) -> usize {
+        self.fetches.set(self.fetches.get() + 1);
+        let start = self.keys.partition_point(|&k| k < lo);
+        self.keys[start..].iter().take_while(|&&k| k <= hi).count()
+    }
+}
+
+struct Store<F> {
+    runs: Vec<Run>,
+    filters: Vec<Option<F>>,
+}
+
+impl<F: RangeFilter> Store<F> {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        let mut found = 0;
+        for (run, filter) in self.runs.iter().zip(&self.filters) {
+            let maybe = filter.as_ref().map_or(true, |f| f.may_contain_range(lo, hi));
+            if maybe {
+                found += run.fetch_range(lo, hi);
+            }
+        }
+        found
+    }
+
+    fn total_fetches(&self) -> u64 {
+        self.runs.iter().map(|r| r.fetches.get()).sum()
+    }
+
+    fn reset_fetches(&self) {
+        for r in &self.runs {
+            r.fetches.set(0);
+        }
+    }
+}
+
+fn build_runs(rng: &mut WorkloadRng, num_runs: usize, run_len: usize) -> Vec<Run> {
+    (0..num_runs)
+        .map(|_| {
+            let mut keys: Vec<u64> = (0..run_len).map(|_| rng.next_u64() >> 20).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            Run {
+                keys,
+                fetches: Cell::new(0),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rng = WorkloadRng::new(99);
+    let num_runs = 16;
+    let run_len = 50_000;
+    let runs = build_runs(&mut rng, num_runs, run_len);
+
+    // Time-locality reads: ranges near recently written keys (correlated).
+    let all_keys: Vec<u64> = runs.iter().flat_map(|r| r.keys.iter().copied()).collect();
+    let queries: Vec<(u64, u64)> = (0..50_000)
+        .map(|_| {
+            let k = all_keys[rng.below(all_keys.len() as u64) as usize];
+            let lo = k.saturating_add(2 + rng.below(1 << 12));
+            (lo, lo + 127)
+        })
+        .collect();
+
+    // Baseline: no filters — every run is fetched for every read.
+    let store: Store<GrafiteFilter> = Store {
+        filters: runs.iter().map(|_| None).collect(),
+        runs,
+    };
+    let mut hits = 0usize;
+    for &(lo, hi) in &queries {
+        hits += store.range_count(lo, hi);
+    }
+    let unfiltered = store.total_fetches();
+    println!("no filter      : {unfiltered:>8} disk fetches ({hits} true hits)");
+
+    // Grafite guards (16 bits/key).
+    store.reset_fetches();
+    let grafite_store = Store {
+        filters: store
+            .runs
+            .iter()
+            .map(|r| Some(GrafiteFilter::builder().bits_per_key(16.0).build(&r.keys).unwrap()))
+            .collect(),
+        runs: store.runs,
+    };
+    let mut hits_g = 0usize;
+    for &(lo, hi) in &queries {
+        hits_g += grafite_store.range_count(lo, hi);
+    }
+    assert_eq!(hits, hits_g, "a range filter must never lose results");
+    let grafite_fetches = grafite_store.total_fetches();
+    println!(
+        "Grafite guard  : {grafite_fetches:>8} disk fetches ({:.1}x fewer, zero lost results)",
+        unfiltered as f64 / grafite_fetches as f64
+    );
+
+    // Heuristic guard (Bucketing at the same budget) on the same workload.
+    grafite_store.reset_fetches();
+    let bucketing_store = Store {
+        filters: grafite_store
+            .runs
+            .iter()
+            .map(|r| Some(BucketingFilter::builder().bits_per_key(16.0).build(&r.keys).unwrap()))
+            .collect(),
+        runs: grafite_store.runs,
+    };
+    let mut hits_b = 0usize;
+    for &(lo, hi) in &queries {
+        hits_b += bucketing_store.range_count(lo, hi);
+    }
+    assert_eq!(hits, hits_b);
+    let bucketing_fetches = bucketing_store.total_fetches();
+    println!(
+        "Bucketing guard: {bucketing_fetches:>8} disk fetches ({:.1}x fewer)",
+        unfiltered as f64 / bucketing_fetches as f64
+    );
+    println!(
+        "\nUnder correlated reads the heuristic filter forwards almost every\n\
+         query to disk, while Grafite keeps its guaranteed rejection rate —\n\
+         the paper's availability argument (§1, §6.7) in action."
+    );
+}

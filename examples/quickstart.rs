@@ -1,0 +1,67 @@
+//! Quickstart: build a Grafite range filter and query it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use grafite::{GrafiteFilter, RangeFilter};
+
+fn main() {
+    // A key set — e.g. the keys of one LSM run, timestamps of stored events…
+    let keys: Vec<u64> = (0..1_000_000u64).map(|i| i * 12_345 % (1 << 44)).collect();
+
+    // Knob 1: a space budget. 16 bits per key means FPP <= l / 2^14 for a
+    // query range of size l (Corollary 3.5) — no tuning, no workload sample.
+    let filter = GrafiteFilter::builder()
+        .bits_per_key(16.0)
+        .build(&keys)
+        .expect("valid configuration");
+
+    println!(
+        "built Grafite over {} keys: {:.2} bits/key, reduced universe r = {}",
+        filter.num_keys(),
+        filter.bits_per_key(),
+        filter.reduced_universe()
+    );
+
+    // Point and range queries. Never a false negative:
+    assert!(filter.may_contain(12_345));
+    assert!(filter.may_contain_range(12_340, 12_350));
+
+    // Knob 2 (alternative): a target FPP at a max range size.
+    let filter2 = GrafiteFilter::builder()
+        .epsilon_and_max_range(0.01, 1 << 10)
+        .build(&keys)
+        .unwrap();
+    println!(
+        "epsilon-configured filter: {:.2} bits/key, FPP bound at l=1024: {:.4}",
+        filter2.bits_per_key(),
+        filter2.fpp_for_range_size(1 << 10)
+    );
+
+    // Measure the empirical false-positive rate on empty ranges.
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut fps = 0u32;
+    let mut empties = 0u32;
+    let mut state = 0xDEADBEEFu64;
+    while empties < 100_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = state % (1 << 45);
+        let b = a + 31;
+        let i = sorted.partition_point(|&k| k < a);
+        if i < sorted.len() && sorted[i] <= b {
+            continue; // not an empty range
+        }
+        empties += 1;
+        if filter.may_contain_range(a, b) {
+            fps += 1;
+        }
+    }
+    println!(
+        "empirical FPR on empty 32-ranges: {:.2e} (bound: {:.2e})",
+        fps as f64 / empties as f64,
+        filter.fpp_for_range_size(32)
+    );
+}

@@ -1,0 +1,35 @@
+//! # grafite — meta-crate for the Grafite range-filter reproduction
+//!
+//! This crate re-exports the public API of the whole workspace, which
+//! reproduces *Grafite: Taming Adversarial Queries with Optimal Range
+//! Filters* (Costa, Ferragina, Vinciguerra — SIGMOD 2024) in Rust:
+//!
+//! * [`grafite_core`] — the paper's contributions: the [`GrafiteFilter`]
+//!   optimal range filter (§3) and the [`BucketingFilter`] heuristic (§4).
+//! * [`grafite_succinct`] — Elias–Fano, rank/select bit vectors, Golomb–Rice.
+//! * [`grafite_hash`] — pairwise-independent and locality-preserving hashing.
+//! * [`grafite_bloom`] — Bloom-filter substrates and the trivial baseline.
+//! * [`grafite_fst`] — the Fast Succinct Trie behind SuRF and Proteus.
+//! * [`grafite_filters`] — the competitor filters of the paper's evaluation.
+//! * [`grafite_workloads`] — the datasets and query workloads of §6.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grafite::{GrafiteFilter, RangeFilter};
+//!
+//! let keys: Vec<u64> = vec![9, 48, 50, 191, 226, 269, 335, 446, 487, 511];
+//! // Budget of 16 bits per key: FPP for ranges of size l is <= l / 2^14.
+//! let filter = GrafiteFilter::builder().bits_per_key(16.0).build(&keys).unwrap();
+//! assert!(filter.may_contain_range(48, 50)); // a true positive: no false negatives, ever
+//! ```
+
+pub use grafite_bloom;
+pub use grafite_core;
+pub use grafite_filters;
+pub use grafite_fst;
+pub use grafite_hash;
+pub use grafite_succinct;
+pub use grafite_workloads;
+
+pub use grafite_core::{BucketingFilter, GrafiteFilter, RangeFilter};

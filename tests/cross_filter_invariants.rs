@@ -1,0 +1,115 @@
+//! Cross-crate integration: every filter in the workspace, built over the
+//! same datasets and probed with the same workloads, upholds the two
+//! contracts the paper's comparison rests on — no false negatives anywhere,
+//! and Grafite's FPR within its theoretical bound.
+
+use grafite::{BucketingFilter, GrafiteFilter, RangeFilter};
+use grafite_bloom::TrivialRangeFilter;
+use grafite_filters::{Proteus, REncoder, REncoderVariant, Rosetta, Snarf, SuffixMode, Surf};
+use grafite_workloads::{
+    correlated_queries, datasets::Dataset, generate, non_empty_queries, uncorrelated_queries,
+};
+
+fn all_filters(keys: &[u64], sample: &[(u64, u64)]) -> Vec<Box<dyn RangeFilter>> {
+    vec![
+        Box::new(GrafiteFilter::builder().bits_per_key(14.0).build(keys).unwrap()),
+        Box::new(BucketingFilter::builder().bits_per_key(14.0).build(keys).unwrap()),
+        Box::new(Snarf::new(keys, 14.0).unwrap()),
+        Box::new(Surf::new(keys, SuffixMode::Real { bits: 6 }).unwrap()),
+        Box::new(Surf::new(keys, SuffixMode::Hash { bits: 6 }).unwrap()),
+        Box::new(Proteus::new(keys, 14.0, sample, 3).unwrap()),
+        Box::new(Rosetta::new(keys, 14.0, 1 << 10, Some(sample), 3).unwrap()),
+        Box::new(REncoder::new(keys, 14.0, REncoderVariant::Full, None, 3).unwrap()),
+        Box::new(
+            REncoder::new(keys, 14.0, REncoderVariant::SelectiveStorage { rounds: 2 }, None, 3)
+                .unwrap(),
+        ),
+        Box::new(
+            REncoder::new(keys, 14.0, REncoderVariant::SampleEstimation, Some(sample), 3).unwrap(),
+        ),
+        Box::new(TrivialRangeFilter::new(keys, 0.05, 1 << 10, 3)),
+    ]
+}
+
+#[test]
+fn non_empty_queries_always_positive_on_every_dataset() {
+    for dataset in [Dataset::Uniform, Dataset::Books, Dataset::Osm, Dataset::Fb] {
+        let keys = generate(dataset, 4000, 11);
+        let sample: Vec<(u64, u64)> = uncorrelated_queries(&keys, 100, 32, 5)
+            .iter()
+            .map(|q| (q.lo, q.hi))
+            .collect();
+        let filters = all_filters(&keys, &sample);
+        for l in [1u64, 32, 1024] {
+            let queries = non_empty_queries(&keys, 300, l, 7);
+            for f in &filters {
+                for q in &queries {
+                    assert!(
+                        f.may_contain_range(q.lo, q.hi),
+                        "{} returned a false negative on {} for [{}, {}] (l={l})",
+                        f.name(),
+                        dataset.name(),
+                        q.lo,
+                        q.hi
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grafite_fpr_within_bound_on_adversarial_workloads() {
+    let keys = generate(Dataset::Uniform, 20_000, 3);
+    for l in [1u64, 32, 1024] {
+        for degree in [0.0, 0.5, 1.0] {
+            let filter = GrafiteFilter::builder().bits_per_key(16.0).build(&keys).unwrap();
+            let queries = correlated_queries(&keys, 5_000, l, degree, 99);
+            if queries.len() < 1000 {
+                continue;
+            }
+            let fps = queries.iter().filter(|q| filter.may_contain_range(q.lo, q.hi)).count();
+            let fpr = fps as f64 / queries.len() as f64;
+            let bound = filter.fpp_for_range_size(l);
+            assert!(
+                fpr <= bound * 1.6 + 0.003,
+                "Grafite FPR {fpr} above bound {bound} at l={l}, D={degree}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_filter_reports_plausible_space() {
+    let keys = generate(Dataset::Uniform, 5000, 9);
+    let sample: Vec<(u64, u64)> = uncorrelated_queries(&keys, 100, 32, 5)
+        .iter()
+        .map(|q| (q.lo, q.hi))
+        .collect();
+    for f in all_filters(&keys, &sample) {
+        let bpk = f.bits_per_key();
+        assert!(
+            bpk > 1.0 && bpk < 200.0,
+            "{} reports implausible {bpk} bits/key",
+            f.name()
+        );
+        assert_eq!(f.num_keys(), keys.len(), "{}", f.name());
+    }
+}
+
+#[test]
+fn whole_universe_query_is_positive_everywhere() {
+    let keys = generate(Dataset::Uniform, 1000, 21);
+    let sample: Vec<(u64, u64)> = vec![(0, 31)];
+    for f in all_filters(&keys, &sample) {
+        // TrivialBloom probes point-by-point: skip the full-universe scan.
+        if f.name() == "TrivialBloom" {
+            continue;
+        }
+        assert!(
+            f.may_contain_range(0, u64::MAX),
+            "{} rejected the full universe",
+            f.name()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end check of the paper's worked example (Examples 3.2 and 3.3,
+//! Figure 2) through the public API: the exact hash parameters, the exact
+//! hash codes, the exact Elias–Fano layout, and the exact false positive.
+
+use grafite::grafite_core::GrafiteFilter;
+use grafite::RangeFilter;
+use grafite::grafite_hash::{LocalityHash, PairwiseHash};
+use grafite::grafite_succinct::EliasFano;
+
+const S: [u64; 10] = [9, 48, 50, 191, 226, 269, 335, 446, 487, 511];
+
+fn paper_hash() -> LocalityHash {
+    // Example 3.2: n = 10, L = 4, eps = 0.4 -> r = nL/eps = 100;
+    // q(x) = ((10x + 5) mod (2^31 - 1)) mod 100.
+    LocalityHash::from_pairwise(PairwiseHash::with_params(10, 5, (1 << 31) - 1, 100))
+}
+
+#[test]
+fn example_3_2_hash_codes() {
+    let h = paper_hash();
+    let codes: Vec<u64> = S.iter().map(|&x| h.eval(x)).collect();
+    assert_eq!(codes, vec![14, 53, 55, 6, 51, 94, 70, 91, 32, 66]);
+}
+
+#[test]
+fn figure_2_elias_fano_layout() {
+    let mut sorted = S.map(|x| paper_hash().eval(x));
+    sorted.sort_unstable();
+    assert_eq!(sorted, [6, 14, 32, 51, 53, 55, 66, 70, 91, 94]);
+    let ef = EliasFano::new(&sorted, 100);
+    // l = floor(log2(r/n)) = 3 low bits, as in Figure 2.
+    assert_eq!(ef.low_bit_width(), 3);
+    // The low parts V of Figure 2: 110 110 000 011 101 111 010 110 011 110.
+    let lows: Vec<u64> = sorted.iter().map(|z| z & 0b111).collect();
+    assert_eq!(lows, vec![0b110, 0b110, 0b000, 0b011, 0b101, 0b111, 0b010, 0b110, 0b011, 0b110]);
+}
+
+#[test]
+fn example_3_3_query_is_the_papers_false_positive() {
+    let h = paper_hash();
+    // h(44) = 49, h(47) = 52.
+    assert_eq!(h.eval(44), 49);
+    assert_eq!(h.eval(47), 52);
+    let filter = GrafiteFilter::from_hash(h, &S);
+    // predecessor(52) = 51 >= 49 -> "not empty", although [44,47] ∩ S = ∅.
+    assert!(filter.may_contain_range(44, 47));
+}
+
+#[test]
+fn example_3_3_predecessor_steps() {
+    let mut sorted = S.map(|x| paper_hash().eval(x));
+    sorted.sort_unstable();
+    let ef = EliasFano::new(&sorted, 100);
+    // The paper's steps: predecessor(52) must be z_4 = 51.
+    assert_eq!(ef.predecessor(52), Some(51));
+}
+
+#[test]
+fn no_false_negatives_on_the_example() {
+    let filter = GrafiteFilter::from_hash(paper_hash(), &S);
+    for &k in &S {
+        assert!(filter.may_contain_range(k, k), "point FN on {k}");
+    }
+    // All L=4 windows covering a key answer "not empty".
+    for &k in &S {
+        for off in 0..4u64 {
+            let a = k.saturating_sub(off);
+            assert!(filter.may_contain_range(a, a + 3), "range FN on {k} off {off}");
+        }
+    }
+}
