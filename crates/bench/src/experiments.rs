@@ -45,7 +45,7 @@ fn run_correlation_sweep(
     let mut table = Table::new(&["range", "degree", "filter", "bits/key", "fpr", "ns/query"]);
     for &(l, size_name) in sizes {
         for &degree in &degrees {
-            let queries = correlated_queries(&keys, cfg.queries, l, degree, cfg.seed ^ 0xF16_3);
+            let queries = correlated_queries(&keys, cfg.queries, l, degree, cfg.seed ^ 0xF163);
             if queries.is_empty() {
                 continue;
             }

@@ -39,6 +39,10 @@ impl TrivialRangeFilter {
 impl RangeFilter for TrivialRangeFilter {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
         assert!(a <= b, "inverted range [{a}, {b}]");
+        if self.n_keys == 0 {
+            // Exact, and spares the O(L) scan: an empty filter holds nothing.
+            return false;
+        }
         // O(L) probes — the whole point of the baseline. A union-bound over
         // the probes keeps the FPP at ε for ranges up to L.
         let mut x = a;

@@ -44,6 +44,7 @@ impl BucketingFilter {
     }
 
     fn from_sorted_dedup_buckets(bucket_ids: &[u64], s: u64, n_keys: usize) -> Self {
+        // Ids are clamped to u64::MAX - 1 by `bucket_id`, so + 1 cannot wrap.
         let universe = bucket_ids.last().map_or(1, |&b| b + 1);
         Self {
             s,
@@ -53,14 +54,23 @@ impl BucketingFilter {
     }
 }
 
+/// Bucket id of a key: `⌊k/s⌋`, clamped so the id always fits an Elias–Fano
+/// universe of at most `u64::MAX`. The clamp merges the two topmost buckets
+/// when `s` is so fine that `⌊u64::MAX/s⌋ = u64::MAX`; merging can only add
+/// false positives, never false negatives.
+#[inline]
+fn bucket_id(k: u64, s: u64) -> u64 {
+    (k / s).min(u64::MAX - 1)
+}
+
 impl RangeFilter for BucketingFilter {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
         assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return false;
         }
-        match self.buckets.predecessor(b / self.s) {
-            Some(bucket) => bucket >= a / self.s,
+        match self.buckets.predecessor(bucket_id(b, self.s)) {
+            Some(bucket) => bucket >= bucket_id(a, self.s),
             None => false,
         }
     }
@@ -129,7 +139,7 @@ impl BucketingBuilder {
                 if s == 0 {
                     return Err(FilterError::InvalidBucketSize(s));
                 }
-                let mut ids: Vec<u64> = sorted.iter().map(|&k| k / s).collect();
+                let mut ids: Vec<u64> = sorted.iter().map(|&k| bucket_id(k, s)).collect();
                 ids.dedup();
                 Ok(BucketingFilter::from_sorted_dedup_buckets(&ids, s, n))
             }
@@ -154,11 +164,19 @@ impl BucketingBuilder {
                         }
                     }
                     // Elias–Fano estimate: t (log2(universe/t) + 2) bits.
-                    let universe = (last_bucket + 1).max(1) as f64;
+                    // Computed in f64 so `last_bucket = u64::MAX` (fine s
+                    // over a full-universe key set) cannot overflow.
+                    let universe = (last_bucket as f64 + 1.0).max(1.0);
                     let est = t as f64 * ((universe / t as f64).log2().max(0.0) + 2.0);
                     if est * 1.05 <= budget || log2_s == 63 {
                         let s = 1u64 << log2_s;
-                        let mut ids: Vec<u64> = sorted.iter().map(|&k| k >> log2_s).collect();
+                        // Shift, not `bucket_id`'s division: this is the
+                        // construction hot loop. The clamp still applies
+                        // (it only bites at log2_s = 0).
+                        let mut ids: Vec<u64> = sorted
+                            .iter()
+                            .map(|&k| (k >> log2_s).min(u64::MAX - 1))
+                            .collect();
                         ids.dedup();
                         return Ok(BucketingFilter::from_sorted_dedup_buckets(&ids, s, n));
                     }
@@ -324,34 +342,47 @@ impl WorkloadAwareBucketing {
         let base_log2_s = plain.bucket_size().trailing_zeros();
 
         // Region boundaries: quantiles of the sampled query endpoints.
+        // `region_hotness[i]` describes region `[starts[i], starts[i+1])`
+        // (the last region is open-ended), so exactly one entry is pushed
+        // per region: when a new start closes the previous region, plus one
+        // for the trailing open region. A region is hot iff it begins at or
+        // after the first quantile — i.e. it lies between sampled
+        // quantiles; the spans before the sample and beyond its tail are
+        // cold.
         let mut region_starts = vec![0u64];
         let mut region_hotness: Vec<bool> = Vec::new();
         if !sample.is_empty() {
             let mut s = sample.to_vec();
             s.sort_unstable();
             const REGIONS: usize = 16;
-            // Hot regions = between consecutive quantiles (dense sample);
-            // the left-over cold space beyond the sample's tails keeps the
-            // base width.
+            let first_quantile = s[0];
+            let hi = *s.last().unwrap();
             for q in 0..REGIONS {
                 let lo = s[q * s.len() / REGIONS];
-                if *region_starts.last().unwrap() < lo {
+                let prev = *region_starts.last().unwrap();
+                if prev < lo {
+                    region_hotness.push(prev >= first_quantile);
                     region_starts.push(lo);
-                    region_hotness.push(false); // gap before this quantile
                 }
-                region_hotness.push(true);
             }
-            // Close the hot span after the last quantile.
-            let hi = *s.last().unwrap();
-            if *region_starts.last().unwrap() < hi {
-                region_starts.push(hi);
+            // Close the hot span one past the last sampled endpoint so the
+            // region containing `hi` itself is hot — in particular when the
+            // whole sample collapses onto one value and the span would
+            // otherwise have zero width.
+            let bound = hi.saturating_add(1);
+            let prev = *region_starts.last().unwrap();
+            if prev < bound {
+                region_hotness.push(prev >= first_quantile);
+                region_starts.push(bound);
             }
-            while region_hotness.len() < region_starts.len() {
-                region_hotness.push(false);
-            }
+            // Trailing open region (past the sample): cold, except in the
+            // saturated corner where the hot span reaches u64::MAX.
+            let prev = *region_starts.last().unwrap();
+            region_hotness.push(prev >= first_quantile && prev <= hi);
         } else {
             region_hotness.push(false);
         }
+        debug_assert_eq!(region_hotness.len(), region_starts.len());
 
         // Hot regions get 4x finer buckets, cold regions 4x coarser: the
         // budget balances because hot regions are (by construction of the
@@ -379,9 +410,10 @@ impl WorkloadAwareBucketing {
                 u64::MAX
             };
             let span = end - start;
-            acc = acc
-                .checked_add((span >> region_log2_s[i]) + 1)
-                .expect("bucket-slot space fits in u64");
+            // Saturating: a hot region spanning most of the universe at a
+            // fine width can exceed u64 slot space; `bucket_of` clamps the
+            // resulting ids, which merges top buckets (false-positive-only).
+            acc = acc.saturating_add((span >> region_log2_s[i]).saturating_add(1));
         }
 
         let mut filter = Self {
@@ -398,11 +430,15 @@ impl WorkloadAwareBucketing {
         Ok(filter)
     }
 
-    /// Global, monotone bucket id of a key.
+    /// Global, monotone bucket id of a key. Saturating + clamped so extreme
+    /// region/width combinations stay within an Elias–Fano-encodable
+    /// universe; both operations preserve monotonicity.
     #[inline]
     fn bucket_of(&self, x: u64) -> u64 {
         let r = self.region_starts.partition_point(|&s| s <= x) - 1;
-        self.region_offsets[r] + ((x - self.region_starts[r]) >> self.region_log2_s[r])
+        self.region_offsets[r]
+            .saturating_add((x - self.region_starts[r]) >> self.region_log2_s[r])
+            .min(u64::MAX - 1)
     }
 
     /// Number of regions in use.
@@ -528,6 +564,39 @@ mod workload_aware_tests {
             aware.size_in_bits(),
             plain.size_in_bits()
         );
+    }
+
+    #[test]
+    fn point_concentrated_sample_keeps_its_region_hot() {
+        // A sample whose left endpoints all coincide (point-query-heavy
+        // workload) must still mark the region holding that point as hot —
+        // the zero-width hot span must not collapse into the cold tail.
+        let keys = pseudo_keys(2000, 21);
+        let v = keys[1000];
+        let sample = vec![v; 500];
+        let f = WorkloadAwareBucketing::new(&keys, 12.0, &sample).unwrap();
+        let r = f.region_starts.partition_point(|&s| s <= v) - 1;
+        let hot_width = f.region_log2_s[r];
+        assert!(
+            f.region_log2_s.iter().all(|&w| w >= hot_width),
+            "region holding the sampled point must be the finest: widths {:?}, hot {}",
+            f.region_log2_s,
+            hot_width
+        );
+        assert!(f.region_log2_s.iter().any(|&w| w > hot_width), "cold regions must be coarser");
+        for &k in keys.iter().step_by(17) {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn saturated_sample_at_universe_edge() {
+        let keys = pseudo_keys(500, 23);
+        let f = WorkloadAwareBucketing::new(&keys, 12.0, &[u64::MAX]).unwrap();
+        for &k in keys.iter().step_by(7) {
+            assert!(f.may_contain(k));
+        }
+        assert!(f.may_contain_range(u64::MAX - 10, u64::MAX) || !keys.contains(&u64::MAX));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::traits::RangeFilter;
 /// prime must exceed `r` (see [`grafite_hash::pairwise::MERSENNE_61`]).
 pub const MAX_REDUCED_UNIVERSE: u64 = grafite_hash::pairwise::MERSENNE_61 - 1;
 
-const DEFAULT_SEED: u64 = 0x6772_6166_6974_65; // "grafite"
+const DEFAULT_SEED: u64 = 0x0067_7261_6669_7465; // "grafite"
 
 /// The Grafite approximate range-emptiness filter.
 ///

@@ -19,7 +19,7 @@ pub fn std_sort(data: &mut [u64]) {
 ///
 /// Skips passes whose digit is constant across the input — on keys from a
 /// small universe this makes it adaptive.
-pub fn radix_sort(data: &mut Vec<u64>) {
+pub fn radix_sort(data: &mut [u64]) {
     let n = data.len();
     if n <= 1 {
         return;
@@ -31,7 +31,7 @@ pub fn radix_sort(data: &mut Vec<u64>) {
         for &x in data.iter() {
             counts[((x >> shift) & 0xFF) as usize] += 1;
         }
-        if counts.iter().any(|&c| c == n) {
+        if counts.contains(&n) {
             continue; // constant digit: nothing to do this pass
         }
         let mut offsets = [0usize; 256];

@@ -51,7 +51,7 @@ impl StringGrafite {
         if k >= 61 {
             return Err(FilterError::ReducedUniverseTooLarge {
                 requested: 1u128 << k,
-                supported: (1u64 << 60) as u64,
+                supported: 1u64 << 60,
             });
         }
         let mut filter = Self {

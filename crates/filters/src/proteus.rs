@@ -88,7 +88,7 @@ impl Proteus {
         let d2_tables: Vec<Vec<u64>> = l2_candidates.iter().map(|&l2| distinct_prefixes(l2)).collect();
 
         // Trie cost per l1 depth: branches = sum of distinct d-byte prefixes.
-        let mut trie_cost = vec![0.0f64; 9];
+        let mut trie_cost = [0.0f64; 9];
         for l1 in 1..=8u32 {
             let mut branches = 0usize;
             for d in 1..=l1 {
@@ -251,11 +251,10 @@ fn estimate_fpr(
             let (pa, pb) = (shr(a, s1), shr(b, s1));
             let has_pa = contains(d1, pa);
             let has_pb = contains(d1, pb);
-            // Inner prefixes cannot exist for an empty query.
-            if !has_pa && !has_pb {
+            // Inner prefixes cannot exist for an empty query; and with an
+            // exact (l1 = 8) trie, boundary presence contradicts emptiness.
+            if (!has_pa && !has_pb) || l1 == 8 {
                 0.0
-            } else if l1 == 8 {
-                0.0 // exact trie: boundary presence contradicts emptiness
             } else {
                 match d2 {
                     None => 1.0,
@@ -290,9 +289,7 @@ fn estimate_fpr(
                 None => 1.0,
                 Some(d2) => {
                     let (lo2, hi2) = (shr(a, s2), shr(b, s2));
-                    if hi2 - lo2 >= MAX_PROBES {
-                        1.0
-                    } else if any_in(d2, lo2, hi2) {
+                    if hi2 - lo2 >= MAX_PROBES || any_in(d2, lo2, hi2) {
                         1.0
                     } else {
                         1.0 - (1.0 - bloom_fpr).powf((hi2 - lo2 + 1) as f64)

@@ -99,7 +99,7 @@ impl REncoder {
                     .max()
                     .unwrap_or(1 << 10);
                 let log = 64 - (max_range.max(2) - 1).leading_zeros(); // ceil(log2)
-                (((log + 3) / 4 + 1).clamp(1, 16), "REncoderSE")
+                ((log.div_ceil(4) + 1).clamp(1, 16), "REncoderSE")
             }
         };
         let n = keys.len();

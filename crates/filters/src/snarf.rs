@@ -85,7 +85,7 @@ impl Snarf {
         // Split the budget: 64 bits per spline knot, ~2.2 bits/key of Rice
         // overhead, the rest as log2(K).
         let spline_bpk = sample_keys.len() as f64 * 128.0 / n as f64;
-        let code_bits = (bits_per_key - spline_bpk - 2.2).max(1.0).min(48.0);
+        let code_bits = (bits_per_key - spline_bpk - 2.2).clamp(1.0, 48.0);
         let k_scale = (code_bits.exp2().round() as u64).max(2);
 
         let mut filter = Self {

@@ -41,5 +41,5 @@ pub const WORD_BITS: usize = 64;
 /// Ceiling division of `a` by `b`.
 #[inline]
 pub(crate) fn div_ceil(a: usize, b: usize) -> usize {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }

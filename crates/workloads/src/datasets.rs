@@ -66,7 +66,7 @@ impl Dataset {
 /// marginally shorter than `n` after deduplication; at the paper's densities
 /// the loss is negligible and is reported by the harness).
 pub fn generate(dataset: Dataset, n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = WorkloadRng::new(seed ^ 0xDA7A_5E7 ^ dataset.name().len() as u64);
+    let mut rng = WorkloadRng::new(seed ^ 0x0DA7_A5E7 ^ dataset.name().len() as u64);
     let mut keys: Vec<u64> = match dataset {
         Dataset::Uniform => (0..n).map(|_| rng.next_u64()).collect(),
         Dataset::Books => books_like(n, &mut rng),

@@ -1,0 +1,248 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, vendored because the build environment has no
+//! crates.io access.
+//!
+//! It implements the API subset this workspace's four benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a plain warm-up + timed-batch loop instead of
+//! criterion's statistical machinery. Mean ns/iter (and element throughput
+//! when configured) are printed per benchmark. When run by `cargo test`
+//! (which passes `--test` to `harness = false` bench binaries), it exits
+//! immediately so test runs stay fast. Swap this path dependency for the
+//! real crate when network access is available — the benches need no
+//! changes.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter, rendered
+/// `function/parameter` like the real crate does.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness = false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. In test mode every measurement is
+        // skipped so the suite stays fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count — accepted for API compatibility, unused by the shim's
+    /// single timed-batch loop.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.test_mode {
+            return self;
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing extra to flush).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &impl Display, b: &Bencher) {
+        if b.iters == 0 {
+            return;
+        }
+        let ns_per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+        let prefix = if self.name.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", self.name)
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (ns_per_iter / 1e9);
+                println!("{prefix}{id}: {ns_per_iter:.1} ns/iter ({per_sec:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (ns_per_iter / 1e9);
+                println!("{prefix}{id}: {ns_per_iter:.1} ns/iter ({per_sec:.0} B/s)");
+            }
+            None => println!("{prefix}{id}: {ns_per_iter:.1} ns/iter"),
+        }
+    }
+}
+
+/// Handed to each benchmark closure; times the routine passed to
+/// [`Bencher::iter`].
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up phase, then batches until the measurement
+    /// window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        while warm_start.elapsed() < self.warm_up {
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
