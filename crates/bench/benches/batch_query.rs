@@ -1,0 +1,72 @@
+//! Criterion microbenchmark: the batch range-query API.
+//!
+//! Compares, on a sorted batch of empty-range queries, Grafite's
+//! specialised `may_contain_ranges` — one forward pass over the Elias–Fano
+//! codes for the whole batch — against the default one-`may_contain_range`-
+//! per-query loop. The acceptance bar for the batch path is "no slower than
+//! the default loop"; a correctness cross-check runs before timing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grafite_bench::registry::{BuildableFilter, FilterConfig};
+use grafite_core::{GrafiteFilter, RangeFilter};
+use grafite_workloads::{datasets::Dataset, generate, uncorrelated_queries};
+
+fn batch_query(c: &mut Criterion) {
+    let n = 100_000;
+    let keys = generate(Dataset::Uniform, n, 42);
+    let cfg = FilterConfig::new(&keys).bits_per_key(20.0).seed(42);
+    let filter = GrafiteFilter::build(&cfg).expect("valid configuration");
+
+    for (l, size_name) in [(32u64, "small"), (1024, "large")] {
+        let mut queries: Vec<(u64, u64)> = uncorrelated_queries(&keys, 16_384, l, 7)
+            .iter()
+            .map(|q| (q.lo, q.hi))
+            .collect();
+        queries.sort_unstable();
+
+        // Contract check outside the timed region: identical answers.
+        let mut batched = Vec::new();
+        filter.may_contain_ranges(&queries, &mut batched);
+        let singles: Vec<bool> =
+            queries.iter().map(|&(a, b)| filter.may_contain_range(a, b)).collect();
+        assert_eq!(batched, singles, "batch path diverged from the per-query path");
+
+        let mut group = c.benchmark_group("batch_query");
+        group
+            .sample_size(20)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1))
+            .throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("default_loop", size_name),
+            &queries,
+            |b, queries| {
+                let mut out = Vec::with_capacity(queries.len());
+                b.iter(|| {
+                    out.clear();
+                    out.extend(
+                        queries.iter().map(|&(a, b)| filter.may_contain_range(a, b)),
+                    );
+                    out.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sorted_batch", size_name),
+            &queries,
+            |b, queries| {
+                let mut out = Vec::with_capacity(queries.len());
+                b.iter(|| {
+                    filter.may_contain_ranges(queries, &mut out);
+                    out.len()
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, batch_query);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!
 //! experiments:
 //!   fig1  fig3  fig4  fig5  fig6  fig7  table1  fb  normal_check
-//!   sort_ablation  ablation_pow2  ablation_snarf_overflow
+//!   sort_ablation  ablation_pow2  ablation_snarf_overflow  ablation_batch
 //!   ablation_rosetta_tuning  ablation_bucketing  ablation_wa_bucketing  all
 //! ```
 //!
@@ -67,6 +67,7 @@ fn main() {
         "sort_ablation" => experiments::sort_ablation(&cfg),
         "ablation_pow2" => experiments::ablation_pow2(&cfg),
         "ablation_snarf_overflow" => experiments::ablation_snarf_overflow(&cfg),
+        "ablation_batch" => experiments::ablation_batch(&cfg),
         "ablation_rosetta_tuning" => experiments::ablation_rosetta_tuning(&cfg),
         "ablation_bucketing" => experiments::ablation_bucketing(&cfg),
         "ablation_wa_bucketing" => experiments::ablation_wa_bucketing(&cfg),
@@ -83,7 +84,7 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fb|normal_check|\
-         sort_ablation|ablation_pow2|ablation_snarf_overflow|\
+         sort_ablation|ablation_pow2|ablation_snarf_overflow|ablation_batch|\
          ablation_rosetta_tuning|ablation_bucketing|ablation_wa_bucketing|all> \
          [--n N] [--queries Q] [--seed S] [--out DIR] \
          [--data DIR] [--budgets 8,12,...]"

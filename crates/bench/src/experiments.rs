@@ -9,8 +9,8 @@ use grafite_workloads::{
     uncorrelated_queries, RangeQuery,
 };
 
-use crate::harness::{fmt_fpr, measure, time_it, RunConfig};
-use crate::registry::{build_filter, BuildCtx, FilterSpec};
+use crate::harness::{fmt_fpr, measure, measure_batch, time_it, RunConfig};
+use crate::registry::{build_spec, FilterConfig, FilterSpec};
 use crate::report::Table;
 
 /// The paper's three query sizes: point (2^0), small (2^5), large (2^10).
@@ -51,13 +51,11 @@ fn run_correlation_sweep(
             }
             let sample =
                 queries_as_pairs(&correlated_queries(&keys, 1024, l, degree, cfg.seed ^ 0x5A));
-            let ctx = BuildCtx {
-                keys: &keys,
-                bits_per_key: 20.0,
-                max_range: l,
-                sample: &sample,
-                seed: cfg.seed,
-            };
+            let fc = FilterConfig::new(&keys)
+                .bits_per_key(20.0)
+                .max_range(l)
+                .sample(&sample)
+                .seed(cfg.seed);
             for &spec in specs {
                 // Per the paper (§6.1): hashed suffixes for point queries.
                 let spec = if spec == FilterSpec::SurfReal && l == 1 {
@@ -65,7 +63,7 @@ fn run_correlation_sweep(
                 } else {
                     spec
                 };
-                let Some(filter) = build_filter(spec, &ctx) else {
+                let Some(filter) = build_spec(spec, &fc) else {
                     continue;
                 };
                 let m = measure(filter.as_ref(), &queries);
@@ -139,20 +137,18 @@ fn run_space_grid(cfg: &RunConfig, specs: &[FilterSpec], csv_name: &str) {
                 continue;
             }
             for &budget in &cfg.budgets {
-                let ctx = BuildCtx {
-                    keys: &keys,
-                    bits_per_key: budget,
-                    max_range: l,
-                    sample: &sample,
-                    seed: cfg.seed,
-                };
+                let fc = FilterConfig::new(&keys)
+                    .bits_per_key(budget)
+                    .max_range(l)
+                    .sample(&sample)
+                    .seed(cfg.seed);
                 for &spec in specs {
                     let spec = if spec == FilterSpec::SurfReal && l == 1 {
                         FilterSpec::SurfHash
                     } else {
                         spec
                     };
-                    let Some(filter) = build_filter(spec, &ctx) else {
+                    let Some(filter) = build_spec(spec, &fc) else {
                         continue;
                     };
                     let m = measure(filter.as_ref(), &queries);
@@ -199,20 +195,18 @@ pub fn fig6(cfg: &RunConfig) {
         let queries = non_empty_queries(&keys, cfg.queries, l, cfg.seed ^ 0x6E);
         let sample = queries_as_pairs(&uncorrelated_queries(&keys, 1024, l, cfg.seed ^ 0x6F));
         for &budget in &cfg.budgets {
-            let ctx = BuildCtx {
-                keys: &keys,
-                bits_per_key: budget,
-                max_range: l,
-                sample: &sample,
-                seed: cfg.seed,
-            };
+            let fc = FilterConfig::new(&keys)
+                .bits_per_key(budget)
+                .max_range(l)
+                .sample(&sample)
+                .seed(cfg.seed);
             for &spec in &FilterSpec::ALL_FIG3 {
                 let spec = if spec == FilterSpec::SurfReal && l == 1 {
                     FilterSpec::SurfHash
                 } else {
                     spec
                 };
-                let Some(filter) = build_filter(spec, &ctx) else {
+                let Some(filter) = build_spec(spec, &fc) else {
                     continue;
                 };
                 let m = measure(filter.as_ref(), &queries);
@@ -250,14 +244,12 @@ pub fn fig7(cfg: &RunConfig) {
             let budgets = [12.0, 20.0];
             let mut built = 0;
             for &budget in &budgets {
-                let ctx = BuildCtx {
-                    keys: &keys,
-                    bits_per_key: budget,
-                    max_range: l,
-                    sample: &sample,
-                    seed: cfg.seed,
-                };
-                let (secs, filter) = time_it(|| build_filter(spec, &ctx));
+                let fc = FilterConfig::new(&keys)
+                    .bits_per_key(budget)
+                    .max_range(l)
+                    .sample(&sample)
+                    .seed(cfg.seed);
+                let (secs, filter) = time_it(|| build_spec(spec, &fc));
                 if filter.is_some() {
                     total += secs;
                     built += 1;
@@ -287,13 +279,7 @@ pub fn table1(cfg: &RunConfig) {
     let log_l_eps = (l as f64 / eps).log2(); // 16.64
     let b = log_l_eps + 2.0;
     let sample = queries_as_pairs(&uncorrelated_queries(&keys, 1024, l, cfg.seed ^ 0x7A));
-    let ctx = BuildCtx {
-        keys: &keys,
-        bits_per_key: b,
-        max_range: l,
-        sample: &sample,
-        seed: cfg.seed,
-    };
+    let fc = FilterConfig::new(&keys).bits_per_key(b).max_range(l).sample(&sample).seed(cfg.seed);
     let mut table = Table::new(&["filter", "theory bits/key", "measured bits/key", "note"]);
     table.row(vec![
         "Lower bound (Thm 2.1)".into(),
@@ -317,7 +303,7 @@ pub fn table1(cfg: &RunConfig) {
         (FilterSpec::REncoder, f64::NAN, "O(n(k + log 1/eps))"),
         (FilterSpec::Proteus, f64::NAN, "no closed formula (auto-tuned)"),
     ] {
-        let measured = build_filter(spec, &ctx)
+        let measured = build_spec(spec, &fc)
             .map(|f| format!("{:.1}", f.bits_per_key()))
             .unwrap_or_else(|| "-".into());
         let theory_s = if theory.is_nan() { "?".into() } else { format!("{theory:.1}") };
@@ -336,16 +322,14 @@ pub fn fb(cfg: &RunConfig) {
     let l = 32u64;
     let queries = correlated_queries(&keys, cfg.queries, l, 0.8, cfg.seed ^ 0xFB);
     let sample = queries_as_pairs(&correlated_queries(&keys, 1024, l, 0.8, cfg.seed ^ 0xFC));
-    let ctx = BuildCtx {
-        keys: &keys,
-        bits_per_key: 12.0,
-        max_range: l,
-        sample: &sample,
-        seed: cfg.seed,
-    };
+    let fc = FilterConfig::new(&keys)
+        .bits_per_key(12.0)
+        .max_range(l)
+        .sample(&sample)
+        .seed(cfg.seed);
     let mut table = Table::new(&["filter", "bits/key", "fpr"]);
     for &spec in &FilterSpec::ALL_FIG3 {
-        let Some(filter) = build_filter(spec, &ctx) else {
+        let Some(filter) = build_spec(spec, &fc) else {
             table.row(vec![spec.label().into(), "-".into(), "infeasible at 12".into()]);
             continue;
         };
@@ -469,6 +453,53 @@ pub fn ablation_snarf_overflow(cfg: &RunConfig) {
     let _ = table.write_csv(&cfg.out_dir, "ablation_snarf_overflow");
 }
 
+/// Ablation: the batch query API — Grafite's sorted-batch
+/// `may_contain_ranges` (one forward pass over the Elias–Fano codes)
+/// against the one-at-a-time path, plus the default batch loop of a filter
+/// without a specialisation for reference. Asserts the batched answers
+/// match the scalar ones before reporting timings.
+pub fn ablation_batch(cfg: &RunConfig) {
+    println!("== Ablation: batched range queries (sorted batch, one EF pass) ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let mut table = Table::new(&["range", "filter", "path", "bits/key", "fpr", "ns/query"]);
+    for &(l, size_name) in &RANGE_SIZES {
+        let mut queries = queries_as_pairs(&uncorrelated_queries(&keys, cfg.queries, l, cfg.seed));
+        if queries.is_empty() {
+            continue;
+        }
+        queries.sort_unstable();
+        let ranges: Vec<grafite_workloads::RangeQuery> = queries
+            .iter()
+            .map(|&(lo, hi)| grafite_workloads::RangeQuery { lo, hi })
+            .collect();
+        let fc = FilterConfig::new(&keys).bits_per_key(16.0).max_range(l).seed(cfg.seed);
+        for spec in [FilterSpec::Grafite, FilterSpec::Bucketing] {
+            let Some(filter) = build_spec(spec, &fc) else {
+                continue;
+            };
+            let scalar = measure(filter.as_ref(), &ranges);
+            let batched = measure_batch(filter.as_ref(), &queries);
+            assert_eq!(
+                scalar.positive_rate, batched.positive_rate,
+                "{} batch answers diverged from the per-query path",
+                spec.label()
+            );
+            for (path, m) in [("one-at-a-time", scalar), ("batched", batched)] {
+                table.row(vec![
+                    size_name.to_string(),
+                    spec.label().to_string(),
+                    path.to_string(),
+                    format!("{:.1}", m.bits_per_key),
+                    fmt_fpr(m.positive_rate),
+                    format!("{:.0}", m.ns_per_query),
+                ]);
+            }
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "ablation_batch");
+}
+
 /// Ablation: Rosetta with and without sample-based level re-weighting.
 pub fn ablation_rosetta_tuning(cfg: &RunConfig) {
     println!("== Ablation: Rosetta sample tuning ==");
@@ -535,16 +566,14 @@ pub fn normal_check(cfg: &RunConfig) {
         let keys = sosd::dataset_or_synthetic(dataset, cfg.n, cfg.seed, &cfg.data_dir);
         let queries = correlated_queries(&keys, cfg.queries, l, 0.8, cfg.seed ^ 0x42);
         let sample = queries_as_pairs(&correlated_queries(&keys, 1024, l, 0.8, cfg.seed ^ 0x43));
-        let ctx = BuildCtx {
-            keys: &keys,
-            bits_per_key: 20.0,
-            max_range: l,
-            sample: &sample,
-            seed: cfg.seed,
-        };
+        let fc = FilterConfig::new(&keys)
+            .bits_per_key(20.0)
+            .max_range(l)
+            .sample(&sample)
+            .seed(cfg.seed);
         let mut ranking = Vec::new();
         for &spec in &FilterSpec::ALL_FIG3 {
-            let Some(filter) = build_filter(spec, &ctx) else {
+            let Some(filter) = build_spec(spec, &fc) else {
                 continue;
             };
             let m = measure(filter.as_ref(), &queries);
@@ -640,6 +669,7 @@ pub fn all(cfg: &RunConfig) {
     sort_ablation(cfg);
     ablation_pow2(cfg);
     ablation_snarf_overflow(cfg);
+    ablation_batch(cfg);
     ablation_rosetta_tuning(cfg);
     ablation_bucketing(cfg);
     ablation_wa_bucketing(cfg);

@@ -1,92 +1,39 @@
 //! Uniform construction of every filter in the paper's evaluation.
+//!
+//! Since the `FilterConfig`/`BuildableFilter` redesign this module is pure
+//! delegation: the spec enum, the config, and the builder table all live in
+//! [`grafite_core::registry`] (populated by
+//! [`grafite_filters::standard_registry`]), and are re-exported here so
+//! existing `grafite_bench::registry::{FilterSpec, build_filter}` paths
+//! keep working. The former 70-line construction `match` is gone.
 
-use grafite_core::{BucketingFilter, GrafiteFilter, RangeFilter};
-use grafite_filters::{Proteus, REncoder, REncoderVariant, Rosetta, Snarf, SuffixMode, Surf};
+use std::sync::OnceLock;
 
-/// Every filter of the paper's §6 comparison, plus the §2 trivial baseline.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum FilterSpec {
-    /// Grafite (this paper, robust).
-    Grafite,
-    /// Bucketing (this paper, heuristic).
-    Bucketing,
-    /// SNARF (heuristic; uses the overflow-fixed model).
-    Snarf,
-    /// SuRF with real suffixes (heuristic; the paper's range-query config).
-    SurfReal,
-    /// SuRF with hashed suffixes (heuristic; the paper's point-query config).
-    SurfHash,
-    /// Proteus, auto-tuned on the query sample (heuristic).
-    Proteus,
-    /// Rosetta, auto-tuned on the query sample (robust).
-    Rosetta,
-    /// REncoder, base configuration (robust for in-budget range sizes).
-    REncoder,
-    /// REncoder with fixed selective storage (heuristic).
-    REncoderSS,
-    /// REncoder with sample-estimated storage (heuristic, auto-tuned).
-    REncoderSE,
-    /// The §2 theoretical baseline: Bloom filter probed point-by-point.
-    TrivialBloom,
+use grafite_core::RangeFilter;
+
+pub use grafite_core::registry::{BuilderFn, FilterSpec, Registry};
+pub use grafite_core::{BuildableFilter, FilterConfig};
+pub use grafite_filters::standard_registry;
+
+/// The lazily-built shared instance of [`standard_registry`].
+pub fn standard() -> &'static Registry {
+    static STANDARD: OnceLock<Registry> = OnceLock::new();
+    STANDARD.get_or_init(standard_registry)
 }
 
-impl FilterSpec {
-    /// The robust filters of §6.4.
-    pub const ROBUST: [FilterSpec; 3] =
-        [FilterSpec::Grafite, FilterSpec::Rosetta, FilterSpec::REncoder];
-
-    /// The heuristic filters of §6.3.
-    pub const HEURISTIC: [FilterSpec; 6] = [
-        FilterSpec::Bucketing,
-        FilterSpec::SurfReal,
-        FilterSpec::Snarf,
-        FilterSpec::Proteus,
-        FilterSpec::REncoderSS,
-        FilterSpec::REncoderSE,
-    ];
-
-    /// The nine filters of the Figure 3 robustness grid.
-    pub const ALL_FIG3: [FilterSpec; 9] = [
-        FilterSpec::Grafite,
-        FilterSpec::Bucketing,
-        FilterSpec::Snarf,
-        FilterSpec::SurfReal,
-        FilterSpec::Proteus,
-        FilterSpec::Rosetta,
-        FilterSpec::REncoder,
-        FilterSpec::REncoderSS,
-        FilterSpec::REncoderSE,
-    ];
-
-    /// The six filters of the paper's Figure 1 teaser.
-    pub const FIG1: [FilterSpec; 6] = [
-        FilterSpec::Grafite,
-        FilterSpec::Snarf,
-        FilterSpec::SurfReal,
-        FilterSpec::Proteus,
-        FilterSpec::Rosetta,
-        FilterSpec::REncoder,
-    ];
-
-    /// Harness display name.
-    pub fn label(&self) -> &'static str {
-        match self {
-            FilterSpec::Grafite => "Grafite",
-            FilterSpec::Bucketing => "Bucketing",
-            FilterSpec::Snarf => "SNARF",
-            FilterSpec::SurfReal => "SuRF",
-            FilterSpec::SurfHash => "SuRF-Hash",
-            FilterSpec::Proteus => "Proteus",
-            FilterSpec::Rosetta => "Rosetta",
-            FilterSpec::REncoder => "REncoder",
-            FilterSpec::REncoderSS => "REncoderSS",
-            FilterSpec::REncoderSE => "REncoderSE",
-            FilterSpec::TrivialBloom => "TrivialBloom",
-        }
-    }
+/// Builds the filter, or `None` when the configuration is infeasible at
+/// this budget (e.g. SuRF below its ~11 bits/key trie floor — the paper's
+/// footnote 6 omits those configurations too). For the error itself, use
+/// [`standard`]`().build(spec, cfg)`.
+pub fn build_spec(spec: FilterSpec, cfg: &FilterConfig<'_>) -> Option<Box<dyn RangeFilter>> {
+    standard().build(spec, cfg).ok()
 }
 
 /// Everything a filter build may need.
+///
+/// Superseded by [`FilterConfig`] (same fields, builder-style construction,
+/// lives in `grafite-core`); kept so pre-redesign call sites compile
+/// unchanged.
 pub struct BuildCtx<'a> {
     /// The key set (sorted is fine, not required).
     pub keys: &'a [u64],
@@ -100,80 +47,18 @@ pub struct BuildCtx<'a> {
     pub seed: u64,
 }
 
-/// Builds the filter, or `None` when the configuration is infeasible at
-/// this budget (e.g. SuRF below its ~10 bits/key floor — the paper's
-/// footnote 6 omits those configurations too).
-pub fn build_filter(spec: FilterSpec, ctx: &BuildCtx<'_>) -> Option<Box<dyn RangeFilter>> {
-    match spec {
-        FilterSpec::Grafite => GrafiteFilter::builder()
-            .bits_per_key(ctx.bits_per_key)
-            .seed(ctx.seed)
-            .build(ctx.keys)
-            .ok()
-            .map(|f| Box::new(f) as Box<dyn RangeFilter>),
-        FilterSpec::Bucketing => BucketingFilter::builder()
-            .bits_per_key(ctx.bits_per_key)
-            .build(ctx.keys)
-            .ok()
-            .map(|f| Box::new(f) as Box<dyn RangeFilter>),
-        FilterSpec::Snarf => Snarf::new(ctx.keys, ctx.bits_per_key)
-            .ok()
-            .map(|f| Box::new(f) as Box<dyn RangeFilter>),
-        FilterSpec::SurfReal | FilterSpec::SurfHash => {
-            // The trie alone costs ~11 bits/key on random data; spend the
-            // remainder on suffix bits.
-            let suffix_bits = (ctx.bits_per_key - 11.0).round();
-            if suffix_bits < 1.0 {
-                return None;
-            }
-            let bits = (suffix_bits as u8).min(32);
-            let mode = if spec == FilterSpec::SurfReal {
-                SuffixMode::Real { bits }
-            } else {
-                SuffixMode::Hash { bits }
-            };
-            Surf::new(ctx.keys, mode).ok().map(|f| Box::new(f) as Box<dyn RangeFilter>)
-        }
-        FilterSpec::Proteus => Proteus::new(ctx.keys, ctx.bits_per_key, ctx.sample, ctx.seed)
-            .ok()
-            .map(|f| Box::new(f) as Box<dyn RangeFilter>),
-        FilterSpec::Rosetta => {
-            Rosetta::new(ctx.keys, ctx.bits_per_key, ctx.max_range, Some(ctx.sample), ctx.seed)
-                .ok()
-                .map(|f| Box::new(f) as Box<dyn RangeFilter>)
-        }
-        FilterSpec::REncoder => {
-            REncoder::new(ctx.keys, ctx.bits_per_key, REncoderVariant::Full, None, ctx.seed)
-                .ok()
-                .map(|f| Box::new(f) as Box<dyn RangeFilter>)
-        }
-        FilterSpec::REncoderSS => REncoder::new(
-            ctx.keys,
-            ctx.bits_per_key,
-            REncoderVariant::SelectiveStorage { rounds: 2 },
-            None,
-            ctx.seed,
-        )
-        .ok()
-        .map(|f| Box::new(f) as Box<dyn RangeFilter>),
-        FilterSpec::REncoderSE => REncoder::new(
-            ctx.keys,
-            ctx.bits_per_key,
-            REncoderVariant::SampleEstimation,
-            Some(ctx.sample),
-            ctx.seed,
-        )
-        .ok()
-        .map(|f| Box::new(f) as Box<dyn RangeFilter>),
-        FilterSpec::TrivialBloom => {
-            // Same information budget as Grafite: ε = L / 2^(B−2).
-            let epsilon = (ctx.max_range as f64 / (ctx.bits_per_key - 2.0).exp2()).clamp(1e-9, 0.5);
-            Some(Box::new(grafite_bloom::TrivialRangeFilter::new(
-                ctx.keys,
-                epsilon,
-                ctx.max_range,
-                ctx.seed,
-            )))
-        }
+impl<'a> BuildCtx<'a> {
+    /// The equivalent [`FilterConfig`].
+    pub fn to_config(&self) -> FilterConfig<'a> {
+        FilterConfig::new(self.keys)
+            .bits_per_key(self.bits_per_key)
+            .max_range(self.max_range)
+            .sample(self.sample)
+            .seed(self.seed)
     }
+}
+
+/// Legacy entry point over [`BuildCtx`]; thin delegation to [`build_spec`].
+pub fn build_filter(spec: FilterSpec, ctx: &BuildCtx<'_>) -> Option<Box<dyn RangeFilter>> {
+    build_spec(spec, &ctx.to_config())
 }

@@ -1,5 +1,7 @@
 //! Smoke tests for the experiment harness plumbing: every registry spec
 //! builds (or declines) cleanly at every budget and answers soundly.
+//! Uses the legacy `BuildCtx`/`build_filter` wrappers on purpose — they
+//! must keep delegating correctly into `grafite_core::registry`.
 
 use grafite_bench::harness::{measure, RunConfig};
 use grafite_bench::registry::{build_filter, BuildCtx, FilterSpec};

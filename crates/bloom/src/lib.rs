@@ -20,4 +20,4 @@ pub mod trivial;
 
 pub use bloom::BloomFilter;
 pub use prefix::PrefixBloomFilter;
-pub use trivial::TrivialRangeFilter;
+pub use trivial::{TrivialBloomTuning, TrivialRangeFilter};

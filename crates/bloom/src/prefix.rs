@@ -72,7 +72,7 @@ impl PrefixBloomFilter {
     /// overlaps `[a, b]`; answers "maybe" outright if that exceeds the probe
     /// budget.
     pub fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         let lo = self.prefix_of(a);
         let hi = self.prefix_of(b);
         if hi - lo >= self.max_probes {

@@ -4,7 +4,7 @@
 //! query time, which is exactly the gap Grafite closes.
 
 use crate::bloom::BloomFilter;
-use grafite_core::RangeFilter;
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
 
 /// The trivial Bloom-filter-based range filter.
 #[derive(Clone, Debug)]
@@ -36,9 +36,41 @@ impl TrivialRangeFilter {
     }
 }
 
+/// Per-filter tuning for [`TrivialRangeFilter`] under the
+/// [`BuildableFilter`] protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TrivialBloomTuning {
+    /// `Some(ε)` pins the target FPP at range size
+    /// [`FilterConfig::max_range`]; `None` (the default) derives it from the
+    /// bits-per-key budget the same way Grafite's Corollary 3.5 does:
+    /// `ε = L / 2^(B−2)` — the same information budget, paid in `O(L)`
+    /// query time.
+    pub epsilon: Option<f64>,
+}
+
+impl BuildableFilter for TrivialRangeFilter {
+    type Tuning = TrivialBloomTuning;
+
+    fn build_with(
+        cfg: &FilterConfig<'_>,
+        tuning: &TrivialBloomTuning,
+    ) -> Result<Self, FilterError> {
+        let epsilon = tuning.epsilon.unwrap_or_else(|| {
+            (cfg.max_range as f64 / (cfg.bits_per_key - 2.0).exp2()).clamp(1e-9, 0.5)
+        });
+        Ok(Self::new(cfg.keys, epsilon, cfg.max_range, cfg.seed))
+    }
+}
+
 impl RangeFilter for TrivialRangeFilter {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
+        if a > b {
+            // Contract violation (debug-asserted above). The other filters
+            // compute a harmless garbage answer; here the point-probe loop
+            // would walk to the universe edge, so stay total explicitly.
+            return false;
+        }
         if self.n_keys == 0 {
             // Exact, and spares the O(L) scan: an empty filter holds nothing.
             return false;

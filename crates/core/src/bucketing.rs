@@ -14,7 +14,7 @@
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
-use crate::traits::RangeFilter;
+use crate::traits::{BuildableFilter, FilterConfig, RangeFilter};
 
 /// The Bucketing heuristic range filter.
 #[derive(Clone, Debug)]
@@ -65,7 +65,7 @@ fn bucket_id(k: u64, s: u64) -> u64 {
 
 impl RangeFilter for BucketingFilter {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return false;
         }
@@ -184,6 +184,28 @@ impl BucketingBuilder {
                 unreachable!("loop always returns at log2_s = 63")
             }
         }
+    }
+}
+
+/// Per-filter tuning for [`BucketingFilter`] under the [`BuildableFilter`]
+/// protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BucketingTuning {
+    /// `Some(s)` uses the explicit bucket size `s`; `None` (the default)
+    /// picks the finest power-of-two size fitting
+    /// [`FilterConfig::bits_per_key`].
+    pub bucket_size: Option<u64>,
+}
+
+impl BuildableFilter for BucketingFilter {
+    type Tuning = BucketingTuning;
+
+    fn build_with(cfg: &FilterConfig<'_>, tuning: &BucketingTuning) -> Result<Self, FilterError> {
+        let builder = match tuning.bucket_size {
+            Some(s) => BucketingFilter::builder().bucket_size(s),
+            None => BucketingFilter::builder().bits_per_key(cfg.bits_per_key),
+        };
+        builder.build(cfg.keys)
     }
 }
 
@@ -452,9 +474,20 @@ impl WorkloadAwareBucketing {
     }
 }
 
+impl BuildableFilter for WorkloadAwareBucketing {
+    /// No extra knobs: the hot regions come from the left endpoints of
+    /// [`FilterConfig::sample`].
+    type Tuning = ();
+
+    fn build_with(cfg: &FilterConfig<'_>, _tuning: &()) -> Result<Self, FilterError> {
+        let left_endpoints: Vec<u64> = cfg.sample.iter().map(|&(a, _)| a).collect();
+        WorkloadAwareBucketing::new(cfg.keys, cfg.bits_per_key, &left_endpoints)
+    }
+}
+
 impl RangeFilter for WorkloadAwareBucketing {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return false;
         }

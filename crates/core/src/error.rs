@@ -24,6 +24,19 @@ pub enum FilterError {
         /// The largest supported `r`.
         supported: u64,
     },
+    /// The budget cannot cover the filter's fixed structural cost (e.g.
+    /// SuRF's ~11 bits/key trie floor — the paper's footnote 6 omits those
+    /// configurations from its figures for the same reason).
+    BudgetBelowFloor {
+        /// The bits-per-key budget that was asked for.
+        requested: f64,
+        /// The smallest feasible budget for this filter.
+        floor: f64,
+    },
+    /// No builder is registered for the requested
+    /// [`FilterSpec`](crate::registry::FilterSpec) in this
+    /// [`Registry`](crate::registry::Registry). Carries the spec's label.
+    Unregistered(&'static str),
 }
 
 impl fmt::Display for FilterError {
@@ -47,6 +60,14 @@ impl fmt::Display for FilterError {
                 "reduced universe r = {requested} exceeds the supported bound {supported}; \
                  lower the budget/L or raise epsilon"
             ),
+            FilterError::BudgetBelowFloor { requested, floor } => write!(
+                f,
+                "budget of {requested} bits/key is below this filter's structural floor \
+                 of {floor} bits/key"
+            ),
+            FilterError::Unregistered(label) => {
+                write!(f, "no builder registered for filter spec {label}")
+            }
         }
     }
 }

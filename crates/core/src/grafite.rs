@@ -4,13 +4,20 @@ use grafite_hash::LocalityHash;
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
-use crate::traits::RangeFilter;
+use crate::traits::{BuildableFilter, FilterConfig, RangeFilter, DEFAULT_SEED};
 
 /// Largest supported reduced universe: the pairwise-independent family's
 /// prime must exceed `r` (see [`grafite_hash::pairwise::MERSENNE_61`]).
 pub const MAX_REDUCED_UNIVERSE: u64 = grafite_hash::pairwise::MERSENNE_61 - 1;
 
-const DEFAULT_SEED: u64 = 0x0067_7261_6669_7465; // "grafite"
+/// Batches smaller than this always take the one-at-a-time path: the
+/// forward-scan bookkeeping cannot pay for itself.
+const BATCH_MIN_QUERIES: usize = 32;
+
+/// The forward scan visits every stored code; take it only when that
+/// spreads to at most this many codes per query (`codes.len() / queries.len()
+/// <= 8`), otherwise per-query predecessor probes are cheaper.
+const BATCH_CODES_PER_QUERY: usize = 8;
 
 /// The Grafite approximate range-emptiness filter.
 ///
@@ -112,7 +119,7 @@ impl GrafiteFilter {
     /// spanning a whole `r`-block the reduction is uninformative and the
     /// total code count is returned.
     pub fn approx_range_count(&self, a: u64, b: u64) -> usize {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return 0;
         }
@@ -146,7 +153,7 @@ impl RangeFilter for GrafiteFilter {
     /// "not empty" when it spans two or more boundaries (then it contains a
     /// whole block, whose hashed image is the entire reduced universe).
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return false;
         }
@@ -160,6 +167,78 @@ impl RangeFilter for GrafiteFilter {
             self.query_within_block(b_first, b) || self.query_within_block(a, b_first - 1)
         } else {
             true
+        }
+    }
+
+    /// Batch specialisation: instead of one Elias–Fano predecessor search
+    /// per query, collect every non-wrapped hashed sub-interval as a probe
+    /// point, sort the probes, and resolve all of them in **one forward
+    /// pass** over the Elias–Fano codes. Wrapped sub-intervals and
+    /// block-spanning queries stay `O(1)` as in the scalar path. Answers
+    /// are bit-identical to the per-query path; small batches (where the
+    /// scan cannot amortise) fall through to the default loop.
+    fn may_contain_ranges(&self, queries: &[(u64, u64)], out: &mut Vec<bool>) {
+        out.clear();
+        if self.n_keys == 0 {
+            out.resize(queries.len(), false);
+            return;
+        }
+        if queries.len() < BATCH_MIN_QUERIES
+            || queries.len() * BATCH_CODES_PER_QUERY < self.codes.len()
+        {
+            out.extend(queries.iter().map(|&(a, b)| self.may_contain_range(a, b)));
+            return;
+        }
+        out.resize(queries.len(), false);
+        // (h(b), h(a), query index) for every sub-interval that needs a
+        // predecessor probe. A query contributes 0, 1, or 2 entries.
+        let mut probes: Vec<(u64, u64, u32)> = Vec::with_capacity(queries.len());
+        let (first, last) = (self.codes.first(), self.codes.last());
+        let push_sub = |probes: &mut Vec<(u64, u64, u32)>, answered: &mut bool,
+                            a: u64, b: u64, i: usize| {
+            if *answered {
+                return;
+            }
+            let (ha, hb) = (self.h.eval(a), self.h.eval(b));
+            if ha <= hb {
+                probes.push((hb, ha, i as u32));
+            } else if first <= hb || last >= ha {
+                // Wrapped image [ha, r) ∪ [0, hb]: O(1), no probe needed.
+                *answered = true;
+            }
+        };
+        for (i, &(a, b)) in queries.iter().enumerate() {
+            debug_assert!(a <= b, "inverted range [{a}, {b}]");
+            let (block_a, block_b) = (self.h.block(a), self.h.block(b));
+            if block_a == block_b {
+                push_sub(&mut probes, &mut out[i], a, b, i);
+            } else if block_b == block_a + 1 {
+                let b_first = b - b % self.r;
+                push_sub(&mut probes, &mut out[i], b_first, b, i);
+                push_sub(&mut probes, &mut out[i], a, b_first - 1, i);
+            } else {
+                out[i] = true;
+            }
+        }
+        // Ascending h(b) lets one merge-scan over the codes compute every
+        // predecessor: after the inner while, `pred` is the largest stored
+        // code <= hb, exactly what `EliasFano::predecessor(hb)` returns.
+        probes.sort_unstable();
+        let mut codes = self.codes.iter();
+        let mut next = codes.next();
+        let mut pred: Option<u64> = None;
+        for &(hb, ha, i) in &probes {
+            while let Some(v) = next {
+                if v <= hb {
+                    pred = Some(v);
+                    next = codes.next();
+                } else {
+                    break;
+                }
+            }
+            if pred.is_some_and(|p| p >= ha) {
+                out[i as usize] = true;
+            }
         }
     }
 
@@ -278,6 +357,35 @@ impl GrafiteBuilder {
         let r = (r_target as u64).max(1);
         let h = LocalityHash::from_seed(self.seed, r);
         Ok(GrafiteFilter::from_hash(h, keys))
+    }
+}
+
+/// Per-filter tuning for [`GrafiteFilter`] under the [`BuildableFilter`]
+/// protocol. The default is the paper's configuration: exact `r = nL/ε`
+/// sizing from the bits-per-key budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GrafiteTuning {
+    /// Round the reduced universe up to a power of two (§7's shift-and-mask
+    /// proposal): slightly more space, strictly smaller FPP.
+    pub pow2_universe: bool,
+    /// `Some(ε)` sizes by `r = nL/ε` with `L` taken from
+    /// [`FilterConfig::max_range`] (Theorem 3.4); `None` sizes by
+    /// [`FilterConfig::bits_per_key`] (Corollary 3.5).
+    pub epsilon: Option<f64>,
+}
+
+impl BuildableFilter for GrafiteFilter {
+    type Tuning = GrafiteTuning;
+
+    fn build_with(cfg: &FilterConfig<'_>, tuning: &GrafiteTuning) -> Result<Self, FilterError> {
+        let builder = GrafiteFilter::builder()
+            .seed(cfg.seed)
+            .pow2_reduced_universe(tuning.pow2_universe);
+        let builder = match tuning.epsilon {
+            Some(eps) => builder.epsilon_and_max_range(eps, cfg.max_range),
+            None => builder.bits_per_key(cfg.bits_per_key),
+        };
+        builder.build(cfg.keys)
     }
 }
 
@@ -491,6 +599,119 @@ mod tests {
                 "budget {bpk} produced {measured} bits/key"
             );
         }
+    }
+
+    /// Queries mixing empty, hit, block-crossing, spanning, and edge cases.
+    fn batch_probe_queries(f: &GrafiteFilter, keys: &[u64], count: usize) -> Vec<(u64, u64)> {
+        let r = f.reduced_universe();
+        let mut state = 0xBA7C4u64;
+        let mut queries: Vec<(u64, u64)> = (0..count)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                match i % 5 {
+                    0 => {
+                        // Around a key.
+                        let k = keys[(state % keys.len() as u64) as usize];
+                        (k.saturating_sub(state % 64), k.saturating_add(3))
+                    }
+                    1 => {
+                        // Random small range (usually empty).
+                        let a = state;
+                        (a, a.saturating_add(31))
+                    }
+                    2 => {
+                        // Crosses exactly one r-block boundary.
+                        let block = (state % (u64::MAX / r.max(1))).max(1);
+                        (block * r - 2, block * r + 2)
+                    }
+                    3 => {
+                        // Spans several blocks: trivially non-empty.
+                        (state % r, state % r + 3 * r)
+                    }
+                    _ => {
+                        // Universe edges.
+                        if state % 2 == 0 {
+                            (0, state % 100)
+                        } else {
+                            (u64::MAX - state % 100, u64::MAX)
+                        }
+                    }
+                }
+            })
+            .collect();
+        queries.sort_unstable();
+        queries
+    }
+
+    #[test]
+    fn batch_matches_per_query_path() {
+        let mut state = 7u64;
+        let keys: Vec<u64> = (0..4000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect();
+        for &bpk in &[6.0, 12.0, 20.0] {
+            let f = GrafiteFilter::builder().bits_per_key(bpk).seed(2).build(&keys).unwrap();
+            // Large batch: takes the forward-scan path.
+            let queries = batch_probe_queries(&f, &keys, 2000);
+            let mut batched = Vec::new();
+            f.may_contain_ranges(&queries, &mut batched);
+            let singles: Vec<bool> =
+                queries.iter().map(|&(a, b)| f.may_contain_range(a, b)).collect();
+            assert_eq!(batched, singles, "bpk={bpk} batch diverged from per-query path");
+            // Small batch: takes the fallback loop; answers still identical.
+            let small = &queries[..8];
+            f.may_contain_ranges(small, &mut batched);
+            assert_eq!(batched, &singles[..8], "bpk={bpk} small-batch fallback diverged");
+        }
+    }
+
+    #[test]
+    fn batch_on_empty_filter_is_all_false() {
+        let f = GrafiteFilter::builder().build(&[]).unwrap();
+        let queries: Vec<(u64, u64)> = (0..100u64).map(|i| (i * 3, i * 3 + 10)).collect();
+        let mut out = vec![true; 3]; // stale contents must be cleared
+        f.may_contain_ranges(&queries, &mut out);
+        assert_eq!(out.len(), queries.len());
+        assert!(out.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn batch_output_vector_is_reused() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 1000).collect();
+        let f = GrafiteFilter::builder().bits_per_key(10.0).build(&keys).unwrap();
+        let queries = batch_probe_queries(&f, &keys, 600);
+        let mut out = Vec::new();
+        f.may_contain_ranges(&queries, &mut out);
+        let first = out.clone();
+        f.may_contain_ranges(&queries, &mut out);
+        assert_eq!(out, first, "batch must be deterministic and clear `out`");
+    }
+
+    #[test]
+    fn buildable_protocol_matches_builder() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let cfg = FilterConfig::new(&keys).bits_per_key(14.0).seed(11);
+        let via_protocol = GrafiteFilter::build(&cfg).unwrap();
+        let via_builder =
+            GrafiteFilter::builder().bits_per_key(14.0).seed(11).build(&keys).unwrap();
+        assert_eq!(via_protocol.reduced_universe(), via_builder.reduced_universe());
+        for probe in (0..5000u64).map(|i| i.wrapping_mul(0xABCDEF123)) {
+            assert_eq!(
+                via_protocol.may_contain_range(probe, probe.saturating_add(64)),
+                via_builder.may_contain_range(probe, probe.saturating_add(64)),
+            );
+        }
+        // Epsilon-based tuning follows Theorem 3.4 sizing with L from the config.
+        let cfg = FilterConfig::new(&keys).max_range(64).seed(11);
+        let tuned = GrafiteFilter::build_with(
+            &cfg,
+            &GrafiteTuning { epsilon: Some(0.01), ..GrafiteTuning::default() },
+        )
+        .unwrap();
+        assert_eq!(tuned.reduced_universe(), (keys.len() as u64) * 64 * 100);
     }
 
     #[test]

@@ -16,16 +16,30 @@
 //!
 //! # Example
 //!
+//! Construction and querying are both part of the crate-wide contract:
+//! every filter builds from a shared [`FilterConfig`] through the
+//! [`BuildableFilter`] protocol, and answers single or batched range
+//! queries through [`RangeFilter`].
+//!
 //! ```
-//! use grafite_core::{GrafiteFilter, RangeFilter};
+//! use grafite_core::{BuildableFilter, FilterConfig, GrafiteFilter, RangeFilter};
 //!
 //! let keys = vec![100u64, 2_000, 30_000, 400_000];
-//! let filter = GrafiteFilter::builder()
-//!     .epsilon_and_max_range(0.01, 1 << 10)
-//!     .build(&keys)
-//!     .unwrap();
+//! let cfg = FilterConfig::new(&keys).bits_per_key(16.0).max_range(1 << 10);
+//! let filter = GrafiteFilter::build(&cfg).unwrap();
 //! assert!(filter.may_contain_range(1_500, 2_500)); // contains 2_000
+//!
+//! // Batched queries: identical answers, one pass for large batches.
+//! let mut out = Vec::new();
+//! filter.may_contain_ranges(&[(0, 99), (1_500, 2_500)], &mut out);
+//! assert_eq!(out[1], true);
 //! ```
+//!
+//! The [`registry`] module adds a library-level table from
+//! [`registry::FilterSpec`] to builder functions; the full table covering
+//! the paper's eleven configurations is assembled by
+//! `grafite_filters::standard_registry()` (the competitor filters live
+//! downstream of this crate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,12 +47,16 @@
 pub mod bucketing;
 pub mod error;
 pub mod grafite;
+pub mod registry;
 pub mod sort;
 pub mod string_keys;
 pub mod traits;
 
-pub use bucketing::{BucketingBuilder, BucketingFilter, WorkloadAwareBucketing};
+pub use bucketing::{
+    BucketingBuilder, BucketingFilter, BucketingTuning, WorkloadAwareBucketing,
+};
 pub use error::FilterError;
-pub use grafite::{GrafiteBuilder, GrafiteFilter};
-pub use string_keys::StringGrafite;
-pub use traits::RangeFilter;
+pub use grafite::{GrafiteBuilder, GrafiteFilter, GrafiteTuning};
+pub use registry::{BuilderFn, FilterSpec, Registry};
+pub use string_keys::{BytesPrefixCodec, IdentityCodec, KeyCodec, StringGrafite};
+pub use traits::{BuildableFilter, FilterConfig, RangeFilter, DEFAULT_SEED};

@@ -1,0 +1,241 @@
+//! The library-level filter registry: a typed table mapping every
+//! [`FilterSpec`] of the paper's evaluation to a builder over the shared
+//! [`FilterConfig`].
+//!
+//! `grafite-core` cannot name the competitor filter types (they live in
+//! crates that depend on this one), so the registry is a table of plain
+//! builder *functions*: this crate pre-registers its own two filters
+//! (Grafite §3, Bucketing §4) via [`Registry::new`], and
+//! `grafite_filters::standard_registry()` returns the table with all eleven
+//! specs populated. The bench crate's former 70-line construction `match`
+//! is now pure delegation into this module.
+
+use crate::bucketing::BucketingFilter;
+use crate::error::FilterError;
+use crate::grafite::GrafiteFilter;
+use crate::traits::{BuildableFilter, FilterConfig, RangeFilter};
+
+/// Every filter of the paper's §6 comparison, plus the §2 trivial baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FilterSpec {
+    /// Grafite (this paper, robust).
+    Grafite,
+    /// Bucketing (this paper, heuristic).
+    Bucketing,
+    /// SNARF (heuristic; uses the overflow-fixed model).
+    Snarf,
+    /// SuRF with real suffixes (heuristic; the paper's range-query config).
+    SurfReal,
+    /// SuRF with hashed suffixes (heuristic; the paper's point-query config).
+    SurfHash,
+    /// Proteus, auto-tuned on the query sample (heuristic).
+    Proteus,
+    /// Rosetta, auto-tuned on the query sample (robust).
+    Rosetta,
+    /// REncoder, base configuration (robust for in-budget range sizes).
+    REncoder,
+    /// REncoder with fixed selective storage (heuristic).
+    REncoderSS,
+    /// REncoder with sample-estimated storage (heuristic, auto-tuned).
+    REncoderSE,
+    /// The §2 theoretical baseline: Bloom filter probed point-by-point.
+    TrivialBloom,
+}
+
+impl FilterSpec {
+    /// Number of specs (the registry's table width).
+    pub const COUNT: usize = 11;
+
+    /// Every spec, in declaration order.
+    pub const ALL: [FilterSpec; Self::COUNT] = [
+        FilterSpec::Grafite,
+        FilterSpec::Bucketing,
+        FilterSpec::Snarf,
+        FilterSpec::SurfReal,
+        FilterSpec::SurfHash,
+        FilterSpec::Proteus,
+        FilterSpec::Rosetta,
+        FilterSpec::REncoder,
+        FilterSpec::REncoderSS,
+        FilterSpec::REncoderSE,
+        FilterSpec::TrivialBloom,
+    ];
+
+    /// The robust filters of §6.4.
+    pub const ROBUST: [FilterSpec; 3] =
+        [FilterSpec::Grafite, FilterSpec::Rosetta, FilterSpec::REncoder];
+
+    /// The heuristic filters of §6.3.
+    pub const HEURISTIC: [FilterSpec; 6] = [
+        FilterSpec::Bucketing,
+        FilterSpec::SurfReal,
+        FilterSpec::Snarf,
+        FilterSpec::Proteus,
+        FilterSpec::REncoderSS,
+        FilterSpec::REncoderSE,
+    ];
+
+    /// The nine filters of the Figure 3 robustness grid.
+    pub const ALL_FIG3: [FilterSpec; 9] = [
+        FilterSpec::Grafite,
+        FilterSpec::Bucketing,
+        FilterSpec::Snarf,
+        FilterSpec::SurfReal,
+        FilterSpec::Proteus,
+        FilterSpec::Rosetta,
+        FilterSpec::REncoder,
+        FilterSpec::REncoderSS,
+        FilterSpec::REncoderSE,
+    ];
+
+    /// The six filters of the paper's Figure 1 teaser.
+    pub const FIG1: [FilterSpec; 6] = [
+        FilterSpec::Grafite,
+        FilterSpec::Snarf,
+        FilterSpec::SurfReal,
+        FilterSpec::Proteus,
+        FilterSpec::Rosetta,
+        FilterSpec::REncoder,
+    ];
+
+    /// Harness display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FilterSpec::Grafite => "Grafite",
+            FilterSpec::Bucketing => "Bucketing",
+            FilterSpec::Snarf => "SNARF",
+            FilterSpec::SurfReal => "SuRF",
+            FilterSpec::SurfHash => "SuRF-Hash",
+            FilterSpec::Proteus => "Proteus",
+            FilterSpec::Rosetta => "Rosetta",
+            FilterSpec::REncoder => "REncoder",
+            FilterSpec::REncoderSS => "REncoderSS",
+            FilterSpec::REncoderSE => "REncoderSE",
+            FilterSpec::TrivialBloom => "TrivialBloom",
+        }
+    }
+
+    /// Row index in the registry table.
+    #[inline]
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A registered builder: constructs a boxed filter from the shared config,
+/// or explains why the configuration is infeasible.
+pub type BuilderFn = fn(&FilterConfig<'_>) -> Result<Box<dyn RangeFilter>, FilterError>;
+
+/// A table of filter builders keyed by [`FilterSpec`].
+///
+/// [`Registry::new`] pre-registers this crate's own filters (Grafite and
+/// Bucketing); downstream crates register the rest — use
+/// `grafite_filters::standard_registry()` for the complete table of the
+/// paper's eleven configurations. Registration is by plain function
+/// pointer, so a `Registry` is `Copy`-cheap to clone and needs no
+/// allocation.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    builders: [Option<BuilderFn>; FilterSpec::COUNT],
+}
+
+impl Default for Registry {
+    /// Same as [`Registry::new`]: the core filters come registered.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry with the core filters (Grafite, Bucketing) registered.
+    pub fn new() -> Self {
+        let mut r = Self::empty();
+        r.register(FilterSpec::Grafite, |cfg| {
+            <GrafiteFilter as BuildableFilter>::build(cfg).map(|f| Box::new(f) as _)
+        });
+        r.register(FilterSpec::Bucketing, |cfg| {
+            <BucketingFilter as BuildableFilter>::build(cfg).map(|f| Box::new(f) as _)
+        });
+        r
+    }
+
+    /// A registry with no builders at all.
+    pub fn empty() -> Self {
+        Self {
+            builders: [None; FilterSpec::COUNT],
+        }
+    }
+
+    /// Registers (or replaces) the builder for `spec`. Returns `&mut self`
+    /// for chaining.
+    pub fn register(&mut self, spec: FilterSpec, builder: BuilderFn) -> &mut Self {
+        self.builders[spec.index()] = Some(builder);
+        self
+    }
+
+    /// Whether a builder is registered for `spec`.
+    #[inline]
+    pub fn is_registered(&self, spec: FilterSpec) -> bool {
+        self.builders[spec.index()].is_some()
+    }
+
+    /// The specs with a registered builder, in declaration order.
+    pub fn registered(&self) -> impl Iterator<Item = FilterSpec> + '_ {
+        FilterSpec::ALL.into_iter().filter(|&s| self.is_registered(s))
+    }
+
+    /// Builds `spec` from the shared config.
+    ///
+    /// Errors are either [`FilterError::Unregistered`] (no builder for this
+    /// spec in this table) or whatever the filter's own
+    /// [`BuildableFilter::build`] reports — e.g.
+    /// [`FilterError::BudgetBelowFloor`] for SuRF under its trie floor.
+    pub fn build(
+        &self,
+        spec: FilterSpec,
+        cfg: &FilterConfig<'_>,
+    ) -> Result<Box<dyn RangeFilter>, FilterError> {
+        match self.builders[spec.index()] {
+            Some(builder) => builder(cfg),
+            None => Err(FilterError::Unregistered(spec.label())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_table_is_consistent() {
+        assert_eq!(FilterSpec::ALL.len(), FilterSpec::COUNT);
+        for (i, spec) in FilterSpec::ALL.into_iter().enumerate() {
+            assert_eq!(spec.index(), i, "{} out of order", spec.label());
+        }
+    }
+
+    #[test]
+    fn core_registry_builds_its_own_filters() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 1_000_003).collect();
+        let cfg = FilterConfig::new(&keys).bits_per_key(12.0);
+        let registry = Registry::new();
+        assert_eq!(registry.registered().count(), 2);
+        for spec in [FilterSpec::Grafite, FilterSpec::Bucketing] {
+            let f = registry.build(spec, &cfg).unwrap();
+            assert_eq!(f.num_keys(), keys.len());
+            for &k in keys.iter().step_by(17) {
+                assert!(f.may_contain(k), "{} false negative", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unregistered_spec_errors_with_label() {
+        let keys = [1u64, 2, 3];
+        let cfg = FilterConfig::new(&keys);
+        let err = Registry::empty().build(FilterSpec::Snarf, &cfg).err();
+        assert!(matches!(err, Some(FilterError::Unregistered("SNARF"))));
+        let err = Registry::new().build(FilterSpec::Proteus, &cfg).err();
+        assert!(matches!(err, Some(FilterError::Unregistered("Proteus"))));
+    }
+}

@@ -3,19 +3,76 @@
 //! `h(x) = (q(x >> k) + x) & (r − 1)` — pure shifts, masks, and adds — and
 //! realise `q` with a practical string hash (xxHash64).
 //!
-//! Byte-string keys are first mapped to `u64` by taking their first eight
-//! bytes big-endian (zero-padded). The mapping is monotone with respect to
-//! lexicographic order, so a key inside the query range always lands inside
-//! the mapped range: **no false negatives**. Strings sharing an 8-byte
-//! prefix become indistinguishable, which can only add false positives; the
-//! paper's integer guarantees apply to the mapped 64-bit universe.
+//! Arbitrary key types reach the 64-bit universe through a [`KeyCodec`]: a
+//! **monotone** embedding into `u64`. Two codecs ship with the crate —
+//! [`IdentityCodec`] for integer keys and [`BytesPrefixCodec`] for byte
+//! strings (first eight bytes, big-endian, zero-padded). Monotonicity is
+//! what preserves the no-false-negative guarantee: a key inside the query
+//! range always lands inside the embedded range. A non-injective codec
+//! (e.g. strings sharing an 8-byte prefix) can only *add* false positives;
+//! the paper's integer guarantees then apply to the embedded universe.
+//!
+//! [`StringGrafite`] also implements the workspace-wide [`RangeFilter`] and
+//! [`BuildableFilter`] protocols over the embedded `u64` universe, so it
+//! plugs into the same harnesses as every integer filter.
 
 use grafite_hash::xxhash::xxh64;
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
+use crate::traits::{BuildableFilter, FilterConfig, RangeFilter};
 
-/// A Grafite range filter over byte-string keys.
+/// A monotone embedding of a key type into the `u64` universe.
+///
+/// # Contract
+///
+/// `k1 <= k2` (in the key type's order) must imply
+/// `encode(k1) <= encode(k2)`. The embedding need not be injective: keys
+/// that collide merely fold together, which is conservative (false
+/// positives only, never false negatives).
+pub trait KeyCodec {
+    /// The key type this codec embeds (unsized types like `[u8]` welcome).
+    type Key: ?Sized;
+
+    /// The monotone embedding itself.
+    fn encode(key: &Self::Key) -> u64;
+}
+
+/// The trivial codec for keys that already are `u64`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityCodec;
+
+impl KeyCodec for IdentityCodec {
+    type Key = u64;
+
+    #[inline]
+    fn encode(key: &u64) -> u64 {
+        *key
+    }
+}
+
+/// Byte strings through their first eight bytes, big-endian, zero-padded.
+///
+/// Monotone with respect to lexicographic order; strings sharing an 8-byte
+/// prefix become indistinguishable (conservative folding), so keys should
+/// carry their entropy early.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BytesPrefixCodec;
+
+impl KeyCodec for BytesPrefixCodec {
+    type Key = [u8];
+
+    #[inline]
+    fn encode(key: &[u8]) -> u64 {
+        let mut buf = [0u8; 8];
+        let take = key.len().min(8);
+        buf[..take].copy_from_slice(&key[..take]);
+        u64::from_be_bytes(buf)
+    }
+}
+
+/// A Grafite range filter over byte-string keys (or, through
+/// [`StringGrafite::with_codec`], any [`KeyCodec`]-embeddable key type).
 #[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StringGrafite {
@@ -26,7 +83,8 @@ pub struct StringGrafite {
 }
 
 impl StringGrafite {
-    /// Builds over string keys with a space budget in bits per key.
+    /// Builds over byte-string keys with a space budget in bits per key,
+    /// embedding through [`BytesPrefixCodec`].
     ///
     /// `r` is rounded to the power of two `2^k` with
     /// `k = ⌈log2(n)⌉ + ⌈bits − 2⌉`, honouring the Corollary 3.5 sizing.
@@ -35,10 +93,45 @@ impl StringGrafite {
         bits_per_key: f64,
         seed: u64,
     ) -> Result<Self, FilterError> {
+        Self::from_embedded(
+            keys.len(),
+            keys.iter().map(|key| BytesPrefixCodec::encode(key.as_ref())),
+            bits_per_key,
+            seed,
+        )
+    }
+
+    /// Builds through an explicit [`KeyCodec`]. `IdentityCodec` makes this
+    /// a plain power-of-two-universe Grafite over `u64` keys.
+    pub fn with_codec<C, K>(keys: &[K], bits_per_key: f64, seed: u64) -> Result<Self, FilterError>
+    where
+        C: KeyCodec,
+        K: std::borrow::Borrow<C::Key>,
+    {
+        Self::from_embedded(
+            keys.len(),
+            keys.iter().map(|key| C::encode(key.borrow())),
+            bits_per_key,
+            seed,
+        )
+    }
+
+    /// Builds directly from `u64` keys ([`IdentityCodec`]); this is the
+    /// [`BuildableFilter`] entry point.
+    pub fn from_u64_keys(keys: &[u64], bits_per_key: f64, seed: u64) -> Result<Self, FilterError> {
+        Self::with_codec::<IdentityCodec, u64>(keys, bits_per_key, seed)
+    }
+
+    /// Shared construction over already-embedded keys.
+    fn from_embedded<I: Iterator<Item = u64>>(
+        n: usize,
+        embedded: I,
+        bits_per_key: f64,
+        seed: u64,
+    ) -> Result<Self, FilterError> {
         if !(bits_per_key > 2.0 && bits_per_key.is_finite()) {
             return Err(FilterError::InvalidBudget(bits_per_key));
         }
-        let n = keys.len();
         if n == 0 {
             return Ok(Self {
                 k: 1,
@@ -60,10 +153,7 @@ impl StringGrafite {
             codes: EliasFano::new(&[], 2),
             n_keys: n,
         };
-        let mut codes: Vec<u64> = keys
-            .iter()
-            .map(|key| filter.h(Self::key_to_u64(key.as_ref())))
-            .collect();
+        let mut codes: Vec<u64> = embedded.map(|x| filter.h(x)).collect();
         codes.sort_unstable();
         codes.dedup();
         filter.codes = EliasFano::new(&codes, 1u64 << k);
@@ -71,12 +161,9 @@ impl StringGrafite {
     }
 
     /// The order-preserving 8-byte-prefix embedding of a byte string into
-    /// the `u64` universe.
+    /// the `u64` universe (the [`BytesPrefixCodec`]).
     pub fn key_to_u64(key: &[u8]) -> u64 {
-        let mut buf = [0u8; 8];
-        let take = key.len().min(8);
-        buf[..take].copy_from_slice(&key[..take]);
-        u64::from_be_bytes(buf)
+        BytesPrefixCodec::encode(key)
     }
 
     #[inline]
@@ -108,16 +195,12 @@ impl StringGrafite {
         }
     }
 
-    /// Whether the lexicographic closed range `[a, b]` may contain a key.
-    ///
-    /// # Panics
-    /// Panics if `a > b` lexicographically.
-    pub fn may_contain_range(&self, a: &[u8], b: &[u8]) -> bool {
-        assert!(a <= b, "inverted string range");
+    /// Range emptiness over the embedded `u64` universe.
+    fn query_embedded(&self, ia: u64, ib: u64) -> bool {
+        debug_assert!(ia <= ib, "inverted range [{ia}, {ib}]");
         if self.n_keys == 0 {
             return false;
         }
-        let (ia, ib) = (Self::key_to_u64(a), Self::key_to_u64(b));
         let (block_a, block_b) = (ia >> self.k, ib >> self.k);
         if block_a == block_b {
             self.query_within_block(ia, ib)
@@ -127,6 +210,15 @@ impl StringGrafite {
         } else {
             true
         }
+    }
+
+    /// Whether the lexicographic closed range `[a, b]` may contain a key.
+    ///
+    /// Requires `a <= b` lexicographically (debug-asserted, consistent with
+    /// the [`RangeFilter`] contract).
+    pub fn may_contain_range(&self, a: &[u8], b: &[u8]) -> bool {
+        debug_assert!(a <= b, "inverted string range");
+        self.query_embedded(BytesPrefixCodec::encode(a), BytesPrefixCodec::encode(b))
     }
 
     /// Point-membership test.
@@ -142,6 +234,42 @@ impl StringGrafite {
     /// Heap size in bits.
     pub fn size_in_bits(&self) -> usize {
         self.codes.size_in_bits() + 3 * 64
+    }
+}
+
+/// The integer view over the embedded universe, so `StringGrafite` plugs
+/// into every harness that speaks [`RangeFilter`]. Probes are interpreted
+/// as already-embedded keys (what a [`KeyCodec`] produces); the inherent
+/// byte-slice methods shadow these for method-call syntax, so reach the
+/// trait view through `RangeFilter::may_contain_range(&f, a, b)` or a
+/// `&dyn RangeFilter`.
+impl RangeFilter for StringGrafite {
+    fn may_contain_range(&self, a: u64, b: u64) -> bool {
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
+        self.query_embedded(a, b)
+    }
+
+    fn size_in_bits(&self) -> usize {
+        StringGrafite::size_in_bits(self)
+    }
+
+    fn num_keys(&self) -> usize {
+        StringGrafite::num_keys(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "Grafite-String"
+    }
+}
+
+impl BuildableFilter for StringGrafite {
+    /// No extra knobs: the codec choice happens at the call site
+    /// ([`StringGrafite::with_codec`]); the protocol path embeds `u64`
+    /// keys through [`IdentityCodec`].
+    type Tuning = ();
+
+    fn build_with(cfg: &FilterConfig<'_>, _tuning: &()) -> Result<Self, FilterError> {
+        Self::from_u64_keys(cfg.keys, cfg.bits_per_key, cfg.seed)
     }
 }
 
@@ -210,5 +338,52 @@ mod tests {
         let keys = ["prefix00suffix-a", "prefix00suffix-b"];
         let f = StringGrafite::new(&keys, 16.0, 0).unwrap();
         assert!(f.may_contain(b"prefix00-anything"));
+    }
+
+    #[test]
+    fn identity_codec_agrees_with_byte_codec() {
+        // The same logical keys through both codecs give the same filter.
+        let words: Vec<&str> = WORDS.to_vec();
+        let embedded: Vec<u64> =
+            words.iter().map(|w| BytesPrefixCodec::encode(w.as_bytes())).collect();
+        let via_bytes = StringGrafite::new(&words, 14.0, 3).unwrap();
+        let via_ints = StringGrafite::from_u64_keys(&embedded, 14.0, 3).unwrap();
+        for w in &words {
+            let x = BytesPrefixCodec::encode(w.as_bytes());
+            assert_eq!(
+                via_bytes.may_contain(w.as_bytes()),
+                RangeFilter::may_contain(&via_ints, x),
+                "codec mismatch on {w}"
+            );
+        }
+        let mut probe = 0xD00Du64;
+        for _ in 0..2000 {
+            probe = probe.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let (a, b) = (probe, probe.saturating_add(1 << 20));
+            assert_eq!(
+                RangeFilter::may_contain_range(&via_bytes, a, b),
+                RangeFilter::may_contain_range(&via_ints, a, b),
+            );
+        }
+    }
+
+    #[test]
+    fn buildable_protocol_and_trait_view() {
+        let keys: Vec<u64> = (0..3000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let cfg = FilterConfig::new(&keys).bits_per_key(14.0).seed(5);
+        let f = StringGrafite::build(&cfg).unwrap();
+        let dyn_f: &dyn RangeFilter = &f;
+        assert_eq!(dyn_f.num_keys(), keys.len());
+        assert_eq!(dyn_f.name(), "Grafite-String");
+        assert!(dyn_f.bits_per_key() > 2.0);
+        for &k in keys.iter().step_by(13) {
+            assert!(dyn_f.may_contain(k), "FN on {k}");
+        }
+        // Batch answers equal singles through the default trait path.
+        let queries: Vec<(u64, u64)> =
+            keys.iter().step_by(7).map(|&k| (k.saturating_sub(10), k.saturating_add(10))).collect();
+        let mut out = Vec::new();
+        dyn_f.may_contain_ranges(&queries, &mut out);
+        assert!(out.iter().all(|&x| x), "batch lost a key-bounded range");
     }
 }

@@ -1,4 +1,12 @@
-//! The common interface every range filter in this workspace implements.
+//! The common interface every range filter in this workspace implements:
+//! the query-side [`RangeFilter`] contract and the construction-side
+//! [`BuildableFilter`] protocol over a shared [`FilterConfig`].
+
+use crate::error::FilterError;
+
+/// The seed every builder defaults to ("grafite" in ASCII), so that a bare
+/// configuration is fully deterministic.
+pub const DEFAULT_SEED: u64 = 0x0067_7261_6669_7465;
 
 /// An approximate range-emptiness data structure (paper Problem 1).
 ///
@@ -6,17 +14,41 @@
 /// lies in `[a, b]`, `may_contain_range(a, b)` returns `true`. They may
 /// return `true` for empty ranges (a false positive); how often is the whole
 /// game, and is what the paper's experiments measure.
+///
+/// # Inverted ranges
+///
+/// Every query method requires `a <= b`. This is a caller contract, not an
+/// error condition: all implementations in this workspace `debug_assert!`
+/// it, so violations panic in debug builds and return an unspecified (but
+/// still memory-safe) answer in release builds. Queries never fail and
+/// never allocate; all validation happens at construction time.
 pub trait RangeFilter {
     /// Whether the closed range `[a, b]` *may* intersect the key set.
     ///
-    /// # Panics
-    /// Implementations may panic if `a > b`.
+    /// Requires `a <= b` (debug-asserted; see the trait-level contract).
     fn may_contain_range(&self, a: u64, b: u64) -> bool;
 
     /// Whether the point `x` may be in the key set.
     #[inline]
     fn may_contain(&self, x: u64) -> bool {
         self.may_contain_range(x, x)
+    }
+
+    /// Answers a batch of closed ranges, one `bool` per query, into `out`
+    /// (which is cleared first). Every query requires `lo <= hi`, as in
+    /// [`RangeFilter::may_contain_range`].
+    ///
+    /// The default implementation is a plain loop over
+    /// `may_contain_range`. Implementations may specialise it — e.g.
+    /// `GrafiteFilter` answers large batches in one forward pass over its
+    /// Elias–Fano codes — but must return **exactly** the answers the
+    /// one-at-a-time path returns, in query order.
+    fn may_contain_ranges(&self, queries: &[(u64, u64)], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(queries.len());
+        for &(a, b) in queries {
+            out.push(self.may_contain_range(a, b));
+        }
     }
 
     /// Total heap size of the filter in bits, directories included.
@@ -37,4 +69,121 @@ pub trait RangeFilter {
 
     /// Short display name used by the experiment harness.
     fn name(&self) -> &'static str;
+}
+
+/// Everything a filter build may need, shared by all eleven filters of the
+/// paper's evaluation (§6.1): the key set, a space budget, the workload's
+/// max range size, a query sample for the auto-tuned filters, and a seed.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`FilterConfig::new`] and the chainable setters, which keeps downstream
+/// code compiling when a future field is added. Fields stay `pub` for
+/// reading.
+///
+/// ```
+/// use grafite_core::{BuildableFilter, FilterConfig, GrafiteFilter, RangeFilter};
+///
+/// let keys: Vec<u64> = (0..1000u64).map(|i| i * 97).collect();
+/// let cfg = FilterConfig::new(&keys).bits_per_key(12.0).max_range(32);
+/// let filter = GrafiteFilter::build(&cfg).unwrap();
+/// assert!(filter.may_contain(97));
+/// ```
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub struct FilterConfig<'a> {
+    /// The key set (sorted is fine, not required; duplicates allowed).
+    pub keys: &'a [u64],
+    /// Space budget in bits per key. Default: 16.
+    pub bits_per_key: f64,
+    /// The workload's max range size (the paper's `L`). Default: 2^10.
+    pub max_range: u64,
+    /// Query sample (empty ranges) for the auto-tuned filters (Proteus,
+    /// Rosetta, REncoder-SE, workload-aware Bucketing). Default: empty.
+    pub sample: &'a [(u64, u64)],
+    /// Seed for any randomised component. Default: [`DEFAULT_SEED`].
+    pub seed: u64,
+}
+
+impl<'a> FilterConfig<'a> {
+    /// Starts a configuration over `keys` with the documented defaults.
+    pub fn new(keys: &'a [u64]) -> Self {
+        Self {
+            keys,
+            bits_per_key: 16.0,
+            max_range: 1 << 10,
+            sample: &[],
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Sets the space budget in bits per key.
+    pub fn bits_per_key(mut self, bits: f64) -> Self {
+        self.bits_per_key = bits;
+        self
+    }
+
+    /// Sets the workload's max range size `L`.
+    pub fn max_range(mut self, l: u64) -> Self {
+        self.max_range = l;
+        self
+    }
+
+    /// Sets the query sample the auto-tuned filters optimise for.
+    pub fn sample(mut self, sample: &'a [(u64, u64)]) -> Self {
+        self.sample = sample;
+        self
+    }
+
+    /// Pins the seed for randomised components.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The uniform construction protocol: every filter of the paper's
+/// comparison builds from the same [`FilterConfig`], so harnesses, stores,
+/// and the [`Registry`](crate::registry::Registry) can treat construction —
+/// not just querying — as part of the contract.
+///
+/// Filter-specific knobs that fall outside the shared config (SuRF's suffix
+/// mode, REncoder's variant, Rosetta's sample tuning, …) are expressed as a
+/// typed [`BuildableFilter::Tuning`] value with a sensible `Default`, so
+/// nothing is stringly-typed and `build` stays one call for the common
+/// case.
+pub trait BuildableFilter: RangeFilter + Sized {
+    /// Typed per-filter tuning knobs beyond the shared [`FilterConfig`].
+    /// `Default` must yield the configuration the paper's evaluation uses.
+    type Tuning: Default;
+
+    /// Builds with explicit per-filter tuning.
+    fn build_with(cfg: &FilterConfig<'_>, tuning: &Self::Tuning) -> Result<Self, FilterError>;
+
+    /// Builds with the default tuning — the paper's configuration.
+    fn build(cfg: &FilterConfig<'_>) -> Result<Self, FilterError> {
+        Self::build_with(cfg, &Self::Tuning::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_setters() {
+        let keys = [1u64, 2, 3];
+        let sample = [(10u64, 20u64)];
+        let cfg = FilterConfig::new(&keys);
+        assert_eq!(cfg.bits_per_key, 16.0);
+        assert_eq!(cfg.max_range, 1 << 10);
+        assert!(cfg.sample.is_empty());
+        assert_eq!(cfg.seed, DEFAULT_SEED);
+
+        let cfg = cfg.bits_per_key(8.0).max_range(32).sample(&sample).seed(7);
+        assert_eq!(cfg.bits_per_key, 8.0);
+        assert_eq!(cfg.max_range, 32);
+        assert_eq!(cfg.sample, &sample);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.keys, &keys);
+    }
 }

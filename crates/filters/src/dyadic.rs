@@ -23,7 +23,7 @@ pub struct Dyadic {
 /// the block size (filters that only store bottom levels need this) at the
 /// cost of more intervals.
 pub fn cover(a: u64, b: u64, max_j: u32) -> Vec<Dyadic> {
-    assert!(a <= b, "inverted range [{a}, {b}]");
+    debug_assert!(a <= b, "inverted range [{a}, {b}]");
     let max_j = max_j.min(63);
     let mut out = Vec::new();
     let mut cur = a as u128;

@@ -22,8 +22,61 @@ pub mod rosetta;
 pub mod snarf;
 pub mod surf;
 
-pub use proteus::Proteus;
-pub use rencoder::{REncoder, REncoderVariant};
-pub use rosetta::Rosetta;
-pub use snarf::Snarf;
-pub use surf::{SuffixMode, Surf};
+pub use proteus::{Proteus, ProteusTuning};
+pub use rencoder::{REncoder, REncoderTuning, REncoderVariant};
+pub use rosetta::{Rosetta, RosettaTuning};
+pub use snarf::{Snarf, SnarfTuning};
+pub use surf::{SuffixMode, SuffixStyle, Surf, SurfTuning};
+
+use grafite_bloom::TrivialRangeFilter;
+use grafite_core::registry::{FilterSpec, Registry};
+use grafite_core::{BuildableFilter, RangeFilter};
+
+/// The complete filter registry of the paper's evaluation: every
+/// [`FilterSpec`] — the two `grafite-core` filters, this crate's
+/// competitors, and the `grafite-bloom` trivial baseline — mapped to its
+/// [`BuildableFilter`] construction over the shared
+/// [`FilterConfig`](grafite_core::FilterConfig).
+///
+/// ```
+/// use grafite_core::registry::FilterSpec;
+/// use grafite_core::FilterConfig;
+/// use grafite_filters::standard_registry;
+///
+/// let keys: Vec<u64> = (0..500u64).map(|i| i * 11_400_714_819).collect();
+/// let registry = standard_registry();
+/// let cfg = FilterConfig::new(&keys).bits_per_key(16.0).max_range(32);
+/// for spec in FilterSpec::ALL {
+///     let filter = registry.build(spec, &cfg).unwrap();
+///     assert!(filter.may_contain(keys[42]), "{} lost a key", filter.name());
+/// }
+/// ```
+pub fn standard_registry() -> Registry {
+    fn boxed<F: RangeFilter + 'static>(f: F) -> Box<dyn RangeFilter> {
+        Box::new(f)
+    }
+    // Each entry is a plain fn pointer: default tuning unless the spec *is*
+    // a tuning (SuRF's suffix family, REncoder's variants).
+    let mut r = Registry::new(); // Grafite + Bucketing pre-registered
+    r.register(FilterSpec::Snarf, |cfg| Snarf::build(cfg).map(boxed));
+    r.register(FilterSpec::SurfReal, |cfg| Surf::build(cfg).map(boxed));
+    r.register(FilterSpec::SurfHash, |cfg| {
+        Surf::build_with(cfg, &SurfTuning { style: SuffixStyle::Hashed, suffix_bits: None })
+            .map(boxed)
+    });
+    r.register(FilterSpec::Proteus, |cfg| Proteus::build(cfg).map(boxed));
+    r.register(FilterSpec::Rosetta, |cfg| Rosetta::build(cfg).map(boxed));
+    r.register(FilterSpec::REncoder, |cfg| REncoder::build(cfg).map(boxed));
+    r.register(FilterSpec::REncoderSS, |cfg| {
+        REncoder::build_with(
+            cfg,
+            &REncoderTuning(REncoderVariant::SelectiveStorage { rounds: 2 }),
+        )
+        .map(boxed)
+    });
+    r.register(FilterSpec::REncoderSE, |cfg| {
+        REncoder::build_with(cfg, &REncoderTuning(REncoderVariant::SampleEstimation)).map(boxed)
+    });
+    r.register(FilterSpec::TrivialBloom, |cfg| TrivialRangeFilter::build(cfg).map(boxed));
+    r
+}

@@ -17,7 +17,7 @@
 //! same shape as Knorr et al.'s Algorithm 1.
 
 use grafite_bloom::{BloomFilter, PrefixBloomFilter};
-use grafite_core::{FilterError, RangeFilter};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
 use grafite_fst::{builder, Fst, Lookup};
 
 /// Max Bloom probes per query before giving up ("maybe").
@@ -302,9 +302,22 @@ fn estimate_fpr(
     total / sample.len() as f64
 }
 
+/// Per-filter tuning for [`Proteus`]: none. The CPFPR tuner already derives
+/// everything from the shared config's keys, budget, sample, and seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProteusTuning;
+
+impl BuildableFilter for Proteus {
+    type Tuning = ProteusTuning;
+
+    fn build_with(cfg: &FilterConfig<'_>, _tuning: &ProteusTuning) -> Result<Self, FilterError> {
+        Proteus::new(cfg.keys, cfg.bits_per_key, cfg.sample, cfg.seed)
+    }
+}
+
 impl RangeFilter for Proteus {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return false;
         }

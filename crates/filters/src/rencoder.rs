@@ -20,7 +20,7 @@
 //! * **REncoderSE** ("sample estimation") — picks `rounds` from the largest
 //!   range observed in a sample workload.
 
-use grafite_core::{FilterError, RangeFilter};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
 use grafite_hash::mix::murmur_mix64;
 use grafite_succinct::BitVec;
 
@@ -236,9 +236,30 @@ impl REncoder {
     }
 }
 
+/// Per-filter tuning for [`REncoder`]: a typed newtype over the variant.
+/// Default: [`REncoderVariant::Full`], the paper's base configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct REncoderTuning(pub REncoderVariant);
+
+impl Default for REncoderTuning {
+    fn default() -> Self {
+        Self(REncoderVariant::Full)
+    }
+}
+
+impl BuildableFilter for REncoder {
+    type Tuning = REncoderTuning;
+
+    fn build_with(cfg: &FilterConfig<'_>, tuning: &REncoderTuning) -> Result<Self, FilterError> {
+        // Only the SE variant consumes the workload sample.
+        let sample = matches!(tuning.0, REncoderVariant::SampleEstimation).then_some(cfg.sample);
+        REncoder::new(cfg.keys, cfg.bits_per_key, tuning.0, sample, cfg.seed)
+    }
+}
+
 impl RangeFilter for REncoder {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return false;
         }

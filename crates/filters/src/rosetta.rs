@@ -16,7 +16,7 @@
 //! on a sample workload (§6.1 runs Rosetta auto-tuned).
 
 use grafite_bloom::BloomFilter;
-use grafite_core::{FilterError, RangeFilter};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
 
 use crate::dyadic::cover;
 
@@ -182,9 +182,34 @@ impl Rosetta {
     }
 }
 
+/// Per-filter tuning for [`Rosetta`] under the [`BuildableFilter`]
+/// protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RosettaTuning {
+    /// Reweight the per-level Bloom budgets by the probe frequencies
+    /// observed on [`FilterConfig::sample`] — the paper's auto-tuned §6.1
+    /// configuration. Default: on.
+    pub sample_tuned: bool,
+}
+
+impl Default for RosettaTuning {
+    fn default() -> Self {
+        Self { sample_tuned: true }
+    }
+}
+
+impl BuildableFilter for Rosetta {
+    type Tuning = RosettaTuning;
+
+    fn build_with(cfg: &FilterConfig<'_>, tuning: &RosettaTuning) -> Result<Self, FilterError> {
+        let sample = tuning.sample_tuned.then_some(cfg.sample);
+        Rosetta::new(cfg.keys, cfg.bits_per_key, cfg.max_range, sample, cfg.seed)
+    }
+}
+
 impl RangeFilter for Rosetta {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return false;
         }

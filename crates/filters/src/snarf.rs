@@ -15,7 +15,7 @@
 //! arithmetic so the `ablation_snarf_overflow` experiment can demonstrate
 //! the false negatives on datasets with huge gaps (e.g. Fb).
 
-use grafite_core::{FilterError, RangeFilter};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
 use grafite_succinct::GolombRiceSeq;
 
 /// Spline sampling period (one spline knot every `t` keys), the SNARF
@@ -42,16 +42,16 @@ pub struct Snarf {
 impl Snarf {
     /// Builds SNARF with a total space budget in bits per key.
     pub fn new(keys: &[u64], bits_per_key: f64) -> Result<Self, FilterError> {
-        Self::build(keys, bits_per_key, false)
+        Self::build_impl(keys, bits_per_key, false)
     }
 
     /// Builds with the original implementation's overflow-prone u64 model
     /// arithmetic (reintroduces the false negatives of paper footnote 5).
     pub fn with_faithful_overflow(keys: &[u64], bits_per_key: f64) -> Result<Self, FilterError> {
-        Self::build(keys, bits_per_key, true)
+        Self::build_impl(keys, bits_per_key, true)
     }
 
-    fn build(keys: &[u64], bits_per_key: f64, faithful: bool) -> Result<Self, FilterError> {
+    fn build_impl(keys: &[u64], bits_per_key: f64, faithful: bool) -> Result<Self, FilterError> {
         if !(bits_per_key > 0.0 && bits_per_key.is_finite()) {
             return Err(FilterError::InvalidBudget(bits_per_key));
         }
@@ -144,9 +144,26 @@ impl Snarf {
     }
 }
 
+/// Per-filter tuning for [`Snarf`] under the [`BuildableFilter`] protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnarfTuning {
+    /// Reproduce the original implementation's overflow-prone u64 model
+    /// arithmetic (the false negatives of paper footnote 5). Default: off —
+    /// the u128-safe model.
+    pub faithful_overflow: bool,
+}
+
+impl BuildableFilter for Snarf {
+    type Tuning = SnarfTuning;
+
+    fn build_with(cfg: &FilterConfig<'_>, tuning: &SnarfTuning) -> Result<Self, FilterError> {
+        Self::build_impl(cfg.keys, cfg.bits_per_key, tuning.faithful_overflow)
+    }
+}
+
 impl RangeFilter for Snarf {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n == 0 {
             return false;
         }

@@ -16,7 +16,7 @@
 //! loses the deciding bits — which is precisely why correlated queries
 //! defeat SuRF (paper Figures 1/3).
 
-use grafite_core::{FilterError, RangeFilter};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
 use grafite_fst::{builder, FstDs, Lookup};
 use grafite_hash::mix::murmur_mix64;
 use grafite_succinct::IntVec;
@@ -157,9 +157,63 @@ fn key_suffix_bits(key: u64, start: usize, m: usize) -> u64 {
     shifted >> (64 - m as u32)
 }
 
+/// The trie alone costs about this much per key on random data; the
+/// budget-derived suffix length is what remains above it.
+const TRIE_FLOOR_BITS: f64 = 11.0;
+
+/// Suffix *style* for budget-derived construction ([`SurfTuning`]): which
+/// of the two [`SuffixMode`] families to use, with the bit length computed
+/// from [`FilterConfig::bits_per_key`] rather than given explicitly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SuffixStyle {
+    /// Real key suffixes — the paper's range-query configuration.
+    #[default]
+    Real,
+    /// Hashed suffixes — the paper's point-query configuration.
+    Hashed,
+}
+
+/// Per-filter tuning for [`Surf`] under the [`BuildableFilter`] protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SurfTuning {
+    /// Which suffix family to spend the above-floor budget on.
+    pub style: SuffixStyle,
+    /// `Some(bits)` pins the suffix length; `None` (the default) derives it
+    /// from the budget: `round(bits_per_key − 11)`, capped at 32.
+    pub suffix_bits: Option<u8>,
+}
+
+impl BuildableFilter for Surf {
+    type Tuning = SurfTuning;
+
+    /// Errors with [`FilterError::BudgetBelowFloor`] when the budget cannot
+    /// cover the ~11 bits/key trie plus one suffix bit (the configurations
+    /// the paper's footnote 6 omits).
+    fn build_with(cfg: &FilterConfig<'_>, tuning: &SurfTuning) -> Result<Self, FilterError> {
+        let bits = match tuning.suffix_bits {
+            Some(bits) => bits,
+            None => {
+                let suffix_bits = (cfg.bits_per_key - TRIE_FLOOR_BITS).round();
+                if suffix_bits < 1.0 {
+                    return Err(FilterError::BudgetBelowFloor {
+                        requested: cfg.bits_per_key,
+                        floor: TRIE_FLOOR_BITS + 1.0,
+                    });
+                }
+                (suffix_bits as u8).min(32)
+            }
+        };
+        let mode = match tuning.style {
+            SuffixStyle::Real => SuffixMode::Real { bits },
+            SuffixStyle::Hashed => SuffixMode::Hash { bits },
+        };
+        Surf::new(cfg.keys, mode)
+    }
+}
+
 impl RangeFilter for Surf {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
-        assert!(a <= b, "inverted range [{a}, {b}]");
+        debug_assert!(a <= b, "inverted range [{a}, {b}]");
         if self.n_keys == 0 {
             return false;
         }

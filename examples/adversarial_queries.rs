@@ -2,27 +2,36 @@
 //! query endpoints creep towards the stored keys (correlated / adversarial
 //! workloads) — heuristics collapse, Grafite does not.
 //!
+//! Every filter is built through the library-level registry: one
+//! `FilterConfig`, one `FilterSpec` per column, no per-filter constructor
+//! in sight.
+//!
 //! ```sh
 //! cargo run --release --example adversarial_queries
 //! ```
 
-use grafite::{grafite_workloads as workloads, BucketingFilter, GrafiteFilter, RangeFilter};
-use grafite_filters::{Snarf, SuffixMode, Surf};
+use grafite::{grafite_workloads as workloads, standard_registry, FilterConfig, FilterSpec};
 use workloads::{correlated_queries, datasets::Dataset, generate};
 
 fn main() {
     let n = 100_000;
     let keys = generate(Dataset::Uniform, n, 1);
-    let budget = 20.0;
     let l = 32;
 
-    let grafite = GrafiteFilter::builder().bits_per_key(budget).build(&keys).unwrap();
-    let bucketing = BucketingFilter::builder().bits_per_key(budget).build(&keys).unwrap();
-    let snarf = Snarf::new(&keys, budget).unwrap();
-    let surf = Surf::new(&keys, SuffixMode::Real { bits: 9 }).unwrap();
-    let filters: Vec<&dyn RangeFilter> = vec![&grafite, &bucketing, &snarf, &surf];
+    let budget = 20.0;
+    let specs =
+        [FilterSpec::Grafite, FilterSpec::Bucketing, FilterSpec::Snarf, FilterSpec::SurfReal];
+    let registry = standard_registry();
+    let cfg = FilterConfig::new(&keys).bits_per_key(budget).max_range(l);
+    let filters: Vec<_> = specs
+        .iter()
+        .map(|&spec| registry.build(spec, &cfg).expect("feasible at 20 bits/key"))
+        .collect();
 
-    println!("{:>10} | {:>12} {:>12} {:>12} {:>12}", "corr. D", "Grafite", "Bucketing", "SNARF", "SuRF");
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12} {:>12}",
+        "corr. D", "Grafite", "Bucketing", "SNARF", "SuRF"
+    );
     println!("{}", "-".repeat(66));
     for degree in [0.0, 0.25, 0.5, 0.75, 1.0] {
         // Empty ranges whose left endpoint sits within 2^{c(1-D)} of a key.
@@ -35,9 +44,9 @@ fn main() {
         println!("{degree:>10.2} | {}", cells.join(" "));
     }
     println!(
-        "\nGrafite's FPR stays at its guarantee ({:.1e} for l={l}) at every degree;\n\
-         the heuristics approach 1.0 — an adversary who knows a few keys can\n\
-         make them useless (paper §1, Figure 1).",
-        grafite.fpp_for_range_size(l)
+        "\nGrafite's FPR stays at its guarantee (l/2^(B-2) = {:.1e} for l={l}) at\n\
+         every degree; the heuristics approach 1.0 — an adversary who knows a\n\
+         few keys can make them useless (paper §1, Figure 1).",
+        l as f64 / (budget - 2.0).exp2()
     );
 }

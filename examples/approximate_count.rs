@@ -7,7 +7,7 @@
 //! cargo run --release --example approximate_count
 //! ```
 
-use grafite::{GrafiteFilter, RangeFilter};
+use grafite::{BuildableFilter, FilterConfig, GrafiteFilter, RangeFilter};
 use grafite_workloads::WorkloadRng;
 
 fn main() {
@@ -25,7 +25,8 @@ fn main() {
     keys.dedup();
     let n = keys.len();
 
-    let filter = GrafiteFilter::builder().bits_per_key(18.0).build(&keys).unwrap();
+    let cfg = FilterConfig::new(&keys).bits_per_key(18.0);
+    let filter = GrafiteFilter::build(&cfg).unwrap();
     println!(
         "{} events indexed at {:.1} bits/key\n",
         n,

@@ -4,10 +4,14 @@
 //! filters first; only runs whose filter says "maybe" are fetched from disk.
 //! False positives translate directly into wasted I/O.
 //!
-//! This example simulates the store, counts disk fetches with and without
-//! filters, and contrasts Grafite with a heuristic filter under a
-//! *correlated* (time-locality) read pattern — the workload the paper's §1
-//! names as common and adversarial.
+//! Because every filter speaks the `BuildableFilter` protocol, the store is
+//! *generic over the filter type*: `Store::<GrafiteFilter>` and
+//! `Store::<BucketingFilter>` differ in one type parameter, and each run's
+//! guard is built from the same `FilterConfig`. The example simulates the
+//! store, counts disk fetches with and without filters, and contrasts
+//! Grafite with a heuristic filter under a *correlated* (time-locality)
+//! read pattern — the workload the paper's §1 names as common and
+//! adversarial.
 //!
 //! ```sh
 //! cargo run --release --example kv_store_guard
@@ -15,7 +19,7 @@
 
 use std::cell::Cell;
 
-use grafite::{BucketingFilter, GrafiteFilter, RangeFilter};
+use grafite::{BucketingFilter, BuildableFilter, FilterConfig, GrafiteFilter, RangeFilter};
 use grafite_workloads::WorkloadRng;
 
 /// One immutable sorted run "on disk".
@@ -61,6 +65,21 @@ impl<F: RangeFilter> Store<F> {
     }
 }
 
+impl<F: BuildableFilter> Store<F> {
+    /// Guards every run with a filter built through the uniform protocol.
+    /// Swapping the filter implementation is a type-parameter change only.
+    fn guarded(runs: Vec<Run>, bits_per_key: f64) -> Self {
+        let filters = runs
+            .iter()
+            .map(|r| {
+                let cfg = FilterConfig::new(&r.keys).bits_per_key(bits_per_key);
+                Some(F::build(&cfg).expect("valid configuration"))
+            })
+            .collect();
+        Self { runs, filters }
+    }
+}
+
 fn build_runs(rng: &mut WorkloadRng, num_runs: usize, run_len: usize) -> Vec<Run> {
     (0..num_runs)
         .map(|_| {
@@ -103,16 +122,9 @@ fn main() {
     let unfiltered = store.total_fetches();
     println!("no filter      : {unfiltered:>8} disk fetches ({hits} true hits)");
 
-    // Grafite guards (16 bits/key).
+    // Grafite guards (16 bits/key), built through the uniform protocol.
     store.reset_fetches();
-    let grafite_store = Store {
-        filters: store
-            .runs
-            .iter()
-            .map(|r| Some(GrafiteFilter::builder().bits_per_key(16.0).build(&r.keys).unwrap()))
-            .collect(),
-        runs: store.runs,
-    };
+    let grafite_store: Store<GrafiteFilter> = Store::guarded(store.runs, 16.0);
     let mut hits_g = 0usize;
     for &(lo, hi) in &queries {
         hits_g += grafite_store.range_count(lo, hi);
@@ -124,16 +136,9 @@ fn main() {
         unfiltered as f64 / grafite_fetches as f64
     );
 
-    // Heuristic guard (Bucketing at the same budget) on the same workload.
+    // Heuristic guard at the same budget: only the type parameter changes.
     grafite_store.reset_fetches();
-    let bucketing_store = Store {
-        filters: grafite_store
-            .runs
-            .iter()
-            .map(|r| Some(BucketingFilter::builder().bits_per_key(16.0).build(&r.keys).unwrap()))
-            .collect(),
-        runs: grafite_store.runs,
-    };
+    let bucketing_store: Store<BucketingFilter> = Store::guarded(grafite_store.runs, 16.0);
     let mut hits_b = 0usize;
     for &(lo, hi) in &queries {
         hits_b += bucketing_store.range_count(lo, hi);

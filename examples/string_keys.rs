@@ -2,16 +2,20 @@
 //! as integers, pick `r = 2^k` so the hash becomes shifts and masks, and
 //! realise the inner hash with xxHash64.
 //!
-//! Strings are embedded through their first eight bytes (big-endian,
-//! zero-padded), which preserves lexicographic order — so keys should carry
-//! their entropy early. Keys sharing an 8-byte prefix fold together:
-//! positives only, never negatives.
+//! Key types reach the 64-bit universe through a **monotone `KeyCodec`**:
+//! `BytesPrefixCodec` embeds strings through their first eight bytes
+//! (big-endian, zero-padded), preserving lexicographic order — so keys
+//! should carry their entropy early. Keys sharing an 8-byte prefix fold
+//! together: positives only, never negatives. The same filter also speaks
+//! the workspace-wide `RangeFilter`/`BuildableFilter` protocols over the
+//! embedded integer universe (`IdentityCodec`).
 //!
 //! ```sh
 //! cargo run --release --example string_keys
 //! ```
 
-use grafite::grafite_core::StringGrafite;
+use grafite::grafite_core::{BytesPrefixCodec, KeyCodec, StringGrafite};
+use grafite::RangeFilter;
 
 fn main() {
     // Order IDs: a 4-char region code + 4-digit sequence number — the kind
@@ -39,6 +43,15 @@ fn main() {
 
     // Lexicographic range probes: "any order from region berl in 0100-0199?"
     assert!(filter.may_contain_range(b"berl0100", b"berl0199"));
+
+    // The same query through the integer RangeFilter view: embed the
+    // endpoints with the codec, probe through the trait. Identical answer —
+    // the byte API is sugar over the monotone embedding.
+    let (lo, hi) = (
+        BytesPrefixCodec::encode(b"berl0100"),
+        BytesPrefixCodec::encode(b"berl0199"),
+    );
+    assert!(RangeFilter::may_contain_range(&filter, lo, hi));
 
     // Ranges over absent regions are filtered with high probability.
     let mut positives = 0;

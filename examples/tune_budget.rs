@@ -9,7 +9,7 @@
 //! cargo run --release --example tune_budget
 //! ```
 
-use grafite::{GrafiteFilter, RangeFilter};
+use grafite::{BuildableFilter, FilterConfig, GrafiteFilter, RangeFilter};
 use grafite_workloads::{datasets::Dataset, generate, uncorrelated_queries};
 
 /// Smallest budget B with ℓ/2^(B−2) <= target for ranges of size `l`.
@@ -26,7 +26,8 @@ fn main() {
     );
     for (target, l) in [(0.05, 32u64), (0.01, 32), (0.001, 32), (0.01, 1024), (0.0001, 1024)] {
         let b = budget_for(target, l);
-        let filter = GrafiteFilter::builder().bits_per_key(b).build(&keys).unwrap();
+        let cfg = FilterConfig::new(&keys).bits_per_key(b).max_range(l);
+        let filter = GrafiteFilter::build(&cfg).unwrap();
         let queries = uncorrelated_queries(&keys, 50_000, l, 7);
         let fps = queries.iter().filter(|q| filter.may_contain_range(q.lo, q.hi)).count();
         let measured = fps as f64 / queries.len() as f64;

@@ -4,24 +4,56 @@
 //! reproduces *Grafite: Taming Adversarial Queries with Optimal Range
 //! Filters* (Costa, Ferragina, Vinciguerra — SIGMOD 2024) in Rust:
 //!
-//! * [`grafite_core`] — the paper's contributions: the [`GrafiteFilter`]
-//!   optimal range filter (§3) and the [`BucketingFilter`] heuristic (§4).
+//! * [`grafite_core`] — the paper's contributions ([`GrafiteFilter`] §3,
+//!   [`BucketingFilter`] §4) **and the workspace-wide contract**: the
+//!   [`RangeFilter`] query trait (single + batched queries), the
+//!   [`FilterConfig`]/[`BuildableFilter`] construction protocol, the
+//!   [`FilterSpec`]→builder [`Registry`], and the [`KeyCodec`] embedding
+//!   for non-integer keys.
 //! * [`grafite_succinct`] — Elias–Fano, rank/select bit vectors, Golomb–Rice.
 //! * [`grafite_hash`] — pairwise-independent and locality-preserving hashing.
 //! * [`grafite_bloom`] — Bloom-filter substrates and the trivial baseline.
 //! * [`grafite_fst`] — the Fast Succinct Trie behind SuRF and Proteus.
-//! * [`grafite_filters`] — the competitor filters of the paper's evaluation.
+//! * [`grafite_filters`] — the competitor filters of the paper's evaluation,
+//!   plus [`standard_registry`] assembling all eleven configurations.
 //! * [`grafite_workloads`] — the datasets and query workloads of §6.
 //!
 //! ## Quickstart
 //!
+//! Every filter builds from one [`FilterConfig`] through the
+//! [`BuildableFilter`] protocol:
+//!
 //! ```
-//! use grafite::{GrafiteFilter, RangeFilter};
+//! use grafite::{BuildableFilter, FilterConfig, GrafiteFilter, RangeFilter};
 //!
 //! let keys: Vec<u64> = vec![9, 48, 50, 191, 226, 269, 335, 446, 487, 511];
 //! // Budget of 16 bits per key: FPP for ranges of size l is <= l / 2^14.
-//! let filter = GrafiteFilter::builder().bits_per_key(16.0).build(&keys).unwrap();
+//! let cfg = FilterConfig::new(&keys).bits_per_key(16.0);
+//! let filter = GrafiteFilter::build(&cfg).unwrap();
 //! assert!(filter.may_contain_range(48, 50)); // a true positive: no false negatives, ever
+//!
+//! // Batched queries return exactly the per-query answers; Grafite resolves
+//! // large batches in one forward pass over its Elias–Fano codes.
+//! let mut out = Vec::new();
+//! filter.may_contain_ranges(&[(0, 8), (48, 50)], &mut out);
+//! assert_eq!(out, [false, true]);
+//! ```
+//!
+//! The same config drives every other filter of the paper, either through
+//! its typed [`BuildableFilter`] implementation (per-filter knobs are typed
+//! `Tuning` structs — no strings anywhere) or uniformly through the
+//! registry:
+//!
+//! ```
+//! use grafite::{standard_registry, FilterConfig, FilterSpec};
+//!
+//! let keys: Vec<u64> = (0..2000u64).map(|i| i * 11_400_714_819).collect();
+//! let cfg = FilterConfig::new(&keys).bits_per_key(18.0).max_range(64);
+//! let registry = standard_registry();
+//! for spec in FilterSpec::ALL {
+//!     let filter = registry.build(spec, &cfg).expect("feasible at 18 bits/key");
+//!     assert!(filter.may_contain(keys[7]), "{} lost a key", filter.name());
+//! }
 //! ```
 
 pub use grafite_bloom;
@@ -32,4 +64,8 @@ pub use grafite_hash;
 pub use grafite_succinct;
 pub use grafite_workloads;
 
-pub use grafite_core::{BucketingFilter, GrafiteFilter, RangeFilter};
+pub use grafite_core::{
+    BucketingFilter, BuildableFilter, FilterConfig, FilterError, FilterSpec, GrafiteFilter,
+    KeyCodec, RangeFilter, Registry, StringGrafite,
+};
+pub use grafite_filters::standard_registry;

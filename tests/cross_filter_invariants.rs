@@ -97,6 +97,41 @@ fn every_filter_reports_plausible_space() {
     }
 }
 
+/// The `may_contain_range` contract (see `grafite_core::traits`): `a <= b`
+/// is debug-asserted by **every** implementation — one consistent rule
+/// instead of the old "may panic" escape hatch. Integration tests run with
+/// debug assertions on, so an inverted range must panic in every filter.
+#[cfg(debug_assertions)]
+#[test]
+fn inverted_ranges_are_debug_asserted_by_every_filter() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let keys = generate(Dataset::Uniform, 2000, 5);
+    let sample: Vec<(u64, u64)> = vec![(0, 31)];
+    let filters = all_filters(&keys, &sample);
+    // Silence the expected panic messages — but only on *this* thread, so
+    // concurrently-running tests keep their diagnostics.
+    let this_thread = std::thread::current().id();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if std::thread::current().id() != this_thread {
+            prev_hook(info);
+        }
+    }));
+    let mut violations = Vec::new();
+    for f in &filters {
+        if catch_unwind(AssertUnwindSafe(|| f.may_contain_range(5, 1))).is_ok() {
+            violations.push(format!("{} accepted an inverted range", f.name()));
+        }
+        if catch_unwind(AssertUnwindSafe(|| f.may_contain_range(u64::MAX, 0))).is_ok() {
+            violations.push(format!("{} accepted [u64::MAX, 0]", f.name()));
+        }
+    }
+    // Drop the silencer (restores the standard hook).
+    let _ = std::panic::take_hook();
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
 #[test]
 fn whole_universe_query_is_positive_everywhere() {
     let keys = generate(Dataset::Uniform, 1000, 21);

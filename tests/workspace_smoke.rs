@@ -4,6 +4,10 @@
 //! clusters. Complements `crates/bench/tests/registry_smoke.rs`, which
 //! checks the same specs through the measurement harness on synthetic
 //! datasets; this test probes the filters directly through the meta-crate.
+//!
+//! Deliberately written against the pre-`FilterConfig` entry points
+//! (`BuildCtx` + `build_filter`), so the legacy construction path stays
+//! covered; `tests/buildable_conformance.rs` covers the new protocol.
 
 use grafite_bench::registry::{build_filter, BuildCtx, FilterSpec};
 
