@@ -1,0 +1,104 @@
+//! Criterion microbenchmark: the persistence layer.
+//!
+//! Three measurements per filter family, on the same built filter:
+//!
+//! * **serialize** — `serialize_into` throughput into a reused buffer
+//!   (bytes/s), the cost of the offline build-and-ship step;
+//! * **load** — `Registry::load` throughput from the blob (bytes/s), the
+//!   cost a serving shard pays per filter at startup — rebuild-free by
+//!   construction, so this is dominated by the payload copy;
+//! * **cold_query** — load immediately followed by one query batch, the
+//!   end-to-end "ship a blob, answer traffic" latency.
+//!
+//! A correctness cross-check (bit-identical answers after load) runs before
+//! any timing.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grafite_bench::registry::{standard, FilterConfig, FilterSpec};
+use grafite_workloads::{datasets::Dataset, generate, uncorrelated_queries};
+
+fn persistence(c: &mut Criterion) {
+    let n = 100_000;
+    let keys = generate(Dataset::Uniform, n, 42);
+    let sample: Vec<(u64, u64)> = uncorrelated_queries(&keys, 1024, 32, 3)
+        .iter()
+        .map(|q| (q.lo, q.hi))
+        .collect();
+    let cfg = FilterConfig::new(&keys).bits_per_key(16.0).max_range(1 << 10).sample(&sample);
+    let queries: Vec<(u64, u64)> = uncorrelated_queries(&keys, 4096, 32, 7)
+        .iter()
+        .map(|q| (q.lo, q.hi))
+        .collect();
+    let registry = standard();
+
+    // The TrivialBloom baseline is omitted: its O(L) probe loop would time
+    // the query batch, not the persistence layer.
+    for spec in [
+        FilterSpec::Grafite,
+        FilterSpec::Bucketing,
+        FilterSpec::Snarf,
+        FilterSpec::SurfReal,
+        FilterSpec::Proteus,
+        FilterSpec::Rosetta,
+        FilterSpec::REncoder,
+    ] {
+        let filter = match registry.build(spec, &cfg) {
+            Ok(f) => f,
+            Err(_) => continue, // infeasible at this budget
+        };
+        let blob = filter.to_bytes();
+
+        // Contract check outside the timed region: the loaded filter
+        // answers bit-identically.
+        let loaded = registry.load(&blob).expect("load");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        filter.may_contain_ranges(&queries, &mut a);
+        loaded.may_contain_ranges(&queries, &mut b);
+        assert_eq!(a, b, "{} diverged after load", filter.name());
+
+        let mut group = c.benchmark_group("persistence");
+        group
+            .sample_size(20)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_secs(1))
+            .throughput(Throughput::Bytes(blob.len() as u64));
+        group.bench_with_input(BenchmarkId::new("serialize", spec.label()), &filter, |bench, f| {
+            let mut buf = Vec::with_capacity(blob.len());
+            bench.iter(|| {
+                buf.clear();
+                f.serialize_into(&mut buf).expect("serialize");
+                black_box(buf.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("load", spec.label()), &blob, |bench, blob| {
+            bench.iter(|| {
+                let f = registry.load(black_box(blob)).expect("load");
+                black_box(f.num_keys())
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cold_query", spec.label()),
+            &blob,
+            |bench, blob| {
+                let mut out = Vec::with_capacity(queries.len());
+                bench.iter(|| {
+                    let f = registry.load(black_box(blob)).expect("load");
+                    f.may_contain_ranges(&queries, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        group.finish();
+        println!(
+            "[persistence] {}: blob {} bytes, {:.2} measured bits/key",
+            spec.label(),
+            blob.len(),
+            blob.len() as f64 * 8.0 / n as f64
+        );
+    }
+}
+
+criterion_group!(benches, persistence);
+criterion_main!(benches);

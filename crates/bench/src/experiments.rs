@@ -639,8 +639,8 @@ pub fn ablation_wa_bucketing(cfg: &RunConfig) {
         let aware =
             grafite_core::WorkloadAwareBucketing::new(&keys, budget, &sample).unwrap();
         for (label, f, regions) in [
-            ("plain", &plain as &dyn RangeFilter, 1usize),
-            ("workload-aware", &aware as &dyn RangeFilter, aware.num_regions()),
+            ("plain", &plain as &dyn grafite_core::PersistentFilter, 1usize),
+            ("workload-aware", &aware as &dyn grafite_core::PersistentFilter, aware.num_regions()),
         ] {
             let m = measure(f, &queries);
             table.row(vec![

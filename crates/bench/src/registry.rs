@@ -9,9 +9,9 @@
 
 use std::sync::OnceLock;
 
-use grafite_core::RangeFilter;
+use grafite_core::PersistentFilter;
 
-pub use grafite_core::registry::{BuilderFn, FilterSpec, Registry};
+pub use grafite_core::registry::{BuilderFn, FilterSpec, LoaderFn, Registry};
 pub use grafite_core::{BuildableFilter, FilterConfig};
 pub use grafite_filters::standard_registry;
 
@@ -25,7 +25,7 @@ pub fn standard() -> &'static Registry {
 /// this budget (e.g. SuRF below its ~11 bits/key trie floor — the paper's
 /// footnote 6 omits those configurations too). For the error itself, use
 /// [`standard`]`().build(spec, cfg)`.
-pub fn build_spec(spec: FilterSpec, cfg: &FilterConfig<'_>) -> Option<Box<dyn RangeFilter>> {
+pub fn build_spec(spec: FilterSpec, cfg: &FilterConfig<'_>) -> Option<Box<dyn PersistentFilter>> {
     standard().build(spec, cfg).ok()
 }
 
@@ -59,6 +59,6 @@ impl<'a> BuildCtx<'a> {
 }
 
 /// Legacy entry point over [`BuildCtx`]; thin delegation to [`build_spec`].
-pub fn build_filter(spec: FilterSpec, ctx: &BuildCtx<'_>) -> Option<Box<dyn RangeFilter>> {
+pub fn build_filter(spec: FilterSpec, ctx: &BuildCtx<'_>) -> Option<Box<dyn PersistentFilter>> {
     build_spec(spec, &ctx.to_config())
 }

@@ -1,6 +1,7 @@
 //! A classic Bloom filter over `u64` items.
 
 use grafite_hash::mix::murmur_mix64;
+use grafite_succinct::io::{DecodeError, WordSource, WordWriter};
 use grafite_succinct::BitVec;
 
 /// A Bloom filter with `k` hash functions realised by double hashing
@@ -104,6 +105,41 @@ impl BloomFilter {
     /// Heap size in bits.
     pub fn size_in_bits(&self) -> usize {
         self.bits.size_in_bits() + 4 * 64
+    }
+
+    /// Serializes as `[m, k, seed, items] + bits`. Returns the word count.
+    pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
+        let before = w.words_written();
+        w.word(self.m)?;
+        w.word(self.k as u64)?;
+        w.word(self.seed)?;
+        w.word(self.items as u64)?;
+        self.bits.write_to(w)?;
+        Ok(w.words_written() - before)
+    }
+
+    /// Reads back what [`BloomFilter::write_to`] wrote.
+    pub fn read_from<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+    ) -> Result<Self, DecodeError> {
+        let m = src.word()?;
+        let k = src.word()?;
+        if m == 0 || k == 0 || k > u32::MAX as u64 {
+            return Err(DecodeError::Invalid("Bloom parameters out of range"));
+        }
+        let seed = src.word()?;
+        let items = src.length()?;
+        let bits = BitVec::read_from(src)?;
+        if bits.len() as u64 != m {
+            return Err(DecodeError::Invalid("Bloom bit array length differs from m"));
+        }
+        Ok(Self {
+            bits,
+            m,
+            k: k as u32,
+            seed,
+            items,
+        })
     }
 }
 

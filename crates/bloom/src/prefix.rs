@@ -1,6 +1,8 @@
 //! The Prefix Bloom Filter (paper §2): hash fixed-length key prefixes into a
 //! Bloom filter; a range query probes every prefix overlapping the range.
 
+use grafite_succinct::io::{DecodeError, WordSource, WordWriter};
+
 use crate::bloom::BloomFilter;
 
 /// A Bloom filter over the `prefix_len` most-significant bits of 64-bit
@@ -89,6 +91,36 @@ impl PrefixBloomFilter {
     /// Access to the underlying Bloom filter (for load statistics).
     pub fn bloom(&self) -> &BloomFilter {
         &self.bloom
+    }
+
+    /// Serializes as `[prefix_len, max_probes] + bloom`. Returns the word
+    /// count.
+    pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
+        let before = w.words_written();
+        w.word(self.prefix_len as u64)?;
+        w.word(self.max_probes)?;
+        self.bloom.write_to(w)?;
+        Ok(w.words_written() - before)
+    }
+
+    /// Reads back what [`PrefixBloomFilter::write_to`] wrote.
+    pub fn read_from<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+    ) -> Result<Self, DecodeError> {
+        let prefix_len = src.word()?;
+        if !(1..=64).contains(&prefix_len) {
+            return Err(DecodeError::Invalid("prefix length out of range"));
+        }
+        let max_probes = src.word()?;
+        if max_probes == 0 {
+            return Err(DecodeError::Invalid("zero probe budget"));
+        }
+        let bloom = BloomFilter::read_from(src)?;
+        Ok(Self {
+            bloom,
+            prefix_len: prefix_len as u32,
+            max_probes,
+        })
     }
 }
 

@@ -4,7 +4,11 @@
 //! query time, which is exactly the gap Grafite closes.
 
 use crate::bloom::BloomFilter;
-use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
+use grafite_core::persist::{spec_id, Header};
+use grafite_core::{
+    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
+};
+use grafite_succinct::io::{WordSource, WordWriter};
 
 /// The trivial Bloom-filter-based range filter.
 #[derive(Clone, Debug)]
@@ -59,6 +63,36 @@ impl BuildableFilter for TrivialRangeFilter {
             (cfg.max_range as f64 / (cfg.bits_per_key - 2.0).exp2()).clamp(1e-9, 0.5)
         });
         Ok(Self::new(cfg.keys, epsilon, cfg.max_range, cfg.seed))
+    }
+}
+
+impl PersistentFilter for TrivialRangeFilter {
+    fn spec_id(&self) -> u32 {
+        spec_id::TRIVIAL_BLOOM
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::TRIVIAL_BLOOM]
+    }
+
+    /// Payload: `[max_range]` + the point Bloom filter.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.word(self.max_range)?;
+        self.bloom.write_to(w)?;
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let max_range = src.word()?;
+        let bloom = BloomFilter::read_from(src)?;
+        Ok(Self {
+            bloom,
+            n_keys: header.n_keys as usize,
+            max_range,
+        })
     }
 }
 

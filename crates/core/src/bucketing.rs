@@ -11,14 +11,15 @@
 //! nothing more sophisticated is needed. Like every heuristic filter it
 //! offers no FPR guarantee and stops filtering under key–query correlation.
 
+use grafite_succinct::io::{WordSource, WordWriter};
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
-use crate::traits::{BuildableFilter, FilterConfig, RangeFilter};
+use crate::persist::{spec_id, Header};
+use crate::traits::{BuildableFilter, FilterConfig, PersistentFilter, RangeFilter};
 
 /// The Bucketing heuristic range filter.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BucketingFilter {
     s: u64,
     buckets: EliasFano,
@@ -184,6 +185,39 @@ impl BucketingBuilder {
                 unreachable!("loop always returns at log2_s = 63")
             }
         }
+    }
+}
+
+impl PersistentFilter for BucketingFilter {
+    fn spec_id(&self) -> u32 {
+        spec_id::BUCKETING
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::BUCKETING]
+    }
+
+    /// Payload: `[s]` + the Elias–Fano bucket sequence.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.word(self.s)?;
+        self.buckets.write_to(w)?;
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let s = src.word()?;
+        if s == 0 {
+            return Err(FilterError::CorruptPayload("zero bucket size"));
+        }
+        let buckets = EliasFano::read_from(src)?;
+        Ok(Self {
+            s,
+            buckets,
+            n_keys: header.n_keys as usize,
+        })
     }
 }
 
@@ -471,6 +505,62 @@ impl WorkloadAwareBucketing {
     /// Number of non-empty buckets stored.
     pub fn num_buckets(&self) -> usize {
         self.buckets.len()
+    }
+}
+
+impl PersistentFilter for WorkloadAwareBucketing {
+    fn spec_id(&self) -> u32 {
+        spec_id::WORKLOAD_AWARE_BUCKETING
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::WORKLOAD_AWARE_BUCKETING]
+    }
+
+    /// Payload: the three parallel region tables (starts, width exponents,
+    /// cumulative offsets) followed by the Elias–Fano bucket sequence.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.prefixed(&self.region_starts)?;
+        let widths: Vec<u64> = self.region_log2_s.iter().map(|&x| x as u64).collect();
+        w.prefixed(&widths)?;
+        w.prefixed(&self.region_offsets)?;
+        self.buckets.write_to(w)?;
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let n = src.length()?;
+        let region_starts = src.take(n)?;
+        if region_starts.is_empty() {
+            return Err(FilterError::CorruptPayload("no bucketing regions"));
+        }
+        let n_widths = src.length()?;
+        if n_widths != n {
+            return Err(FilterError::CorruptPayload("region table lengths differ"));
+        }
+        let mut region_log2_s = Vec::with_capacity(n);
+        for w in src.take(n_widths)? {
+            if w > 63 {
+                return Err(FilterError::CorruptPayload("region width exponent above 63"));
+            }
+            region_log2_s.push(w as u32);
+        }
+        let n_offsets = src.length()?;
+        if n_offsets != n {
+            return Err(FilterError::CorruptPayload("region table lengths differ"));
+        }
+        let region_offsets = src.take(n_offsets)?;
+        let buckets = EliasFano::read_from(src)?;
+        Ok(Self {
+            region_starts,
+            region_log2_s,
+            region_offsets,
+            buckets,
+            n_keys: header.n_keys as usize,
+        })
     }
 }
 

@@ -37,6 +37,49 @@ pub enum FilterError {
     /// [`FilterSpec`](crate::registry::FilterSpec) in this
     /// [`Registry`](crate::registry::Registry). Carries the spec's label.
     Unregistered(&'static str),
+    /// A serialized buffer does not start with the format magic — it is not
+    /// a filter blob at all. Carries the word found where
+    /// [`MAGIC`](crate::persist::MAGIC) was expected.
+    BadMagic(u64),
+    /// The blob was written by an incompatible format version.
+    UnsupportedFormatVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The buffer ends before the serialized filter does. The counts are
+    /// relative to the region being decoded: the whole blob for
+    /// header-level errors, the payload region (past the 40-byte header)
+    /// when a payload decoder ran short.
+    TruncatedBuffer {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The payload checksum does not match the header: the blob was
+    /// corrupted (or truncated mid-word) after writing.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload actually present.
+        actual: u64,
+    },
+    /// The payload decoded but a field is structurally impossible (e.g. a
+    /// bit width above 64). Carries a short static description.
+    CorruptPayload(&'static str),
+    /// A typed `deserialize` was pointed at a blob written by a different
+    /// filter family. Carries the spec id found in the header.
+    SpecMismatch(u32),
+    /// The header's spec id maps to no spec in the
+    /// [`Registry`](crate::registry::Registry) table (see
+    /// [`spec_id`](crate::persist::spec_id)). Non-registry families (ids
+    /// ≥ 32) load through their typed `PersistentFilter::deserialize`
+    /// instead.
+    UnknownSpecId(u32),
+    /// The byte sink failed while serializing.
+    Io(std::io::ErrorKind),
 }
 
 impl fmt::Display for FilterError {
@@ -68,8 +111,52 @@ impl fmt::Display for FilterError {
             FilterError::Unregistered(label) => {
                 write!(f, "no builder registered for filter spec {label}")
             }
+            FilterError::BadMagic(found) => write!(
+                f,
+                "buffer does not start with the filter-format magic (found {found:#018x})"
+            ),
+            FilterError::UnsupportedFormatVersion { found, supported } => write!(
+                f,
+                "serialized filter uses format version {found}; this build supports {supported}"
+            ),
+            FilterError::TruncatedBuffer { needed, have } => {
+                write!(f, "truncated filter blob: needed {needed} bytes, have {have}")
+            }
+            FilterError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload checksum {actual:#018x} does not match header {expected:#018x}"
+            ),
+            FilterError::CorruptPayload(what) => write!(f, "corrupt filter payload: {what}"),
+            FilterError::SpecMismatch(found) => write!(
+                f,
+                "blob carries spec id {found}, which this filter type does not accept"
+            ),
+            FilterError::UnknownSpecId(id) => {
+                write!(f, "header spec id {id} maps to no spec in this registry table")
+            }
+            FilterError::Io(kind) => write!(f, "i/o failure during (de)serialization: {kind}"),
         }
     }
 }
 
 impl std::error::Error for FilterError {}
+
+impl From<grafite_succinct::io::DecodeError> for FilterError {
+    fn from(e: grafite_succinct::io::DecodeError) -> Self {
+        use grafite_succinct::io::DecodeError;
+        match e {
+            DecodeError::Truncated { needed, have } => FilterError::TruncatedBuffer {
+                needed: needed * 8,
+                have: have * 8,
+            },
+            DecodeError::Invalid(what) => FilterError::CorruptPayload(what),
+            DecodeError::Io(kind) => FilterError::Io(kind),
+        }
+    }
+}
+
+impl From<std::io::Error> for FilterError {
+    fn from(e: std::io::Error) -> Self {
+        FilterError::Io(e.kind())
+    }
+}

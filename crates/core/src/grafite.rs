@@ -1,10 +1,14 @@
 //! The Grafite range filter (paper Section 3).
 
-use grafite_hash::LocalityHash;
+use grafite_hash::{LocalityHash, PairwiseHash};
+use grafite_succinct::io::{WordSource, WordWriter};
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
-use crate::traits::{BuildableFilter, FilterConfig, RangeFilter, DEFAULT_SEED};
+use crate::persist::{spec_id, Header};
+use crate::traits::{
+    BuildableFilter, FilterConfig, PersistentFilter, RangeFilter, DEFAULT_SEED,
+};
 
 /// Largest supported reduced universe: the pairwise-independent family's
 /// prime must exceed `r` (see [`grafite_hash::pairwise::MERSENNE_61`]).
@@ -33,14 +37,21 @@ const BATCH_CODES_PER_QUERY: usize = 8;
 /// probability at most `min{1, ℓ/2^(B−2)}`. Query time is a constant number
 /// of Elias–Fano predecessor probes (each a `O(log(L/ε))`-step binary search
 /// within one high-bucket).
+///
+/// Like the succinct containers it is built on, the filter is generic over
+/// its word store: [`GrafiteFilterView`] answers queries zero-copy out of a
+/// loaded word buffer (see [`GrafiteFilter::view`]).
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct GrafiteFilter {
+pub struct GrafiteFilter<S = Vec<u64>> {
     h: LocalityHash,
-    codes: EliasFano,
+    codes: EliasFano<S>,
     n_keys: usize,
     r: u64,
 }
+
+/// A Grafite filter borrowing its Elias–Fano storage (directories
+/// included) from a loaded `&[u64]` buffer.
+pub type GrafiteFilterView<'a> = GrafiteFilter<&'a [u64]>;
 
 impl GrafiteFilter {
     /// Starts building a filter. See [`GrafiteBuilder`].
@@ -65,6 +76,48 @@ impl GrafiteFilter {
             n_keys: keys.len(),
             r,
         }
+    }
+}
+
+impl<'a> GrafiteFilterView<'a> {
+    /// Opens a serialized Grafite filter as a zero-copy view over `words`
+    /// (header included, e.g. a memory-mapped blob reinterpreted as words):
+    /// the Elias–Fano low/high arrays and their rank/select directories all
+    /// borrow from the buffer, nothing is copied or rebuilt, and the view
+    /// answers the full [`RangeFilter`] contract.
+    pub fn view(words: &'a [u64]) -> Result<Self, FilterError> {
+        let (header, mut cur) = Header::payload_cursor(words)?;
+        if header.spec_id != spec_id::GRAFITE {
+            return Err(FilterError::SpecMismatch(header.spec_id));
+        }
+        Self::decode_payload(&mut cur, &header)
+    }
+}
+
+impl<S: AsRef<[u64]>> GrafiteFilter<S> {
+    /// Shared payload codec for the owned and view load paths.
+    fn decode_payload<Src: WordSource<Storage = S>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let c1 = src.word()?;
+        let c2 = src.word()?;
+        let p = src.word()?;
+        let r = src.word()?;
+        if !PairwiseHash::params_valid(c1, c2, p, r) {
+            return Err(FilterError::CorruptPayload("pairwise hash parameters"));
+        }
+        let h = LocalityHash::from_pairwise(PairwiseHash::with_params(c1, c2, p, r));
+        let codes = EliasFano::read_from(src)?;
+        if codes.universe() != r {
+            return Err(FilterError::CorruptPayload("code universe differs from r"));
+        }
+        Ok(Self {
+            h,
+            codes,
+            n_keys: header.n_keys as usize,
+            r,
+        })
     }
 
     /// The reduced universe size `r = nL/ε`.
@@ -147,7 +200,7 @@ impl GrafiteFilter {
     }
 }
 
-impl RangeFilter for GrafiteFilter {
+impl<S: AsRef<[u64]>> RangeFilter for GrafiteFilter<S> {
     /// Algorithm 2 of the paper plus the two structural cases: footnote 2's
     /// split when `[a, b]` crosses one `r`-block boundary, and an immediate
     /// "not empty" when it spans two or more boundaries (then it contains a
@@ -253,6 +306,35 @@ impl RangeFilter for GrafiteFilter {
 
     fn name(&self) -> &'static str {
         "Grafite"
+    }
+}
+
+impl PersistentFilter for GrafiteFilter {
+    fn spec_id(&self) -> u32 {
+        spec_id::GRAFITE
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::GRAFITE]
+    }
+
+    /// Payload: `[c1, c2, p, r]` (the locality hash, fully determined by
+    /// its pairwise parameters) followed by the Elias–Fano code sequence.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        let q = self.h.pairwise();
+        w.word(q.c1())?;
+        w.word(q.c2())?;
+        w.word(q.prime())?;
+        w.word(self.r)?;
+        self.codes.write_to(w)?;
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        Self::decode_payload(src, header)
     }
 }
 
@@ -728,23 +810,68 @@ mod tests {
     }
 }
 
-#[cfg(all(test, feature = "serde"))]
-mod serde_tests {
+#[cfg(test)]
+mod persist_tests {
     use super::*;
+    use crate::persist::bytes_to_words;
 
     #[test]
-    fn filter_roundtrips_through_serde() {
+    fn filter_roundtrips_through_flat_bytes() {
         let keys: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
         let filter = GrafiteFilter::builder().bits_per_key(14.0).seed(3).build(&keys).unwrap();
-        let bytes = serde_json::to_vec(&filter).expect("serialize");
-        let back: GrafiteFilter = serde_json::from_slice(&bytes).expect("deserialize");
+        let bytes = filter.to_bytes();
+        assert_eq!(bytes.len() * 8, filter.serialized_bits());
+
+        let back = GrafiteFilter::deserialize(&bytes).expect("deserialize");
+        assert_eq!(back.reduced_universe(), filter.reduced_universe());
+        assert_eq!(back.num_keys(), filter.num_keys());
+        assert_eq!(back.num_codes(), filter.num_codes());
         for &k in &keys {
-            assert_eq!(filter.may_contain(k), back.may_contain(k));
+            assert!(back.may_contain(k));
         }
         for probe in 0..2000u64 {
             let a = probe.wrapping_mul(0xABCDEF);
             let b = a.saturating_add(100);
             assert_eq!(filter.may_contain_range(a, b), back.may_contain_range(a, b));
         }
+    }
+
+    #[test]
+    fn view_answers_zero_copy_out_of_the_blob() {
+        let keys: Vec<u64> = (0..800u64).map(|i| i.wrapping_mul(0xDEADBEEF17)).collect();
+        let filter = GrafiteFilter::builder().bits_per_key(12.0).seed(5).build(&keys).unwrap();
+        let words = bytes_to_words(&filter.to_bytes()).unwrap();
+        let view = GrafiteFilterView::view(&words).expect("view");
+        assert_eq!(view.num_keys(), filter.num_keys());
+        for probe in 0..3000u64 {
+            let a = probe.wrapping_mul(0x1234567);
+            let b = a.saturating_add(77);
+            assert_eq!(view.may_contain_range(a, b), filter.may_contain_range(a, b));
+        }
+        // Batch path too.
+        let queries: Vec<(u64, u64)> =
+            (0..500u64).map(|i| (i * 1000, i * 1000 + 64)).collect();
+        let (mut via_view, mut via_filter) = (Vec::new(), Vec::new());
+        view.may_contain_ranges(&queries, &mut via_view);
+        filter.may_contain_ranges(&queries, &mut via_filter);
+        assert_eq!(via_view, via_filter);
+    }
+
+    #[test]
+    fn foreign_bytes_are_rejected_typed() {
+        let keys = [1u64, 2, 3];
+        let filter = GrafiteFilter::builder().bits_per_key(8.0).build(&keys).unwrap();
+        let bytes = filter.to_bytes();
+        assert!(matches!(
+            GrafiteFilter::deserialize(&bytes[..bytes.len() - 3]),
+            Err(FilterError::TruncatedBuffer { .. })
+        ));
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert!(matches!(
+            GrafiteFilter::deserialize(&corrupt),
+            Err(FilterError::ChecksumMismatch { .. })
+        ));
     }
 }

@@ -47,6 +47,7 @@
 pub mod bucketing;
 pub mod error;
 pub mod grafite;
+pub mod persist;
 pub mod registry;
 pub mod sort;
 pub mod string_keys;
@@ -56,7 +57,10 @@ pub use bucketing::{
     BucketingBuilder, BucketingFilter, BucketingTuning, WorkloadAwareBucketing,
 };
 pub use error::FilterError;
-pub use grafite::{GrafiteBuilder, GrafiteFilter, GrafiteTuning};
-pub use registry::{BuilderFn, FilterSpec, Registry};
+pub use grafite::{GrafiteBuilder, GrafiteFilter, GrafiteFilterView, GrafiteTuning};
+pub use persist::{Header, FORMAT_VERSION, MAGIC};
+pub use registry::{BuilderFn, FilterSpec, LoaderFn, Registry};
 pub use string_keys::{BytesPrefixCodec, IdentityCodec, KeyCodec, StringGrafite};
-pub use traits::{BuildableFilter, FilterConfig, RangeFilter, DEFAULT_SEED};
+pub use traits::{
+    BuildableFilter, FilterConfig, PersistentFilter, RangeFilter, DEFAULT_SEED,
+};

@@ -1,19 +1,22 @@
 //! The library-level filter registry: a typed table mapping every
 //! [`FilterSpec`] of the paper's evaluation to a builder over the shared
-//! [`FilterConfig`].
+//! [`FilterConfig`] and a loader over the flat-byte format of
+//! [`crate::persist`].
 //!
 //! `grafite-core` cannot name the competitor filter types (they live in
 //! crates that depend on this one), so the registry is a table of plain
-//! builder *functions*: this crate pre-registers its own two filters
+//! builder/loader *functions*: this crate pre-registers its own two filters
 //! (Grafite §3, Bucketing §4) via [`Registry::new`], and
 //! `grafite_filters::standard_registry()` returns the table with all eleven
-//! specs populated. The bench crate's former 70-line construction `match`
-//! is now pure delegation into this module.
+//! specs populated. [`Registry::load`] reads a serialized blob's header and
+//! dispatches to the loader its spec id names — the one entry point a
+//! serving shard needs to revive any filter family from disk.
 
 use crate::bucketing::BucketingFilter;
 use crate::error::FilterError;
 use crate::grafite::GrafiteFilter;
-use crate::traits::{BuildableFilter, FilterConfig, RangeFilter};
+use crate::persist::{spec_id, Header};
+use crate::traits::{BuildableFilter, FilterConfig, PersistentFilter};
 
 /// Every filter of the paper's §6 comparison, plus the §2 trivial baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -98,6 +101,29 @@ impl FilterSpec {
         FilterSpec::REncoder,
     ];
 
+    /// The stable on-disk spec id of this configuration (see
+    /// [`crate::persist::spec_id`]).
+    pub fn spec_id(&self) -> u32 {
+        match self {
+            FilterSpec::Grafite => spec_id::GRAFITE,
+            FilterSpec::Bucketing => spec_id::BUCKETING,
+            FilterSpec::Snarf => spec_id::SNARF,
+            FilterSpec::SurfReal => spec_id::SURF_REAL,
+            FilterSpec::SurfHash => spec_id::SURF_HASH,
+            FilterSpec::Proteus => spec_id::PROTEUS,
+            FilterSpec::Rosetta => spec_id::ROSETTA,
+            FilterSpec::REncoder => spec_id::RENCODER,
+            FilterSpec::REncoderSS => spec_id::RENCODER_SS,
+            FilterSpec::REncoderSE => spec_id::RENCODER_SE,
+            FilterSpec::TrivialBloom => spec_id::TRIVIAL_BLOOM,
+        }
+    }
+
+    /// Inverse of [`FilterSpec::spec_id`], for header dispatch.
+    pub fn from_spec_id(id: u32) -> Option<FilterSpec> {
+        FilterSpec::ALL.into_iter().find(|s| s.spec_id() == id)
+    }
+
     /// Harness display name.
     pub fn label(&self) -> &'static str {
         match self {
@@ -123,10 +149,16 @@ impl FilterSpec {
 }
 
 /// A registered builder: constructs a boxed filter from the shared config,
-/// or explains why the configuration is infeasible.
-pub type BuilderFn = fn(&FilterConfig<'_>) -> Result<Box<dyn RangeFilter>, FilterError>;
+/// or explains why the configuration is infeasible. The result is
+/// [`PersistentFilter`]-boxed so anything the registry builds can also be
+/// serialized and measured.
+pub type BuilderFn = fn(&FilterConfig<'_>) -> Result<Box<dyn PersistentFilter>, FilterError>;
 
-/// A table of filter builders keyed by [`FilterSpec`].
+/// A registered loader: revives a boxed filter from a serialized blob
+/// (header included) in the [`crate::persist`] format.
+pub type LoaderFn = fn(&[u8]) -> Result<Box<dyn PersistentFilter>, FilterError>;
+
+/// A table of filter builders and loaders keyed by [`FilterSpec`].
 ///
 /// [`Registry::new`] pre-registers this crate's own filters (Grafite and
 /// Bucketing); downstream crates register the rest — use
@@ -137,6 +169,7 @@ pub type BuilderFn = fn(&FilterConfig<'_>) -> Result<Box<dyn RangeFilter>, Filte
 #[derive(Clone, Debug)]
 pub struct Registry {
     builders: [Option<BuilderFn>; FilterSpec::COUNT],
+    loaders: [Option<LoaderFn>; FilterSpec::COUNT],
 }
 
 impl Default for Registry {
@@ -146,6 +179,16 @@ impl Default for Registry {
     }
 }
 
+/// The standard [`LoaderFn`] body for a concrete filter type: typed
+/// `deserialize`, boxed. Use it when registering loaders for custom
+/// filters, exactly as `grafite_filters::standard_registry()` does for the
+/// paper's families.
+pub fn load_as<F: PersistentFilter + 'static>(
+    bytes: &[u8],
+) -> Result<Box<dyn PersistentFilter>, FilterError> {
+    F::deserialize(bytes).map(|f| Box::new(f) as _)
+}
+
 impl Registry {
     /// A registry with the core filters (Grafite, Bucketing) registered.
     pub fn new() -> Self {
@@ -153,9 +196,11 @@ impl Registry {
         r.register(FilterSpec::Grafite, |cfg| {
             <GrafiteFilter as BuildableFilter>::build(cfg).map(|f| Box::new(f) as _)
         });
+        r.register_loader(FilterSpec::Grafite, load_as::<GrafiteFilter>);
         r.register(FilterSpec::Bucketing, |cfg| {
             <BucketingFilter as BuildableFilter>::build(cfg).map(|f| Box::new(f) as _)
         });
+        r.register_loader(FilterSpec::Bucketing, load_as::<BucketingFilter>);
         r
     }
 
@@ -163,6 +208,7 @@ impl Registry {
     pub fn empty() -> Self {
         Self {
             builders: [None; FilterSpec::COUNT],
+            loaders: [None; FilterSpec::COUNT],
         }
     }
 
@@ -170,6 +216,13 @@ impl Registry {
     /// for chaining.
     pub fn register(&mut self, spec: FilterSpec, builder: BuilderFn) -> &mut Self {
         self.builders[spec.index()] = Some(builder);
+        self
+    }
+
+    /// Registers (or replaces) the loader for `spec`. Returns `&mut self`
+    /// for chaining.
+    pub fn register_loader(&mut self, spec: FilterSpec, loader: LoaderFn) -> &mut Self {
+        self.loaders[spec.index()] = Some(loader);
         self
     }
 
@@ -194,9 +247,36 @@ impl Registry {
         &self,
         spec: FilterSpec,
         cfg: &FilterConfig<'_>,
-    ) -> Result<Box<dyn RangeFilter>, FilterError> {
+    ) -> Result<Box<dyn PersistentFilter>, FilterError> {
         match self.builders[spec.index()] {
             Some(builder) => builder(cfg),
+            None => Err(FilterError::Unregistered(spec.label())),
+        }
+    }
+
+    /// Loads a serialized filter of any *registered* family: validates the
+    /// header's magic/version/length, maps its spec id to a
+    /// [`FilterSpec`], and dispatches to that spec's loader (whose
+    /// `deserialize` performs the one full checksum pass).
+    ///
+    /// This is the serving-side entry point: a shard that received a blob
+    /// built offline revives it with one call, without knowing which of the
+    /// paper's eleven configurations it holds. Loading is rebuild-free —
+    /// rank/select directories come verbatim from the blob.
+    ///
+    /// Families outside the eleven-spec registry table (spec ids ≥ 32:
+    /// [`StringGrafite`](crate::StringGrafite), workload-aware Bucketing,
+    /// SuRF-Base) serialize in the same format but load through their typed
+    /// [`PersistentFilter::deserialize`]; this table-driven entry point
+    /// reports their ids as [`FilterError::UnknownSpecId`].
+    pub fn load(&self, bytes: &[u8]) -> Result<Box<dyn PersistentFilter>, FilterError> {
+        // Cheap dispatch: magic/version/length only. The loader's
+        // `deserialize` performs the one full checksum pass.
+        let header = Header::peek(bytes)?;
+        let spec = FilterSpec::from_spec_id(header.spec_id)
+            .ok_or(FilterError::UnknownSpecId(header.spec_id))?;
+        match self.loaders[spec.index()] {
+            Some(loader) => loader(bytes),
             None => Err(FilterError::Unregistered(spec.label())),
         }
     }
@@ -212,6 +292,68 @@ mod tests {
         for (i, spec) in FilterSpec::ALL.into_iter().enumerate() {
             assert_eq!(spec.index(), i, "{} out of order", spec.label());
         }
+    }
+
+    #[test]
+    fn spec_ids_are_stable_and_invertible() {
+        for spec in FilterSpec::ALL {
+            assert_eq!(FilterSpec::from_spec_id(spec.spec_id()), Some(spec));
+        }
+        // The first two ids are pinned by blobs already on disk.
+        assert_eq!(FilterSpec::Grafite.spec_id(), 1);
+        assert_eq!(FilterSpec::Bucketing.spec_id(), 2);
+        assert_eq!(FilterSpec::from_spec_id(0), None);
+        assert_eq!(FilterSpec::from_spec_id(999), None);
+    }
+
+    #[test]
+    fn core_registry_loads_what_it_builds() {
+        let keys: Vec<u64> = (0..700u64).map(|i| i * 999_983).collect();
+        let cfg = FilterConfig::new(&keys).bits_per_key(12.0);
+        let registry = Registry::new();
+        for spec in [FilterSpec::Grafite, FilterSpec::Bucketing] {
+            let built = registry.build(spec, &cfg).unwrap();
+            let bytes = built.to_bytes();
+            let loaded = registry.load(&bytes).unwrap();
+            assert_eq!(loaded.name(), built.name());
+            assert_eq!(loaded.num_keys(), built.num_keys());
+            for probe in (0..700u64).map(|i| i * 999_983 / 3) {
+                assert_eq!(
+                    loaded.may_contain_range(probe, probe + 1000),
+                    built.may_contain_range(probe, probe + 1000),
+                    "{spec:?} diverged at {probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_unknown_spec_and_unregistered_loader() {
+        use crate::persist::{Header, FORMAT_VERSION};
+        // Dispatch decisions precede the checksum pass, so a zero checksum
+        // suffices for these header-only rejections.
+        let empty_blob = |spec_id: u32| {
+            let mut blob = Vec::new();
+            Header {
+                version: FORMAT_VERSION,
+                spec_id,
+                n_keys: 0,
+                payload_words: 0,
+                checksum: 0,
+            }
+            .write(&mut blob)
+            .unwrap();
+            blob
+        };
+        assert_eq!(
+            Registry::new().load(&empty_blob(200)).err(),
+            Some(FilterError::UnknownSpecId(200))
+        );
+        // A known spec id with no loader in this table.
+        assert_eq!(
+            Registry::new().load(&empty_blob(FilterSpec::Snarf.spec_id())).err(),
+            Some(FilterError::Unregistered("SNARF"))
+        );
     }
 
     #[test]

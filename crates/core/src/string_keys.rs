@@ -17,10 +17,12 @@
 //! plugs into the same harnesses as every integer filter.
 
 use grafite_hash::xxhash::xxh64;
+use grafite_succinct::io::{WordSource, WordWriter};
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
-use crate::traits::{BuildableFilter, FilterConfig, RangeFilter};
+use crate::persist::{spec_id, Header};
+use crate::traits::{BuildableFilter, FilterConfig, PersistentFilter, RangeFilter};
 
 /// A monotone embedding of a key type into the `u64` universe.
 ///
@@ -74,7 +76,6 @@ impl KeyCodec for BytesPrefixCodec {
 /// A Grafite range filter over byte-string keys (or, through
 /// [`StringGrafite::with_codec`], any [`KeyCodec`]-embeddable key type).
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StringGrafite {
     k: u32,
     seed: u64,
@@ -259,6 +260,45 @@ impl RangeFilter for StringGrafite {
 
     fn name(&self) -> &'static str {
         "Grafite-String"
+    }
+}
+
+impl PersistentFilter for StringGrafite {
+    fn spec_id(&self) -> u32 {
+        spec_id::STRING_GRAFITE
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::STRING_GRAFITE]
+    }
+
+    /// Payload: `[k, seed]` + the Elias–Fano code sequence.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.word(self.k as u64)?;
+        w.word(self.seed)?;
+        self.codes.write_to(w)?;
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let k = src.word()?;
+        if k == 0 || k >= 61 {
+            return Err(FilterError::CorruptPayload("string-Grafite exponent out of range"));
+        }
+        let seed = src.word()?;
+        let codes = EliasFano::read_from(src)?;
+        if codes.universe() != 1u64 << k {
+            return Err(FilterError::CorruptPayload("code universe differs from 2^k"));
+        }
+        Ok(Self {
+            k: k as u32,
+            seed,
+            codes,
+            n_keys: header.n_keys as usize,
+        })
     }
 }
 

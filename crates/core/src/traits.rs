@@ -1,8 +1,15 @@
 //! The common interface every range filter in this workspace implements:
-//! the query-side [`RangeFilter`] contract and the construction-side
-//! [`BuildableFilter`] protocol over a shared [`FilterConfig`].
+//! the query-side [`RangeFilter`] contract, the construction-side
+//! [`BuildableFilter`] protocol over a shared [`FilterConfig`], and the
+//! storage-side [`PersistentFilter`] protocol over the versioned flat-byte
+//! format of [`crate::persist`].
+
+use std::io;
+
+use grafite_succinct::io::{CountingSink, ReadSource, WordSource, WordWriter};
 
 use crate::error::FilterError;
+use crate::persist::{blob_checksum, words_of_bytes, Header, FORMAT_VERSION, HEADER_BYTES};
 
 /// The seed every builder defaults to ("grafite" in ASCII), so that a bare
 /// configuration is fully deterministic.
@@ -138,6 +145,114 @@ impl<'a> FilterConfig<'a> {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+}
+
+/// The uniform storage protocol: every filter serializes to — and loads
+/// from — the self-describing flat-byte format of [`crate::persist`], so
+/// filters can be built offline, shipped to serving shards as immutable
+/// blobs, and loaded without rebuilding any rank/select machinery.
+///
+/// Implementors provide only the payload codec ([`write_payload`] /
+/// [`read_payload`]) and their [spec ids](crate::persist::spec_id); the
+/// header framing, checksumming, and validation are provided methods. The
+/// trait is object-safe on its write side: a `Box<dyn PersistentFilter>`
+/// (what the [`Registry`](crate::registry::Registry) builds and loads) can
+/// be serialized and measured without knowing the concrete family.
+///
+/// `serialized_bits() / num_keys()` is the **measured** bits-per-key of the
+/// filter — the honest space figure the paper's plots use, as opposed to
+/// the in-memory estimate of [`RangeFilter::size_in_bits`].
+///
+/// [`write_payload`]: PersistentFilter::write_payload
+/// [`read_payload`]: PersistentFilter::read_payload
+pub trait PersistentFilter: RangeFilter {
+    /// The spec id written into this instance's header (most families have
+    /// exactly one; SuRF and REncoder pick per the stored variant).
+    fn spec_id(&self) -> u32;
+
+    /// Every spec id blobs of this type may carry — what a typed
+    /// [`deserialize`](PersistentFilter::deserialize) accepts.
+    fn spec_ids() -> &'static [u32]
+    where
+        Self: Sized;
+
+    /// Writes the filter's payload (everything after the header) as a flat
+    /// word stream.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> io::Result<()>;
+
+    /// Reads a payload back. `header` supplies the key count and the spec
+    /// id (already validated against
+    /// [`spec_ids`](PersistentFilter::spec_ids)). Must not rebuild derived
+    /// structure — directories come verbatim from the stream.
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError>
+    where
+        Self: Sized;
+
+    /// Serializes header + payload into `out`, returning the bytes written.
+    fn serialize_into(&self, out: &mut dyn io::Write) -> Result<usize, FilterError> {
+        let mut payload = Vec::new();
+        {
+            let mut w = WordWriter::new(&mut payload);
+            self.write_payload(&mut w)?;
+        }
+        debug_assert_eq!(payload.len() % 8, 0);
+        let mut header = Header {
+            version: FORMAT_VERSION,
+            spec_id: self.spec_id(),
+            n_keys: self.num_keys() as u64,
+            payload_words: (payload.len() / 8) as u64,
+            checksum: 0,
+        };
+        header.checksum = blob_checksum(
+            header.spec_version_word(),
+            header.n_keys,
+            header.payload_words,
+            words_of_bytes(&payload),
+        );
+        header.write(out)?;
+        out.write_all(&payload)?;
+        Ok(HEADER_BYTES + payload.len())
+    }
+
+    /// Serializes into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.serialize_into(&mut out).expect("writing to a Vec cannot fail");
+        out
+    }
+
+    /// The filter's true serialized footprint in bits — measured, not
+    /// estimated. `serialized_bits() / num_keys()` is the space metric the
+    /// bench harness reports. Streams the payload straight into a counting
+    /// sink (no buffering, no checksum) — cheap enough for per-measurement
+    /// calls.
+    fn serialized_bits(&self) -> usize {
+        let mut sink = CountingSink::new();
+        {
+            let mut w = WordWriter::new(&mut sink);
+            self.write_payload(&mut w).expect("counting sink cannot fail");
+        }
+        (HEADER_BYTES + sink.bytes_written()) * 8
+    }
+
+    /// Loads a filter of this exact type from a serialized blob, verifying
+    /// magic, version, length, spec id, and checksum first. Never panics on
+    /// foreign bytes: malformed input returns the typed [`FilterError`]
+    /// variants.
+    fn deserialize(bytes: &[u8]) -> Result<Self, FilterError>
+    where
+        Self: Sized,
+    {
+        let (header, payload) = Header::parse(bytes)?;
+        if !Self::spec_ids().contains(&header.spec_id) {
+            return Err(FilterError::SpecMismatch(header.spec_id));
+        }
+        let mut src = ReadSource::new(payload);
+        Self::read_payload(&mut src, &header)
     }
 }
 

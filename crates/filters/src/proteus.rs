@@ -17,8 +17,12 @@
 //! same shape as Knorr et al.'s Algorithm 1.
 
 use grafite_bloom::{BloomFilter, PrefixBloomFilter};
-use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
+use grafite_core::persist::{spec_id, Header};
+use grafite_core::{
+    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
+};
 use grafite_fst::{builder, Fst, Lookup};
+use grafite_succinct::io::{WordSource, WordWriter};
 
 /// Max Bloom probes per query before giving up ("maybe").
 const MAX_PROBES: u64 = 1 << 12;
@@ -208,6 +212,69 @@ impl Proteus {
     fn probe_pbf(&self, lo: u64, hi: u64) -> bool {
         let pbf = self.pbf.as_ref().expect("probe_pbf without PBF");
         pbf.may_contain_range(lo, hi)
+    }
+}
+
+impl PersistentFilter for Proteus {
+    fn spec_id(&self) -> u32 {
+        spec_id::PROTEUS
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::PROTEUS]
+    }
+
+    /// Payload: `[l1_bytes, l2, has_fst, has_pbf]` + the present stages.
+    /// The tuned `(l1, l2)` pair ships with the structures — loading never
+    /// re-runs the CPFPR tuner.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.word(self.l1_bytes as u64)?;
+        w.word(self.l2 as u64)?;
+        w.word(self.fst.is_some() as u64)?;
+        w.word(self.pbf.is_some() as u64)?;
+        if let Some(fst) = &self.fst {
+            fst.write_to(w)?;
+        }
+        if let Some(pbf) = &self.pbf {
+            pbf.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let l1_bytes = src.word()?;
+        if l1_bytes > 8 {
+            return Err(FilterError::CorruptPayload("Proteus trie depth above 8 bytes"));
+        }
+        let l2 = src.word()?;
+        if l2 > 64 {
+            return Err(FilterError::CorruptPayload("Proteus prefix length above 64"));
+        }
+        let has_fst = src.word()?;
+        let has_pbf = src.word()?;
+        if (has_fst != (l1_bytes > 0) as u64) || (has_pbf != (l2 > 0) as u64) {
+            return Err(FilterError::CorruptPayload("Proteus stage flags inconsistent"));
+        }
+        let fst = if has_fst == 1 { Some(Fst::read_from(src)?) } else { None };
+        let pbf = if has_pbf == 1 {
+            let pbf = PrefixBloomFilter::read_from(src)?;
+            if pbf.prefix_len() != l2 as u32 {
+                return Err(FilterError::CorruptPayload("Proteus PBF prefix length drifted"));
+            }
+            Some(pbf)
+        } else {
+            None
+        };
+        Ok(Self {
+            l1_bytes: l1_bytes as u32,
+            l2: l2 as u32,
+            fst,
+            pbf,
+            n_keys: header.n_keys as usize,
+        })
     }
 }
 

@@ -20,8 +20,12 @@
 //! * **REncoderSE** ("sample estimation") — picks `rounds` from the largest
 //!   range observed in a sample workload.
 
-use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
+use grafite_core::persist::{spec_id, Header};
+use grafite_core::{
+    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
+};
 use grafite_hash::mix::murmur_mix64;
+use grafite_succinct::io::{WordSource, WordWriter};
 use grafite_succinct::BitVec;
 
 use crate::dyadic::cover;
@@ -233,6 +237,70 @@ impl REncoder {
     /// Number of stored rounds (trees per key).
     pub fn rounds(&self) -> u32 {
         self.rounds
+    }
+}
+
+impl PersistentFilter for REncoder {
+    /// One type, three spec ids, matching the three registry rows: the
+    /// stored variant decides which.
+    fn spec_id(&self) -> u32 {
+        match self.variant_name {
+            "REncoderSS" => spec_id::RENCODER_SS,
+            "REncoderSE" => spec_id::RENCODER_SE,
+            _ => spec_id::RENCODER,
+        }
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::RENCODER, spec_id::RENCODER_SS, spec_id::RENCODER_SE]
+    }
+
+    /// Payload: `[m, k, rounds, seed]` + the encoder bit array (the
+    /// variant lives in the header's spec id).
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.word(self.m)?;
+        w.word(self.k as u64)?;
+        w.word(self.rounds as u64)?;
+        w.word(self.seed)?;
+        self.bits.write_to(w)?;
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let variant_name = match header.spec_id {
+            spec_id::RENCODER_SS => "REncoderSS",
+            spec_id::RENCODER_SE => "REncoderSE",
+            _ => "REncoder",
+        };
+        let m = src.word()?;
+        if m < 64 {
+            return Err(FilterError::CorruptPayload("REncoder array below 64 bits"));
+        }
+        let k = src.word()?;
+        if k == 0 || k > u32::MAX as u64 {
+            return Err(FilterError::CorruptPayload("REncoder hash count"));
+        }
+        let rounds = src.word()?;
+        if !(1..=16).contains(&rounds) {
+            return Err(FilterError::CorruptPayload("REncoder round count"));
+        }
+        let seed = src.word()?;
+        let bits = BitVec::read_from(src)?;
+        if bits.len() as u64 != m {
+            return Err(FilterError::CorruptPayload("REncoder bit array length"));
+        }
+        Ok(Self {
+            bits,
+            m,
+            k: k as u32,
+            rounds: rounds as u32,
+            seed,
+            n_keys: header.n_keys as usize,
+            variant_name,
+        })
     }
 }
 

@@ -16,7 +16,11 @@
 //! on a sample workload (§6.1 runs Rosetta auto-tuned).
 
 use grafite_bloom::BloomFilter;
-use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
+use grafite_core::persist::{spec_id, Header};
+use grafite_core::{
+    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
+};
+use grafite_succinct::io::{WordSource, WordWriter};
 
 use crate::dyadic::cover;
 
@@ -179,6 +183,49 @@ impl Rosetta {
     /// The shallowest stored level.
     pub fn min_level(&self) -> u32 {
         self.min_level
+    }
+}
+
+impl PersistentFilter for Rosetta {
+    fn spec_id(&self) -> u32 {
+        spec_id::ROSETTA
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::ROSETTA]
+    }
+
+    /// Payload: `[min_level, n_levels]` + one Bloom filter per level.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.word(self.min_level as u64)?;
+        w.word(self.blooms.len() as u64)?;
+        for bloom in &self.blooms {
+            bloom.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let min_level = src.word()?;
+        if !(1..=64).contains(&min_level) {
+            return Err(FilterError::CorruptPayload("Rosetta level out of range"));
+        }
+        let n_levels = src.length()?;
+        if n_levels != (64 - min_level + 1) as usize {
+            return Err(FilterError::CorruptPayload("Rosetta level stack height"));
+        }
+        let mut blooms = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            blooms.push(BloomFilter::read_from(src)?);
+        }
+        Ok(Self {
+            blooms,
+            min_level: min_level as u32,
+            n_keys: header.n_keys as usize,
+        })
     }
 }
 

@@ -15,7 +15,11 @@
 //! arithmetic so the `ablation_snarf_overflow` experiment can demonstrate
 //! the false negatives on datasets with huge gaps (e.g. Fb).
 
-use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
+use grafite_core::persist::{spec_id, Header};
+use grafite_core::{
+    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
+};
+use grafite_succinct::io::{WordSource, WordWriter};
 use grafite_succinct::GolombRiceSeq;
 
 /// Spline sampling period (one spline knot every `t` keys), the SNARF
@@ -141,6 +145,64 @@ impl Snarf {
     /// The scale factor `K` (the paper's knob trading space for FPR).
     pub fn k_scale(&self) -> u64 {
         self.k_scale
+    }
+}
+
+impl PersistentFilter for Snarf {
+    fn spec_id(&self) -> u32 {
+        spec_id::SNARF
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::SNARF]
+    }
+
+    /// Payload: `[n_distinct, k_scale, faithful_overflow]` + the spline
+    /// knots (keys, ranks) + the Rice-coded positions.
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.word(self.n as u64)?;
+        w.word(self.k_scale)?;
+        w.word(self.faithful_overflow as u64)?;
+        w.prefixed(&self.sample_keys)?;
+        w.prefixed(&self.sample_ranks)?;
+        self.codes.write_to(w)?;
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let n = src.length()?;
+        let k_scale = src.word()?;
+        if k_scale < 2 {
+            return Err(FilterError::CorruptPayload("SNARF scale factor below 2"));
+        }
+        let faithful_overflow = match src.word()? {
+            0 => false,
+            1 => true,
+            _ => return Err(FilterError::CorruptPayload("SNARF overflow flag")),
+        };
+        let n_keys = src.length()?;
+        let sample_keys = src.take(n_keys)?;
+        let n_ranks = src.length()?;
+        if n_ranks != n_keys {
+            return Err(FilterError::CorruptPayload("SNARF spline table lengths differ"));
+        }
+        let sample_ranks = src.take(n_ranks)?;
+        if n > 0 && sample_keys.is_empty() {
+            return Err(FilterError::CorruptPayload("SNARF spline empty for non-empty set"));
+        }
+        let codes = GolombRiceSeq::read_from(src)?;
+        Ok(Self {
+            sample_keys,
+            sample_ranks,
+            n,
+            n_input: header.n_keys as usize,
+            k_scale,
+            codes,
+            faithful_overflow,
+        })
     }
 }
 

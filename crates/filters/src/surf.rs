@@ -16,9 +16,13 @@
 //! loses the deciding bits — which is precisely why correlated queries
 //! defeat SuRF (paper Figures 1/3).
 
-use grafite_core::{BuildableFilter, FilterConfig, FilterError, RangeFilter};
+use grafite_core::persist::{spec_id, Header};
+use grafite_core::{
+    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
+};
 use grafite_fst::{builder, FstDs, Lookup};
 use grafite_hash::mix::murmur_mix64;
+use grafite_succinct::io::{WordSource, WordWriter};
 use grafite_succinct::IntVec;
 
 /// Suffix policy for SuRF leaves.
@@ -140,6 +144,57 @@ impl Surf {
                 }
             },
         }
+    }
+}
+
+impl PersistentFilter for Surf {
+    /// One type, three spec ids: the stored suffix family decides which —
+    /// `SuRF-Real` and `SuRF-Hash` are distinct rows of the paper's
+    /// comparison (and of the registry), `SuRF-Base` is the suffix-free
+    /// ablation.
+    fn spec_id(&self) -> u32 {
+        match self.mode {
+            SuffixMode::Base => spec_id::SURF_BASE,
+            SuffixMode::Real { .. } => spec_id::SURF_REAL,
+            SuffixMode::Hash { .. } => spec_id::SURF_HASH,
+        }
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::SURF_BASE, spec_id::SURF_REAL, spec_id::SURF_HASH]
+    }
+
+    /// Payload: `[suffix_bits]` + the per-leaf suffix array + the LOUDS-DS
+    /// trie (the suffix *family* lives in the header's spec id).
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        w.word(self.mode.bits() as u64)?;
+        self.suffixes.write_to(w)?;
+        self.fst.write_to(w)?;
+        Ok(())
+    }
+
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        let bits = src.word()?;
+        let mode = match (header.spec_id, bits) {
+            (spec_id::SURF_BASE, 0) => SuffixMode::Base,
+            (spec_id::SURF_REAL, 1..=56) => SuffixMode::Real { bits: bits as u8 },
+            (spec_id::SURF_HASH, 1..=56) => SuffixMode::Hash { bits: bits as u8 },
+            _ => return Err(FilterError::CorruptPayload("SuRF suffix length")),
+        };
+        let suffixes = IntVec::read_from(src)?;
+        let fst = FstDs::read_from(src)?;
+        if suffixes.width() != mode.bits() || suffixes.len() != fst.num_leaves() {
+            return Err(FilterError::CorruptPayload("SuRF suffix table shape"));
+        }
+        Ok(Self {
+            fst,
+            suffixes,
+            mode,
+            n_keys: header.n_keys as usize,
+        })
     }
 }
 

@@ -16,6 +16,7 @@
 //! [`crate::builder::build_forest`] so leaf indices keep a single global
 //! level-order numbering across both halves.
 
+use grafite_succinct::io::{DecodeError, WordSource, WordWriter};
 use grafite_succinct::{BitVec, RsBitVec};
 
 use crate::builder::{build_forest, BuildResult};
@@ -288,6 +289,51 @@ impl FstDs {
     /// Access to the sparse half (diagnostics).
     pub fn sparse(&self) -> &Fst {
         &self.sparse
+    }
+
+    /// Serializes the full LOUDS-DS layout: the dense `labels`/`has_child`
+    /// bit planes (with their rank directories) followed by the sparse
+    /// half. Layout: `[dense_nodes, dense_leaves, dense_depth] + labels +
+    /// has_child + sparse`. Returns the word count.
+    pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
+        let before = w.words_written();
+        w.word(self.dense_nodes as u64)?;
+        w.word(self.dense_leaves as u64)?;
+        w.word(self.dense_depth as u64)?;
+        self.labels.write_to(w)?;
+        self.has_child.write_to(w)?;
+        self.sparse.write_to(w)?;
+        Ok(w.words_written() - before)
+    }
+
+    /// Reads back what [`FstDs::write_to`] wrote — rebuild-free, like every
+    /// loader in the workspace.
+    pub fn read_from<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+    ) -> Result<Self, DecodeError> {
+        let dense_nodes = src.length()?;
+        let dense_leaves = src.length()?;
+        let dense_depth = src.length()?;
+        let labels = RsBitVec::read_from(src)?;
+        let has_child = RsBitVec::read_from(src)?;
+        let sparse = Fst::read_from(src)?;
+        if labels.len() != dense_nodes * 256 || has_child.len() != labels.len() {
+            return Err(DecodeError::Invalid("dense bitmap sizes inconsistent"));
+        }
+        if labels.count_ones() != dense_leaves + has_child.count_ones() {
+            return Err(DecodeError::Invalid("dense leaf count inconsistent"));
+        }
+        if dense_nodes == 0 && dense_depth != 0 {
+            return Err(DecodeError::Invalid("dense depth without dense nodes"));
+        }
+        Ok(Self {
+            labels,
+            has_child,
+            dense_nodes,
+            dense_leaves,
+            dense_depth,
+            sparse,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 //! iteration, and the `seek` (lower-bound) operation SuRF's range queries
 //! are built on.
 
+use grafite_succinct::io::{DecodeError, WordSource, WordWriter};
 use grafite_succinct::RsBitVec;
 
 /// A LOUDS-Sparse encoded trie over a prefix-free byte-string set.
@@ -79,6 +80,52 @@ impl Fst {
     /// §5 SuRF analysis.
     pub fn size_in_bits(&self) -> usize {
         self.labels.len() * 8 + self.has_child.size_in_bits() + self.louds.size_in_bits()
+    }
+
+    /// Serializes the trie — the LOUDS-DENSE/Sparse bit planes travel with
+    /// their rank/select directories, so loading is rebuild-free. Layout:
+    /// `[n_labels, num_nodes, num_leaves, num_roots] + labels (word-padded
+    /// bytes) + has_child + louds`. Returns the word count.
+    pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
+        let before = w.words_written();
+        w.word(self.labels.len() as u64)?;
+        w.word(self.num_nodes as u64)?;
+        w.word(self.num_leaves as u64)?;
+        w.word(self.num_roots as u64)?;
+        w.bytes_padded(&self.labels)?;
+        self.has_child.write_to(w)?;
+        self.louds.write_to(w)?;
+        Ok(w.words_written() - before)
+    }
+
+    /// Reads back what [`Fst::write_to`] wrote.
+    pub fn read_from<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+    ) -> Result<Self, DecodeError> {
+        let n_labels = src.length()?;
+        let num_nodes = src.length()?;
+        let num_leaves = src.length()?;
+        let num_roots = src.length()?;
+        let labels = src.take_bytes(n_labels)?;
+        let has_child = RsBitVec::read_from(src)?;
+        let louds = RsBitVec::read_from(src)?;
+        if has_child.len() != n_labels || louds.len() != n_labels {
+            return Err(DecodeError::Invalid("trie parallel array lengths differ"));
+        }
+        if louds.count_ones() != num_nodes || has_child.rank0(n_labels) != num_leaves {
+            return Err(DecodeError::Invalid("trie node/leaf counts inconsistent"));
+        }
+        if num_roots > num_nodes {
+            return Err(DecodeError::Invalid("trie root count exceeds node count"));
+        }
+        Ok(Self {
+            labels,
+            has_child,
+            louds,
+            num_nodes,
+            num_leaves,
+            num_roots,
+        })
     }
 
     /// The half-open branch-position range of node `k`.

@@ -13,7 +13,6 @@ use crate::pairwise::PairwiseHash;
 
 /// The reduction `h(x) = (q(⌊x/r⌋) + x) mod r` for an arbitrary modulus `r`.
 #[derive(Clone, Copy, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LocalityHash {
     q: PairwiseHash,
     r: u64,
@@ -41,6 +40,12 @@ impl LocalityHash {
         self.r
     }
 
+    /// The inner pairwise-independent hash (for persistence).
+    #[inline]
+    pub fn pairwise(&self) -> PairwiseHash {
+        self.q
+    }
+
     /// Evaluates `h(x)`.
     #[inline]
     pub fn eval(&self, x: u64) -> u64 {
@@ -66,7 +71,6 @@ impl LocalityHash {
 /// `r = 2^k`, proposed in the paper's Section 7: divisions and moduli become
 /// shifts and masks.
 #[derive(Clone, Copy, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LocalityHashPow2 {
     q: PairwiseHash,
     k: u32,

@@ -15,7 +15,6 @@ pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
 /// A hash function drawn from the pairwise-independent family
 /// `{x -> ((c1·x + c2) mod p) mod r}`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PairwiseHash {
     c1: u64,
     c2: u64,
@@ -72,6 +71,25 @@ impl PairwiseHash {
     #[inline]
     pub fn prime(&self) -> u64 {
         self.p
+    }
+
+    /// The multiplier `c1` (for persistence).
+    #[inline]
+    pub fn c1(&self) -> u64 {
+        self.c1
+    }
+
+    /// The offset `c2` (for persistence).
+    #[inline]
+    pub fn c2(&self) -> u64 {
+        self.c2
+    }
+
+    /// Whether `(c1, c2, p, r)` satisfy the family's constructor contract,
+    /// so deserializers can validate before calling
+    /// [`PairwiseHash::with_params`] (which panics on violation).
+    pub fn params_valid(c1: u64, c2: u64, p: u64, r: u64) -> bool {
+        r > 0 && r < p && c1 > 0 && c1 < p && c2 < p
     }
 }
 

@@ -1,5 +1,7 @@
-//! A word-packed, growable bit vector with bit-field access.
+//! A word-packed bit vector with bit-field access, generic over its
+//! backing word store.
 
+use crate::io::{DecodeError, WordSource, WordWriter};
 use crate::{div_ceil, WORD_BITS};
 
 /// A plain bit vector packed into `u64` words.
@@ -8,12 +10,19 @@ use crate::{div_ceil, WORD_BITS};
 /// bit-fields of up to 64 bits that may straddle a word boundary. This is the
 /// mutable building block; query-time structures freeze it into an
 /// [`crate::RsBitVec`] for rank/select support.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct BitVec {
-    words: Vec<u64>,
+///
+/// The backing store is generic: `BitVec` (= `BitVec<Vec<u64>>`) owns its
+/// words and is mutable; [`BitVecView`] borrows them from a loaded buffer
+/// and is read-only — the zero-copy load path of the persistence layer. All
+/// read operations live on the generic impl and behave identically on both.
+#[derive(Clone, Debug, Default)]
+pub struct BitVec<S = Vec<u64>> {
+    words: S,
     len: usize,
 }
+
+/// A read-only bit vector borrowing its words from a loaded `&[u64]` buffer.
+pub type BitVecView<'a> = BitVec<&'a [u64]>;
 
 impl BitVec {
     /// Creates an empty bit vector.
@@ -35,28 +44,6 @@ impl BitVec {
             words: Vec::with_capacity(div_ceil(cap.max(1), WORD_BITS)),
             len: 0,
         }
-    }
-
-    /// Number of bits stored.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether the vector holds no bits.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Returns the bit at `pos`.
-    ///
-    /// # Panics
-    /// Panics if `pos >= len`.
-    #[inline]
-    pub fn get(&self, pos: usize) -> bool {
-        assert!(pos < self.len, "bit index {pos} out of range {}", self.len);
-        (self.words[pos / WORD_BITS] >> (pos % WORD_BITS)) & 1 == 1
     }
 
     /// Sets the bit at `pos` to `value`.
@@ -114,27 +101,6 @@ impl BitVec {
         }
     }
 
-    /// Reads `width` bits starting at bit `pos` (LSB first).
-    ///
-    /// # Panics
-    /// Panics if `width > 64` or the field extends past the end.
-    #[inline]
-    pub fn get_bits(&self, pos: usize, width: usize) -> u64 {
-        assert!(width <= 64);
-        assert!(pos + width <= self.len, "bit field out of range");
-        if width == 0 {
-            return 0;
-        }
-        let word = pos / WORD_BITS;
-        let offset = pos % WORD_BITS;
-        let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
-        if offset + width <= WORD_BITS {
-            (self.words[word] >> offset) & mask
-        } else {
-            ((self.words[word] >> offset) | (self.words[word + 1] << (WORD_BITS - offset))) & mask
-        }
-    }
-
     /// Writes the `width` low bits of `value` at bit position `pos`.
     pub fn set_bits(&mut self, pos: usize, value: u64, width: usize) {
         assert!(width <= 64);
@@ -155,24 +121,70 @@ impl BitVec {
             self.words[word + 1] = (self.words[word + 1] & !hi_mask) | (value >> spill);
         }
     }
+}
+
+impl<S: AsRef<[u64]>> BitVec<S> {
+    /// Number of bits stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= len`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> bool {
+        assert!(pos < self.len, "bit index {pos} out of range {}", self.len);
+        (self.words.as_ref()[pos / WORD_BITS] >> (pos % WORD_BITS)) & 1 == 1
+    }
+
+    /// Reads `width` bits starting at bit `pos` (LSB first).
+    ///
+    /// # Panics
+    /// Panics if `width > 64` or the field extends past the end.
+    #[inline]
+    pub fn get_bits(&self, pos: usize, width: usize) -> u64 {
+        assert!(width <= 64);
+        assert!(pos + width <= self.len, "bit field out of range");
+        if width == 0 {
+            return 0;
+        }
+        let words = self.words.as_ref();
+        let word = pos / WORD_BITS;
+        let offset = pos % WORD_BITS;
+        let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+        if offset + width <= WORD_BITS {
+            (words[word] >> offset) & mask
+        } else {
+            ((words[word] >> offset) | (words[word + 1] << (WORD_BITS - offset))) & mask
+        }
+    }
 
     /// Total number of set bits.
     pub fn count_ones(&self) -> usize {
         // Trailing bits beyond `len` are maintained as zero, so a plain
         // popcount over the words is exact.
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words.as_ref().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// The backing words. Bits at positions `>= len` are zero.
     #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        self.words.as_ref()
     }
 
     /// The `i`-th backing word.
     #[inline]
     pub fn word(&self, i: usize) -> u64 {
-        self.words[i]
+        self.words.as_ref()[i]
     }
 
     /// Iterator over all bits.
@@ -185,24 +197,25 @@ impl BitVec {
         if pos >= self.len {
             return None;
         }
+        let words = self.words.as_ref();
         let mut word_idx = pos / WORD_BITS;
-        let mut w = self.words[word_idx] & (!0u64 << (pos % WORD_BITS));
+        let mut w = words[word_idx] & (!0u64 << (pos % WORD_BITS));
         loop {
             if w != 0 {
                 let p = word_idx * WORD_BITS + w.trailing_zeros() as usize;
                 return if p < self.len { Some(p) } else { None };
             }
             word_idx += 1;
-            if word_idx >= self.words.len() {
+            if word_idx >= words.len() {
                 return None;
             }
-            w = self.words[word_idx];
+            w = words[word_idx];
         }
     }
 
     /// Iterator over the positions of set bits.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+        self.words.as_ref().iter().enumerate().flat_map(move |(wi, &w)| {
             let mut w = w;
             std::iter::from_fn(move || {
                 if w == 0 {
@@ -218,9 +231,66 @@ impl BitVec {
 
     /// Heap size of the structure in bits (for space accounting).
     pub fn size_in_bits(&self) -> usize {
-        self.words.len() * WORD_BITS
+        self.words.as_ref().len() * WORD_BITS
+    }
+
+    /// Copies into an owning `BitVec` (views become independent of their
+    /// buffer).
+    pub fn to_owned_bits(&self) -> BitVec {
+        BitVec {
+            words: self.words.as_ref().to_vec(),
+            len: self.len,
+        }
+    }
+
+    /// Serializes as `[len, n_words, words…]`, returning the word count.
+    pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
+        let before = w.words_written();
+        w.word(self.len as u64)?;
+        w.prefixed(self.words.as_ref())?;
+        Ok(w.words_written() - before)
+    }
+
+    /// Reads back what [`BitVec::write_to`] wrote. The storage kind follows
+    /// the source: a [`crate::io::WordCursor`] yields a borrowed
+    /// [`BitVecView`], a [`crate::io::ReadSource`] an owned `BitVec` — no
+    /// directories or bits are recomputed either way.
+    pub fn read_from<Src: WordSource<Storage = S>>(src: &mut Src) -> Result<Self, DecodeError> {
+        let len = src.length()?;
+        let n_words = src.length()?;
+        let min_words = div_ceil(len, WORD_BITS);
+        // `zeros(0)` legitimately carries one word for zero bits; anything
+        // beyond one slack word is malformed.
+        if n_words < min_words || n_words > div_ceil(len.max(1), WORD_BITS) {
+            return Err(DecodeError::Invalid("bit vector word count"));
+        }
+        let words = src.take(n_words)?;
+        {
+            let ws = words.as_ref();
+            // Enforce the "bits beyond len are zero" invariant `count_ones`
+            // relies on.
+            let tail_ok = if len % WORD_BITS != 0 {
+                ws[len / WORD_BITS] >> (len % WORD_BITS) == 0
+            } else {
+                true
+            } && ws[min_words..].iter().all(|&w| w == 0);
+            if !tail_ok {
+                return Err(DecodeError::Invalid("bit vector tail bits set"));
+            }
+        }
+        Ok(Self { words, len })
     }
 }
+
+impl<S1: AsRef<[u64]>, S2: AsRef<[u64]>> PartialEq<BitVec<S2>> for BitVec<S1> {
+    /// Equality across backing stores: a view equals the owned vector it was
+    /// parsed from.
+    fn eq(&self, other: &BitVec<S2>) -> bool {
+        self.len == other.len && self.words.as_ref() == other.words.as_ref()
+    }
+}
+
+impl<S: AsRef<[u64]>> Eq for BitVec<S> {}
 
 impl FromIterator<bool> for BitVec {
     fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
@@ -316,6 +386,51 @@ mod tests {
     fn get_out_of_range_panics() {
         let bv = BitVec::zeros(10);
         bv.get(10);
+    }
+
+    #[test]
+    fn serialization_roundtrips_owned_and_view() {
+        use crate::io::{ReadSource, WordCursor};
+        for bv in [
+            BitVec::new(),
+            BitVec::zeros(0),
+            BitVec::zeros(130),
+            (0..777).map(|i| i % 5 == 0).collect::<BitVec>(),
+        ] {
+            let mut bytes = Vec::new();
+            let mut w = WordWriter::new(&mut bytes);
+            let written = bv.write_to(&mut w).unwrap();
+            assert_eq!(written * 8, bytes.len());
+
+            let owned = BitVec::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
+            assert_eq!(owned, bv);
+
+            let words: Vec<u64> =
+                bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+            let view = BitVecView::read_from(&mut WordCursor::new(&words)).unwrap();
+            assert_eq!(view, bv);
+            if !bv.is_empty() {
+                assert_eq!(view.get(0), bv.get(0));
+                assert_eq!(view.count_ones(), bv.count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_tail_bits_rejected() {
+        use crate::io::WordCursor;
+        // len = 3 but a bit beyond position 3 is set.
+        let words = [3u64, 1, 0b1000];
+        assert_eq!(
+            BitVecView::read_from(&mut WordCursor::new(&words)),
+            Err(DecodeError::Invalid("bit vector tail bits set"))
+        );
+        // Word count below what len needs.
+        let words = [100u64, 1, 0];
+        assert_eq!(
+            BitVecView::read_from(&mut WordCursor::new(&words)),
+            Err(DecodeError::Invalid("bit vector word count"))
+        );
     }
 }
 

@@ -7,24 +7,30 @@
 //! search to the right block followed by a bounded sequential decode.
 
 use crate::bitvec::BitVec;
+use crate::io::{DecodeError, WordSource, WordWriter};
 
 /// Number of values per compressed block (matching SNARF's engineering).
 pub const DEFAULT_BLOCK_SIZE: usize = 128;
 
 /// A monotone `u64` sequence stored as Rice-coded gaps in fixed-size blocks.
+///
+/// Generic over the word store like every structure in this crate;
+/// [`GolombRiceSeqView`] decodes straight out of a loaded buffer.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct GolombRiceSeq {
+pub struct GolombRiceSeq<S = Vec<u64>> {
     n: usize,
     rice_param: usize,
     block_size: usize,
-    data: BitVec,
+    data: BitVec<S>,
     /// Bit offset into `data` where each block's payload starts.
-    block_offsets: Vec<u64>,
+    block_offsets: S,
     /// First value of each block (stored verbatim, not in the payload).
-    block_first: Vec<u64>,
+    block_first: S,
     last: u64,
 }
+
+/// A Rice-coded sequence borrowing its storage from a loaded buffer.
+pub type GolombRiceSeqView<'a> = GolombRiceSeq<&'a [u64]>;
 
 impl GolombRiceSeq {
     /// Encodes a non-decreasing sequence with the given Rice parameter and
@@ -87,6 +93,18 @@ impl GolombRiceSeq {
             (universe / n as u64).ilog2() as usize
         }
     }
+}
+
+impl<S: AsRef<[u64]>> GolombRiceSeq<S> {
+    #[inline]
+    fn offsets(&self) -> &[u64] {
+        self.block_offsets.as_ref()
+    }
+
+    #[inline]
+    fn firsts(&self) -> &[u64] {
+        self.block_first.as_ref()
+    }
 
     /// Number of stored values.
     #[inline]
@@ -116,6 +134,12 @@ impl GolombRiceSeq {
             let remaining = self.data.len() - pos;
             let chunk = remaining.min(64);
             debug_assert!(chunk > 0, "ran off the end of the Rice stream");
+            if chunk == 0 {
+                // Unreachable on well-formed streams (the load-time offset
+                // checks and the encoder both prevent it); terminate with a
+                // degenerate gap rather than spinning on damaged data.
+                return (q << self.rice_param, pos);
+            }
             let w = self.data.get_bits(pos, chunk);
             if w == 0 {
                 q += chunk as u64;
@@ -141,17 +165,17 @@ impl GolombRiceSeq {
             return None;
         }
         // Number of blocks whose first value is <= y.
-        let bi = self.block_first.partition_point(|&f| f <= y);
+        let bi = self.firsts().partition_point(|&f| f <= y);
         if bi == 0 {
-            return Some(self.block_first[0]);
+            return Some(self.firsts()[0]);
         }
         let block = bi - 1;
-        let mut cur = self.block_first[block];
+        let mut cur = self.firsts()[block];
         if cur >= y {
             return Some(cur);
         }
         let in_block = (self.n - block * self.block_size).min(self.block_size);
-        let mut pos = self.block_offsets[block] as usize;
+        let mut pos = self.offsets()[block] as usize;
         for _ in 1..in_block {
             let (gap, new_pos) = self.decode_gap(pos);
             pos = new_pos;
@@ -161,7 +185,7 @@ impl GolombRiceSeq {
             }
         }
         // Successor must start a later block.
-        self.block_first.get(block + 1).copied()
+        self.firsts().get(block + 1).copied()
     }
 
     /// Whether any stored value lies in the closed interval `[a, b]`.
@@ -186,8 +210,8 @@ impl GolombRiceSeq {
                 return None;
             }
             if idx_in_block == 0 {
-                cur = self.block_first[block];
-                pos = self.block_offsets[block] as usize;
+                cur = self.firsts()[block];
+                pos = self.offsets()[block] as usize;
             } else {
                 let (gap, new_pos) = self.decode_gap(pos);
                 pos = new_pos;
@@ -205,13 +229,87 @@ impl GolombRiceSeq {
 
     /// Total heap size in bits, including the block directory.
     pub fn size_in_bits(&self) -> usize {
-        self.data.size_in_bits() + (self.block_offsets.len() + self.block_first.len()) * 64
+        self.data.size_in_bits() + (self.offsets().len() + self.firsts().len()) * 64
     }
 
     /// The Rice parameter used for the gap remainders.
     #[inline]
     pub fn rice_param(&self) -> usize {
         self.rice_param
+    }
+
+    /// Serializes as `[n, rice_param, block_size, last] + data +
+    /// [n_blocks, offsets…] + [n_blocks, firsts…]`. Returns the word count.
+    pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
+        let before = w.words_written();
+        w.word(self.n as u64)?;
+        w.word(self.rice_param as u64)?;
+        w.word(self.block_size as u64)?;
+        w.word(self.last)?;
+        self.data.write_to(w)?;
+        w.prefixed(self.offsets())?;
+        w.prefixed(self.firsts())?;
+        Ok(w.words_written() - before)
+    }
+
+    /// Reads back what [`GolombRiceSeq::write_to`] wrote; the block
+    /// directory comes back verbatim, never rebuilt.
+    pub fn read_from<Src: WordSource<Storage = S>>(src: &mut Src) -> Result<Self, DecodeError> {
+        let n = src.length()?;
+        let rice_param = src.length()?;
+        if rice_param >= 64 {
+            return Err(DecodeError::Invalid("Rice parameter above 63"));
+        }
+        let block_size = src.length()?;
+        if block_size == 0 {
+            return Err(DecodeError::Invalid("zero Rice block size"));
+        }
+        let last = src.word()?;
+        let data = BitVec::read_from(src)?;
+        let n_blocks = n.div_ceil(block_size);
+        let off_len = src.length()?;
+        if off_len != n_blocks {
+            return Err(DecodeError::Invalid("Rice block offset count"));
+        }
+        let block_offsets = src.take(off_len)?;
+        let first_len = src.length()?;
+        if first_len != n_blocks {
+            return Err(DecodeError::Invalid("Rice block first-value count"));
+        }
+        let block_first = src.take(first_len)?;
+        // Offsets are bit positions into `data`: an out-of-range one would
+        // make the gap decoder read past the stream at query time. An
+        // offset *equal* to `data.len()` is legitimate only for a block
+        // with no gap payload (a single-value tail block).
+        for (i, &off) in block_offsets.as_ref().iter().enumerate() {
+            let in_block = (n - i * block_size).min(block_size);
+            let out_of_range =
+                off > data.len() as u64 || (in_block > 1 && off == data.len() as u64);
+            if out_of_range {
+                return Err(DecodeError::Invalid("Rice block offset out of range"));
+            }
+        }
+        Ok(Self {
+            n,
+            rice_param,
+            block_size,
+            data,
+            block_offsets,
+            block_first,
+            last,
+        })
+    }
+}
+
+impl<S1: AsRef<[u64]>, S2: AsRef<[u64]>> PartialEq<GolombRiceSeq<S2>> for GolombRiceSeq<S1> {
+    fn eq(&self, other: &GolombRiceSeq<S2>) -> bool {
+        self.n == other.n
+            && self.rice_param == other.rice_param
+            && self.block_size == other.block_size
+            && self.last == other.last
+            && self.data == other.data
+            && self.offsets() == other.offsets()
+            && self.firsts() == other.firsts()
     }
 }
 

@@ -1,20 +1,24 @@
 //! A packed vector of fixed-width integers.
 
 use crate::bitvec::BitVec;
+use crate::io::{DecodeError, WordSource, WordWriter};
 
 /// A vector of `len` integers, each stored in exactly `width` bits
 /// (`0 <= width <= 64`).
 ///
 /// This is the array `V` of low parts in the paper's Elias–Fano layout
 /// (Figure 2), but it is generally useful: the FST uses it for value slots and
-/// SNARF for spline bookkeeping.
+/// SNARF for spline bookkeeping. Generic over the word store like
+/// [`BitVec`]; [`IntVecView`] reads straight out of a loaded buffer.
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct IntVec {
-    bits: BitVec,
+pub struct IntVec<S = Vec<u64>> {
+    bits: BitVec<S>,
     width: usize,
     len: usize,
 }
+
+/// A packed integer vector borrowing its words from a loaded buffer.
+pub type IntVecView<'a> = IntVec<&'a [u64]>;
 
 impl IntVec {
     /// Creates an empty vector of `width`-bit integers.
@@ -49,6 +53,35 @@ impl IntVec {
         v
     }
 
+    /// Appends a value.
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in `width` bits.
+    #[inline]
+    pub fn push(&mut self, value: u64) {
+        self.bits.push_bits(value, self.width);
+        self.len += 1;
+    }
+
+    /// Overwrites the `i`-th value.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.bits.set_bits(i * self.width, value, self.width);
+    }
+
+    /// Smallest width able to represent `value`.
+    #[inline]
+    pub fn width_for(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+}
+
+impl<S: AsRef<[u64]>> IntVec<S> {
     /// The width in bits of each element.
     #[inline]
     pub fn width(&self) -> usize {
@@ -67,16 +100,6 @@ impl IntVec {
         self.len == 0
     }
 
-    /// Appends a value.
-    ///
-    /// # Panics
-    /// Panics if `value` does not fit in `width` bits.
-    #[inline]
-    pub fn push(&mut self, value: u64) {
-        self.bits.push_bits(value, self.width);
-        self.len += 1;
-    }
-
     /// Returns the `i`-th value.
     ///
     /// # Panics
@@ -85,13 +108,6 @@ impl IntVec {
     pub fn get(&self, i: usize) -> u64 {
         assert!(i < self.len, "index {i} out of range {}", self.len);
         self.bits.get_bits(i * self.width, self.width)
-    }
-
-    /// Overwrites the `i`-th value.
-    #[inline]
-    pub fn set(&mut self, i: usize, value: u64) {
-        assert!(i < self.len, "index {i} out of range {}", self.len);
-        self.bits.set_bits(i * self.width, value, self.width);
     }
 
     /// Iterator over the values.
@@ -104,14 +120,34 @@ impl IntVec {
         self.bits.size_in_bits() + 128 // width + len bookkeeping
     }
 
-    /// Smallest width able to represent `value`.
-    #[inline]
-    pub fn width_for(value: u64) -> usize {
-        if value == 0 {
-            0
-        } else {
-            64 - value.leading_zeros() as usize
+    /// Serializes as `[width, len] + bits`. Returns the word count.
+    pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
+        let before = w.words_written();
+        w.word(self.width as u64)?;
+        w.word(self.len as u64)?;
+        self.bits.write_to(w)?;
+        Ok(w.words_written() - before)
+    }
+
+    /// Reads back what [`IntVec::write_to`] wrote; storage kind follows the
+    /// source as in [`BitVec::read_from`].
+    pub fn read_from<Src: WordSource<Storage = S>>(src: &mut Src) -> Result<Self, DecodeError> {
+        let width = src.length()?;
+        if width > 64 {
+            return Err(DecodeError::Invalid("integer width above 64"));
         }
+        let len = src.length()?;
+        let bits = BitVec::read_from(src)?;
+        if bits.len() != width.checked_mul(len).ok_or(DecodeError::Invalid("length overflow"))? {
+            return Err(DecodeError::Invalid("packed integer bit count"));
+        }
+        Ok(Self { bits, width, len })
+    }
+}
+
+impl<S1: AsRef<[u64]>, S2: AsRef<[u64]>> PartialEq<IntVec<S2>> for IntVec<S1> {
+    fn eq(&self, other: &IntVec<S2>) -> bool {
+        self.width == other.width && self.len == other.len && self.bits == other.bits
     }
 }
 
@@ -171,5 +207,42 @@ mod tests {
     fn push_too_wide_panics() {
         let mut iv = IntVec::new(4);
         iv.push(16);
+    }
+
+    #[test]
+    fn serialization_roundtrips_owned_and_view() {
+        use crate::io::{ReadSource, WordCursor};
+        for width in [0usize, 5, 13, 64] {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> = (0..150u64).map(|i| i.wrapping_mul(0xABCDE12345) & mask).collect();
+            let iv = IntVec::from_slice(width, &values);
+            let mut bytes = Vec::new();
+            iv.write_to(&mut WordWriter::new(&mut bytes)).unwrap();
+
+            let owned = IntVec::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
+            assert_eq!(owned, iv, "width {width}");
+            let words: Vec<u64> =
+                bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+            let view = IntVecView::read_from(&mut WordCursor::new(&words)).unwrap();
+            assert_eq!(view, iv, "width {width}");
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(view.get(i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_width_rejected() {
+        use crate::io::WordCursor;
+        let iv = IntVec::from_slice(8, &[1, 2, 3]);
+        let mut bytes = Vec::new();
+        iv.write_to(&mut WordWriter::new(&mut bytes)).unwrap();
+        let mut words: Vec<u64> =
+            bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        words[0] = 65;
+        assert_eq!(
+            IntVecView::read_from(&mut WordCursor::new(&words)),
+            Err(DecodeError::Invalid("integer width above 64"))
+        );
     }
 }

@@ -1,0 +1,372 @@
+//! Word-oriented serialization primitives shared by every persistent
+//! structure in the workspace.
+//!
+//! The on-disk unit is the little-endian `u64` word: every structure's
+//! encoding is a flat word sequence, so a serialized blob can be parsed
+//! either *owned* (words copied out of any [`std::io::Read`] source, via
+//! [`ReadSource`]) or *zero-copy* (sub-slices borrowed straight out of an
+//! in-memory `&[u64]` buffer, via [`WordCursor`]). The two paths share one
+//! set of `read_from` implementations through the [`WordSource`]
+//! abstraction, whose associated `Storage` type is what the parsed
+//! structure ends up backed by — `Vec<u64>` or `&[u64]`.
+
+use std::io;
+
+/// Errors produced while decoding a word stream.
+///
+/// These are storage-level errors; `grafite-core` wraps them into its typed
+/// `FilterError` variants at the filter boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the structure was complete.
+    Truncated {
+        /// Words the decoder needed.
+        needed: usize,
+        /// Words actually available.
+        have: usize,
+    },
+    /// A decoded field is structurally impossible (e.g. a bit width above
+    /// 64). Carries a short static description.
+    Invalid(&'static str),
+    /// The underlying reader failed (owned loading only).
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(f, "truncated word stream: needed {needed} words, have {have}")
+            }
+            DecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
+            DecodeError::Io(kind) => write!(f, "i/o error while decoding: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A counting writer of little-endian `u64` words over any byte sink.
+///
+/// Non-generic (the sink is a `&mut dyn Write`) so persistence traits using
+/// it stay object-safe.
+pub struct WordWriter<'a> {
+    out: &'a mut dyn io::Write,
+    words: usize,
+}
+
+impl<'a> WordWriter<'a> {
+    /// Wraps a byte sink.
+    pub fn new(out: &'a mut dyn io::Write) -> Self {
+        Self { out, words: 0 }
+    }
+
+    /// Writes one word.
+    #[inline]
+    pub fn word(&mut self, w: u64) -> io::Result<()> {
+        self.out.write_all(&w.to_le_bytes())?;
+        self.words += 1;
+        Ok(())
+    }
+
+    /// Writes a slice of words.
+    pub fn words(&mut self, ws: &[u64]) -> io::Result<()> {
+        for &w in ws {
+            self.out.write_all(&w.to_le_bytes())?;
+        }
+        self.words += ws.len();
+        Ok(())
+    }
+
+    /// Writes a length-prefixed word slice: `[len, w_0, …, w_{len-1}]`.
+    pub fn prefixed(&mut self, ws: &[u64]) -> io::Result<()> {
+        self.word(ws.len() as u64)?;
+        self.words(ws)
+    }
+
+    /// Writes `bytes` packed into words (little-endian, zero-padded to the
+    /// next word boundary). The *byte* length is not written; pair with an
+    /// explicit length word and [`WordSource::take_bytes`].
+    pub fn bytes_padded(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.word(u64::from_le_bytes(w))?;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.word(u64::from_le_bytes(w))?;
+        }
+        Ok(())
+    }
+
+    /// Number of words written so far.
+    #[inline]
+    pub fn words_written(&self) -> usize {
+        self.words
+    }
+}
+
+/// A source of decode words, abstracting over owned and borrowed parsing.
+///
+/// `Storage` is what bulk reads come back as — `&[u64]` for the zero-copy
+/// [`WordCursor`], `Vec<u64>` for the owned [`ReadSource`] — and is exactly
+/// the backing-store parameter of the succinct structures, so one
+/// `read_from` implementation serves both paths.
+pub trait WordSource {
+    /// Backing store bulk reads produce.
+    type Storage: AsRef<[u64]>;
+
+    /// Reads one word.
+    fn word(&mut self) -> Result<u64, DecodeError>;
+
+    /// Reads `n` words as a backing store.
+    fn take(&mut self, n: usize) -> Result<Self::Storage, DecodeError>;
+
+    /// Reads one word and checks it fits a `usize` length/index.
+    fn length(&mut self) -> Result<usize, DecodeError> {
+        let w = self.word()?;
+        usize::try_from(w).map_err(|_| DecodeError::Invalid("length exceeds usize"))
+    }
+
+    /// Reads a word-padded byte run of `n` bytes (see
+    /// [`WordWriter::bytes_padded`]). Always owned: byte payloads (e.g.
+    /// trie labels) are stored owned even in view structures.
+    fn take_bytes(&mut self, n: usize) -> Result<Vec<u8>, DecodeError> {
+        let words = n.div_ceil(8);
+        let ws = self.take(words)?;
+        let mut out = Vec::with_capacity(words * 8);
+        for w in ws.as_ref() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(n);
+        Ok(out)
+    }
+}
+
+/// Zero-copy word source over an in-memory word buffer: [`WordSource::take`]
+/// returns sub-slices borrowing from the buffer, so structures parsed from
+/// it are views that share the buffer's memory (the mmap-style load path).
+#[derive(Clone, Debug)]
+pub struct WordCursor<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordCursor<'a> {
+    /// Starts a cursor at the beginning of `words`.
+    pub fn new(words: &'a [u64]) -> Self {
+        Self { words, pos: 0 }
+    }
+
+    /// Words consumed so far.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Words left.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+}
+
+impl<'a> WordSource for WordCursor<'a> {
+    type Storage = &'a [u64];
+
+    #[inline]
+    fn word(&mut self) -> Result<u64, DecodeError> {
+        let w = *self.words.get(self.pos).ok_or(DecodeError::Truncated {
+            needed: self.pos + 1,
+            have: self.words.len(),
+        })?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u64], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Invalid("length overflow"))?;
+        if end > self.words.len() {
+            return Err(DecodeError::Truncated {
+                needed: end,
+                have: self.words.len(),
+            });
+        }
+        let s = &self.words[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+/// Owned word source over any byte reader; bulk reads allocate fresh
+/// `Vec<u64>` storage. This is the load path of
+/// `PersistentFilter::deserialize` in `grafite-core`.
+pub struct ReadSource<R: io::Read> {
+    inner: R,
+    words_read: usize,
+}
+
+impl<R: io::Read> ReadSource<R> {
+    /// Wraps a byte reader positioned at the start of a word stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            words_read: 0,
+        }
+    }
+
+    /// Words consumed so far.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.words_read
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], needed_words: usize) -> Result<(), DecodeError> {
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                DecodeError::Truncated {
+                    needed: self.words_read + needed_words,
+                    have: self.words_read,
+                }
+            } else {
+                DecodeError::Io(e.kind())
+            }
+        })
+    }
+}
+
+impl<R: io::Read> WordSource for ReadSource<R> {
+    type Storage = Vec<u64>;
+
+    fn word(&mut self) -> Result<u64, DecodeError> {
+        let mut buf = [0u8; 8];
+        self.read_exact(&mut buf, 1)?;
+        self.words_read += 1;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn take(&mut self, n: usize) -> Result<Vec<u64>, DecodeError> {
+        // Bulk reads in bounded chunks: one read_exact per chunk instead of
+        // one per word, while a corrupt (huge) length prefix read from an
+        // unchecksummed stream cannot demand an arbitrary up-front
+        // allocation.
+        const CHUNK_WORDS: usize = 1 << 15;
+        let start = self.words_read;
+        let mut out = Vec::with_capacity(n.min(CHUNK_WORDS));
+        let mut buf = vec![0u8; n.min(CHUNK_WORDS) * 8];
+        let mut remaining = n;
+        while remaining > 0 {
+            let chunk = remaining.min(CHUNK_WORDS);
+            let bytes = &mut buf[..chunk * 8];
+            self.inner.read_exact(bytes).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    DecodeError::Truncated {
+                        needed: start + n,
+                        have: self.words_read,
+                    }
+                } else {
+                    DecodeError::Io(e.kind())
+                }
+            })?;
+            out.extend(
+                bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
+            );
+            self.words_read += chunk;
+            remaining -= chunk;
+        }
+        Ok(out)
+    }
+}
+
+/// A byte sink that only counts: backs `serialized_bits` measurements
+/// without allocating.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingSink {
+    bytes: usize,
+}
+
+impl CountingSink {
+    /// A fresh zero-count sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes "written" so far.
+    #[inline]
+    pub fn bytes_written(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl io::Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes += buf.len();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_counts_and_roundtrips() {
+        let mut buf = Vec::new();
+        let mut w = WordWriter::new(&mut buf);
+        w.word(7).unwrap();
+        w.prefixed(&[1, 2, 3]).unwrap();
+        w.bytes_padded(b"hello").unwrap();
+        assert_eq!(w.words_written(), 6);
+        assert_eq!(buf.len(), 48);
+
+        let words: Vec<u64> =
+            buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let mut cur = WordCursor::new(&words);
+        assert_eq!(cur.word().unwrap(), 7);
+        let n = cur.length().unwrap();
+        assert_eq!(cur.take(n).unwrap(), &[1, 2, 3]);
+        assert_eq!(cur.take_bytes(5).unwrap(), b"hello");
+        assert_eq!(cur.remaining(), 0);
+
+        let mut src = ReadSource::new(buf.as_slice());
+        assert_eq!(src.word().unwrap(), 7);
+        let n = src.length().unwrap();
+        assert_eq!(src.take(n).unwrap(), vec![1, 2, 3]);
+        assert_eq!(src.take_bytes(5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let words = [1u64, 2];
+        let mut cur = WordCursor::new(&words);
+        cur.take(2).unwrap();
+        assert_eq!(
+            cur.word(),
+            Err(DecodeError::Truncated { needed: 3, have: 2 })
+        );
+        let mut cur = WordCursor::new(&words);
+        assert_eq!(
+            cur.take(5),
+            Err(DecodeError::Truncated { needed: 5, have: 2 })
+        );
+        let bytes = 7u64.to_le_bytes();
+        let mut src = ReadSource::new(&bytes[..4]);
+        assert!(matches!(src.word(), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        let mut w = WordWriter::new(&mut sink);
+        w.words(&[0; 10]).unwrap();
+        assert_eq!(sink.bytes_written(), 80);
+    }
+}

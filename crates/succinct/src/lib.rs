@@ -18,6 +18,17 @@
 //!
 //! All structures are deterministic, allocation-conscious, and extensively
 //! unit- and property-tested against naive references.
+//!
+//! # Persistence
+//!
+//! Every structure is generic over its word store (`S: AsRef<[u64]>`,
+//! defaulting to `Vec<u64>`) and serializes to a flat little-endian `u64`
+//! stream through a `write_to` / `read_from` pair built on the [`io`]
+//! module. Rank/select directories travel with the bits and are read back
+//! **verbatim** — loading never rebuilds them — and parsing from an
+//! in-memory buffer through [`io::WordCursor`] yields borrowed *views*
+//! ([`BitVecView`], [`EliasFanoView`], …) that answer queries zero-copy,
+//! straight out of the loaded buffer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,13 +38,14 @@ pub mod broadword;
 pub mod elias_fano;
 pub mod golomb;
 pub mod intvec;
+pub mod io;
 pub mod rs_bitvec;
 
-pub use bitvec::BitVec;
-pub use elias_fano::EliasFano;
-pub use golomb::GolombRiceSeq;
-pub use intvec::IntVec;
-pub use rs_bitvec::RsBitVec;
+pub use bitvec::{BitVec, BitVecView};
+pub use elias_fano::{EliasFano, EliasFanoView};
+pub use golomb::{GolombRiceSeq, GolombRiceSeqView};
+pub use intvec::{IntVec, IntVecView};
+pub use rs_bitvec::{RsBitVec, RsBitVecView};
 
 /// Number of bits in a machine word used throughout the crate.
 pub const WORD_BITS: usize = 64;

@@ -9,9 +9,16 @@
 //! select. This is the classic engineering trade-off described by
 //! Navarro \[28\] and used by all the filters in the paper; queries are
 //! `O(1)` amortised at our densities.
+//!
+//! Like every structure in this crate, `RsBitVec` is generic over its word
+//! store: the rank/select directories serialize alongside the bits and are
+//! read back **verbatim** — loading never recomputes them, and the
+//! [`RsBitVecView`] variant answers queries directly out of a loaded
+//! buffer.
 
 use crate::bitvec::BitVec;
 use crate::broadword::select_in_word;
+use crate::io::{DecodeError, WordSource, WordWriter};
 use crate::WORD_BITS;
 
 const BLOCK_WORDS: usize = 8;
@@ -20,19 +27,22 @@ const SELECT_SAMPLE: usize = 512;
 
 /// An immutable rank/select bit vector.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct RsBitVec {
-    bits: BitVec,
+pub struct RsBitVec<S = Vec<u64>> {
+    bits: BitVec<S>,
     /// `blocks[b]` = number of ones in bits `[0, b * 512)`; one sentinel entry
     /// at the end holding the total.
-    blocks: Vec<u64>,
+    blocks: S,
     /// `select1_hints[i]` = index of the block containing the
     /// `(i * SELECT_SAMPLE)`-th one.
-    select1_hints: Vec<u64>,
+    select1_hints: S,
     /// Same for zeros.
-    select0_hints: Vec<u64>,
+    select0_hints: S,
     ones: usize,
 }
+
+/// A rank/select bit vector whose bits *and* directories borrow from a
+/// loaded `&[u64]` buffer.
+pub type RsBitVecView<'a> = RsBitVec<&'a [u64]>;
 
 impl RsBitVec {
     /// Freezes `bits` and builds rank/select support.
@@ -81,6 +91,13 @@ impl RsBitVec {
             ones,
         }
     }
+}
+
+impl<S: AsRef<[u64]>> RsBitVec<S> {
+    #[inline]
+    fn block_dir(&self) -> &[u64] {
+        self.blocks.as_ref()
+    }
 
     /// Number of bits.
     #[inline]
@@ -114,7 +131,7 @@ impl RsBitVec {
 
     /// The underlying bit vector.
     #[inline]
-    pub fn bits(&self) -> &BitVec {
+    pub fn bits(&self) -> &BitVec<S> {
         &self.bits
     }
 
@@ -126,7 +143,7 @@ impl RsBitVec {
             return 0;
         }
         let block = pos / BLOCK_BITS;
-        let mut r = self.blocks[block] as usize;
+        let mut r = self.block_dir()[block] as usize;
         let first_word = block * BLOCK_WORDS;
         let last_word = pos / WORD_BITS;
         for w in first_word..last_word {
@@ -151,12 +168,13 @@ impl RsBitVec {
     /// Panics if `k >= count_ones()`.
     pub fn select1(&self, k: usize) -> usize {
         assert!(k < self.ones, "select1 rank {k} out of range {}", self.ones);
+        let blocks = self.block_dir();
         // Start from the sampled hint and scan the block directory forward.
-        let mut block = self.select1_hints[k / SELECT_SAMPLE] as usize;
-        while self.blocks[block + 1] as usize <= k {
+        let mut block = self.select1_hints.as_ref()[k / SELECT_SAMPLE] as usize;
+        while blocks[block + 1] as usize <= k {
             block += 1;
         }
-        let mut remaining = k - self.blocks[block] as usize;
+        let mut remaining = k - blocks[block] as usize;
         let first_word = block * BLOCK_WORDS;
         let last_word = self.bits.words().len();
         for w in first_word..last_word {
@@ -176,17 +194,18 @@ impl RsBitVec {
     pub fn select0(&self, k: usize) -> usize {
         let zeros = self.count_zeros();
         assert!(k < zeros, "select0 rank {k} out of range {zeros}");
-        let mut block = self.select0_hints[k / SELECT_SAMPLE] as usize;
+        let blocks = self.block_dir();
+        let mut block = self.select0_hints.as_ref()[k / SELECT_SAMPLE] as usize;
         // Zeros before block b+1 = min(len, (b+1)*512) - ones before it.
         loop {
             let bits_through = ((block + 1) * BLOCK_BITS).min(self.len());
-            let zeros_through = bits_through - self.blocks[block + 1] as usize;
+            let zeros_through = bits_through - blocks[block + 1] as usize;
             if zeros_through > k {
                 break;
             }
             block += 1;
         }
-        let zeros_before = (block * BLOCK_BITS).min(self.len()) - self.blocks[block] as usize;
+        let zeros_before = (block * BLOCK_BITS).min(self.len()) - blocks[block] as usize;
         let mut remaining = k - zeros_before;
         let first_word = block * BLOCK_WORDS;
         let last_word = self.bits.words().len();
@@ -207,14 +226,77 @@ impl RsBitVec {
     /// Heap size of the structure in bits, including the directories.
     pub fn size_in_bits(&self) -> usize {
         self.bits.size_in_bits()
-            + self.blocks.len() * 64
-            + self.select1_hints.len() * 64
-            + self.select0_hints.len() * 64
+            + self.block_dir().len() * 64
+            + self.select1_hints.as_ref().len() * 64
+            + self.select0_hints.as_ref().len() * 64
     }
 
     /// Size of the rank/select overhead only, in bits.
     pub fn overhead_in_bits(&self) -> usize {
         self.size_in_bits() - self.bits.size_in_bits()
+    }
+
+    /// Serializes bits **and** directories: `[ones] + bits + [n_blocks,
+    /// blocks…] + [n_h1, h1…] + [n_h0, h0…]`. Returns the word count.
+    pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
+        let before = w.words_written();
+        w.word(self.ones as u64)?;
+        self.bits.write_to(w)?;
+        w.prefixed(self.block_dir())?;
+        w.prefixed(self.select1_hints.as_ref())?;
+        w.prefixed(self.select0_hints.as_ref())?;
+        Ok(w.words_written() - before)
+    }
+
+    /// Reads back what [`RsBitVec::write_to`] wrote. The rank/select
+    /// directories come back verbatim from the stream — nothing is rebuilt,
+    /// which is what makes cold loads O(size) copies (owned) or O(1)
+    /// (borrowed view).
+    pub fn read_from<Src: WordSource<Storage = S>>(src: &mut Src) -> Result<Self, DecodeError> {
+        let ones = src.length()?;
+        let bits = BitVec::read_from(src)?;
+        if ones > bits.len() {
+            return Err(DecodeError::Invalid("rank directory total exceeds length"));
+        }
+        let n_blocks = crate::div_ceil(bits.len().max(1), BLOCK_BITS);
+        let blocks_len = src.length()?;
+        if blocks_len != n_blocks + 1 {
+            return Err(DecodeError::Invalid("rank directory block count"));
+        }
+        let blocks = src.take(blocks_len)?;
+        // The directory must be non-decreasing and close on the claimed
+        // total: that is what bounds `select`'s directory walk before the
+        // sentinel. O(n/512) at load, no popcounting.
+        {
+            let dir = blocks.as_ref();
+            if dir.windows(2).any(|w| w[0] > w[1]) || dir.last() != Some(&(ones as u64)) {
+                return Err(DecodeError::Invalid("rank directory inconsistent"));
+            }
+        }
+        let h1_len = src.length()?;
+        if h1_len != ones.div_ceil(SELECT_SAMPLE) {
+            return Err(DecodeError::Invalid("select1 hint count"));
+        }
+        let select1_hints = src.take(h1_len)?;
+        let zeros = bits.len() - ones;
+        let h0_len = src.length()?;
+        if h0_len != zeros.div_ceil(SELECT_SAMPLE) {
+            return Err(DecodeError::Invalid("select0 hint count"));
+        }
+        let select0_hints = src.take(h0_len)?;
+        // Hints are block indices: an out-of-range one would index past the
+        // directory at query time. O(hints) = O(n/512), negligible at load.
+        if select1_hints.as_ref().iter().chain(select0_hints.as_ref()).any(|&h| h >= n_blocks as u64)
+        {
+            return Err(DecodeError::Invalid("select hint out of range"));
+        }
+        Ok(Self {
+            bits,
+            blocks,
+            select1_hints,
+            select0_hints,
+            ones,
+        })
     }
 }
 
@@ -315,5 +397,76 @@ mod tests {
         let rs = RsBitVec::new((0..100).map(|i| i < 50).collect());
         assert_eq!(rs.rank1(100), 50);
         assert_eq!(rs.rank0(100), 50);
+    }
+
+    fn serialize(rs: &RsBitVec) -> Vec<u64> {
+        let mut bytes = Vec::new();
+        let mut w = WordWriter::new(&mut bytes);
+        rs.write_to(&mut w).unwrap();
+        bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_operation() {
+        use crate::io::{ReadSource, WordCursor};
+        let mut state = 5u64;
+        let pattern: Vec<bool> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state & 3 == 0
+            })
+            .collect();
+        let rs = RsBitVec::new(pattern.iter().copied().collect());
+        let words = serialize(&rs);
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+
+        let owned = RsBitVec::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
+        let view = RsBitVecView::read_from(&mut WordCursor::new(&words)).unwrap();
+        assert_eq!(owned.count_ones(), rs.count_ones());
+        assert_eq!(view.count_ones(), rs.count_ones());
+        for pos in (0..=rs.len()).step_by(97) {
+            assert_eq!(owned.rank1(pos), rs.rank1(pos));
+            assert_eq!(view.rank1(pos), rs.rank1(pos));
+        }
+        for k in (0..rs.count_ones()).step_by(101) {
+            assert_eq!(owned.select1(k), rs.select1(k));
+            assert_eq!(view.select1(k), rs.select1(k));
+        }
+        for k in (0..rs.count_zeros()).step_by(103) {
+            assert_eq!(owned.select0(k), rs.select0(k));
+            assert_eq!(view.select0(k), rs.select0(k));
+        }
+    }
+
+    /// Loading must use the serialized directories verbatim, not rebuild
+    /// them: tampering with a directory word visibly changes `rank1`, which
+    /// a rebuild would silently repair.
+    #[test]
+    fn load_is_rebuild_free() {
+        use crate::io::WordCursor;
+        let rs = RsBitVec::new((0..2048).map(|i| i % 2 == 0).collect());
+        let mut words = serialize(&rs);
+        // Layout: [ones][len][n_words][words…][n_blocks][blocks…]. Bump the
+        // *second* block-directory entry (ones before block 1) by one.
+        let dir_start = 1 + 2 + rs.bits().words().len() + 1;
+        words[dir_start + 1] += 1;
+        let view = RsBitVecView::read_from(&mut WordCursor::new(&words)).unwrap();
+        assert_eq!(
+            view.rank1(512),
+            rs.rank1(512) + 1,
+            "loaded rank must come from the stored directory"
+        );
+    }
+
+    #[test]
+    fn corrupt_directory_counts_rejected() {
+        use crate::io::WordCursor;
+        let rs = RsBitVec::new((0..100).map(|i| i < 50).collect());
+        let mut words = serialize(&rs);
+        words[0] = 1000; // ones > len
+        assert!(matches!(
+            RsBitVecView::read_from(&mut WordCursor::new(&words)),
+            Err(DecodeError::Invalid(_))
+        ));
     }
 }

@@ -1,10 +1,29 @@
 //! Property-based tests pitting the succinct structures against naive
-//! references on arbitrary inputs.
+//! references on arbitrary inputs, including serialization round-trips
+//! through both the owned and the zero-copy view load paths.
 
 use std::collections::BTreeSet;
 
-use grafite_succinct::{BitVec, EliasFano, GolombRiceSeq, IntVec, RsBitVec};
+use grafite_succinct::io::{ReadSource, WordCursor, WordWriter};
+use grafite_succinct::{
+    BitVec, BitVecView, EliasFano, EliasFanoView, GolombRiceSeq, GolombRiceSeqView, IntVec,
+    IntVecView, RsBitVec, RsBitVecView,
+};
 use proptest::prelude::*;
+
+/// Serializes a structure through its `write_to` and returns both byte and
+/// word images of the stream.
+fn serialize(write: impl FnOnce(&mut WordWriter<'_>) -> std::io::Result<usize>) -> (Vec<u8>, Vec<u64>) {
+    let mut bytes = Vec::new();
+    let mut w = WordWriter::new(&mut bytes);
+    let words_written = write(&mut w).unwrap();
+    assert_eq!(words_written * 8, bytes.len(), "write_to word count drifted");
+    let words = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    (bytes, words)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -107,5 +126,100 @@ proptest! {
             pos += width;
         }
         prop_assert_eq!(bv.len(), pos);
+    }
+
+    #[test]
+    fn bitvec_serialization_roundtrip(pattern in prop::collection::vec(any::<bool>(), 0..2048)) {
+        let bv: BitVec = pattern.iter().copied().collect();
+        let (bytes, words) = serialize(|w| bv.write_to(w));
+        let owned = BitVec::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
+        let view = BitVecView::read_from(&mut WordCursor::new(&words)).unwrap();
+        prop_assert!(owned == bv);
+        prop_assert!(view == bv);
+        for (i, &b) in pattern.iter().enumerate() {
+            prop_assert_eq!(view.get(i), b);
+        }
+    }
+
+    #[test]
+    fn rsbitvec_serialization_roundtrip(pattern in prop::collection::vec(any::<bool>(), 1..2048)) {
+        let rs = RsBitVec::new(pattern.iter().copied().collect());
+        let (bytes, words) = serialize(|w| rs.write_to(w));
+        let owned = RsBitVec::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
+        let view = RsBitVecView::read_from(&mut WordCursor::new(&words)).unwrap();
+        prop_assert_eq!(owned.count_ones(), rs.count_ones());
+        prop_assert_eq!(view.count_ones(), rs.count_ones());
+        for pos in 0..=pattern.len() {
+            prop_assert_eq!(owned.rank1(pos), rs.rank1(pos));
+            prop_assert_eq!(view.rank1(pos), rs.rank1(pos));
+        }
+        for k in 0..rs.count_ones() {
+            prop_assert_eq!(view.select1(k), rs.select1(k));
+        }
+        for k in 0..rs.count_zeros() {
+            prop_assert_eq!(view.select0(k), rs.select0(k));
+        }
+    }
+
+    #[test]
+    fn intvec_serialization_roundtrip(
+        values in prop::collection::vec(any::<u64>(), 0..300),
+        width in 0usize..=64,
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let masked: Vec<u64> = values.iter().map(|v| v & mask).collect();
+        let iv = IntVec::from_slice(width, &masked);
+        let (bytes, words) = serialize(|w| iv.write_to(w));
+        let owned = IntVec::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
+        let view = IntVecView::read_from(&mut WordCursor::new(&words)).unwrap();
+        prop_assert!(owned == iv);
+        prop_assert!(view == iv);
+        let back: Vec<u64> = view.iter().collect();
+        prop_assert_eq!(back, masked);
+    }
+
+    #[test]
+    fn elias_fano_serialization_roundtrip(
+        mut values in prop::collection::vec(0u64..100_000, 0..600),
+        probes in prop::collection::vec(0u64..100_000, 1..100),
+        universe_slack in 1u64..1000,
+    ) {
+        values.sort_unstable();
+        let universe = values.last().copied().unwrap_or(0) + universe_slack;
+        let ef = EliasFano::new(&values, universe);
+        let (bytes, words) = serialize(|w| ef.write_to(w));
+        let owned = EliasFano::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
+        let view = EliasFanoView::read_from(&mut WordCursor::new(&words)).unwrap();
+        prop_assert!(owned == ef);
+        prop_assert!(view == ef);
+        for &y in &probes {
+            let y = y.min(universe - 1);
+            prop_assert_eq!(owned.predecessor(y), ef.predecessor(y));
+            prop_assert_eq!(view.predecessor(y), ef.predecessor(y));
+            prop_assert_eq!(view.successor(y), ef.successor(y));
+            prop_assert_eq!(view.rank(y), ef.rank(y));
+        }
+    }
+
+    #[test]
+    fn golomb_serialization_roundtrip(
+        mut values in prop::collection::vec(0u64..1_000_000, 0..500),
+        probes in prop::collection::vec(0u64..1_000_000, 1..100),
+        param in 0usize..12,
+        block_size in 1usize..200,
+    ) {
+        values.sort_unstable();
+        let seq = GolombRiceSeq::with_params(&values, param, block_size);
+        let (bytes, words) = serialize(|w| seq.write_to(w));
+        let owned = GolombRiceSeq::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
+        let view = GolombRiceSeqView::read_from(&mut WordCursor::new(&words)).unwrap();
+        prop_assert!(owned == seq);
+        prop_assert!(view == seq);
+        let decoded: Vec<u64> = view.iter().collect();
+        prop_assert_eq!(&decoded, &values);
+        for &y in &probes {
+            prop_assert_eq!(owned.successor(y), seq.successor(y));
+            prop_assert_eq!(view.successor(y), seq.successor(y));
+        }
     }
 }

@@ -55,6 +55,33 @@
 //!     assert!(filter.may_contain(keys[7]), "{} lost a key", filter.name());
 //! }
 //! ```
+//!
+//! ## Persistence
+//!
+//! Every filter also speaks the [`PersistentFilter`] protocol over a
+//! dependency-free, versioned flat-byte format (see
+//! [`grafite_core::persist`]): build offline, [`PersistentFilter::to_bytes`]
+//! the blob to disk or the network, and revive it anywhere with
+//! [`Registry::load`] — rank/select directories travel inside the blob, so
+//! loading never rebuilds anything, and
+//! [`GrafiteFilterView`](grafite_core::GrafiteFilterView) answers queries
+//! zero-copy straight out of a loaded word buffer:
+//!
+//! ```
+//! use grafite::{standard_registry, FilterConfig, FilterSpec, PersistentFilter};
+//!
+//! let keys: Vec<u64> = (0..2000u64).map(|i| i * 11_400_714_819).collect();
+//! let cfg = FilterConfig::new(&keys).bits_per_key(18.0);
+//! let registry = standard_registry();
+//! let built = registry.build(FilterSpec::Grafite, &cfg).unwrap();
+//!
+//! let blob = built.to_bytes();                  // ship this to your shards
+//! let served = registry.load(&blob).unwrap();   // self-describing: no spec needed
+//! assert!(served.may_contain(keys[7]));
+//! // Measured space — serialized bits over keys — is the honest
+//! // bits-per-key figure the bench harness reports.
+//! assert_eq!(served.serialized_bits(), blob.len() * 8);
+//! ```
 
 pub use grafite_bloom;
 pub use grafite_core;
@@ -66,6 +93,6 @@ pub use grafite_workloads;
 
 pub use grafite_core::{
     BucketingFilter, BuildableFilter, FilterConfig, FilterError, FilterSpec, GrafiteFilter,
-    KeyCodec, RangeFilter, Registry, StringGrafite,
+    KeyCodec, PersistentFilter, RangeFilter, Registry, StringGrafite,
 };
 pub use grafite_filters::standard_registry;

@@ -1,0 +1,223 @@
+//! Format-stability goldens: one small serialized filter per family is
+//! committed under `tests/golden/`, and this suite asserts current code
+//! still loads each one and answers the fixed probe workload exactly as
+//! recorded in `tests/golden/manifest.txt` — catching silent format breaks
+//! (a payload re-ordering, a changed directory layout, a checksum rule
+//! drift) that round-trip tests alone cannot see.
+//!
+//! Regenerate after an *intentional* format change (bump
+//! `grafite_core::persist::FORMAT_VERSION` first!) with:
+//!
+//! ```text
+//! cargo test --test format_golden -- --ignored regenerate_golden_files
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use grafite_core::registry::FilterSpec;
+use grafite_core::{FilterConfig, FilterError, PersistentFilter, StringGrafite};
+use grafite_filters::standard_registry;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// 257 deterministic keys — small enough for a few-KB blob per family,
+/// enough to exercise multi-block succinct structures.
+fn golden_keys() -> Vec<u64> {
+    let mut state = 0x601DEA_u64 ^ 0x9E3779B97F4A7C15;
+    (0..257)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        })
+        .collect()
+}
+
+fn golden_config(keys: &[u64]) -> (FilterConfig<'_>, Vec<(u64, u64)>) {
+    let sample: Vec<(u64, u64)> = (0..64u64).map(|i| (i << 40, (i << 40) + 31)).collect();
+    let cfg = FilterConfig::new(keys).bits_per_key(20.0).max_range(1 << 10).seed(0x601D);
+    (cfg, sample)
+}
+
+/// The fixed probe workload whose answer fingerprint is recorded in the
+/// manifest: key hits, near-misses, empties, and universe edges.
+fn golden_probes(keys: &[u64]) -> Vec<(u64, u64)> {
+    let mut probes = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        probes.push((k, k));
+        probes.push((k.saturating_add(2), k.saturating_add(33)));
+        let far = (i as u64).wrapping_mul(0xABCDEF9876543210);
+        probes.push((far, far.saturating_add(31)));
+    }
+    probes.push((0, 1 << 20));
+    probes.push((u64::MAX - (1 << 20), u64::MAX));
+    probes
+}
+
+/// FNV-1a over the answer booleans: the manifest's per-family fingerprint.
+fn fingerprint(answers: impl IntoIterator<Item = bool>) -> u64 {
+    let mut acc = 0xCBF2_9CE4_8422_2325u64;
+    for a in answers {
+        acc = (acc ^ (a as u64 + 1)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+fn families() -> Vec<(String, FilterSpec)> {
+    FilterSpec::ALL
+        .into_iter()
+        .map(|spec| (spec.label().to_lowercase().replace('-', "_"), spec))
+        .collect()
+}
+
+const STRING_GRAFITE_FILE: &str = "string_grafite";
+
+fn string_golden_words() -> Vec<String> {
+    (0..200).map(|i| format!("golden-{i:04}-key")).collect()
+}
+
+/// Writes every golden blob and the manifest. `#[ignore]`d: run explicitly
+/// (see module docs) only when the format intentionally changes.
+#[test]
+#[ignore = "regenerates the committed golden files; run explicitly on intentional format changes"]
+fn regenerate_golden_files() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let keys = golden_keys();
+    let (cfg, sample) = golden_config(&keys);
+    let cfg = cfg.sample(&sample);
+    let probes = golden_probes(&keys);
+    let registry = standard_registry();
+    let mut manifest = String::new();
+    for (name, spec) in families() {
+        let filter = registry.build(spec, &cfg).unwrap();
+        let blob = filter.to_bytes();
+        let mut answers = Vec::new();
+        filter.may_contain_ranges(&probes, &mut answers);
+        std::fs::write(dir.join(format!("{name}.bin")), &blob).unwrap();
+        manifest.push_str(&format!("{name} {} {:#018x}\n", filter.spec_id(), fingerprint(answers)));
+    }
+    // StringGrafite rides along: not a registry spec, but part of the
+    // format surface.
+    let sg = StringGrafite::new(&string_golden_words(), 14.0, 0x601D).unwrap();
+    let mut answers = Vec::new();
+    grafite_core::RangeFilter::may_contain_ranges(&sg, &probes, &mut answers);
+    std::fs::write(dir.join(format!("{STRING_GRAFITE_FILE}.bin")), sg.to_bytes()).unwrap();
+    manifest.push_str(&format!(
+        "{STRING_GRAFITE_FILE} {} {:#018x}\n",
+        sg.spec_id(),
+        fingerprint(answers)
+    ));
+    std::fs::write(dir.join("manifest.txt"), manifest).unwrap();
+}
+
+fn read_manifest() -> BTreeMap<String, (u32, u64)> {
+    let text = std::fs::read_to_string(golden_dir().join("manifest.txt"))
+        .expect("tests/golden/manifest.txt missing — run the regenerate test");
+    text.lines()
+        .map(|line| {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap().to_string();
+            let spec: u32 = parts.next().unwrap().parse().unwrap();
+            let fp = u64::from_str_radix(parts.next().unwrap().trim_start_matches("0x"), 16).unwrap();
+            (name, (spec, fp))
+        })
+        .collect()
+}
+
+#[test]
+fn committed_goldens_still_load_and_answer_identically() {
+    let keys = golden_keys();
+    let probes = golden_probes(&keys);
+    let registry = standard_registry();
+    let manifest = read_manifest();
+    for (name, spec) in families() {
+        let (want_spec, want_fp) = manifest[&name];
+        let blob = std::fs::read(golden_dir().join(format!("{name}.bin")))
+            .unwrap_or_else(|e| panic!("golden blob for {name} missing: {e}"));
+        let filter = registry
+            .load(&blob)
+            .unwrap_or_else(|e| panic!("golden {name} no longer loads: {e}"));
+        assert_eq!(filter.spec_id(), want_spec, "{name}: spec id drifted");
+        assert_eq!(filter.spec_id(), spec.spec_id(), "{name}: registry mapping drifted");
+        assert_eq!(filter.num_keys(), keys.len(), "{name}: key count drifted");
+        // No false negatives on the golden key set…
+        for &k in &keys {
+            assert!(filter.may_contain(k), "{name}: golden blob lost key {k}");
+        }
+        // …and the exact recorded answers on the full probe workload.
+        let mut answers = Vec::new();
+        filter.may_contain_ranges(&probes, &mut answers);
+        assert_eq!(
+            fingerprint(answers),
+            want_fp,
+            "{name}: loaded answers drifted from the committed fingerprint — \
+             the on-disk format changed semantically; if intentional, bump \
+             FORMAT_VERSION and regenerate"
+        );
+    }
+    // StringGrafite golden.
+    let (want_spec, want_fp) = manifest[STRING_GRAFITE_FILE];
+    let blob = std::fs::read(golden_dir().join(format!("{STRING_GRAFITE_FILE}.bin"))).unwrap();
+    let sg = StringGrafite::deserialize(&blob).expect("string_grafite golden no longer loads");
+    assert_eq!(sg.spec_id(), want_spec);
+    for w in string_golden_words() {
+        assert!(sg.may_contain(w.as_bytes()), "string golden lost {w}");
+    }
+    let mut answers = Vec::new();
+    grafite_core::RangeFilter::may_contain_ranges(&sg, &probes, &mut answers);
+    assert_eq!(fingerprint(answers), want_fp, "string_grafite answers drifted");
+}
+
+/// Corrupt, truncated, and wrong-version variants of a committed golden
+/// must come back as typed [`FilterError`]s — never a panic, never a
+/// silently wrong filter.
+#[test]
+fn corrupted_goldens_fail_typed() {
+    let registry = standard_registry();
+    let blob = std::fs::read(golden_dir().join("grafite.bin")).unwrap();
+
+    // Bad magic.
+    let mut bad = blob.clone();
+    bad[0] ^= 0x5A;
+    assert!(matches!(registry.load(&bad), Err(FilterError::BadMagic(_))));
+
+    // Wrong format version.
+    let mut bad = blob.clone();
+    bad[12] = bad[12].wrapping_add(1);
+    assert!(matches!(
+        registry.load(&bad),
+        Err(FilterError::UnsupportedFormatVersion { .. })
+    ));
+
+    // Unknown spec id.
+    let mut bad = blob.clone();
+    bad[8] = 250;
+    assert!(matches!(registry.load(&bad), Err(FilterError::UnknownSpecId(250))));
+
+    // Truncations: every prefix length must fail typed, never panic.
+    for cut in [0, 1, 8, 39, 40, 41, blob.len() / 2, blob.len() - 1] {
+        match registry.load(&blob[..cut]) {
+            Err(FilterError::TruncatedBuffer { .. }) => {}
+            Err(other) => panic!("truncation at {cut} gave error {other:?}"),
+            Ok(_) => panic!("truncation at {cut} unexpectedly loaded"),
+        }
+    }
+
+    // Payload bit-flips: the checksum catches every one of these probes.
+    for pos in [40usize, 48, blob.len() / 2, blob.len() - 1] {
+        let mut bad = blob.clone();
+        bad[pos] ^= 0x80;
+        assert!(
+            matches!(registry.load(&bad), Err(FilterError::ChecksumMismatch { .. })),
+            "flip at {pos} escaped the checksum"
+        );
+    }
+
+    // Header length field inflated beyond the buffer.
+    let mut bad = blob.clone();
+    bad[24] = bad[24].wrapping_add(1);
+    assert!(matches!(registry.load(&bad), Err(FilterError::TruncatedBuffer { .. })));
+}
