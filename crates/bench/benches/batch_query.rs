@@ -29,9 +29,14 @@ fn batch_query(c: &mut Criterion) {
         // Contract check outside the timed region: identical answers.
         let mut batched = Vec::new();
         filter.may_contain_ranges(&queries, &mut batched);
-        let singles: Vec<bool> =
-            queries.iter().map(|&(a, b)| filter.may_contain_range(a, b)).collect();
-        assert_eq!(batched, singles, "batch path diverged from the per-query path");
+        let singles: Vec<bool> = queries
+            .iter()
+            .map(|&(a, b)| filter.may_contain_range(a, b))
+            .collect();
+        assert_eq!(
+            batched, singles,
+            "batch path diverged from the per-query path"
+        );
 
         let mut group = c.benchmark_group("batch_query");
         group
@@ -46,9 +51,7 @@ fn batch_query(c: &mut Criterion) {
                 let mut out = Vec::with_capacity(queries.len());
                 b.iter(|| {
                     out.clear();
-                    out.extend(
-                        queries.iter().map(|&(a, b)| filter.may_contain_range(a, b)),
-                    );
+                    out.extend(queries.iter().map(|&(a, b)| filter.may_contain_range(a, b)));
                     out.len()
                 })
             },

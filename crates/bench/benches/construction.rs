@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use grafite_bench::registry::{build_filter, BuildCtx, FilterSpec};
+use grafite_bench::registry::{build_spec, FilterConfig, FilterSpec};
 use grafite_workloads::{datasets::Dataset, generate, uncorrelated_queries};
 
 fn construction(c: &mut Criterion) {
@@ -15,13 +15,11 @@ fn construction(c: &mut Criterion) {
         .iter()
         .map(|q| (q.lo, q.hi))
         .collect();
-    let ctx = BuildCtx {
-        keys: &keys,
-        bits_per_key: 20.0,
-        max_range: l,
-        sample: &sample,
-        seed: 42,
-    };
+    let cfg = FilterConfig::new(&keys)
+        .bits_per_key(20.0)
+        .max_range(l)
+        .sample(&sample)
+        .seed(42);
     let mut group = c.benchmark_group("construction");
     group
         .sample_size(10)
@@ -29,8 +27,8 @@ fn construction(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .throughput(Throughput::Elements(n as u64));
     for spec in FilterSpec::ALL_FIG3 {
-        group.bench_with_input(BenchmarkId::new(spec.label(), n), &ctx, |b, ctx| {
-            b.iter(|| std::hint::black_box(build_filter(spec, ctx).map(|f| f.size_in_bits())))
+        group.bench_with_input(BenchmarkId::new(spec.label(), n), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(build_spec(spec, cfg).map(|f| f.size_in_bits())))
         });
     }
     group.finish();

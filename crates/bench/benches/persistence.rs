@@ -26,7 +26,10 @@ fn persistence(c: &mut Criterion) {
         .iter()
         .map(|q| (q.lo, q.hi))
         .collect();
-    let cfg = FilterConfig::new(&keys).bits_per_key(16.0).max_range(1 << 10).sample(&sample);
+    let cfg = FilterConfig::new(&keys)
+        .bits_per_key(16.0)
+        .max_range(1 << 10)
+        .sample(&sample);
     let queries: Vec<(u64, u64)> = uncorrelated_queries(&keys, 4096, 32, 7)
         .iter()
         .map(|q| (q.lo, q.hi))
@@ -64,20 +67,28 @@ fn persistence(c: &mut Criterion) {
             .warm_up_time(Duration::from_millis(200))
             .measurement_time(Duration::from_secs(1))
             .throughput(Throughput::Bytes(blob.len() as u64));
-        group.bench_with_input(BenchmarkId::new("serialize", spec.label()), &filter, |bench, f| {
-            let mut buf = Vec::with_capacity(blob.len());
-            bench.iter(|| {
-                buf.clear();
-                f.serialize_into(&mut buf).expect("serialize");
-                black_box(buf.len())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("load", spec.label()), &blob, |bench, blob| {
-            bench.iter(|| {
-                let f = registry.load(black_box(blob)).expect("load");
-                black_box(f.num_keys())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("serialize", spec.label()),
+            &filter,
+            |bench, f| {
+                let mut buf = Vec::with_capacity(blob.len());
+                bench.iter(|| {
+                    buf.clear();
+                    f.serialize_into(&mut buf).expect("serialize");
+                    black_box(buf.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("load", spec.label()),
+            &blob,
+            |bench, blob| {
+                bench.iter(|| {
+                    let f = registry.load(black_box(blob)).expect("load");
+                    black_box(f.num_keys())
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("cold_query", spec.label()),
             &blob,

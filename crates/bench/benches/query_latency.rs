@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grafite_bench::registry::{build_filter, BuildCtx, FilterSpec};
+use grafite_bench::registry::{build_spec, FilterConfig, FilterSpec};
 use grafite_workloads::{datasets::Dataset, generate, uncorrelated_queries};
 
 fn query_latency(c: &mut Criterion) {
@@ -26,20 +26,18 @@ fn query_latency(c: &mut Criterion) {
             .iter()
             .map(|q| (q.lo, q.hi))
             .collect();
-        let ctx = BuildCtx {
-            keys: &keys,
-            bits_per_key: 20.0,
-            max_range: l,
-            sample: &sample,
-            seed: 42,
-        };
+        let cfg = FilterConfig::new(&keys)
+            .bits_per_key(20.0)
+            .max_range(l)
+            .sample(&sample)
+            .seed(42);
         for spec in FilterSpec::ALL_FIG3 {
             let spec = if spec == FilterSpec::SurfReal && l == 1 {
                 FilterSpec::SurfHash
             } else {
                 spec
             };
-            let Some(filter) = build_filter(spec, &ctx) else {
+            let Some(filter) = build_spec(spec, &cfg) else {
                 continue;
             };
             group.bench_with_input(

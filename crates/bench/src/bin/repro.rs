@@ -5,7 +5,7 @@
 //!                    [--data DIR] [--budgets 8,12,16,20,24,28]
 //!
 //! experiments:
-//!   fig1  fig3  fig4  fig5  fig6  fig7  table1  fb  normal_check
+//!   fig1  fig3  fig4  fig5  fig6  fig7  table1  fb  normal_check  serving
 //!   sort_ablation  ablation_pow2  ablation_snarf_overflow  ablation_batch
 //!   ablation_rosetta_tuning  ablation_bucketing  ablation_wa_bucketing  all
 //! ```
@@ -39,7 +39,10 @@ fn main() {
             "--budgets" => {
                 cfg.budgets = value
                     .split(',')
-                    .map(|s| s.parse().expect("--budgets expects comma-separated numbers"))
+                    .map(|s| {
+                        s.parse()
+                            .expect("--budgets expects comma-separated numbers")
+                    })
                     .collect();
             }
             _ => {
@@ -72,6 +75,7 @@ fn main() {
         "ablation_bucketing" => experiments::ablation_bucketing(&cfg),
         "ablation_wa_bucketing" => experiments::ablation_wa_bucketing(&cfg),
         "normal_check" => experiments::normal_check(&cfg),
+        "serving" => experiments::serving(&cfg),
         "all" => experiments::all(&cfg),
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -83,7 +87,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fb|normal_check|\
+        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fb|normal_check|serving|\
          sort_ablation|ablation_pow2|ablation_snarf_overflow|ablation_batch|\
          ablation_rosetta_tuning|ablation_bucketing|ablation_wa_bucketing|all> \
          [--n N] [--queries Q] [--seed S] [--out DIR] \

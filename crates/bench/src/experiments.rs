@@ -174,7 +174,9 @@ fn run_space_grid(cfg: &RunConfig, specs: &[FilterSpec], csv_name: &str) {
     println!("-- average query time per workload row (all budgets & sizes) --");
     let mut time_table = Table::new(&["workload", "filter", "avg ns/query"]);
     let mut entries: Vec<_> = avg_time.into_iter().collect();
-    entries.sort_by(|a, b| (a.0 .0, (a.1 .0 / a.1 .1 as f64) as u64).cmp(&(b.0 .0, (b.1 .0 / b.1 .1 as f64) as u64)));
+    entries.sort_by(|a, b| {
+        (a.0 .0, (a.1 .0 / a.1 .1 as f64) as u64).cmp(&(b.0 .0, (b.1 .0 / b.1 .1 as f64) as u64))
+    });
     for ((row, filter), (total, count)) in entries {
         time_table.row(vec![
             row.to_string(),
@@ -279,7 +281,11 @@ pub fn table1(cfg: &RunConfig) {
     let log_l_eps = (l as f64 / eps).log2(); // 16.64
     let b = log_l_eps + 2.0;
     let sample = queries_as_pairs(&uncorrelated_queries(&keys, 1024, l, cfg.seed ^ 0x7A));
-    let fc = FilterConfig::new(&keys).bits_per_key(b).max_range(l).sample(&sample).seed(cfg.seed);
+    let fc = FilterConfig::new(&keys)
+        .bits_per_key(b)
+        .max_range(l)
+        .sample(&sample)
+        .seed(cfg.seed);
     let mut table = Table::new(&["filter", "theory bits/key", "measured bits/key", "note"]);
     table.row(vec![
         "Lower bound (Thm 2.1)".into(),
@@ -294,19 +300,47 @@ pub fn table1(cfg: &RunConfig) {
         "not practical; +3n lower-order".into(),
     ]);
     for (spec, theory, note) in [
-        (FilterSpec::Grafite, log_l_eps + 2.0, "n log(L/eps) + 2n + o(n)"),
+        (
+            FilterSpec::Grafite,
+            log_l_eps + 2.0,
+            "n log(L/eps) + 2n + o(n)",
+        ),
         (FilterSpec::Rosetta, 1.44 * log_l_eps, "1.44 n log(L/eps)"),
-        (FilterSpec::TrivialBloom, 1.44 * log_l_eps, "point Bloom at eps/L, O(L) query"),
-        (FilterSpec::SurfReal, 10.0 + (b - 11.0).round(), "(10+m)n + 10z + o(n+z)"),
-        (FilterSpec::Snarf, (b - 2.4 - 1.4).max(1.0) + 2.4, "n log K + 2.4n"),
-        (FilterSpec::Bucketing, f64::NAN, "t(log(u/ts) + 2): data-dependent"),
+        (
+            FilterSpec::TrivialBloom,
+            1.44 * log_l_eps,
+            "point Bloom at eps/L, O(L) query",
+        ),
+        (
+            FilterSpec::SurfReal,
+            10.0 + (b - 11.0).round(),
+            "(10+m)n + 10z + o(n+z)",
+        ),
+        (
+            FilterSpec::Snarf,
+            (b - 2.4 - 1.4).max(1.0) + 2.4,
+            "n log K + 2.4n",
+        ),
+        (
+            FilterSpec::Bucketing,
+            f64::NAN,
+            "t(log(u/ts) + 2): data-dependent",
+        ),
         (FilterSpec::REncoder, f64::NAN, "O(n(k + log 1/eps))"),
-        (FilterSpec::Proteus, f64::NAN, "no closed formula (auto-tuned)"),
+        (
+            FilterSpec::Proteus,
+            f64::NAN,
+            "no closed formula (auto-tuned)",
+        ),
     ] {
         let measured = build_spec(spec, &fc)
             .map(|f| format!("{:.1}", f.bits_per_key()))
             .unwrap_or_else(|| "-".into());
-        let theory_s = if theory.is_nan() { "?".into() } else { format!("{theory:.1}") };
+        let theory_s = if theory.is_nan() {
+            "?".into()
+        } else {
+            format!("{theory:.1}")
+        };
         table.row(vec![spec.label().into(), theory_s, measured, note.into()]);
     }
     table.print();
@@ -330,7 +364,11 @@ pub fn fb(cfg: &RunConfig) {
     let mut table = Table::new(&["filter", "bits/key", "fpr"]);
     for &spec in &FilterSpec::ALL_FIG3 {
         let Some(filter) = build_spec(spec, &fc) else {
-            table.row(vec![spec.label().into(), "-".into(), "infeasible at 12".into()]);
+            table.row(vec![
+                spec.label().into(),
+                "-".into(),
+                "infeasible at 12".into(),
+            ]);
             continue;
         };
         let m = measure(filter.as_ref(), &queries);
@@ -361,7 +399,11 @@ pub fn sort_ablation(cfg: &RunConfig) {
         sort::std_sort(&mut v);
         v.len()
     });
-    table.row(vec!["std (pdqsort)".into(), format!("{:.1}", std_secs * 1e9 / n as f64), "1.0x".into()]);
+    table.row(vec![
+        "std (pdqsort)".into(),
+        format!("{:.1}", std_secs * 1e9 / n as f64),
+        "1.0x".into(),
+    ]);
     let (radix_secs, _) = time_it(|| {
         let mut v = keys.clone();
         sort::radix_sort(&mut v);
@@ -429,7 +471,10 @@ pub fn ablation_snarf_overflow(cfg: &RunConfig) {
     keys.sort_unstable();
     keys.dedup();
     let mut table = Table::new(&["model", "false negatives", "trials"]);
-    for (label, faithful) in [("u128-safe (ours)", false), ("u64 faithful (original)", true)] {
+    for (label, faithful) in [
+        ("u128-safe (ours)", false),
+        ("u64 faithful (original)", true),
+    ] {
         let filter = if faithful {
             Snarf::with_faithful_overflow(&keys, 16.0).unwrap()
         } else {
@@ -472,7 +517,10 @@ pub fn ablation_batch(cfg: &RunConfig) {
             .iter()
             .map(|&(lo, hi)| grafite_workloads::RangeQuery { lo, hi })
             .collect();
-        let fc = FilterConfig::new(&keys).bits_per_key(16.0).max_range(l).seed(cfg.seed);
+        let fc = FilterConfig::new(&keys)
+            .bits_per_key(16.0)
+            .max_range(l)
+            .seed(cfg.seed);
         for spec in [FilterSpec::Grafite, FilterSpec::Bucketing] {
             let Some(filter) = build_spec(spec, &fc) else {
                 continue;
@@ -480,7 +528,8 @@ pub fn ablation_batch(cfg: &RunConfig) {
             let scalar = measure(filter.as_ref(), &ranges);
             let batched = measure_batch(filter.as_ref(), &queries);
             assert_eq!(
-                scalar.positive_rate, batched.positive_rate,
+                scalar.positive_rate,
+                batched.positive_rate,
                 "{} batch answers diverged from the per-query path",
                 spec.label()
             );
@@ -610,7 +659,9 @@ pub fn ablation_wa_bucketing(cfg: &RunConfig) {
     let mut rng = grafite_workloads::WorkloadRng::new(cfg.seed ^ 0x3A);
     let propose = |rng: &mut grafite_workloads::WorkloadRng| {
         if rng.below(10) < 8 {
-            hot_center.saturating_sub(span / 2).saturating_add(rng.below(span))
+            hot_center
+                .saturating_sub(span / 2)
+                .saturating_add(rng.below(span))
         } else {
             rng.next_u64()
         }
@@ -635,12 +686,22 @@ pub fn ablation_wa_bucketing(cfg: &RunConfig) {
     }
     let mut table = Table::new(&["variant", "regions", "bits/key", "fpr", "ns/query"]);
     for &budget in &[6.0, 10.0, 14.0] {
-        let plain = BucketingFilter::builder().bits_per_key(budget).build(&keys).unwrap();
-        let aware =
-            grafite_core::WorkloadAwareBucketing::new(&keys, budget, &sample).unwrap();
+        let plain = BucketingFilter::builder()
+            .bits_per_key(budget)
+            .build(&keys)
+            .unwrap();
+        let aware = grafite_core::WorkloadAwareBucketing::new(&keys, budget, &sample).unwrap();
         for (label, f, regions) in [
-            ("plain", &plain as &dyn grafite_core::PersistentFilter, 1usize),
-            ("workload-aware", &aware as &dyn grafite_core::PersistentFilter, aware.num_regions()),
+            (
+                "plain",
+                &plain as &dyn grafite_core::PersistentFilter,
+                1usize,
+            ),
+            (
+                "workload-aware",
+                &aware as &dyn grafite_core::PersistentFilter,
+                aware.num_regions(),
+            ),
         ] {
             let m = measure(f, &queries);
             table.row(vec![
@@ -654,6 +715,149 @@ pub fn ablation_wa_bucketing(cfg: &RunConfig) {
     }
     table.print();
     let _ = table.write_csv(&cfg.out_dir, "ablation_wa_bucketing");
+}
+
+/// Serving-layer experiments over the `grafite-store` crate: concurrent
+/// snapshot query throughput (scaling the reader thread count past 4) and
+/// per-shard rebuild latency under update batches that dirty a controlled
+/// number of shards.
+pub fn serving(cfg: &RunConfig) {
+    use grafite_store::{FamilySpec, FilterStore, Partitioning, StoreConfig, Update};
+
+    println!("== Serving: concurrent snapshot throughput and shard rebuild latency ==");
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, cfg.n, cfg.seed, &cfg.data_dir);
+    let l = 32u64;
+    let queries = queries_as_pairs(&uncorrelated_queries(
+        &keys,
+        cfg.queries,
+        l,
+        cfg.seed ^ 0x5E17,
+    ));
+    let registry = crate::registry::standard();
+    let shards = 8usize;
+    let families = [
+        FamilySpec::Registry(FilterSpec::Grafite),
+        FamilySpec::Registry(FilterSpec::Bucketing),
+    ];
+
+    // Throughput: every thread queries its own clone of one immutable
+    // snapshot — the lock-free path a serving process lives on.
+    const REPS: usize = 5;
+    let mut throughput = Table::new(&[
+        "filter",
+        "partitioning",
+        "shards",
+        "threads",
+        "Mq/s",
+        "ns/query",
+    ]);
+    for family in families {
+        for partitioning in [
+            Partitioning::Range { shards },
+            Partitioning::Hash { shards },
+        ] {
+            let config = StoreConfig::new(family)
+                .bits_per_key(16.0)
+                .max_range(l)
+                .seed(cfg.seed)
+                .partitioning(partitioning);
+            let store = match FilterStore::build(registry, config, &keys) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("  [skip] {}: {e}", family.label());
+                    continue;
+                }
+            };
+            let partitioning_label = match partitioning {
+                Partitioning::Range { .. } => "range",
+                Partitioning::Hash { .. } => "hash",
+            };
+            for threads in [1usize, 2, 4, 8] {
+                let start = std::time::Instant::now();
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| {
+                            let snap = store.snapshot();
+                            let mut out = Vec::new();
+                            for _ in 0..REPS {
+                                snap.query_ranges(std::hint::black_box(&queries), &mut out);
+                                std::hint::black_box(out.len());
+                            }
+                        });
+                    }
+                });
+                let secs = start.elapsed().as_secs_f64();
+                let answered = (threads * REPS * queries.len()) as f64;
+                throughput.row(vec![
+                    family.label().to_string(),
+                    partitioning_label.to_string(),
+                    shards.to_string(),
+                    threads.to_string(),
+                    format!("{:.2}", answered / secs / 1e6),
+                    format!("{:.0}", secs * 1e9 / answered),
+                ]);
+            }
+        }
+    }
+    throughput.print();
+    let _ = throughput.write_csv(&cfg.out_dir, "serving_throughput");
+
+    // Rebuild latency: update batches crafted to dirty exactly k of the 8
+    // range-partitioned shards; each dirty shard rebuilds its filter from
+    // its retained keys, clean shards are shared by `Arc`.
+    let mut rebuild = Table::new(&[
+        "filter",
+        "dirty_shards",
+        "rebuilt_keys",
+        "ms_total",
+        "ms_per_shard",
+    ]);
+    for family in families {
+        let config = StoreConfig::new(family)
+            .bits_per_key(16.0)
+            .max_range(l)
+            .seed(cfg.seed)
+            .partitioning(Partitioning::Range { shards });
+        let store = match FilterStore::build(registry, config, &keys) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("  [skip] {}: {e}", family.label());
+                continue;
+            }
+        };
+        for dirty_target in [1usize, 2, 4, 8] {
+            let snap = store.snapshot();
+            let dirty_target = dirty_target.min(snap.num_shards());
+            // One fresh key per target shard dirties exactly that shard.
+            let mut inserts = Vec::with_capacity(dirty_target);
+            for s in 0..dirty_target {
+                let (lo, _) = snap.routing().shard_span(s);
+                let mut candidate = lo;
+                while snap.shards()[s].keys().binary_search(&candidate).is_ok() {
+                    candidate += 1;
+                }
+                inserts.push(Update::Insert(candidate));
+            }
+            let (secs, report) = time_it(|| {
+                store
+                    .apply(&inserts)
+                    .expect("rebuild under original config")
+            });
+            rebuild.row(vec![
+                family.label().to_string(),
+                report.dirty_shards.to_string(),
+                report.rebuilt_keys.to_string(),
+                format!("{:.2}", secs * 1e3),
+                format!("{:.2}", secs * 1e3 / report.dirty_shards.max(1) as f64),
+            ]);
+            // Undo outside the timed region so every row rebuilds from the
+            // same base.
+            let undo: Vec<Update> = inserts.iter().map(|u| Update::Delete(u.key())).collect();
+            store.apply(&undo).expect("undo");
+        }
+    }
+    rebuild.print();
+    let _ = rebuild.write_csv(&cfg.out_dir, "serving_rebuild");
 }
 
 /// Runs every experiment.
@@ -674,4 +878,5 @@ pub fn all(cfg: &RunConfig) {
     ablation_bucketing(cfg);
     ablation_wa_bucketing(cfg);
     normal_check(cfg);
+    serving(cfg);
 }

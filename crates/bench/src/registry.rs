@@ -31,9 +31,15 @@ pub fn build_spec(spec: FilterSpec, cfg: &FilterConfig<'_>) -> Option<Box<dyn Pe
 
 /// Everything a filter build may need.
 ///
-/// Superseded by [`FilterConfig`] (same fields, builder-style construction,
-/// lives in `grafite-core`); kept so pre-redesign call sites compile
-/// unchanged.
+/// **Deprecated (doc-level):** superseded by [`FilterConfig`] (same
+/// fields, builder-style construction, lives in `grafite-core`) for
+/// one-off builds, and by `grafite_store::StoreConfig` for serving
+/// deployments. No internal caller uses it anymore; it is kept only so
+/// pre-redesign downstream call sites compile unchanged, and may be
+/// removed in a future major version. New code should write
+/// `FilterConfig::new(keys).bits_per_key(..)` and go through
+/// [`standard`]`()`/[`build_spec`] — or `grafite_store::FilterStore` when
+/// it needs the build → serve → update → reload lifecycle.
 pub struct BuildCtx<'a> {
     /// The key set (sorted is fine, not required).
     pub keys: &'a [u64],
@@ -59,6 +65,40 @@ impl<'a> BuildCtx<'a> {
 }
 
 /// Legacy entry point over [`BuildCtx`]; thin delegation to [`build_spec`].
+///
+/// **Deprecated (doc-level):** see [`BuildCtx`] — use [`build_spec`] with a
+/// [`FilterConfig`] (or `grafite_store::FilterStore` for serving) instead.
 pub fn build_filter(spec: FilterSpec, ctx: &BuildCtx<'_>) -> Option<Box<dyn PersistentFilter>> {
     build_spec(spec, &ctx.to_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deprecated wrappers must stay faithful delegates for as long as
+    /// they exist: same filter, same answers as the registry path.
+    #[test]
+    fn legacy_wrappers_delegate_to_the_registry_path() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 999_983).collect();
+        let ctx = BuildCtx {
+            keys: &keys,
+            bits_per_key: 14.0,
+            max_range: 64,
+            sample: &[],
+            seed: 7,
+        };
+        let legacy = build_filter(FilterSpec::Grafite, &ctx).expect("feasible");
+        let cfg = FilterConfig::new(&keys)
+            .bits_per_key(14.0)
+            .max_range(64)
+            .seed(7);
+        let modern = build_spec(FilterSpec::Grafite, &cfg).expect("feasible");
+        assert_eq!(legacy.name(), modern.name());
+        assert_eq!(
+            legacy.to_bytes(),
+            modern.to_bytes(),
+            "wrapper built a different filter"
+        );
+    }
 }

@@ -1,10 +1,11 @@
 //! Smoke tests for the experiment harness plumbing: every registry spec
-//! builds (or declines) cleanly at every budget and answers soundly.
-//! Uses the legacy `BuildCtx`/`build_filter` wrappers on purpose — they
-//! must keep delegating correctly into `grafite_core::registry`.
+//! builds (or declines) cleanly at every budget and answers soundly,
+//! through the `FilterConfig`/`build_spec` registry path. (The doc-level
+//! deprecated `BuildCtx`/`build_filter` wrappers are covered by a
+//! delegation-equivalence unit test in `grafite_bench::registry`.)
 
 use grafite_bench::harness::{measure, RunConfig};
-use grafite_bench::registry::{build_filter, BuildCtx, FilterSpec};
+use grafite_bench::registry::{build_spec, FilterConfig, FilterSpec};
 use grafite_workloads::{datasets::Dataset, generate, non_empty_queries, uncorrelated_queries};
 
 const ALL_SPECS: [FilterSpec; 11] = [
@@ -30,15 +31,13 @@ fn every_spec_builds_and_answers_soundly() {
         .collect();
     let positives = non_empty_queries(&keys, 200, 32, 9);
     for budget in [8.0, 16.0, 28.0] {
-        let ctx = BuildCtx {
-            keys: &keys,
-            bits_per_key: budget,
-            max_range: 32,
-            sample: &sample,
-            seed: 7,
-        };
+        let cfg = FilterConfig::new(&keys)
+            .bits_per_key(budget)
+            .max_range(32)
+            .sample(&sample)
+            .seed(7);
         for spec in ALL_SPECS {
-            let Some(filter) = build_filter(spec, &ctx) else {
+            let Some(filter) = build_spec(spec, &cfg) else {
                 // Only SuRF may decline, and only below its space floor.
                 assert!(
                     matches!(spec, FilterSpec::SurfReal | FilterSpec::SurfHash) && budget < 12.0,
@@ -49,7 +48,8 @@ fn every_spec_builds_and_answers_soundly() {
             };
             let m = measure(filter.as_ref(), &positives);
             assert_eq!(
-                m.positive_rate, 1.0,
+                m.positive_rate,
+                1.0,
                 "{} lost keys at {budget} bits/key",
                 spec.label()
             );

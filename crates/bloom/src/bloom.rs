@@ -131,7 +131,9 @@ impl BloomFilter {
         let items = src.length()?;
         let bits = BitVec::read_from(src)?;
         if bits.len() as u64 != m {
-            return Err(DecodeError::Invalid("Bloom bit array length differs from m"));
+            return Err(DecodeError::Invalid(
+                "Bloom bit array length differs from m",
+            ));
         }
         Ok(Self {
             bits,

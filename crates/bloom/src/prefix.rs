@@ -130,7 +130,9 @@ mod tests {
 
     #[test]
     fn no_false_negatives_point_and_range() {
-        let keys: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(0xABCDEF1234567)).collect();
+        let keys: Vec<u64> = (0..200u64)
+            .map(|i| i.wrapping_mul(0xABCDEF1234567))
+            .collect();
         for prefix_len in [8u32, 24, 40, 64] {
             let mut f = PrefixBloomFilter::new(prefix_len, 1 << 14, 4, 3);
             for &k in &keys {
@@ -158,7 +160,10 @@ mod tests {
                 positives += 1;
             }
         }
-        assert!(positives < 200, "prefix bloom not filtering: {positives}/2000");
+        assert!(
+            positives < 200,
+            "prefix bloom not filtering: {positives}/2000"
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@
 
 use crate::bloom::BloomFilter;
 use grafite_core::persist::{spec_id, Header};
-use grafite_core::{
-    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
-};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter};
 use grafite_succinct::io::{WordSource, WordWriter};
 
 /// The trivial Bloom-filter-based range filter.
@@ -152,7 +150,9 @@ mod tests {
 
     #[test]
     fn fpr_bounded_by_epsilon() {
-        let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..2000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         let epsilon = 0.05;
@@ -188,6 +188,9 @@ mod tests {
         let f = TrivialRangeFilter::new(&keys, 0.01, 1024, 0);
         let bpk = f.bits_per_key();
         let theory = (1024f64 / 0.01).log2();
-        assert!(bpk > theory * 0.8 && bpk < theory * 1.8, "bpk {bpk} vs theory {theory}");
+        assert!(
+            bpk > theory * 0.8 && bpk < theory * 1.8,
+            "bpk {bpk} vs theory {theory}"
+        );
     }
 }

@@ -210,7 +210,7 @@ impl PersistentFilter for BucketingFilter {
     ) -> Result<Self, FilterError> {
         let s = src.word()?;
         if s == 0 {
-            return Err(FilterError::CorruptPayload("zero bucket size"));
+            return Err(FilterError::corrupt("zero bucket size"));
         }
         let buckets = EliasFano::read_from(src)?;
         Ok(Self {
@@ -263,7 +263,10 @@ mod tests {
         let keys = [3u64, 17, 64, 65, 900, 1023, 5000];
         let set: BTreeSet<u64> = keys.iter().copied().collect();
         for s in [1u64, 2, 7, 16, 100] {
-            let f = BucketingFilter::builder().bucket_size(s).build(&keys).unwrap();
+            let f = BucketingFilter::builder()
+                .bucket_size(s)
+                .build(&keys)
+                .unwrap();
             for a in (0..6000u64).step_by(13) {
                 for width in [0u64, 1, 5, 50, 500] {
                     let b = a + width;
@@ -287,7 +290,10 @@ mod tests {
             })
             .collect();
         for &bpk in &[4.0, 8.0, 16.0] {
-            let f = BucketingFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            let f = BucketingFilter::builder()
+                .bits_per_key(bpk)
+                .build(&keys)
+                .unwrap();
             for &k in keys.iter().step_by(11) {
                 assert!(f.may_contain(k));
                 assert!(f.may_contain_range(k.saturating_sub(100), k.saturating_add(100)));
@@ -299,7 +305,10 @@ mod tests {
     fn s_equal_one_is_exact_on_points() {
         // With s = 1 the encoding is lossless: point queries are exact.
         let keys = [10u64, 20, 30];
-        let f = BucketingFilter::builder().bucket_size(1).build(&keys).unwrap();
+        let f = BucketingFilter::builder()
+            .bucket_size(1)
+            .build(&keys)
+            .unwrap();
         for x in 0..50u64 {
             assert_eq!(f.may_contain(x), keys.contains(&x), "point {x}");
         }
@@ -316,7 +325,10 @@ mod tests {
             .collect();
         let mut last_s = 0u64;
         for &bpk in &[24.0, 16.0, 10.0, 6.0] {
-            let f = BucketingFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            let f = BucketingFilter::builder()
+                .bits_per_key(bpk)
+                .build(&keys)
+                .unwrap();
             assert!(
                 f.bits_per_key() <= bpk * 1.30 + 4.0,
                 "bpk target {bpk} produced {}",
@@ -332,7 +344,10 @@ mod tests {
         let f = BucketingFilter::builder().build(&[]).unwrap();
         assert!(!f.may_contain_range(0, u64::MAX));
 
-        let f = BucketingFilter::builder().bucket_size(1 << 40).build(&[u64::MAX, 0]).unwrap();
+        let f = BucketingFilter::builder()
+            .bucket_size(1 << 40)
+            .build(&[u64::MAX, 0])
+            .unwrap();
         assert!(f.may_contain(0));
         assert!(f.may_contain(u64::MAX));
     }
@@ -394,7 +409,9 @@ impl WorkloadAwareBucketing {
         sorted.sort_unstable();
 
         // Baseline bucket width from the plain budget search.
-        let plain = BucketingFilter::builder().bits_per_key(bits_per_key).build(keys)?;
+        let plain = BucketingFilter::builder()
+            .bits_per_key(bits_per_key)
+            .build(keys)?;
         let base_log2_s = plain.bucket_size().trailing_zeros();
 
         // Region boundaries: quantiles of the sampled query endpoints.
@@ -535,22 +552,22 @@ impl PersistentFilter for WorkloadAwareBucketing {
         let n = src.length()?;
         let region_starts = src.take(n)?;
         if region_starts.is_empty() {
-            return Err(FilterError::CorruptPayload("no bucketing regions"));
+            return Err(FilterError::corrupt("no bucketing regions"));
         }
         let n_widths = src.length()?;
         if n_widths != n {
-            return Err(FilterError::CorruptPayload("region table lengths differ"));
+            return Err(FilterError::corrupt("region table lengths differ"));
         }
         let mut region_log2_s = Vec::with_capacity(n);
         for w in src.take(n_widths)? {
             if w > 63 {
-                return Err(FilterError::CorruptPayload("region width exponent above 63"));
+                return Err(FilterError::corrupt("region width exponent above 63"));
             }
             region_log2_s.push(w as u32);
         }
         let n_offsets = src.length()?;
         if n_offsets != n {
-            return Err(FilterError::CorruptPayload("region table lengths differ"));
+            return Err(FilterError::corrupt("region table lengths differ"));
         }
         let region_offsets = src.take(n_offsets)?;
         let buckets = EliasFano::read_from(src)?;
@@ -608,7 +625,9 @@ mod workload_aware_tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state
             })
             .collect()
@@ -632,7 +651,11 @@ mod workload_aware_tests {
     #[test]
     fn no_false_negatives() {
         let keys = pseudo_keys(3000, 3);
-        let sample: Vec<u64> = keys.iter().step_by(10).map(|&k| k.saturating_add(5)).collect();
+        let sample: Vec<u64> = keys
+            .iter()
+            .step_by(10)
+            .map(|&k| k.saturating_add(5))
+            .collect();
         let f = WorkloadAwareBucketing::new(&keys, 12.0, &sample).unwrap();
         for &k in keys.iter().step_by(7) {
             assert!(f.may_contain(k));
@@ -668,10 +691,16 @@ mod workload_aware_tests {
             }
         }
 
-        let plain = BucketingFilter::builder().bits_per_key(6.0).build(&keys).unwrap();
+        let plain = BucketingFilter::builder()
+            .bits_per_key(6.0)
+            .build(&keys)
+            .unwrap();
         let aware = WorkloadAwareBucketing::new(&keys, 6.0, &sample).unwrap();
         let fpr = |f: &dyn RangeFilter| {
-            hot_queries.iter().filter(|&&(a, b)| f.may_contain_range(a, b)).count() as f64
+            hot_queries
+                .iter()
+                .filter(|&&(a, b)| f.may_contain_range(a, b))
+                .count() as f64
                 / hot_queries.len() as f64
         };
         let fpr_plain = fpr(&plain);
@@ -706,7 +735,10 @@ mod workload_aware_tests {
             f.region_log2_s,
             hot_width
         );
-        assert!(f.region_log2_s.iter().any(|&w| w > hot_width), "cold regions must be coarser");
+        assert!(
+            f.region_log2_s.iter().any(|&w| w > hot_width),
+            "cold regions must be coarser"
+        );
         for &k in keys.iter().step_by(17) {
             assert!(f.may_contain(k));
         }

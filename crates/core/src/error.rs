@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use grafite_succinct::io::DecodeError;
+
 /// Errors returned by filter builders.
 ///
 /// Queries never fail: once a filter is built, `may_contain_range` is total
@@ -67,8 +69,19 @@ pub enum FilterError {
         actual: u64,
     },
     /// The payload decoded but a field is structurally impossible (e.g. a
-    /// bit width above 64). Carries a short static description.
-    CorruptPayload(&'static str),
+    /// bit width above 64).
+    ///
+    /// Construct filter-level checks with [`FilterError::corrupt`]; the
+    /// `source` field carries the storage-level [`DecodeError`] when the
+    /// corruption surfaced below the filter layer (in the succinct word
+    /// decoders), and is what [`std::error::Error::source`] reports.
+    CorruptPayload {
+        /// Short static description of the impossible field.
+        what: &'static str,
+        /// The succinct-layer decode error underneath, `None` when the
+        /// check that fired was the filter's own.
+        source: Option<DecodeError>,
+    },
     /// A typed `deserialize` was pointed at a blob written by a different
     /// filter family. Carries the spec id found in the header.
     SpecMismatch(u32),
@@ -78,8 +91,24 @@ pub enum FilterError {
     /// ≥ 32) load through their typed `PersistentFilter::deserialize`
     /// instead.
     UnknownSpecId(u32),
-    /// The byte sink failed while serializing.
-    Io(std::io::ErrorKind),
+    /// The byte sink or source failed while (de)serializing.
+    Io {
+        /// The i/o failure kind.
+        kind: std::io::ErrorKind,
+        /// The succinct-layer decode error underneath, when the failure
+        /// surfaced while decoding a word stream ([`std::error::Error::source`]
+        /// reports it); `None` when the filter layer hit the i/o error
+        /// directly.
+        source: Option<DecodeError>,
+    },
+}
+
+impl FilterError {
+    /// A [`FilterError::CorruptPayload`] from a filter-level structural
+    /// check (no storage-level error underneath).
+    pub fn corrupt(what: &'static str) -> Self {
+        FilterError::CorruptPayload { what, source: None }
+    }
 }
 
 impl fmt::Display for FilterError {
@@ -98,7 +127,10 @@ impl fmt::Display for FilterError {
             FilterError::InvalidBucketSize(s) => {
                 write!(f, "bucket size must be >= 1, got {s}")
             }
-            FilterError::ReducedUniverseTooLarge { requested, supported } => write!(
+            FilterError::ReducedUniverseTooLarge {
+                requested,
+                supported,
+            } => write!(
                 f,
                 "reduced universe r = {requested} exceeds the supported bound {supported}; \
                  lower the budget/L or raise epsilon"
@@ -120,43 +152,131 @@ impl fmt::Display for FilterError {
                 "serialized filter uses format version {found}; this build supports {supported}"
             ),
             FilterError::TruncatedBuffer { needed, have } => {
-                write!(f, "truncated filter blob: needed {needed} bytes, have {have}")
+                write!(
+                    f,
+                    "truncated filter blob: needed {needed} bytes, have {have}"
+                )
             }
             FilterError::ChecksumMismatch { expected, actual } => write!(
                 f,
                 "payload checksum {actual:#018x} does not match header {expected:#018x}"
             ),
-            FilterError::CorruptPayload(what) => write!(f, "corrupt filter payload: {what}"),
+            FilterError::CorruptPayload { what, .. } => {
+                write!(f, "corrupt filter payload: {what}")
+            }
             FilterError::SpecMismatch(found) => write!(
                 f,
                 "blob carries spec id {found}, which this filter type does not accept"
             ),
             FilterError::UnknownSpecId(id) => {
-                write!(f, "header spec id {id} maps to no spec in this registry table")
+                write!(
+                    f,
+                    "header spec id {id} maps to no spec in this registry table"
+                )
             }
-            FilterError::Io(kind) => write!(f, "i/o failure during (de)serialization: {kind}"),
+            FilterError::Io { kind, .. } => {
+                write!(f, "i/o failure during (de)serialization: {kind}")
+            }
         }
     }
 }
 
-impl std::error::Error for FilterError {}
+impl std::error::Error for FilterError {
+    /// The storage-level [`DecodeError`] a [`FilterError::CorruptPayload`]
+    /// or [`FilterError::Io`] wraps, when the failure originated in the
+    /// succinct word decoders rather than the filter layer itself.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FilterError::CorruptPayload { source, .. } | FilterError::Io { source, .. } => {
+                source.as_ref().map(|e| e as _)
+            }
+            _ => None,
+        }
+    }
+}
 
-impl From<grafite_succinct::io::DecodeError> for FilterError {
-    fn from(e: grafite_succinct::io::DecodeError) -> Self {
-        use grafite_succinct::io::DecodeError;
+impl From<DecodeError> for FilterError {
+    fn from(e: DecodeError) -> Self {
         match e {
             DecodeError::Truncated { needed, have } => FilterError::TruncatedBuffer {
                 needed: needed * 8,
                 have: have * 8,
             },
-            DecodeError::Invalid(what) => FilterError::CorruptPayload(what),
-            DecodeError::Io(kind) => FilterError::Io(kind),
+            DecodeError::Invalid(what) => FilterError::CorruptPayload {
+                what,
+                source: Some(e),
+            },
+            DecodeError::Io(kind) => FilterError::Io {
+                kind,
+                source: Some(e),
+            },
         }
     }
 }
 
 impl From<std::io::Error> for FilterError {
     fn from(e: std::io::Error) -> Self {
-        FilterError::Io(e.kind())
+        FilterError::Io {
+            kind: e.kind(),
+            source: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    /// The satellite contract: a `FilterError` born from a succinct-layer
+    /// decode failure exposes that `DecodeError` through `source()`.
+    #[test]
+    fn source_chains_through_decode_error() {
+        let invalid = DecodeError::Invalid("bit width above 64");
+        let err = FilterError::from(invalid.clone());
+        assert!(matches!(
+            err,
+            FilterError::CorruptPayload {
+                what: "bit width above 64",
+                ..
+            }
+        ));
+        let src = err.source().expect("decode-born corruption must chain");
+        assert_eq!(src.downcast_ref::<DecodeError>(), Some(&invalid));
+
+        let io = DecodeError::Io(std::io::ErrorKind::BrokenPipe);
+        let err = FilterError::from(io.clone());
+        assert!(matches!(
+            err,
+            FilterError::Io {
+                kind: std::io::ErrorKind::BrokenPipe,
+                ..
+            }
+        ));
+        let src = err.source().expect("decode-born i/o failure must chain");
+        assert_eq!(src.downcast_ref::<DecodeError>(), Some(&io));
+    }
+
+    /// Filter-level checks have no storage error underneath: no source.
+    #[test]
+    fn filter_level_errors_have_no_source() {
+        assert!(FilterError::corrupt("zero bucket size").source().is_none());
+        let err = FilterError::from(std::io::Error::other("sink"));
+        assert!(err.source().is_none());
+        assert!(FilterError::InvalidEpsilon(2.0).source().is_none());
+    }
+
+    /// Truncation translates faithfully (word counts become byte counts);
+    /// it has its own typed variant rather than a chain.
+    #[test]
+    fn truncation_translates_words_to_bytes() {
+        let err = FilterError::from(DecodeError::Truncated { needed: 3, have: 1 });
+        assert_eq!(
+            err,
+            FilterError::TruncatedBuffer {
+                needed: 24,
+                have: 8
+            }
+        );
     }
 }

@@ -6,9 +6,7 @@ use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
 use crate::persist::{spec_id, Header};
-use crate::traits::{
-    BuildableFilter, FilterConfig, PersistentFilter, RangeFilter, DEFAULT_SEED,
-};
+use crate::traits::{BuildableFilter, FilterConfig, PersistentFilter, RangeFilter, DEFAULT_SEED};
 
 /// Largest supported reduced universe: the pairwise-independent family's
 /// prime must exceed `r` (see [`grafite_hash::pairwise::MERSENNE_61`]).
@@ -105,12 +103,12 @@ impl<S: AsRef<[u64]>> GrafiteFilter<S> {
         let p = src.word()?;
         let r = src.word()?;
         if !PairwiseHash::params_valid(c1, c2, p, r) {
-            return Err(FilterError::CorruptPayload("pairwise hash parameters"));
+            return Err(FilterError::corrupt("pairwise hash parameters"));
         }
         let h = LocalityHash::from_pairwise(PairwiseHash::with_params(c1, c2, p, r));
         let codes = EliasFano::read_from(src)?;
         if codes.universe() != r {
-            return Err(FilterError::CorruptPayload("code universe differs from r"));
+            return Err(FilterError::corrupt("code universe differs from r"));
         }
         Ok(Self {
             h,
@@ -247,19 +245,19 @@ impl<S: AsRef<[u64]>> RangeFilter for GrafiteFilter<S> {
         // predecessor probe. A query contributes 0, 1, or 2 entries.
         let mut probes: Vec<(u64, u64, u32)> = Vec::with_capacity(queries.len());
         let (first, last) = (self.codes.first(), self.codes.last());
-        let push_sub = |probes: &mut Vec<(u64, u64, u32)>, answered: &mut bool,
-                            a: u64, b: u64, i: usize| {
-            if *answered {
-                return;
-            }
-            let (ha, hb) = (self.h.eval(a), self.h.eval(b));
-            if ha <= hb {
-                probes.push((hb, ha, i as u32));
-            } else if first <= hb || last >= ha {
-                // Wrapped image [ha, r) ∪ [0, hb]: O(1), no probe needed.
-                *answered = true;
-            }
-        };
+        let push_sub =
+            |probes: &mut Vec<(u64, u64, u32)>, answered: &mut bool, a: u64, b: u64, i: usize| {
+                if *answered {
+                    return;
+                }
+                let (ha, hb) = (self.h.eval(a), self.h.eval(b));
+                if ha <= hb {
+                    probes.push((hb, ha, i as u32));
+                } else if first <= hb || last >= ha {
+                    // Wrapped image [ha, r) ∪ [0, hb]: O(1), no probe needed.
+                    *answered = true;
+                }
+            };
         for (i, &(a, b)) in queries.iter().enumerate() {
             debug_assert!(a <= b, "inverted range [{a}, {b}]");
             let (block_a, block_b) = (self.h.block(a), self.h.block(b));
@@ -490,7 +488,7 @@ mod tests {
         let f = paper_filter();
         assert_eq!(f.reduced_universe(), 100);
         assert_eq!(f.num_codes(), 10); // the example's codes are all distinct
-        // Example 3.3: [44, 47] ∩ S = ∅, yet the filter says "not empty".
+                                       // Example 3.3: [44, 47] ∩ S = ∅, yet the filter says "not empty".
         assert!(f.may_contain_range(44, 47));
     }
 
@@ -507,17 +505,25 @@ mod tests {
     fn no_false_negatives_randomized() {
         let mut state = 1u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let keys: Vec<u64> = (0..5000).map(|_| next()).collect();
         for &bpk in &[4.0, 8.0, 12.0, 20.0] {
-            let f = GrafiteFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            let f = GrafiteFilter::builder()
+                .bits_per_key(bpk)
+                .build(&keys)
+                .unwrap();
             for (i, &k) in keys.iter().enumerate().step_by(7) {
                 assert!(f.may_contain(k), "bpk={bpk} point FN at key {i}");
                 let lo = k.saturating_sub(i as u64 % 800);
                 let hi = k.saturating_add((i as u64 * 31) % 800);
-                assert!(f.may_contain_range(lo, hi), "bpk={bpk} range FN around key {i}");
+                assert!(
+                    f.may_contain_range(lo, hi),
+                    "bpk={bpk} range FN around key {i}"
+                );
             }
         }
     }
@@ -532,7 +538,10 @@ mod tests {
 
     #[test]
     fn single_key_and_duplicates() {
-        let f = GrafiteFilter::builder().bits_per_key(12.0).build(&[7, 7, 7]).unwrap();
+        let f = GrafiteFilter::builder()
+            .bits_per_key(12.0)
+            .build(&[7, 7, 7])
+            .unwrap();
         assert_eq!(f.num_keys(), 3);
         assert_eq!(f.num_codes(), 1);
         assert!(f.may_contain(7));
@@ -542,7 +551,10 @@ mod tests {
     #[test]
     fn extreme_universe_edges() {
         let keys = [0u64, 1, u64::MAX - 1, u64::MAX];
-        let f = GrafiteFilter::builder().bits_per_key(20.0).build(&keys).unwrap();
+        let f = GrafiteFilter::builder()
+            .bits_per_key(20.0)
+            .build(&keys)
+            .unwrap();
         for &k in &keys {
             assert!(f.may_contain(k));
         }
@@ -558,7 +570,11 @@ mod tests {
         let keys: Vec<u64> = (1..50u64)
             .flat_map(|i| [i * r - 1, i * r, i * r + 1])
             .collect();
-        let f = GrafiteFilter::builder().bits_per_key(10.0).seed(9).build(&keys).unwrap();
+        let f = GrafiteFilter::builder()
+            .bits_per_key(10.0)
+            .seed(9)
+            .build(&keys)
+            .unwrap();
         assert_eq!(f.reduced_universe(), r, "r formula drifted");
         for i in 1..50u64 {
             // Crosses exactly one boundary.
@@ -572,7 +588,10 @@ mod tests {
     fn spanning_query_over_empty_filterless_blocks() {
         // A query spanning >= 2 block boundaries always answers "not empty"
         // on a non-empty filter (the hashed image covers all of [r]).
-        let f = GrafiteFilter::builder().bits_per_key(8.0).build(&[1234]).unwrap();
+        let f = GrafiteFilter::builder()
+            .bits_per_key(8.0)
+            .build(&[1234])
+            .unwrap();
         let r = f.reduced_universe();
         assert!(f.may_contain_range(0, 3 * r));
     }
@@ -590,9 +609,15 @@ mod tests {
         sorted.sort_unstable();
         let bpk = 12.0;
         let l = 32u64;
-        let f = GrafiteFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+        let f = GrafiteFilter::builder()
+            .bits_per_key(bpk)
+            .build(&keys)
+            .unwrap();
         let bound = f.fpp_for_range_size(l);
-        assert!(bound <= 32.0 / 1024.0 + 1e-9, "bound formula drifted: {bound}");
+        assert!(
+            bound <= 32.0 / 1024.0 + 1e-9,
+            "bound formula drifted: {bound}"
+        );
 
         let mut fps = 0usize;
         let mut empties = 0usize;
@@ -626,7 +651,11 @@ mod tests {
     #[test]
     fn approx_count_exact_when_collision_free() {
         let keys: Vec<u64> = (0..100u64).map(|i| i * 1_000_003).collect();
-        let f = GrafiteFilter::builder().bits_per_key(30.0).seed(3).build(&keys).unwrap();
+        let f = GrafiteFilter::builder()
+            .bits_per_key(30.0)
+            .seed(3)
+            .build(&keys)
+            .unwrap();
         // Ranges well inside one block (r = 100 * 2^28 >> any range here).
         for (a, b, expect) in [
             (0u64, 999_999u64, 1usize),
@@ -643,15 +672,21 @@ mod tests {
     fn builder_validation() {
         let keys = [1u64, 2, 3];
         assert!(matches!(
-            GrafiteFilter::builder().epsilon_and_max_range(0.0, 8).build(&keys),
+            GrafiteFilter::builder()
+                .epsilon_and_max_range(0.0, 8)
+                .build(&keys),
             Err(FilterError::InvalidEpsilon(_))
         ));
         assert!(matches!(
-            GrafiteFilter::builder().epsilon_and_max_range(1.5, 8).build(&keys),
+            GrafiteFilter::builder()
+                .epsilon_and_max_range(1.5, 8)
+                .build(&keys),
             Err(FilterError::InvalidEpsilon(_))
         ));
         assert!(matches!(
-            GrafiteFilter::builder().epsilon_and_max_range(0.1, 0).build(&keys),
+            GrafiteFilter::builder()
+                .epsilon_and_max_range(0.1, 0)
+                .build(&keys),
             Err(FilterError::InvalidMaxRange(0))
         ));
         assert!(matches!(
@@ -674,7 +709,10 @@ mod tests {
             })
             .collect();
         for &bpk in &[8.0, 12.0, 16.0, 24.0] {
-            let f = GrafiteFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            let f = GrafiteFilter::builder()
+                .bits_per_key(bpk)
+                .build(&keys)
+                .unwrap();
             let measured = f.bits_per_key();
             assert!(
                 measured > bpk - 2.0 && measured < bpk + 3.0,
@@ -735,18 +773,31 @@ mod tests {
             })
             .collect();
         for &bpk in &[6.0, 12.0, 20.0] {
-            let f = GrafiteFilter::builder().bits_per_key(bpk).seed(2).build(&keys).unwrap();
+            let f = GrafiteFilter::builder()
+                .bits_per_key(bpk)
+                .seed(2)
+                .build(&keys)
+                .unwrap();
             // Large batch: takes the forward-scan path.
             let queries = batch_probe_queries(&f, &keys, 2000);
             let mut batched = Vec::new();
             f.may_contain_ranges(&queries, &mut batched);
-            let singles: Vec<bool> =
-                queries.iter().map(|&(a, b)| f.may_contain_range(a, b)).collect();
-            assert_eq!(batched, singles, "bpk={bpk} batch diverged from per-query path");
+            let singles: Vec<bool> = queries
+                .iter()
+                .map(|&(a, b)| f.may_contain_range(a, b))
+                .collect();
+            assert_eq!(
+                batched, singles,
+                "bpk={bpk} batch diverged from per-query path"
+            );
             // Small batch: takes the fallback loop; answers still identical.
             let small = &queries[..8];
             f.may_contain_ranges(small, &mut batched);
-            assert_eq!(batched, &singles[..8], "bpk={bpk} small-batch fallback diverged");
+            assert_eq!(
+                batched,
+                &singles[..8],
+                "bpk={bpk} small-batch fallback diverged"
+            );
         }
     }
 
@@ -763,7 +814,10 @@ mod tests {
     #[test]
     fn batch_output_vector_is_reused() {
         let keys: Vec<u64> = (0..500u64).map(|i| i * 1000).collect();
-        let f = GrafiteFilter::builder().bits_per_key(10.0).build(&keys).unwrap();
+        let f = GrafiteFilter::builder()
+            .bits_per_key(10.0)
+            .build(&keys)
+            .unwrap();
         let queries = batch_probe_queries(&f, &keys, 600);
         let mut out = Vec::new();
         f.may_contain_ranges(&queries, &mut out);
@@ -774,12 +828,20 @@ mod tests {
 
     #[test]
     fn buildable_protocol_matches_builder() {
-        let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..2000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let cfg = FilterConfig::new(&keys).bits_per_key(14.0).seed(11);
         let via_protocol = GrafiteFilter::build(&cfg).unwrap();
-        let via_builder =
-            GrafiteFilter::builder().bits_per_key(14.0).seed(11).build(&keys).unwrap();
-        assert_eq!(via_protocol.reduced_universe(), via_builder.reduced_universe());
+        let via_builder = GrafiteFilter::builder()
+            .bits_per_key(14.0)
+            .seed(11)
+            .build(&keys)
+            .unwrap();
+        assert_eq!(
+            via_protocol.reduced_universe(),
+            via_builder.reduced_universe()
+        );
         for probe in (0..5000u64).map(|i| i.wrapping_mul(0xABCDEF123)) {
             assert_eq!(
                 via_protocol.may_contain_range(probe, probe.saturating_add(64)),
@@ -790,7 +852,10 @@ mod tests {
         let cfg = FilterConfig::new(&keys).max_range(64).seed(11);
         let tuned = GrafiteFilter::build_with(
             &cfg,
-            &GrafiteTuning { epsilon: Some(0.01), ..GrafiteTuning::default() },
+            &GrafiteTuning {
+                epsilon: Some(0.01),
+                ..GrafiteTuning::default()
+            },
         )
         .unwrap();
         assert_eq!(tuned.reduced_universe(), (keys.len() as u64) * 64 * 100);
@@ -817,8 +882,14 @@ mod persist_tests {
 
     #[test]
     fn filter_roundtrips_through_flat_bytes() {
-        let keys: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
-        let filter = GrafiteFilter::builder().bits_per_key(14.0).seed(3).build(&keys).unwrap();
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let filter = GrafiteFilter::builder()
+            .bits_per_key(14.0)
+            .seed(3)
+            .build(&keys)
+            .unwrap();
         let bytes = filter.to_bytes();
         assert_eq!(bytes.len() * 8, filter.serialized_bits());
 
@@ -839,7 +910,11 @@ mod persist_tests {
     #[test]
     fn view_answers_zero_copy_out_of_the_blob() {
         let keys: Vec<u64> = (0..800u64).map(|i| i.wrapping_mul(0xDEADBEEF17)).collect();
-        let filter = GrafiteFilter::builder().bits_per_key(12.0).seed(5).build(&keys).unwrap();
+        let filter = GrafiteFilter::builder()
+            .bits_per_key(12.0)
+            .seed(5)
+            .build(&keys)
+            .unwrap();
         let words = bytes_to_words(&filter.to_bytes()).unwrap();
         let view = GrafiteFilterView::view(&words).expect("view");
         assert_eq!(view.num_keys(), filter.num_keys());
@@ -849,8 +924,7 @@ mod persist_tests {
             assert_eq!(view.may_contain_range(a, b), filter.may_contain_range(a, b));
         }
         // Batch path too.
-        let queries: Vec<(u64, u64)> =
-            (0..500u64).map(|i| (i * 1000, i * 1000 + 64)).collect();
+        let queries: Vec<(u64, u64)> = (0..500u64).map(|i| (i * 1000, i * 1000 + 64)).collect();
         let (mut via_view, mut via_filter) = (Vec::new(), Vec::new());
         view.may_contain_ranges(&queries, &mut via_view);
         filter.may_contain_ranges(&queries, &mut via_filter);
@@ -860,7 +934,10 @@ mod persist_tests {
     #[test]
     fn foreign_bytes_are_rejected_typed() {
         let keys = [1u64, 2, 3];
-        let filter = GrafiteFilter::builder().bits_per_key(8.0).build(&keys).unwrap();
+        let filter = GrafiteFilter::builder()
+            .bits_per_key(8.0)
+            .build(&keys)
+            .unwrap();
         let bytes = filter.to_bytes();
         assert!(matches!(
             GrafiteFilter::deserialize(&bytes[..bytes.len() - 3]),

@@ -53,14 +53,10 @@ pub mod sort;
 pub mod string_keys;
 pub mod traits;
 
-pub use bucketing::{
-    BucketingBuilder, BucketingFilter, BucketingTuning, WorkloadAwareBucketing,
-};
+pub use bucketing::{BucketingBuilder, BucketingFilter, BucketingTuning, WorkloadAwareBucketing};
 pub use error::FilterError;
 pub use grafite::{GrafiteBuilder, GrafiteFilter, GrafiteFilterView, GrafiteTuning};
 pub use persist::{Header, FORMAT_VERSION, MAGIC};
 pub use registry::{BuilderFn, FilterSpec, LoaderFn, Registry};
 pub use string_keys::{BytesPrefixCodec, IdentityCodec, KeyCodec, StringGrafite};
-pub use traits::{
-    BuildableFilter, FilterConfig, PersistentFilter, RangeFilter, DEFAULT_SEED,
-};
+pub use traits::{BuildableFilter, FilterConfig, PersistentFilter, RangeFilter, DEFAULT_SEED};

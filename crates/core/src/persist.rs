@@ -122,14 +122,20 @@ pub fn blob_checksum(
     payload_words: u64,
     payload: impl IntoIterator<Item = u64>,
 ) -> u64 {
-    checksum_words([spec_version_word, n_keys, payload_words].into_iter().chain(payload))
+    checksum_words(
+        [spec_version_word, n_keys, payload_words]
+            .into_iter()
+            .chain(payload),
+    )
 }
 
 /// An iterator of words over a byte buffer holding whole little-endian
 /// words.
 pub fn words_of_bytes(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
     debug_assert_eq!(bytes.len() % 8, 0, "payloads are whole words");
-    bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
 }
 
 /// The parsed five-word blob header.
@@ -192,7 +198,7 @@ impl Header {
             .ok()
             .and_then(|pw| pw.checked_add(HEADER_WORDS))
             .and_then(|w| w.checked_mul(8))
-            .ok_or(FilterError::CorruptPayload("payload length overflows usize"))?;
+            .ok_or(FilterError::corrupt("payload length overflows usize"))?;
         if total_available < needed {
             return Err(FilterError::TruncatedBuffer {
                 needed,
@@ -203,8 +209,12 @@ impl Header {
     }
 
     fn verify_checksum(&self, payload: impl IntoIterator<Item = u64>) -> Result<(), FilterError> {
-        let actual =
-            blob_checksum(self.spec_version_word(), self.n_keys, self.payload_words, payload);
+        let actual = blob_checksum(
+            self.spec_version_word(),
+            self.n_keys,
+            self.payload_words,
+            payload,
+        );
         if actual != self.checksum {
             return Err(FilterError::ChecksumMismatch {
                 expected: self.checksum,
@@ -328,7 +338,10 @@ mod tests {
     fn bad_magic_is_typed() {
         let mut blob = sample_blob();
         blob[0] ^= 0xFF;
-        assert!(matches!(Header::parse(&blob), Err(FilterError::BadMagic(_))));
+        assert!(matches!(
+            Header::parse(&blob),
+            Err(FilterError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -384,7 +397,10 @@ mod tests {
             let mut blob = sample_blob();
             blob[byte] ^= 0x40;
             assert!(
-                matches!(Header::parse(&blob), Err(FilterError::ChecksumMismatch { .. })),
+                matches!(
+                    Header::parse(&blob),
+                    Err(FilterError::ChecksumMismatch { .. })
+                ),
                 "header byte {byte} corruption escaped the checksum"
             );
         }

@@ -65,8 +65,11 @@ impl FilterSpec {
     ];
 
     /// The robust filters of §6.4.
-    pub const ROBUST: [FilterSpec; 3] =
-        [FilterSpec::Grafite, FilterSpec::Rosetta, FilterSpec::REncoder];
+    pub const ROBUST: [FilterSpec; 3] = [
+        FilterSpec::Grafite,
+        FilterSpec::Rosetta,
+        FilterSpec::REncoder,
+    ];
 
     /// The heuristic filters of §6.3.
     pub const HEURISTIC: [FilterSpec; 6] = [
@@ -234,7 +237,9 @@ impl Registry {
 
     /// The specs with a registered builder, in declaration order.
     pub fn registered(&self) -> impl Iterator<Item = FilterSpec> + '_ {
-        FilterSpec::ALL.into_iter().filter(|&s| self.is_registered(s))
+        FilterSpec::ALL
+            .into_iter()
+            .filter(|&s| self.is_registered(s))
     }
 
     /// Builds `spec` from the shared config.
@@ -351,7 +356,9 @@ mod tests {
         );
         // A known spec id with no loader in this table.
         assert_eq!(
-            Registry::new().load(&empty_blob(FilterSpec::Snarf.spec_id())).err(),
+            Registry::new()
+                .load(&empty_blob(FilterSpec::Snarf.spec_id()))
+                .err(),
             Some(FilterError::Unregistered("SNARF"))
         );
     }

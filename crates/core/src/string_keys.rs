@@ -96,7 +96,8 @@ impl StringGrafite {
     ) -> Result<Self, FilterError> {
         Self::from_embedded(
             keys.len(),
-            keys.iter().map(|key| BytesPrefixCodec::encode(key.as_ref())),
+            keys.iter()
+                .map(|key| BytesPrefixCodec::encode(key.as_ref())),
             bits_per_key,
             seed,
         )
@@ -286,12 +287,12 @@ impl PersistentFilter for StringGrafite {
     ) -> Result<Self, FilterError> {
         let k = src.word()?;
         if k == 0 || k >= 61 {
-            return Err(FilterError::CorruptPayload("string-Grafite exponent out of range"));
+            return Err(FilterError::corrupt("string-Grafite exponent out of range"));
         }
         let seed = src.word()?;
         let codes = EliasFano::read_from(src)?;
         if codes.universe() != 1u64 << k {
-            return Err(FilterError::CorruptPayload("code universe differs from 2^k"));
+            return Err(FilterError::corrupt("code universe differs from 2^k"));
         }
         Ok(Self {
             k: k as u32,
@@ -318,14 +319,39 @@ mod tests {
     use super::*;
 
     const WORDS: &[&str] = &[
-        "apple", "apricot", "banana", "blueberry", "cherry", "durian", "elderberry", "fig",
-        "grape", "grapefruit", "kiwi", "lemon", "lime", "mango", "melon", "nectarine", "orange",
-        "papaya", "peach", "pear", "plum", "raspberry", "strawberry", "tangerine", "watermelon",
+        "apple",
+        "apricot",
+        "banana",
+        "blueberry",
+        "cherry",
+        "durian",
+        "elderberry",
+        "fig",
+        "grape",
+        "grapefruit",
+        "kiwi",
+        "lemon",
+        "lime",
+        "mango",
+        "melon",
+        "nectarine",
+        "orange",
+        "papaya",
+        "peach",
+        "pear",
+        "plum",
+        "raspberry",
+        "strawberry",
+        "tangerine",
+        "watermelon",
     ];
 
     #[test]
     fn embedding_is_monotone() {
-        let mut mapped: Vec<u64> = WORDS.iter().map(|w| StringGrafite::key_to_u64(w.as_bytes())).collect();
+        let mut mapped: Vec<u64> = WORDS
+            .iter()
+            .map(|w| StringGrafite::key_to_u64(w.as_bytes()))
+            .collect();
         let mut sorted = mapped.clone();
         sorted.sort_unstable();
         mapped.dedup();
@@ -363,7 +389,10 @@ mod tests {
                 positives += 1;
             }
         }
-        assert!(positives < 100, "string filter not filtering: {positives}/2000");
+        assert!(
+            positives < 100,
+            "string filter not filtering: {positives}/2000"
+        );
     }
 
     #[test]
@@ -384,8 +413,10 @@ mod tests {
     fn identity_codec_agrees_with_byte_codec() {
         // The same logical keys through both codecs give the same filter.
         let words: Vec<&str> = WORDS.to_vec();
-        let embedded: Vec<u64> =
-            words.iter().map(|w| BytesPrefixCodec::encode(w.as_bytes())).collect();
+        let embedded: Vec<u64> = words
+            .iter()
+            .map(|w| BytesPrefixCodec::encode(w.as_bytes()))
+            .collect();
         let via_bytes = StringGrafite::new(&words, 14.0, 3).unwrap();
         let via_ints = StringGrafite::from_u64_keys(&embedded, 14.0, 3).unwrap();
         for w in &words {
@@ -409,7 +440,9 @@ mod tests {
 
     #[test]
     fn buildable_protocol_and_trait_view() {
-        let keys: Vec<u64> = (0..3000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..3000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let cfg = FilterConfig::new(&keys).bits_per_key(14.0).seed(5);
         let f = StringGrafite::build(&cfg).unwrap();
         let dyn_f: &dyn RangeFilter = &f;
@@ -420,8 +453,11 @@ mod tests {
             assert!(dyn_f.may_contain(k), "FN on {k}");
         }
         // Batch answers equal singles through the default trait path.
-        let queries: Vec<(u64, u64)> =
-            keys.iter().step_by(7).map(|&k| (k.saturating_sub(10), k.saturating_add(10))).collect();
+        let queries: Vec<(u64, u64)> = keys
+            .iter()
+            .step_by(7)
+            .map(|&k| (k.saturating_sub(10), k.saturating_add(10)))
+            .collect();
         let mut out = Vec::new();
         dyn_f.may_contain_ranges(&queries, &mut out);
         assert!(out.iter().all(|&x| x), "batch lost a key-bounded range");

@@ -33,10 +33,12 @@ pub trait RangeFilter {
     /// Whether the closed range `[a, b]` *may* intersect the key set.
     ///
     /// Requires `a <= b` (debug-asserted; see the trait-level contract).
+    #[must_use = "a range filter's answer is its only effect; dropping it means the query was wasted"]
     fn may_contain_range(&self, a: u64, b: u64) -> bool;
 
     /// Whether the point `x` may be in the key set.
     #[inline]
+    #[must_use = "a range filter's answer is its only effect; dropping it means the query was wasted"]
     fn may_contain(&self, x: u64) -> bool {
         self.may_contain_range(x, x)
     }
@@ -66,6 +68,7 @@ pub trait RangeFilter {
 
     /// Space per key in bits — the x-axis of the paper's Figures 4–6.
     #[inline]
+    #[must_use]
     fn bits_per_key(&self) -> f64 {
         if self.num_keys() == 0 {
             0.0
@@ -124,24 +127,28 @@ impl<'a> FilterConfig<'a> {
     }
 
     /// Sets the space budget in bits per key.
+    #[must_use = "the setters move `self`; dropping the result discards the whole configuration"]
     pub fn bits_per_key(mut self, bits: f64) -> Self {
         self.bits_per_key = bits;
         self
     }
 
     /// Sets the workload's max range size `L`.
+    #[must_use = "the setters move `self`; dropping the result discards the whole configuration"]
     pub fn max_range(mut self, l: u64) -> Self {
         self.max_range = l;
         self
     }
 
     /// Sets the query sample the auto-tuned filters optimise for.
+    #[must_use = "the setters move `self`; dropping the result discards the whole configuration"]
     pub fn sample(mut self, sample: &'a [(u64, u64)]) -> Self {
         self.sample = sample;
         self
     }
 
     /// Pins the seed for randomised components.
+    #[must_use = "the setters move `self`; dropping the result discards the whole configuration"]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -164,9 +171,15 @@ impl<'a> FilterConfig<'a> {
 /// filter — the honest space figure the paper's plots use, as opposed to
 /// the in-memory estimate of [`RangeFilter::size_in_bits`].
 ///
+/// `Send + Sync` are supertraits: a persistent filter is precisely the
+/// thing a serving process shares across unboundedly many reader threads
+/// (e.g. inside a `FilterStore` snapshot), so `Box<dyn PersistentFilter>`
+/// must cross and be shared between threads. Every filter here is a plain
+/// immutable word-array structure, so the bounds cost nothing.
+///
 /// [`write_payload`]: PersistentFilter::write_payload
 /// [`read_payload`]: PersistentFilter::read_payload
-pub trait PersistentFilter: RangeFilter {
+pub trait PersistentFilter: RangeFilter + Send + Sync {
     /// The spec id written into this instance's header (most families have
     /// exactly one; SuRF and REncoder pick per the stored variant).
     fn spec_id(&self) -> u32;
@@ -221,7 +234,8 @@ pub trait PersistentFilter: RangeFilter {
     /// Serializes into a fresh byte vector.
     fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        self.serialize_into(&mut out).expect("writing to a Vec cannot fail");
+        self.serialize_into(&mut out)
+            .expect("writing to a Vec cannot fail");
         out
     }
 
@@ -234,7 +248,8 @@ pub trait PersistentFilter: RangeFilter {
         let mut sink = CountingSink::new();
         {
             let mut w = WordWriter::new(&mut sink);
-            self.write_payload(&mut w).expect("counting sink cannot fail");
+            self.write_payload(&mut w)
+                .expect("counting sink cannot fail");
         }
         (HEADER_BYTES + sink.bytes_written()) * 8
     }

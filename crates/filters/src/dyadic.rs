@@ -29,7 +29,11 @@ pub fn cover(a: u64, b: u64, max_j: u32) -> Vec<Dyadic> {
     let mut cur = a as u128;
     let end = b as u128 + 1;
     while cur < end {
-        let align = if cur == 0 { 64 } else { (cur as u64).trailing_zeros() };
+        let align = if cur == 0 {
+            64
+        } else {
+            (cur as u64).trailing_zeros()
+        };
         let remaining = end - cur;
         let fit = 127 - remaining.leading_zeros(); // floor(log2(remaining))
         let j = align.min(fit).min(max_j);
@@ -91,9 +95,21 @@ mod tests {
     #[test]
     fn top_of_universe() {
         let c = cover(u64::MAX - 3, u64::MAX, 64);
-        assert_eq!(c, vec![Dyadic { prefix: (u64::MAX - 3) >> 2, j: 2 }]);
+        assert_eq!(
+            c,
+            vec![Dyadic {
+                prefix: (u64::MAX - 3) >> 2,
+                j: 2
+            }]
+        );
         let c = cover(u64::MAX, u64::MAX, 64);
-        assert_eq!(c, vec![Dyadic { prefix: u64::MAX, j: 0 }]);
+        assert_eq!(
+            c,
+            vec![Dyadic {
+                prefix: u64::MAX,
+                j: 0
+            }]
+        );
     }
 
     #[test]

@@ -68,8 +68,14 @@ pub fn standard_registry() -> Registry {
     r.register(FilterSpec::Snarf, |cfg| Snarf::build(cfg).map(boxed));
     r.register(FilterSpec::SurfReal, |cfg| Surf::build(cfg).map(boxed));
     r.register(FilterSpec::SurfHash, |cfg| {
-        Surf::build_with(cfg, &SurfTuning { style: SuffixStyle::Hashed, suffix_bits: None })
-            .map(boxed)
+        Surf::build_with(
+            cfg,
+            &SurfTuning {
+                style: SuffixStyle::Hashed,
+                suffix_bits: None,
+            },
+        )
+        .map(boxed)
     });
     r.register(FilterSpec::Proteus, |cfg| Proteus::build(cfg).map(boxed));
     r.register(FilterSpec::Rosetta, |cfg| Rosetta::build(cfg).map(boxed));
@@ -84,7 +90,9 @@ pub fn standard_registry() -> Registry {
     r.register(FilterSpec::REncoderSE, |cfg| {
         REncoder::build_with(cfg, &REncoderTuning(REncoderVariant::SampleEstimation)).map(boxed)
     });
-    r.register(FilterSpec::TrivialBloom, |cfg| TrivialRangeFilter::build(cfg).map(boxed));
+    r.register(FilterSpec::TrivialBloom, |cfg| {
+        TrivialRangeFilter::build(cfg).map(boxed)
+    });
     r.register_loader(FilterSpec::Snarf, load_as::<Snarf>);
     r.register_loader(FilterSpec::SurfReal, load_as::<Surf>);
     r.register_loader(FilterSpec::SurfHash, load_as::<Surf>);

@@ -18,9 +18,7 @@
 
 use grafite_bloom::{BloomFilter, PrefixBloomFilter};
 use grafite_core::persist::{spec_id, Header};
-use grafite_core::{
-    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
-};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter};
 use grafite_fst::{builder, Fst, Lookup};
 use grafite_succinct::io::{WordSource, WordWriter};
 
@@ -89,7 +87,10 @@ impl Proteus {
             v
         };
         let l2_candidates: Vec<u32> = (1..=16).map(|i| i * 4).collect();
-        let d2_tables: Vec<Vec<u64>> = l2_candidates.iter().map(|&l2| distinct_prefixes(l2)).collect();
+        let d2_tables: Vec<Vec<u64>> = l2_candidates
+            .iter()
+            .map(|&l2| distinct_prefixes(l2))
+            .collect();
 
         // Trie cost per l1 depth: branches = sum of distinct d-byte prefixes.
         let mut trie_cost = [0.0f64; 9];
@@ -108,7 +109,11 @@ impl Proteus {
             if l1 > 0 && trie_cost[l1 as usize] > budget {
                 continue;
             }
-            let d1 = if l1 > 0 { distinct_prefixes(8 * l1) } else { Vec::new() };
+            let d1 = if l1 > 0 {
+                distinct_prefixes(8 * l1)
+            } else {
+                Vec::new()
+            };
             let pbf_budget = budget - trie_cost[l1 as usize];
             // l2 = 0 (trie only) is a candidate whenever the trie exists.
             let mut candidates: Vec<u32> = vec![];
@@ -247,22 +252,26 @@ impl PersistentFilter for Proteus {
     ) -> Result<Self, FilterError> {
         let l1_bytes = src.word()?;
         if l1_bytes > 8 {
-            return Err(FilterError::CorruptPayload("Proteus trie depth above 8 bytes"));
+            return Err(FilterError::corrupt("Proteus trie depth above 8 bytes"));
         }
         let l2 = src.word()?;
         if l2 > 64 {
-            return Err(FilterError::CorruptPayload("Proteus prefix length above 64"));
+            return Err(FilterError::corrupt("Proteus prefix length above 64"));
         }
         let has_fst = src.word()?;
         let has_pbf = src.word()?;
         if (has_fst != (l1_bytes > 0) as u64) || (has_pbf != (l2 > 0) as u64) {
-            return Err(FilterError::CorruptPayload("Proteus stage flags inconsistent"));
+            return Err(FilterError::corrupt("Proteus stage flags inconsistent"));
         }
-        let fst = if has_fst == 1 { Some(Fst::read_from(src)?) } else { None };
+        let fst = if has_fst == 1 {
+            Some(Fst::read_from(src)?)
+        } else {
+            None
+        };
         let pbf = if has_pbf == 1 {
             let pbf = PrefixBloomFilter::read_from(src)?;
             if pbf.prefix_len() != l2 as u32 {
-                return Err(FilterError::CorruptPayload("Proteus PBF prefix length drifted"));
+                return Err(FilterError::corrupt("Proteus PBF prefix length drifted"));
             }
             Some(pbf)
         } else {
@@ -333,7 +342,11 @@ fn estimate_fpr(
                                 continue;
                             }
                             let block_lo = x << s1;
-                            let block_hi = if s1 == 0 { x } else { block_lo + ((1u64 << s1) - 1) };
+                            let block_hi = if s1 == 0 {
+                                x
+                            } else {
+                                block_lo + ((1u64 << s1) - 1)
+                            };
                             let lo2 = shr(a.max(block_lo), s2);
                             let hi2 = shr(b.min(block_hi), s2);
                             if any_in(d2, lo2, hi2) {
@@ -450,7 +463,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state
             })
             .collect()
@@ -483,7 +498,12 @@ mod tests {
         let sample = uncorrelated_sample(&sorted, 200, 32, 7);
         let f = Proteus::new(&keys, 16.0, &sample, 3).unwrap();
         for (i, &k) in keys.iter().enumerate().step_by(3) {
-            assert!(f.may_contain(k), "point FN at {i} (l1={}, l2={})", f.l1(), f.l2());
+            assert!(
+                f.may_contain(k),
+                "point FN at {i} (l1={}, l2={})",
+                f.l1(),
+                f.l2()
+            );
             assert!(
                 f.may_contain_range(k.saturating_sub(i as u64 % 50), k.saturating_add(31)),
                 "range FN at {i}"
@@ -499,9 +519,17 @@ mod tests {
         let sample = uncorrelated_sample(&sorted, 400, 32, 11);
         let f = Proteus::new(&keys, 18.0, &sample, 1).unwrap();
         let probes = uncorrelated_sample(&sorted, 2000, 32, 999);
-        let fps = probes.iter().filter(|&&(a, b)| f.may_contain_range(a, b)).count();
+        let fps = probes
+            .iter()
+            .filter(|&&(a, b)| f.may_contain_range(a, b))
+            .count();
         let fpr = fps as f64 / probes.len() as f64;
-        assert!(fpr < 0.15, "Proteus FPR {fpr} on its tuned workload (l1={}, l2={})", f.l1(), f.l2());
+        assert!(
+            fpr < 0.15,
+            "Proteus FPR {fpr} on its tuned workload (l1={}, l2={})",
+            f.l1(),
+            f.l2()
+        );
     }
 
     #[test]

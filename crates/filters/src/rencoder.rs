@@ -21,9 +21,7 @@
 //!   range observed in a sample workload.
 
 use grafite_core::persist::{spec_id, Header};
-use grafite_core::{
-    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
-};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter};
 use grafite_hash::mix::murmur_mix64;
 use grafite_succinct::io::{WordSource, WordWriter};
 use grafite_succinct::BitVec;
@@ -90,9 +88,7 @@ impl REncoder {
         }
         let (rounds, variant_name) = match variant {
             REncoderVariant::Full => (DEFAULT_ROUNDS, "REncoder"),
-            REncoderVariant::SelectiveStorage { rounds } => {
-                (rounds.clamp(1, 16), "REncoderSS")
-            }
+            REncoderVariant::SelectiveStorage { rounds } => (rounds.clamp(1, 16), "REncoderSS"),
             REncoderVariant::SampleEstimation => {
                 // Largest sampled range dictates the shallowest level probed:
                 // ranges up to 2^(4·rounds) decompose into stored levels.
@@ -199,7 +195,11 @@ impl REncoder {
         // The tree prefix p has level − λ bits; the node index is the next
         // λ bits of q.
         let p = if lambda == 0 { q } else { q >> lambda };
-        let idx = if lambda == 0 { 0u64 } else { q & ((1 << lambda) - 1) };
+        let idx = if lambda == 0 {
+            0u64
+        } else {
+            q & ((1 << lambda) - 1)
+        };
         let mut need = 0u32;
         for lam in 0..=lambda {
             let ancestor = idx >> (lambda - lam);
@@ -228,7 +228,8 @@ impl REncoder {
                 if level == 64 {
                     true
                 } else {
-                    self.doubt(q << 1, level + 1, probes) || self.doubt((q << 1) | 1, level + 1, probes)
+                    self.doubt(q << 1, level + 1, probes)
+                        || self.doubt((q << 1) | 1, level + 1, probes)
                 }
             }
         }
@@ -252,7 +253,11 @@ impl PersistentFilter for REncoder {
     }
 
     fn spec_ids() -> &'static [u32] {
-        &[spec_id::RENCODER, spec_id::RENCODER_SS, spec_id::RENCODER_SE]
+        &[
+            spec_id::RENCODER,
+            spec_id::RENCODER_SS,
+            spec_id::RENCODER_SE,
+        ]
     }
 
     /// Payload: `[m, k, rounds, seed]` + the encoder bit array (the
@@ -277,20 +282,20 @@ impl PersistentFilter for REncoder {
         };
         let m = src.word()?;
         if m < 64 {
-            return Err(FilterError::CorruptPayload("REncoder array below 64 bits"));
+            return Err(FilterError::corrupt("REncoder array below 64 bits"));
         }
         let k = src.word()?;
         if k == 0 || k > u32::MAX as u64 {
-            return Err(FilterError::CorruptPayload("REncoder hash count"));
+            return Err(FilterError::corrupt("REncoder hash count"));
         }
         let rounds = src.word()?;
         if !(1..=16).contains(&rounds) {
-            return Err(FilterError::CorruptPayload("REncoder round count"));
+            return Err(FilterError::corrupt("REncoder round count"));
         }
         let seed = src.word()?;
         let bits = BitVec::read_from(src)?;
         if bits.len() as u64 != m {
-            return Err(FilterError::CorruptPayload("REncoder bit array length"));
+            return Err(FilterError::corrupt("REncoder bit array length"));
         }
         Ok(Self {
             bits,
@@ -374,7 +379,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state
             })
             .collect()
@@ -452,10 +459,22 @@ mod tests {
         let keys = pseudo_keys(500, 9);
         let small: Vec<(u64, u64)> = vec![(10, 41)]; // ranges of 32
         let large: Vec<(u64, u64)> = vec![(10, 10 + (1 << 20) - 1)];
-        let f_small =
-            REncoder::new(&keys, 16.0, REncoderVariant::SampleEstimation, Some(&small), 0).unwrap();
-        let f_large =
-            REncoder::new(&keys, 16.0, REncoderVariant::SampleEstimation, Some(&large), 0).unwrap();
+        let f_small = REncoder::new(
+            &keys,
+            16.0,
+            REncoderVariant::SampleEstimation,
+            Some(&small),
+            0,
+        )
+        .unwrap();
+        let f_large = REncoder::new(
+            &keys,
+            16.0,
+            REncoderVariant::SampleEstimation,
+            Some(&large),
+            0,
+        )
+        .unwrap();
         assert!(f_small.rounds() < f_large.rounds());
     }
 

@@ -17,9 +17,7 @@
 
 use grafite_bloom::BloomFilter;
 use grafite_core::persist::{spec_id, Header};
-use grafite_core::{
-    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
-};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter};
 use grafite_succinct::io::{WordSource, WordWriter};
 
 use crate::dyadic::cover;
@@ -66,7 +64,9 @@ impl Rosetta {
         let num_levels = (64 - min_level + 1) as usize;
 
         if n == 0 {
-            let blooms = (0..num_levels).map(|i| BloomFilter::new(1, 1, seed ^ i as u64)).collect();
+            let blooms = (0..num_levels)
+                .map(|i| BloomFilter::new(1, 1, seed ^ i as u64))
+                .collect();
             return Ok(Self {
                 blooms,
                 min_level,
@@ -104,7 +104,11 @@ impl Rosetta {
         for (i, w) in weights.iter_mut().enumerate() {
             let level = min_level + i as u32;
             let items = distinct_at(level) as f64;
-            let target_fpr: f64 = if level == 64 { epsilon } else { 1.0 / (2.0 - epsilon) };
+            let target_fpr: f64 = if level == 64 {
+                epsilon
+            } else {
+                1.0 / (2.0 - epsilon)
+            };
             *w = 1.44 * items * (1.0 / target_fpr).log2().max(0.1);
         }
         if let Some(sample) = sample {
@@ -154,7 +158,11 @@ impl Rosetta {
     fn insert_prefixes(&mut self, key: u64) {
         for i in 0..self.blooms.len() {
             let level = self.min_level + i as u32;
-            let prefix = if level == 64 { key } else { key >> (64 - level) };
+            let prefix = if level == 64 {
+                key
+            } else {
+                key >> (64 - level)
+            };
             self.blooms[i].insert(prefix);
         }
     }
@@ -177,7 +185,8 @@ impl Rosetta {
         if level == 64 {
             return true;
         }
-        self.doubt(prefix << 1, level + 1, probes) || self.doubt((prefix << 1) | 1, level + 1, probes)
+        self.doubt(prefix << 1, level + 1, probes)
+            || self.doubt((prefix << 1) | 1, level + 1, probes)
     }
 
     /// The shallowest stored level.
@@ -211,11 +220,11 @@ impl PersistentFilter for Rosetta {
     ) -> Result<Self, FilterError> {
         let min_level = src.word()?;
         if !(1..=64).contains(&min_level) {
-            return Err(FilterError::CorruptPayload("Rosetta level out of range"));
+            return Err(FilterError::corrupt("Rosetta level out of range"));
         }
         let n_levels = src.length()?;
         if n_levels != (64 - min_level + 1) as usize {
-            return Err(FilterError::CorruptPayload("Rosetta level stack height"));
+            return Err(FilterError::corrupt("Rosetta level stack height"));
         }
         let mut blooms = Vec::with_capacity(n_levels);
         for _ in 0..n_levels {
@@ -300,7 +309,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state
             })
             .collect()

@@ -16,9 +16,7 @@
 //! the false negatives on datasets with huge gaps (e.g. Fb).
 
 use grafite_core::persist::{spec_id, Header};
-use grafite_core::{
-    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
-};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter};
 use grafite_succinct::io::{WordSource, WordWriter};
 use grafite_succinct::GolombRiceSeq;
 
@@ -176,22 +174,22 @@ impl PersistentFilter for Snarf {
         let n = src.length()?;
         let k_scale = src.word()?;
         if k_scale < 2 {
-            return Err(FilterError::CorruptPayload("SNARF scale factor below 2"));
+            return Err(FilterError::corrupt("SNARF scale factor below 2"));
         }
         let faithful_overflow = match src.word()? {
             0 => false,
             1 => true,
-            _ => return Err(FilterError::CorruptPayload("SNARF overflow flag")),
+            _ => return Err(FilterError::corrupt("SNARF overflow flag")),
         };
         let n_keys = src.length()?;
         let sample_keys = src.take(n_keys)?;
         let n_ranks = src.length()?;
         if n_ranks != n_keys {
-            return Err(FilterError::CorruptPayload("SNARF spline table lengths differ"));
+            return Err(FilterError::corrupt("SNARF spline table lengths differ"));
         }
         let sample_ranks = src.take(n_ranks)?;
         if n > 0 && sample_keys.is_empty() {
-            return Err(FilterError::CorruptPayload("SNARF spline empty for non-empty set"));
+            return Err(FilterError::corrupt("SNARF spline empty for non-empty set"));
         }
         let codes = GolombRiceSeq::read_from(src)?;
         Ok(Self {
@@ -261,7 +259,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state
             })
             .collect()

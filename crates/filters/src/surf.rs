@@ -17,9 +17,7 @@
 //! defeat SuRF (paper Figures 1/3).
 
 use grafite_core::persist::{spec_id, Header};
-use grafite_core::{
-    BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter,
-};
+use grafite_core::{BuildableFilter, FilterConfig, FilterError, PersistentFilter, RangeFilter};
 use grafite_fst::{builder, FstDs, Lookup};
 use grafite_hash::mix::murmur_mix64;
 use grafite_succinct::io::{WordSource, WordWriter};
@@ -182,12 +180,12 @@ impl PersistentFilter for Surf {
             (spec_id::SURF_BASE, 0) => SuffixMode::Base,
             (spec_id::SURF_REAL, 1..=56) => SuffixMode::Real { bits: bits as u8 },
             (spec_id::SURF_HASH, 1..=56) => SuffixMode::Hash { bits: bits as u8 },
-            _ => return Err(FilterError::CorruptPayload("SuRF suffix length")),
+            _ => return Err(FilterError::corrupt("SuRF suffix length")),
         };
         let suffixes = IntVec::read_from(src)?;
         let fst = FstDs::read_from(src)?;
         if suffixes.width() != mode.bits() || suffixes.len() != fst.num_leaves() {
-            return Err(FilterError::CorruptPayload("SuRF suffix table shape"));
+            return Err(FilterError::corrupt("SuRF suffix table shape"));
         }
         Ok(Self {
             fst,
@@ -341,7 +339,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state
             })
             .collect()
@@ -420,7 +420,10 @@ mod tests {
             }
         }
         let fpr = fps as f64 / empties as f64;
-        assert!(fpr < 0.10, "SuRF-Real FPR {fpr} on uncorrelated small ranges");
+        assert!(
+            fpr < 0.10,
+            "SuRF-Real FPR {fpr} on uncorrelated small ranges"
+        );
     }
 
     #[test]
@@ -474,14 +477,23 @@ mod louds_ds_tests {
         let mut state = 31u64;
         let keys: Vec<u64> = (0..3000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state
             })
             .collect();
-        for mode in [SuffixMode::Base, SuffixMode::Real { bits: 8 }, SuffixMode::Hash { bits: 8 }] {
+        for mode in [
+            SuffixMode::Base,
+            SuffixMode::Real { bits: 8 },
+            SuffixMode::Hash { bits: 8 },
+        ] {
             let sparse = Surf::with_dense_depth(&keys, mode, Some(0)).unwrap();
             let auto = Surf::new(&keys, mode).unwrap();
-            assert!(auto.fst().dense_depth() >= 1, "auto split should use dense levels");
+            assert!(
+                auto.fst().dense_depth() >= 1,
+                "auto split should use dense levels"
+            );
             let mut probe_state = 77u64;
             for _ in 0..4000 {
                 probe_state = probe_state

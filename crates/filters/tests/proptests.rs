@@ -2,9 +2,7 @@
 //! **no false negatives**, on arbitrary key sets, budgets, and ranges.
 
 use grafite_core::RangeFilter;
-use grafite_filters::{
-    Proteus, REncoder, REncoderVariant, Rosetta, Snarf, SuffixMode, Surf,
-};
+use grafite_filters::{Proteus, REncoder, REncoderVariant, Rosetta, Snarf, SuffixMode, Surf};
 use proptest::prelude::*;
 
 fn check_no_false_negatives(
@@ -24,7 +22,12 @@ fn check_no_false_negatives(
             a,
             b
         );
-        prop_assert!(filter.may_contain(k), "{}: point FN for {}", filter.name(), k);
+        prop_assert!(
+            filter.may_contain(k),
+            "{}: point FN for {}",
+            filter.name(),
+            k
+        );
     }
     Ok(())
 }

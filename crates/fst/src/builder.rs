@@ -115,7 +115,11 @@ pub fn distinguishing_lengths(keys: &[&[u8]]) -> Vec<usize> {
     let lcp = |a: &[u8], b: &[u8]| a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
     for i in 0..n {
         let left = if i > 0 { lcp(keys[i - 1], keys[i]) } else { 0 };
-        let right = if i + 1 < n { lcp(keys[i], keys[i + 1]) } else { 0 };
+        let right = if i + 1 < n {
+            lcp(keys[i], keys[i + 1])
+        } else {
+            0
+        };
         lens[i] = (left.max(right) + 1).min(keys[i].len());
     }
     lens
@@ -140,10 +144,16 @@ mod tests {
 
     #[test]
     fn fixed_length_keys_always_prefix_free() {
-        let keys: Vec<Vec<u8>> = (0..200u64).map(|i| (i * 999).to_be_bytes().to_vec()).collect();
+        let keys: Vec<Vec<u8>> = (0..200u64)
+            .map(|i| (i * 999).to_be_bytes().to_vec())
+            .collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         let lens = distinguishing_lengths(&refs);
-        let trunc: Vec<Vec<u8>> = refs.iter().zip(&lens).map(|(k, &l)| k[..l].to_vec()).collect();
+        let trunc: Vec<Vec<u8>> = refs
+            .iter()
+            .zip(&lens)
+            .map(|(k, &l)| k[..l].to_vec())
+            .collect();
         for w in trunc.windows(2) {
             assert!(w[0] < w[1]);
             assert!(!w[1].starts_with(w[0].as_slice()));

@@ -239,7 +239,11 @@ impl FstDs {
         loop {
             if depth >= probe.len() {
                 // Probe exhausted: leftmost leaf of this dense subtree.
-                let pos = self.labels.bits().next_one(node * 256).expect("non-empty node");
+                let pos = self
+                    .labels
+                    .bits()
+                    .next_one(node * 256)
+                    .expect("non-empty node");
                 it.push_dense(pos);
                 return if it.settle_leftmost() { Some(it) } else { None };
             }
@@ -376,7 +380,10 @@ impl<'a> DsIter<'a> {
     /// leaf of its subtree (crossing into the sparse forest if needed).
     fn settle_leftmost(&mut self) -> bool {
         loop {
-            let pos = *self.dense_stack.last().expect("settle on empty dense stack");
+            let pos = *self
+                .dense_stack
+                .last()
+                .expect("settle on empty dense stack");
             if !self.fst.has_child.get(pos) {
                 self.dense_leaf_pos = Some(pos);
                 return true;
@@ -413,7 +420,13 @@ impl<'a> DsIter<'a> {
             };
             self.dense_key.pop();
             let node_end = (pos / 256 + 1) * 256;
-            if let Some(next) = self.fst.labels.bits().next_one(pos + 1).filter(|&p| p < node_end) {
+            if let Some(next) = self
+                .fst
+                .labels
+                .bits()
+                .next_one(pos + 1)
+                .filter(|&p| p < node_end)
+            {
                 self.push_dense(next);
                 return self.settle_leftmost();
             }
@@ -462,7 +475,9 @@ mod tests {
         let mut state = seed;
         let mut keys: Vec<Vec<u8>> = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state.to_be_bytes().to_vec()
             })
             .collect();
@@ -480,10 +495,16 @@ mod tests {
         let sparse = build(&refs);
         for depth in [0usize, 1, 2, 3] {
             let ds = FstDs::build_with_depth(&refs, depth);
-            assert_eq!(ds.fst.num_leaves(), sparse.fst.num_leaves(), "depth {depth}");
+            assert_eq!(
+                ds.fst.num_leaves(),
+                sparse.fst.num_leaves(),
+                "depth {depth}"
+            );
             let mut state = 99u64;
             for _ in 0..2000 {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 let probe = state.to_be_bytes();
                 // Lookup agreement (including mapped key identity).
                 let via_sparse = match sparse.fst.lookup(&probe) {
@@ -496,8 +517,14 @@ mod tests {
                 };
                 assert_eq!(via_ds, via_sparse, "lookup {state} depth {depth}");
                 // Seek agreement.
-                let s = sparse.fst.seek(&probe).map(|it| (it.key().to_vec(), sparse.leaf_to_key[it.leaf_index()]));
-                let d = ds.fst.seek(&probe).map(|it| (it.key(), ds.leaf_to_key[it.leaf_index()]));
+                let s = sparse
+                    .fst
+                    .seek(&probe)
+                    .map(|it| (it.key().to_vec(), sparse.leaf_to_key[it.leaf_index()]));
+                let d = ds
+                    .fst
+                    .seek(&probe)
+                    .map(|it| (it.key(), ds.leaf_to_key[it.leaf_index()]));
                 assert_eq!(d, s, "seek {state} depth {depth}");
             }
         }
@@ -548,7 +575,10 @@ mod tests {
         let keys = random_byte_keys(20_000, 11);
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         let ds = FstDs::build_auto(&refs);
-        assert!(ds.fst.dense_depth() >= 1, "random 64-bit keys should go dense at the top");
+        assert!(
+            ds.fst.dense_depth() >= 1,
+            "random 64-bit keys should go dense at the top"
+        );
         assert!(ds.fst.dense_depth() <= 3);
         // Space stays in the LOUDS-Sparse ballpark (dense is bounded by the
         // 16x per-level rule).
@@ -568,7 +598,10 @@ mod tests {
 
         let keys: Vec<&[u8]> = vec![b"zz"];
         let ds = FstDs::build_with_depth(&keys, 1);
-        assert!(matches!(ds.fst.lookup(b"zz"), Lookup::Leaf { depth: 2, .. }));
+        assert!(matches!(
+            ds.fst.lookup(b"zz"),
+            Lookup::Leaf { depth: 2, .. }
+        ));
         assert_eq!(ds.fst.seek(b"a").unwrap().key(), b"zz".to_vec());
     }
 }

@@ -249,7 +249,11 @@ impl Fst {
             match self.find_label_geq(s, e, target) {
                 None => {
                     // All labels smaller: the answer lies after this subtree.
-                    return if it.advance_from_stack() { Some(it) } else { None };
+                    return if it.advance_from_stack() {
+                        Some(it)
+                    } else {
+                        None
+                    };
                 }
                 Some(pos) if self.labels[pos] > target => {
                     it.push_branch(s, e, pos);
@@ -376,7 +380,10 @@ mod tests {
         assert_eq!(r.fst.lookup(b"b"), crate::Lookup::ExhaustedAtInternal);
         assert_eq!(r.fst.lookup(b"bcf"), crate::Lookup::NotFound);
         // A probe extending a stored key reports the stored key as prefix.
-        assert!(matches!(r.fst.lookup(b"abX"), crate::Lookup::Leaf { depth: 2, .. }));
+        assert!(matches!(
+            r.fst.lookup(b"abX"),
+            crate::Lookup::Leaf { depth: 2, .. }
+        ));
     }
 
     #[test]
@@ -420,7 +427,9 @@ mod tests {
         let mut state = 321u64;
         let mut set = BTreeSet::new();
         for _ in 0..800 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             set.insert(state);
         }
         let byte_keys: Vec<[u8; 8]> = set.iter().map(|k| k.to_be_bytes()).collect();
@@ -429,7 +438,9 @@ mod tests {
         assert_eq!(r.fst.num_leaves(), set.len());
         let mut probe_state = 9u64;
         for _ in 0..2000 {
-            probe_state = probe_state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            probe_state = probe_state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let probe = probe_state.to_be_bytes();
             let expect = set.range(probe_state..).next().map(|k| k.to_be_bytes());
             let got = r.fst.seek(&probe).map(|it| {
@@ -456,7 +467,10 @@ mod tests {
         let keys: Vec<&[u8]> = vec![b"abcdef"];
         let r = build(&keys);
         assert_eq!(r.fst.num_leaves(), 1);
-        assert!(matches!(r.fst.lookup(b"abcdef"), crate::Lookup::Leaf { depth: 6, .. }));
+        assert!(matches!(
+            r.fst.lookup(b"abcdef"),
+            crate::Lookup::Leaf { depth: 6, .. }
+        ));
         assert_eq!(r.fst.seek(b"abc").unwrap().key(), b"abcdef");
         assert!(r.fst.seek(b"abd").is_none());
         assert_eq!(r.fst.seek(b"aaa").unwrap().key(), b"abcdef");
@@ -471,6 +485,9 @@ mod tests {
         refs.sort();
         let r = build(&refs);
         let per_branch = r.fst.size_in_bits() as f64 / r.fst.num_branches() as f64;
-        assert!(per_branch < 13.0, "LOUDS-Sparse at {per_branch} bits/branch");
+        assert!(
+            per_branch < 13.0,
+            "LOUDS-Sparse at {per_branch} bits/branch"
+        );
     }
 }

@@ -144,7 +144,10 @@ mod tests {
         let expect = (n / r) as f64;
         for (bucket, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expect).abs() / expect;
-            assert!(dev < 0.5, "bucket {bucket} occupancy {c} vs expected {expect}");
+            assert!(
+                dev < 0.5,
+                "bucket {bucket} occupancy {c} vs expected {expect}"
+            );
         }
     }
 

@@ -1,0 +1,268 @@
+//! The versioned multi-shard manifest a [`FilterStore`](crate::FilterStore)
+//! saves to and opens from: routing metadata plus one per-shard filter blob
+//! in the [`grafite_core::persist`] flat-byte format, framed and
+//! checksummed the same way — so a store built offline revives on another
+//! machine with one call.
+//!
+//! # Manifest layout
+//!
+//! A manifest is a sequence of little-endian `u64` words: a fixed ten-word
+//! header, then a body.
+//!
+//! | word | contents |
+//! |---|---|
+//! | 0 | [`STORE_MAGIC`] (`b"GRAFSHRD"` as a little-endian word) |
+//! | 1 | low 32 bits: family spec id; high 32 bits: [`STORE_FORMAT_VERSION`] |
+//! | 2 | routing kind (0 = range, 1 = hash) |
+//! | 3 | shard count `S` |
+//! | 4 | total distinct keys |
+//! | 5 | `bits_per_key` as `f64::to_bits` |
+//! | 6 | `max_range` |
+//! | 7 | seed |
+//! | 8 | body length in words |
+//! | 9 | checksum ([`checksum_words`] over words 1–8 and the body words) |
+//!
+//! The body is, in order:
+//!
+//! * routing words — range routing: `S` interval-start keys (word 2 names
+//!   the kind; hash routing has no body words, its seed is header word 7);
+//! * the tuning sample: a pair count followed by `lo, hi` words per pair;
+//! * per shard: the key count, the sorted keys, the shard blob's byte
+//!   length, and the blob itself ([`grafite_core::persist`] header
+//!   included) zero-padded to a word boundary.
+//!
+//! Shard keys ride in the manifest because updates rebuild dirty shards
+//! from them; each shard blob additionally carries its own header and
+//! checksum, so a manifest is two nested layers of the same threat model
+//! as [`grafite_core::persist`]: accidental damage surfaces as typed
+//! [`FilterError`]s, while deliberate forgery requires provenance checks
+//! upstream.
+
+use std::io;
+use std::sync::Arc;
+
+use grafite_core::persist::checksum_words;
+use grafite_core::registry::Registry;
+use grafite_core::{FilterError, RangeFilter};
+use grafite_succinct::io::{WordCursor, WordSource, WordWriter};
+
+use crate::family::FamilySpec;
+use crate::store::{Partitioning, Routing, Shard, Snapshot, StoreConfig};
+
+/// `b"GRAFSHRD"` read as a little-endian word: the first 8 bytes of every
+/// store manifest (distinct from the per-filter `GRAFILT\0` magic, so a
+/// manifest handed to a filter loader — or vice versa — fails typed).
+pub const STORE_MAGIC: u64 = u64::from_le_bytes(*b"GRAFSHRD");
+
+/// The manifest format version this build writes and reads. Bumped on any
+/// incompatible change, exactly like
+/// [`grafite_core::persist::FORMAT_VERSION`] (the two version independently:
+/// a manifest change does not invalidate filter blobs).
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Header length in words.
+pub const MANIFEST_HEADER_WORDS: usize = 10;
+
+const ROUTING_RANGE: u64 = 0;
+const ROUTING_HASH: u64 = 1;
+
+/// Serializes `snapshot` under `config` into `out`. Returns bytes written.
+pub fn write(
+    config: &StoreConfig,
+    snapshot: &Snapshot,
+    out: &mut dyn io::Write,
+) -> Result<usize, FilterError> {
+    let mut body = Vec::new();
+    {
+        let mut w = WordWriter::new(&mut body);
+        match snapshot.routing() {
+            Routing::Range { starts } => w.words(starts)?,
+            Routing::Hash { .. } => {}
+        }
+        w.word(config.sample.len() as u64)?;
+        for &(lo, hi) in &config.sample {
+            w.word(lo)?;
+            w.word(hi)?;
+        }
+        for shard in snapshot.shards() {
+            w.prefixed(shard.keys())?;
+            let blob = shard.filter().to_bytes();
+            w.word(blob.len() as u64)?;
+            w.bytes_padded(&blob)?;
+        }
+    }
+    debug_assert_eq!(body.len() % 8, 0);
+    let (routing_kind, n_shards) = match snapshot.routing() {
+        Routing::Range { starts } => (ROUTING_RANGE, starts.len() as u64),
+        Routing::Hash { shards, .. } => (ROUTING_HASH, *shards as u64),
+    };
+    let header: [u64; MANIFEST_HEADER_WORDS - 1] = [
+        STORE_MAGIC,
+        ((STORE_FORMAT_VERSION as u64) << 32) | config.family.spec_id() as u64,
+        routing_kind,
+        n_shards,
+        snapshot.num_keys() as u64,
+        config.bits_per_key.to_bits(),
+        config.max_range,
+        config.seed,
+        (body.len() / 8) as u64,
+    ];
+    let checksum = checksum_words(
+        header[1..].iter().copied().chain(
+            body.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        ),
+    );
+    for w in header.iter().copied().chain([checksum]) {
+        out.write_all(&w.to_le_bytes())?;
+    }
+    out.write_all(&body)?;
+    Ok(MANIFEST_HEADER_WORDS * 8 + body.len())
+}
+
+/// Parses and validates a manifest, loading every shard filter through
+/// `registry` (or the family's typed loader for non-registry families).
+/// Returns the reconstructed configuration, routing, and shards.
+#[allow(clippy::type_complexity)]
+pub fn read(
+    registry: &Registry,
+    bytes: &[u8],
+) -> Result<(StoreConfig, Routing, Vec<Arc<Shard>>), FilterError> {
+    let header_bytes = MANIFEST_HEADER_WORDS * 8;
+    if bytes.len() < header_bytes {
+        return Err(FilterError::TruncatedBuffer {
+            needed: header_bytes,
+            have: bytes.len(),
+        });
+    }
+    let word_at =
+        |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8-byte chunk"));
+    if word_at(0) != STORE_MAGIC {
+        return Err(FilterError::BadMagic(word_at(0)));
+    }
+    let version = (word_at(1) >> 32) as u32;
+    if version != STORE_FORMAT_VERSION {
+        return Err(FilterError::UnsupportedFormatVersion {
+            found: version,
+            supported: STORE_FORMAT_VERSION,
+        });
+    }
+    let spec_id = word_at(1) as u32;
+    let family = FamilySpec::from_spec_id(spec_id).ok_or(FilterError::UnknownSpecId(spec_id))?;
+    let routing_kind = word_at(2);
+    let n_shards = usize::try_from(word_at(3))
+        .ok()
+        .filter(|&s| s >= 1)
+        .ok_or_else(|| FilterError::corrupt("shard count out of range"))?;
+    let total_keys = word_at(4);
+    let bits_per_key = f64::from_bits(word_at(5));
+    if !(bits_per_key.is_finite() && bits_per_key > 0.0) {
+        return Err(FilterError::corrupt(
+            "store bits-per-key not a positive float",
+        ));
+    }
+    let max_range = word_at(6);
+    let seed = word_at(7);
+    let body_words = usize::try_from(word_at(8))
+        .ok()
+        .and_then(|bw| bw.checked_add(MANIFEST_HEADER_WORDS))
+        .and_then(|w| w.checked_mul(8))
+        .ok_or_else(|| FilterError::corrupt("manifest body length overflows usize"))?;
+    if bytes.len() < body_words {
+        return Err(FilterError::TruncatedBuffer {
+            needed: body_words,
+            have: bytes.len(),
+        });
+    }
+    let body: Vec<u64> = bytes[header_bytes..body_words]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    let actual = checksum_words(
+        (1..MANIFEST_HEADER_WORDS - 1)
+            .map(word_at)
+            .chain(body.iter().copied()),
+    );
+    if actual != word_at(MANIFEST_HEADER_WORDS - 1) {
+        return Err(FilterError::ChecksumMismatch {
+            expected: word_at(MANIFEST_HEADER_WORDS - 1),
+            actual,
+        });
+    }
+
+    let mut cursor = WordCursor::new(&body);
+    let (routing, partitioning) = match routing_kind {
+        ROUTING_RANGE => {
+            let starts: Vec<u64> = cursor.take(n_shards)?.to_vec();
+            if starts[0] != 0 || !starts.windows(2).all(|w| w[0] < w[1]) {
+                return Err(FilterError::corrupt(
+                    "range routing starts not strictly increasing from 0",
+                ));
+            }
+            (
+                Routing::Range { starts },
+                Partitioning::Range { shards: n_shards },
+            )
+        }
+        ROUTING_HASH => {
+            let shards = u32::try_from(n_shards)
+                .map_err(|_| FilterError::corrupt("hash shard count above u32"))?;
+            (
+                Routing::Hash { shards, seed },
+                Partitioning::Hash { shards: n_shards },
+            )
+        }
+        _ => return Err(FilterError::corrupt("unknown routing kind")),
+    };
+    let sample_len = cursor.length()?;
+    let mut sample = Vec::with_capacity(sample_len.min(1 << 20));
+    for _ in 0..sample_len {
+        let lo = cursor.word()?;
+        let hi = cursor.word()?;
+        sample.push((lo, hi));
+    }
+    let config = StoreConfig::new(family)
+        .bits_per_key(bits_per_key)
+        .max_range(max_range)
+        .seed(seed)
+        .sample(sample)
+        .partitioning(partitioning);
+
+    let mut shards = Vec::with_capacity(n_shards);
+    let mut keys_total = 0u64;
+    for s in 0..n_shards {
+        let n_keys = cursor.length()?;
+        let keys: Vec<u64> = cursor.take(n_keys)?.to_vec();
+        if !keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err(FilterError::corrupt("shard keys not strictly increasing"));
+        }
+        if keys.iter().any(|&k| routing.shard_of(k) != s) {
+            return Err(FilterError::corrupt(
+                "shard key routes to a different shard",
+            ));
+        }
+        keys_total += keys.len() as u64;
+        let blob_len = cursor.length()?;
+        // The blob sits word-aligned inside `bytes`; advance the cursor
+        // over its padded words (bounds-checking in the process) and hand
+        // the loader a sub-slice of the original buffer rather than a
+        // `take_bytes` copy.
+        let blob_start = header_bytes + cursor.position() * 8;
+        let _ = cursor.take(blob_len.div_ceil(8))?;
+        let filter = config
+            .family
+            .load(registry, &bytes[blob_start..blob_start + blob_len])?;
+        if filter.num_keys() != keys.len() {
+            return Err(FilterError::corrupt(
+                "shard blob key count differs from manifest",
+            ));
+        }
+        shards.push(Arc::new(Shard::from_parts(keys, filter)));
+    }
+    if keys_total != total_keys {
+        return Err(FilterError::corrupt(
+            "total key count differs from shard sum",
+        ));
+    }
+    Ok((config, routing, shards))
+}

@@ -82,7 +82,10 @@ impl BitVec {
     pub fn push_bits(&mut self, value: u64, width: usize) {
         assert!(width <= 64, "width {width} > 64");
         if width < 64 {
-            assert!(value < (1u64 << width), "value {value} wider than {width} bits");
+            assert!(
+                value < (1u64 << width),
+                "value {value} wider than {width} bits"
+            );
         }
         if width == 0 {
             return;
@@ -113,7 +116,11 @@ impl BitVec {
         }
         let word = pos / WORD_BITS;
         let offset = pos % WORD_BITS;
-        let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            !0u64
+        } else {
+            (1u64 << width) - 1
+        };
         self.words[word] = (self.words[word] & !(mask << offset)) | (value << offset);
         if offset + width > WORD_BITS {
             let spill = WORD_BITS - offset;
@@ -160,7 +167,11 @@ impl<S: AsRef<[u64]>> BitVec<S> {
         let words = self.words.as_ref();
         let word = pos / WORD_BITS;
         let offset = pos % WORD_BITS;
-        let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            !0u64
+        } else {
+            (1u64 << width) - 1
+        };
         if offset + width <= WORD_BITS {
             (words[word] >> offset) & mask
         } else {
@@ -172,7 +183,11 @@ impl<S: AsRef<[u64]>> BitVec<S> {
     pub fn count_ones(&self) -> usize {
         // Trailing bits beyond `len` are maintained as zero, so a plain
         // popcount over the words is exact.
-        self.words.as_ref().iter().map(|w| w.count_ones() as usize).sum()
+        self.words
+            .as_ref()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// The backing words. Bits at positions `>= len` are zero.
@@ -215,18 +230,22 @@ impl<S: AsRef<[u64]>> BitVec<S> {
 
     /// Iterator over the positions of set bits.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.as_ref().iter().enumerate().flat_map(move |(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let tz = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(wi * WORD_BITS + tz)
-                }
+        self.words
+            .as_ref()
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &w)| {
+                let mut w = w;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let tz = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(wi * WORD_BITS + tz)
+                    }
+                })
             })
-        })
     }
 
     /// Heap size of the structure in bits (for space accounting).
@@ -405,8 +424,10 @@ mod tests {
             let owned = BitVec::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
             assert_eq!(owned, bv);
 
-            let words: Vec<u64> =
-                bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+            let words: Vec<u64> = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
             let view = BitVecView::read_from(&mut WordCursor::new(&words)).unwrap();
             assert_eq!(view, bv);
             if !bv.is_empty() {

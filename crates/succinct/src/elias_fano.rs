@@ -60,13 +60,20 @@ impl EliasFano {
                 last: 0,
             };
         }
-        assert!(universe > 0, "universe must be positive for a non-empty set");
+        assert!(
+            universe > 0,
+            "universe must be positive for a non-empty set"
+        );
         let low_bits = if universe > n as u64 {
             (universe / n as u64).ilog2() as usize
         } else {
             0
         };
-        let mask = if low_bits == 0 { 0 } else { (1u64 << low_bits) - 1 };
+        let mask = if low_bits == 0 {
+            0
+        } else {
+            (1u64 << low_bits) - 1
+        };
 
         let hi_max = (universe - 1) >> low_bits;
         let mut high = BitVec::zeros((hi_max as usize) + n + 1);
@@ -172,7 +179,11 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
         }
         let y = y.min(self.universe - 1);
         let p = y >> self.low_bits;
-        let y_lo = y & if self.low_bits == 0 { 0 } else { (1u64 << self.low_bits) - 1 };
+        let y_lo = y & if self.low_bits == 0 {
+            0
+        } else {
+            (1u64 << self.low_bits) - 1
+        };
         let (start, end) = self.bucket(p);
         // Binary search for the first index in [start, end) with low > y_lo.
         let mut lo = start;
@@ -207,7 +218,11 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
             return Some(self.first);
         }
         let p = y >> self.low_bits;
-        let y_lo = y & if self.low_bits == 0 { 0 } else { (1u64 << self.low_bits) - 1 };
+        let y_lo = y & if self.low_bits == 0 {
+            0
+        } else {
+            (1u64 << self.low_bits) - 1
+        };
         let (start, end) = self.bucket(p);
         let mut lo = start;
         let mut hi = end;
@@ -241,7 +256,11 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
             return self.n;
         }
         let p = y >> self.low_bits;
-        let y_lo = y & if self.low_bits == 0 { 0 } else { (1u64 << self.low_bits) - 1 };
+        let y_lo = y & if self.low_bits == 0 {
+            0
+        } else {
+            (1u64 << self.low_bits) - 1
+        };
         let (start, end) = self.bucket(p);
         let mut lo = start;
         let mut hi = end;
@@ -368,7 +387,11 @@ mod tests {
         assert_eq!(collected, values);
         for y in probes {
             let y = y.min(universe - 1);
-            assert_eq!(ef.predecessor(y), reference_predecessor(&set, y), "pred({y})");
+            assert_eq!(
+                ef.predecessor(y),
+                reference_predecessor(&set, y),
+                "pred({y})"
+            );
             assert_eq!(ef.successor(y), reference_successor(&set, y), "succ({y})");
             let expect_rank = values.iter().filter(|&&v| v < y).count();
             assert_eq!(ef.rank(y), expect_rank, "rank({y})");
@@ -479,8 +502,10 @@ mod tests {
 
             let owned = EliasFano::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
             assert_eq!(owned, ef);
-            let words: Vec<u64> =
-                bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+            let words: Vec<u64> = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
             let view = EliasFanoView::read_from(&mut WordCursor::new(&words)).unwrap();
             assert_eq!(view, ef);
             // The loaded structures answer the paper's operations

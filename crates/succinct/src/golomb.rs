@@ -367,7 +367,9 @@ mod tests {
         let mut state = 7u64;
         let mut values: Vec<u64> = (0..1500)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 state % 100_000
             })
             .collect();

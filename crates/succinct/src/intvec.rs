@@ -138,7 +138,11 @@ impl<S: AsRef<[u64]>> IntVec<S> {
         }
         let len = src.length()?;
         let bits = BitVec::read_from(src)?;
-        if bits.len() != width.checked_mul(len).ok_or(DecodeError::Invalid("length overflow"))? {
+        if bits.len()
+            != width
+                .checked_mul(len)
+                .ok_or(DecodeError::Invalid("length overflow"))?
+        {
             return Err(DecodeError::Invalid("packed integer bit count"));
         }
         Ok(Self { bits, width, len })
@@ -213,16 +217,24 @@ mod tests {
     fn serialization_roundtrips_owned_and_view() {
         use crate::io::{ReadSource, WordCursor};
         for width in [0usize, 5, 13, 64] {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-            let values: Vec<u64> = (0..150u64).map(|i| i.wrapping_mul(0xABCDE12345) & mask).collect();
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..150u64)
+                .map(|i| i.wrapping_mul(0xABCDE12345) & mask)
+                .collect();
             let iv = IntVec::from_slice(width, &values);
             let mut bytes = Vec::new();
             iv.write_to(&mut WordWriter::new(&mut bytes)).unwrap();
 
             let owned = IntVec::read_from(&mut ReadSource::new(bytes.as_slice())).unwrap();
             assert_eq!(owned, iv, "width {width}");
-            let words: Vec<u64> =
-                bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+            let words: Vec<u64> = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
             let view = IntVecView::read_from(&mut WordCursor::new(&words)).unwrap();
             assert_eq!(view, iv, "width {width}");
             for (i, &v) in values.iter().enumerate() {
@@ -237,8 +249,10 @@ mod tests {
         let iv = IntVec::from_slice(8, &[1, 2, 3]);
         let mut bytes = Vec::new();
         iv.write_to(&mut WordWriter::new(&mut bytes)).unwrap();
-        let mut words: Vec<u64> =
-            bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let mut words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         words[0] = 65;
         assert_eq!(
             IntVecView::read_from(&mut WordCursor::new(&words)),

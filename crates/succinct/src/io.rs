@@ -36,7 +36,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::Truncated { needed, have } => {
-                write!(f, "truncated word stream: needed {needed} words, have {have}")
+                write!(
+                    f,
+                    "truncated word stream: needed {needed} words, have {have}"
+                )
             }
             DecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
             DecodeError::Io(kind) => write!(f, "i/o error while decoding: {kind}"),
@@ -189,7 +192,10 @@ impl<'a> WordSource for WordCursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u64], DecodeError> {
-        let end = self.pos.checked_add(n).ok_or(DecodeError::Invalid("length overflow"))?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DecodeError::Invalid("length overflow"))?;
         if end > self.words.len() {
             return Err(DecodeError::Truncated {
                 needed: end,
@@ -273,7 +279,9 @@ impl<R: io::Read> WordSource for ReadSource<R> {
                 }
             })?;
             out.extend(
-                bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
             );
             self.words_read += chunk;
             remaining -= chunk;
@@ -327,8 +335,10 @@ mod tests {
         assert_eq!(w.words_written(), 6);
         assert_eq!(buf.len(), 48);
 
-        let words: Vec<u64> =
-            buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let words: Vec<u64> = buf
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         let mut cur = WordCursor::new(&words);
         assert_eq!(cur.word().unwrap(), 7);
         let n = cur.length().unwrap();

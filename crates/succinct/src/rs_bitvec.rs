@@ -180,7 +180,8 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
         for w in first_word..last_word {
             let ones = self.bits.word(w).count_ones() as usize;
             if remaining < ones {
-                return w * WORD_BITS + select_in_word(self.bits.word(w), remaining as u32) as usize;
+                return w * WORD_BITS
+                    + select_in_word(self.bits.word(w), remaining as u32) as usize;
             }
             remaining -= ones;
         }
@@ -286,7 +287,11 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
         let select0_hints = src.take(h0_len)?;
         // Hints are block indices: an out-of-range one would index past the
         // directory at query time. O(hints) = O(n/512), negligible at load.
-        if select1_hints.as_ref().iter().chain(select0_hints.as_ref()).any(|&h| h >= n_blocks as u64)
+        if select1_hints
+            .as_ref()
+            .iter()
+            .chain(select0_hints.as_ref())
+            .any(|&h| h >= n_blocks as u64)
         {
             return Err(DecodeError::Invalid("select hint out of range"));
         }
@@ -385,7 +390,9 @@ mod tests {
         let mut state = 12345u64;
         let v: Vec<bool> = (0..20_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) & 1 == 1
             })
             .collect();
@@ -403,7 +410,10 @@ mod tests {
         let mut bytes = Vec::new();
         let mut w = WordWriter::new(&mut bytes);
         rs.write_to(&mut w).unwrap();
-        bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
     }
 
     #[test]

@@ -13,11 +13,17 @@ use proptest::prelude::*;
 
 /// Serializes a structure through its `write_to` and returns both byte and
 /// word images of the stream.
-fn serialize(write: impl FnOnce(&mut WordWriter<'_>) -> std::io::Result<usize>) -> (Vec<u8>, Vec<u64>) {
+fn serialize(
+    write: impl FnOnce(&mut WordWriter<'_>) -> std::io::Result<usize>,
+) -> (Vec<u8>, Vec<u64>) {
     let mut bytes = Vec::new();
     let mut w = WordWriter::new(&mut bytes);
     let words_written = write(&mut w).unwrap();
-    assert_eq!(words_written * 8, bytes.len(), "write_to word count drifted");
+    assert_eq!(
+        words_written * 8,
+        bytes.len(),
+        "write_to word count drifted"
+    );
     let words = bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))

@@ -161,7 +161,11 @@ mod tests {
             let a = generate(ds, 5000, 42);
             let b = generate(ds, 5000, 42);
             assert_eq!(a, b, "{} not deterministic", ds.name());
-            assert!(a.windows(2).all(|w| w[0] < w[1]), "{} not sorted/dedup", ds.name());
+            assert!(
+                a.windows(2).all(|w| w[0] < w[1]),
+                "{} not sorted/dedup",
+                ds.name()
+            );
             assert!(a.len() > 4500, "{} lost too many keys to dedup", ds.name());
         }
     }
@@ -200,7 +204,10 @@ mod tests {
         sorted.sort_unstable();
         let median = sorted[sorted.len() / 2] as f64;
         let mean = gaps.iter().map(|&g| g as f64).sum::<f64>() / gaps.len() as f64;
-        assert!(mean > 4.0 * median, "books gaps not heavy-tailed: mean {mean} median {median}");
+        assert!(
+            mean > 4.0 * median,
+            "books gaps not heavy-tailed: mean {mean} median {median}"
+        );
     }
 
     #[test]

@@ -258,7 +258,12 @@ mod tests {
             let qs = non_empty_queries(&keys, 300, l, 13);
             assert_eq!(qs.len(), 300);
             for q in &qs {
-                assert!(intersects(&keys, q.lo, q.hi), "query [{}, {}] empty", q.lo, q.hi);
+                assert!(
+                    intersects(&keys, q.lo, q.hi),
+                    "query [{}, {}] empty",
+                    q.lo,
+                    q.hi
+                );
             }
         }
     }

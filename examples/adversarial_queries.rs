@@ -19,8 +19,12 @@ fn main() {
     let l = 32;
 
     let budget = 20.0;
-    let specs =
-        [FilterSpec::Grafite, FilterSpec::Bucketing, FilterSpec::Snarf, FilterSpec::SurfReal];
+    let specs = [
+        FilterSpec::Grafite,
+        FilterSpec::Bucketing,
+        FilterSpec::Snarf,
+        FilterSpec::SurfReal,
+    ];
     let registry = standard_registry();
     let cfg = FilterConfig::new(&keys).bits_per_key(budget).max_range(l);
     let filters: Vec<_> = specs
@@ -38,7 +42,10 @@ fn main() {
         let queries = correlated_queries(&keys, 20_000, l, degree, 7);
         let mut cells = Vec::new();
         for f in &filters {
-            let fps = queries.iter().filter(|q| f.may_contain_range(q.lo, q.hi)).count();
+            let fps = queries
+                .iter()
+                .filter(|q| f.may_contain_range(q.lo, q.hi))
+                .count();
             cells.push(format!("{:>12.2e}", fps as f64 / queries.len() as f64));
         }
         println!("{degree:>10.2} | {}", cells.join(" "));

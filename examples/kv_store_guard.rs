@@ -46,7 +46,9 @@ impl<F: RangeFilter> Store<F> {
     fn range_count(&self, lo: u64, hi: u64) -> usize {
         let mut found = 0;
         for (run, filter) in self.runs.iter().zip(&self.filters) {
-            let maybe = filter.as_ref().map_or(true, |f| f.may_contain_range(lo, hi));
+            let maybe = filter
+                .as_ref()
+                .map_or(true, |f| f.may_contain_range(lo, hi));
             if maybe {
                 found += run.fetch_range(lo, hi);
             }

@@ -34,7 +34,10 @@ fn main() {
     let cfg2 = FilterConfig::new(&keys).max_range(1 << 10);
     let filter2 = GrafiteFilter::build_with(
         &cfg2,
-        &GrafiteTuning { epsilon: Some(0.01), ..GrafiteTuning::default() },
+        &GrafiteTuning {
+            epsilon: Some(0.01),
+            ..GrafiteTuning::default()
+        },
     )
     .unwrap();
     println!(
@@ -52,7 +55,9 @@ fn main() {
     let mut queries: Vec<(u64, u64)> = Vec::new();
     let mut state = 0xDEADBEEFu64;
     while queries.len() < 100_000 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = state % (1 << 45);
         let b = a + 31;
         let i = sorted.partition_point(|&k| k < a);

@@ -17,12 +17,23 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create temp dir");
 
     // ── The build box: construct once, serialize to disk ────────────────
-    let keys: Vec<u64> = (0..1_000_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
-    let cfg = FilterConfig::new(&keys).bits_per_key(16.0).max_range(1 << 10);
+    let keys: Vec<u64> = (0..1_000_000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
+    let cfg = FilterConfig::new(&keys)
+        .bits_per_key(16.0)
+        .max_range(1 << 10);
     let registry = standard_registry();
 
-    println!("== build box: serialize every family to {} ==", dir.display());
-    for spec in [FilterSpec::Grafite, FilterSpec::Bucketing, FilterSpec::Snarf] {
+    println!(
+        "== build box: serialize every family to {} ==",
+        dir.display()
+    );
+    for spec in [
+        FilterSpec::Grafite,
+        FilterSpec::Bucketing,
+        FilterSpec::Snarf,
+    ] {
         let filter = registry.build(spec, &cfg).expect("feasible at 16 bits/key");
         let path = dir.join(format!("{}.grafilt", filter.name().to_lowercase()));
         let mut file = std::fs::File::create(&path).expect("create blob");

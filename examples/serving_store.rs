@@ -1,0 +1,106 @@
+//! Serving-store walkthrough: the full lifecycle — **build → serve →
+//! update → reload** — that `grafite-store` adds on top of the static
+//! filters. A sharded store serves lock-free snapshots to reader threads
+//! while update batches rebuild only the dirty shards, and the whole store
+//! round-trips through one multi-shard manifest file.
+//!
+//! ```sh
+//! cargo run --release --example serving_store
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use grafite::{
+    standard_registry, FamilySpec, FilterSpec, FilterStore, Partitioning, StoreConfig, Update,
+};
+
+fn main() {
+    let registry = standard_registry();
+    let keys: Vec<u64> = (0..1_000_000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
+
+    // ── Build: range-partition 1M keys across 8 Grafite shards ──────────
+    let config = StoreConfig::new(FamilySpec::Registry(FilterSpec::Grafite))
+        .bits_per_key(16.0)
+        .max_range(1 << 10)
+        .partitioning(Partitioning::Range { shards: 8 });
+    let start = Instant::now();
+    let store = FilterStore::build(&registry, config, &keys).expect("feasible at 16 bits/key");
+    println!(
+        "== built {} keys into {} shards in {:.2?} ({:.2} serialized bits/key) ==",
+        store.num_keys(),
+        store.snapshot().num_shards(),
+        start.elapsed(),
+        store.snapshot().serialized_bits() as f64 / store.num_keys() as f64
+    );
+
+    // ── Serve: reader threads query immutable snapshots lock-free while
+    //    a writer lands update batches (only dirty shards rebuild) ───────
+    let stop = AtomicBool::new(false);
+    let served = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let queries: Vec<(u64, u64)> = keys
+                    .iter()
+                    .step_by(97)
+                    .map(|&k| (k, k.saturating_add(64)))
+                    .collect();
+                let mut out = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    // One Arc clone, then the whole batch runs without locks.
+                    let snap = store.snapshot();
+                    snap.query_ranges(&queries, &mut out);
+                    assert!(out.iter().all(|&hit| hit), "key-anchored ranges never miss");
+                    served.fetch_add(out.len(), Ordering::Relaxed);
+                }
+            });
+        }
+        scope.spawn(|| {
+            for batch in 0..3u64 {
+                let updates: Vec<Update> = (0..1000)
+                    .map(|i| Update::Insert(0xDEAD_0000_0000 + batch * 10_000 + i))
+                    .collect();
+                let start = Instant::now();
+                let report = store
+                    .apply(&updates)
+                    .expect("rebuild under original config");
+                println!(
+                    "  batch {batch}: +{} keys, rebuilt {}/{} shards ({} keys) in {:.2?} \
+                     -> snapshot v{}",
+                    report.inserted,
+                    report.dirty_shards,
+                    store.snapshot().num_shards(),
+                    report.rebuilt_keys,
+                    start.elapsed(),
+                    report.version
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    println!(
+        "== served {} range queries concurrently with 3 update batches ==",
+        served.load(Ordering::Relaxed)
+    );
+
+    // ── Reload: one manifest file revives the whole store elsewhere ─────
+    let path = std::env::temp_dir().join("grafite-serving-store-example.grafshrd");
+    let mut file = std::fs::File::create(&path).expect("create manifest");
+    let bytes = store.save_to(&mut file).expect("serialize store");
+    drop(file);
+    let blob = std::fs::read(&path).expect("read manifest");
+    let start = Instant::now();
+    let reopened = FilterStore::open(&registry, &blob).expect("valid manifest");
+    println!(
+        "== manifest: {bytes} bytes on disk, reopened {} keys / {} shards in {:.2?} ==",
+        reopened.num_keys(),
+        reopened.snapshot().num_shards(),
+        start.elapsed()
+    );
+    assert!(reopened.may_contain(keys[123_456]));
+    assert!(reopened.may_contain(0xDEAD_0000_0000)); // the updates travelled too
+    std::fs::remove_file(&path).ok();
+}

@@ -24,17 +24,30 @@ fn main() {
         "{:>12} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "target FPP", "range l", "B (theory)", "bits/key", "measured", "bound held?"
     );
-    for (target, l) in [(0.05, 32u64), (0.01, 32), (0.001, 32), (0.01, 1024), (0.0001, 1024)] {
+    for (target, l) in [
+        (0.05, 32u64),
+        (0.01, 32),
+        (0.001, 32),
+        (0.01, 1024),
+        (0.0001, 1024),
+    ] {
         let b = budget_for(target, l);
         let cfg = FilterConfig::new(&keys).bits_per_key(b).max_range(l);
         let filter = GrafiteFilter::build(&cfg).unwrap();
         let queries = uncorrelated_queries(&keys, 50_000, l, 7);
-        let fps = queries.iter().filter(|q| filter.may_contain_range(q.lo, q.hi)).count();
+        let fps = queries
+            .iter()
+            .filter(|q| filter.may_contain_range(q.lo, q.hi))
+            .count();
         let measured = fps as f64 / queries.len() as f64;
         println!(
             "{target:>12.0e} {l:>10} {b:>12.2} {:>12.2} {measured:>12.2e} {:>12}",
             filter.bits_per_key(),
-            if measured <= target * 1.5 + 1e-4 { "yes" } else { "NO" },
+            if measured <= target * 1.5 + 1e-4 {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
     println!(

@@ -156,7 +156,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark with an explicit input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

@@ -204,13 +204,19 @@ pub mod prop {
         impl From<std::ops::Range<usize>> for SizeRange {
             fn from(r: std::ops::Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty size range");
-                Self { lo: r.start, hi: r.end }
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
             }
         }
 
         impl From<std::ops::RangeInclusive<usize>> for SizeRange {
             fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-                Self { lo: *r.start(), hi: *r.end() + 1 }
+                Self {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
             }
         }
 
@@ -229,7 +235,10 @@ pub mod prop {
 
         /// `Vec` strategy: a length in `len` values drawn from `element`.
         pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, len: len.into() }
+            VecStrategy {
+                element,
+                len: len.into(),
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -255,7 +264,10 @@ pub mod prop {
             S: Strategy,
             S::Value: Ord,
         {
-            BTreeSetStrategy { element, len: len.into() }
+            BTreeSetStrategy {
+                element,
+                len: len.into(),
+            }
         }
 
         impl<S> Strategy for BTreeSetStrategy<S>

@@ -17,6 +17,12 @@
 //! * [`grafite_filters`] — the competitor filters of the paper's evaluation,
 //!   plus [`standard_registry`] assembling all eleven configurations.
 //! * [`grafite_workloads`] — the datasets and query workloads of §6.
+//! * [`grafite_store`] — the serving layer: [`FilterStore`] shards the key
+//!   space across per-shard filters of any family, serves immutable
+//!   lock-free [`Snapshot`]s to any number of reader threads, applies
+//!   [`Update`] batches by rebuilding only dirty shards behind an atomic
+//!   snapshot swap, and round-trips whole stores through a versioned
+//!   multi-shard manifest.
 //!
 //! ## Quickstart
 //!
@@ -82,12 +88,35 @@
 //! // bits-per-key figure the bench harness reports.
 //! assert_eq!(served.serialized_bits(), blob.len() * 8);
 //! ```
+//!
+//! ## Serving
+//!
+//! Production serving wants a lifecycle — build → serve → update → reload —
+//! not a bare filter value. [`FilterStore`] provides it over every family:
+//!
+//! ```
+//! use grafite::{standard_registry, FamilySpec, FilterSpec, FilterStore, StoreConfig, Update};
+//!
+//! let keys: Vec<u64> = (0..4000u64).map(|i| i * 99_991).collect();
+//! let registry = standard_registry();
+//! let config = StoreConfig::new(FamilySpec::Registry(FilterSpec::Grafite)).bits_per_key(14.0);
+//! let store = FilterStore::build(&registry, config, &keys).unwrap();
+//!
+//! let snap = store.snapshot();              // immutable, lock-free to query
+//! store.apply(&[Update::Insert(7), Update::Delete(99_991)]).unwrap();
+//! assert!(store.may_contain(7));            // the new snapshot serves the insert
+//! assert!(snap.may_contain(99_991));        // old snapshots never change
+//!
+//! let reopened = FilterStore::open(&registry, &store.to_bytes()).unwrap();
+//! assert_eq!(reopened.num_keys(), store.num_keys());
+//! ```
 
 pub use grafite_bloom;
 pub use grafite_core;
 pub use grafite_filters;
 pub use grafite_fst;
 pub use grafite_hash;
+pub use grafite_store;
 pub use grafite_succinct;
 pub use grafite_workloads;
 
@@ -96,3 +125,6 @@ pub use grafite_core::{
     KeyCodec, PersistentFilter, RangeFilter, Registry, StringGrafite,
 };
 pub use grafite_filters::standard_registry;
+pub use grafite_store::{
+    DynRangeFilter, FamilySpec, FilterStore, Partitioning, Snapshot, StoreConfig, Update,
+};

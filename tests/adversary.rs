@@ -48,20 +48,33 @@ fn adversary_with_leaked_keys_cannot_break_grafite() {
     assert!(queries.len() > 4000, "adversary found too few empty ranges");
 
     let budget = 18.0;
-    let grafite = GrafiteFilter::builder().bits_per_key(budget).build(&keys).unwrap();
+    let grafite = GrafiteFilter::builder()
+        .bits_per_key(budget)
+        .build(&keys)
+        .unwrap();
     let snarf = Snarf::new(&keys, budget).unwrap();
     let surf = Surf::new(&keys, SuffixMode::Real { bits: 7 }).unwrap();
-    let bucketing = BucketingFilter::builder().bits_per_key(budget).build(&keys).unwrap();
+    let bucketing = BucketingFilter::builder()
+        .bits_per_key(budget)
+        .build(&keys)
+        .unwrap();
 
     let fpr = |f: &dyn RangeFilter| {
-        queries.iter().filter(|&&(a, b)| f.may_contain_range(a, b)).count() as f64
+        queries
+            .iter()
+            .filter(|&&(a, b)| f.may_contain_range(a, b))
+            .count() as f64
             / queries.len() as f64
     };
 
     // The heuristics are routed around: almost every crafted query passes.
     assert!(fpr(&snarf) > 0.95, "SNARF under attack: {}", fpr(&snarf));
     assert!(fpr(&surf) > 0.95, "SuRF under attack: {}", fpr(&surf));
-    assert!(fpr(&bucketing) > 0.95, "Bucketing under attack: {}", fpr(&bucketing));
+    assert!(
+        fpr(&bucketing) > 0.95,
+        "Bucketing under attack: {}",
+        fpr(&bucketing)
+    );
 
     // Grafite holds its Corollary 3.5 bound against the same adversary.
     let bound = grafite.fpp_for_range_size(l);
@@ -81,8 +94,15 @@ fn full_knowledge_adversary_still_bounded() {
     let keys = generate(Dataset::Uniform, 20_000, 5);
     let l = 64u64;
     let queries = adversarial_queries(&keys, &keys, l);
-    let grafite = GrafiteFilter::builder().bits_per_key(20.0).seed(0xFEED).build(&keys).unwrap();
-    let fps = queries.iter().filter(|&&(a, b)| grafite.may_contain_range(a, b)).count();
+    let grafite = GrafiteFilter::builder()
+        .bits_per_key(20.0)
+        .seed(0xFEED)
+        .build(&keys)
+        .unwrap();
+    let fps = queries
+        .iter()
+        .filter(|&&(a, b)| grafite.may_contain_range(a, b))
+        .count();
     let fpr = fps as f64 / queries.len() as f64;
     let bound = grafite.fpp_for_range_size(l);
     assert!(fpr <= bound * 1.6 + 0.002, "FPR {fpr} vs bound {bound}");

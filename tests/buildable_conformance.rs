@@ -30,7 +30,9 @@ fn conformance_keys() -> Vec<u64> {
     ];
     let mut state = 0xC0DEu64;
     for _ in 0..500 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         keys.push(state);
     }
     keys
@@ -56,7 +58,12 @@ fn empty_sample(sorted: &[u64]) -> Vec<(u64, u64)> {
 /// A mixed, sorted batch: key-bounded (non-empty), random, and
 /// edge-of-universe queries.
 fn mixed_batch(keys: &[u64]) -> Vec<(u64, u64)> {
-    let mut queries: Vec<(u64, u64)> = vec![(0, 0), (0, 63), (u64::MAX, u64::MAX), (u64::MAX - 63, u64::MAX)];
+    let mut queries: Vec<(u64, u64)> = vec![
+        (0, 0),
+        (0, 63),
+        (u64::MAX, u64::MAX),
+        (u64::MAX - 63, u64::MAX),
+    ];
     for (i, &k) in keys.iter().enumerate().step_by(3) {
         queries.push((k.saturating_sub((i as u64) % 48), k.saturating_add(3)));
     }
@@ -106,7 +113,11 @@ fn every_spec_builds_and_has_no_false_negatives() {
             }
             // Edge-of-universe: keys 0 and u64::MAX are in the set.
             assert!(filter.may_contain_range(0, 0), "{}", spec.label());
-            assert!(filter.may_contain_range(u64::MAX, u64::MAX), "{}", spec.label());
+            assert!(
+                filter.may_contain_range(u64::MAX, u64::MAX),
+                "{}",
+                spec.label()
+            );
         }
     }
 }
@@ -120,11 +131,17 @@ fn batch_answers_equal_one_at_a_time_for_every_spec() {
     let queries = mixed_batch(&sorted);
     let registry = standard_registry();
 
-    let cfg = FilterConfig::new(&keys).bits_per_key(16.0).max_range(64).sample(&sample).seed(7);
+    let cfg = FilterConfig::new(&keys)
+        .bits_per_key(16.0)
+        .max_range(64)
+        .sample(&sample)
+        .seed(7);
     for spec in FilterSpec::ALL {
         let filter = registry.build(spec, &cfg).unwrap();
-        let singles: Vec<bool> =
-            queries.iter().map(|&(a, b)| filter.may_contain_range(a, b)).collect();
+        let singles: Vec<bool> = queries
+            .iter()
+            .map(|&(a, b)| filter.may_contain_range(a, b))
+            .collect();
         let mut batched = vec![true; 3]; // stale: must be cleared by the call
         filter.may_contain_ranges(&queries, &mut batched);
         assert_eq!(
@@ -156,7 +173,11 @@ fn surf_declines_below_its_floor_with_a_typed_error() {
         if matches!(spec, FilterSpec::SurfReal | FilterSpec::SurfHash) {
             continue;
         }
-        assert!(registry.build(spec, &cfg).is_ok(), "{} infeasible at 8 bpk", spec.label());
+        assert!(
+            registry.build(spec, &cfg).is_ok(),
+            "{} infeasible at 8 bpk",
+            spec.label()
+        );
     }
 }
 
@@ -166,12 +187,18 @@ fn empty_and_single_key_sets_conform() {
     let registry = standard_registry();
     for spec in FilterSpec::ALL {
         let single = [777u64];
-        let cfg = FilterConfig::new(&single).bits_per_key(16.0).max_range(64).sample(&sample);
+        let cfg = FilterConfig::new(&single)
+            .bits_per_key(16.0)
+            .max_range(64)
+            .sample(&sample);
         let filter = registry.build(spec, &cfg).unwrap();
         assert!(filter.may_contain(777), "{}", spec.label());
         assert!(filter.may_contain_range(700, 800), "{}", spec.label());
 
-        let cfg = FilterConfig::new(&[]).bits_per_key(16.0).max_range(64).sample(&sample);
+        let cfg = FilterConfig::new(&[])
+            .bits_per_key(16.0)
+            .max_range(64)
+            .sample(&sample);
         let filter = registry.build(spec, &cfg).unwrap();
         assert!(
             !filter.may_contain_range(0, u64::MAX),
@@ -204,7 +231,11 @@ fn typed_build_entry_points_compile_and_agree() {
         sorted.sort_unstable();
         empty_sample(&sorted)
     };
-    let cfg = FilterConfig::new(&keys).bits_per_key(16.0).max_range(64).sample(&sample).seed(3);
+    let cfg = FilterConfig::new(&keys)
+        .bits_per_key(16.0)
+        .max_range(64)
+        .sample(&sample)
+        .seed(3);
 
     let filters: Vec<Box<dyn RangeFilter>> = vec![
         Box::new(build_generic::<GrafiteFilter>(&cfg)),
@@ -213,20 +244,29 @@ fn typed_build_entry_points_compile_and_agree() {
         Box::new(build_generic::<Rosetta>(&cfg)),
         Box::new(build_generic::<REncoder>(&cfg)),
         Box::new(build_generic::<StringGrafite>(&cfg)),
-        Box::new(Surf::build_with(
-            &cfg,
-            &SurfTuning { style: SuffixStyle::Hashed, suffix_bits: Some(8) },
-        )
-        .unwrap()),
         Box::new(
-            REncoder::build_with(&cfg, &REncoderTuning(REncoderVariant::SampleEstimation))
-                .unwrap(),
+            Surf::build_with(
+                &cfg,
+                &SurfTuning {
+                    style: SuffixStyle::Hashed,
+                    suffix_bits: Some(8),
+                },
+            )
+            .unwrap(),
         ),
-        Box::new(GrafiteFilter::build_with(
-            &cfg,
-            &GrafiteTuning { pow2_universe: true, epsilon: None },
-        )
-        .unwrap()),
+        Box::new(
+            REncoder::build_with(&cfg, &REncoderTuning(REncoderVariant::SampleEstimation)).unwrap(),
+        ),
+        Box::new(
+            GrafiteFilter::build_with(
+                &cfg,
+                &GrafiteTuning {
+                    pow2_universe: true,
+                    epsilon: None,
+                },
+            )
+            .unwrap(),
+        ),
     ];
     for f in &filters {
         for &k in keys.iter().step_by(11) {
@@ -237,10 +277,16 @@ fn typed_build_entry_points_compile_and_agree() {
     // The typed epsilon tuning follows Theorem 3.4 sizing.
     let tuned = GrafiteFilter::build_with(
         &cfg,
-        &GrafiteTuning { epsilon: Some(0.01), pow2_universe: false },
+        &GrafiteTuning {
+            epsilon: Some(0.01),
+            pow2_universe: false,
+        },
     )
     .unwrap();
-    assert_eq!(tuned.reduced_universe() as u128, keys.len() as u128 * 64 * 100);
+    assert_eq!(
+        tuned.reduced_universe() as u128,
+        keys.len() as u128 * 64 * 100
+    );
 }
 
 #[test]

@@ -12,8 +12,18 @@ use grafite_workloads::{
 
 fn all_filters(keys: &[u64], sample: &[(u64, u64)]) -> Vec<Box<dyn RangeFilter>> {
     vec![
-        Box::new(GrafiteFilter::builder().bits_per_key(14.0).build(keys).unwrap()),
-        Box::new(BucketingFilter::builder().bits_per_key(14.0).build(keys).unwrap()),
+        Box::new(
+            GrafiteFilter::builder()
+                .bits_per_key(14.0)
+                .build(keys)
+                .unwrap(),
+        ),
+        Box::new(
+            BucketingFilter::builder()
+                .bits_per_key(14.0)
+                .build(keys)
+                .unwrap(),
+        ),
         Box::new(Snarf::new(keys, 14.0).unwrap()),
         Box::new(Surf::new(keys, SuffixMode::Real { bits: 6 }).unwrap()),
         Box::new(Surf::new(keys, SuffixMode::Hash { bits: 6 }).unwrap()),
@@ -21,11 +31,24 @@ fn all_filters(keys: &[u64], sample: &[(u64, u64)]) -> Vec<Box<dyn RangeFilter>>
         Box::new(Rosetta::new(keys, 14.0, 1 << 10, Some(sample), 3).unwrap()),
         Box::new(REncoder::new(keys, 14.0, REncoderVariant::Full, None, 3).unwrap()),
         Box::new(
-            REncoder::new(keys, 14.0, REncoderVariant::SelectiveStorage { rounds: 2 }, None, 3)
-                .unwrap(),
+            REncoder::new(
+                keys,
+                14.0,
+                REncoderVariant::SelectiveStorage { rounds: 2 },
+                None,
+                3,
+            )
+            .unwrap(),
         ),
         Box::new(
-            REncoder::new(keys, 14.0, REncoderVariant::SampleEstimation, Some(sample), 3).unwrap(),
+            REncoder::new(
+                keys,
+                14.0,
+                REncoderVariant::SampleEstimation,
+                Some(sample),
+                3,
+            )
+            .unwrap(),
         ),
         Box::new(TrivialRangeFilter::new(keys, 0.05, 1 << 10, 3)),
     ]
@@ -63,12 +86,18 @@ fn grafite_fpr_within_bound_on_adversarial_workloads() {
     let keys = generate(Dataset::Uniform, 20_000, 3);
     for l in [1u64, 32, 1024] {
         for degree in [0.0, 0.5, 1.0] {
-            let filter = GrafiteFilter::builder().bits_per_key(16.0).build(&keys).unwrap();
+            let filter = GrafiteFilter::builder()
+                .bits_per_key(16.0)
+                .build(&keys)
+                .unwrap();
             let queries = correlated_queries(&keys, 5_000, l, degree, 99);
             if queries.len() < 1000 {
                 continue;
             }
-            let fps = queries.iter().filter(|q| filter.may_contain_range(q.lo, q.hi)).count();
+            let fps = queries
+                .iter()
+                .filter(|q| filter.may_contain_range(q.lo, q.hi))
+                .count();
             let fpr = fps as f64 / queries.len() as f64;
             let bound = filter.fpp_for_range_size(l);
             assert!(

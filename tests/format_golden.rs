@@ -29,7 +29,9 @@ fn golden_keys() -> Vec<u64> {
     let mut state = 0x601DEA_u64 ^ 0x9E3779B97F4A7C15;
     (0..257)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         })
         .collect()
@@ -37,7 +39,10 @@ fn golden_keys() -> Vec<u64> {
 
 fn golden_config(keys: &[u64]) -> (FilterConfig<'_>, Vec<(u64, u64)>) {
     let sample: Vec<(u64, u64)> = (0..64u64).map(|i| (i << 40, (i << 40) + 31)).collect();
-    let cfg = FilterConfig::new(keys).bits_per_key(20.0).max_range(1 << 10).seed(0x601D);
+    let cfg = FilterConfig::new(keys)
+        .bits_per_key(20.0)
+        .max_range(1 << 10)
+        .seed(0x601D);
     (cfg, sample)
 }
 
@@ -97,14 +102,22 @@ fn regenerate_golden_files() {
         let mut answers = Vec::new();
         filter.may_contain_ranges(&probes, &mut answers);
         std::fs::write(dir.join(format!("{name}.bin")), &blob).unwrap();
-        manifest.push_str(&format!("{name} {} {:#018x}\n", filter.spec_id(), fingerprint(answers)));
+        manifest.push_str(&format!(
+            "{name} {} {:#018x}\n",
+            filter.spec_id(),
+            fingerprint(answers)
+        ));
     }
     // StringGrafite rides along: not a registry spec, but part of the
     // format surface.
     let sg = StringGrafite::new(&string_golden_words(), 14.0, 0x601D).unwrap();
     let mut answers = Vec::new();
     grafite_core::RangeFilter::may_contain_ranges(&sg, &probes, &mut answers);
-    std::fs::write(dir.join(format!("{STRING_GRAFITE_FILE}.bin")), sg.to_bytes()).unwrap();
+    std::fs::write(
+        dir.join(format!("{STRING_GRAFITE_FILE}.bin")),
+        sg.to_bytes(),
+    )
+    .unwrap();
     manifest.push_str(&format!(
         "{STRING_GRAFITE_FILE} {} {:#018x}\n",
         sg.spec_id(),
@@ -121,7 +134,8 @@ fn read_manifest() -> BTreeMap<String, (u32, u64)> {
             let mut parts = line.split_whitespace();
             let name = parts.next().unwrap().to_string();
             let spec: u32 = parts.next().unwrap().parse().unwrap();
-            let fp = u64::from_str_radix(parts.next().unwrap().trim_start_matches("0x"), 16).unwrap();
+            let fp =
+                u64::from_str_radix(parts.next().unwrap().trim_start_matches("0x"), 16).unwrap();
             (name, (spec, fp))
         })
         .collect()
@@ -141,7 +155,11 @@ fn committed_goldens_still_load_and_answer_identically() {
             .load(&blob)
             .unwrap_or_else(|e| panic!("golden {name} no longer loads: {e}"));
         assert_eq!(filter.spec_id(), want_spec, "{name}: spec id drifted");
-        assert_eq!(filter.spec_id(), spec.spec_id(), "{name}: registry mapping drifted");
+        assert_eq!(
+            filter.spec_id(),
+            spec.spec_id(),
+            "{name}: registry mapping drifted"
+        );
         assert_eq!(filter.num_keys(), keys.len(), "{name}: key count drifted");
         // No false negatives on the golden key set…
         for &k in &keys {
@@ -168,7 +186,11 @@ fn committed_goldens_still_load_and_answer_identically() {
     }
     let mut answers = Vec::new();
     grafite_core::RangeFilter::may_contain_ranges(&sg, &probes, &mut answers);
-    assert_eq!(fingerprint(answers), want_fp, "string_grafite answers drifted");
+    assert_eq!(
+        fingerprint(answers),
+        want_fp,
+        "string_grafite answers drifted"
+    );
 }
 
 /// Corrupt, truncated, and wrong-version variants of a committed golden
@@ -195,7 +217,10 @@ fn corrupted_goldens_fail_typed() {
     // Unknown spec id.
     let mut bad = blob.clone();
     bad[8] = 250;
-    assert!(matches!(registry.load(&bad), Err(FilterError::UnknownSpecId(250))));
+    assert!(matches!(
+        registry.load(&bad),
+        Err(FilterError::UnknownSpecId(250))
+    ));
 
     // Truncations: every prefix length must fail typed, never panic.
     for cut in [0, 1, 8, 39, 40, 41, blob.len() / 2, blob.len() - 1] {
@@ -211,7 +236,10 @@ fn corrupted_goldens_fail_typed() {
         let mut bad = blob.clone();
         bad[pos] ^= 0x80;
         assert!(
-            matches!(registry.load(&bad), Err(FilterError::ChecksumMismatch { .. })),
+            matches!(
+                registry.load(&bad),
+                Err(FilterError::ChecksumMismatch { .. })
+            ),
             "flip at {pos} escaped the checksum"
         );
     }
@@ -219,5 +247,8 @@ fn corrupted_goldens_fail_typed() {
     // Header length field inflated beyond the buffer.
     let mut bad = blob.clone();
     bad[24] = bad[24].wrapping_add(1);
-    assert!(matches!(registry.load(&bad), Err(FilterError::TruncatedBuffer { .. })));
+    assert!(matches!(
+        registry.load(&bad),
+        Err(FilterError::TruncatedBuffer { .. })
+    ));
 }

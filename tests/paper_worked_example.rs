@@ -3,9 +3,9 @@
 //! hash codes, the exact Elias–Fano layout, and the exact false positive.
 
 use grafite::grafite_core::GrafiteFilter;
-use grafite::RangeFilter;
 use grafite::grafite_hash::{LocalityHash, PairwiseHash};
 use grafite::grafite_succinct::EliasFano;
+use grafite::RangeFilter;
 
 const S: [u64; 10] = [9, 48, 50, 191, 226, 269, 335, 446, 487, 511];
 
@@ -32,7 +32,10 @@ fn figure_2_elias_fano_layout() {
     assert_eq!(ef.low_bit_width(), 3);
     // The low parts V of Figure 2: 110 110 000 011 101 111 010 110 011 110.
     let lows: Vec<u64> = sorted.iter().map(|z| z & 0b111).collect();
-    assert_eq!(lows, vec![0b110, 0b110, 0b000, 0b011, 0b101, 0b111, 0b010, 0b110, 0b011, 0b110]);
+    assert_eq!(
+        lows,
+        vec![0b110, 0b110, 0b000, 0b011, 0b101, 0b111, 0b010, 0b110, 0b011, 0b110]
+    );
 }
 
 #[test]
@@ -65,7 +68,10 @@ fn no_false_negatives_on_the_example() {
     for &k in &S {
         for off in 0..4u64 {
             let a = k.saturating_sub(off);
-            assert!(filter.may_contain_range(a, a + 3), "range FN on {k} off {off}");
+            assert!(
+                filter.may_contain_range(a, a + 3),
+                "range FN on {k} off {off}"
+            );
         }
     }
 }

@@ -15,7 +15,9 @@ fn pseudo_keys(n: usize, seed: u64) -> Vec<u64> {
     let mut state = seed;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         })
         .collect()
@@ -48,7 +50,11 @@ fn assert_bit_identical(
     label: &str,
 ) {
     assert_eq!(loaded.name(), built.name(), "{label}: name drifted");
-    assert_eq!(loaded.num_keys(), built.num_keys(), "{label}: key count drifted");
+    assert_eq!(
+        loaded.num_keys(),
+        built.num_keys(),
+        "{label}: key count drifted"
+    );
     for &(a, b) in queries {
         assert_eq!(
             loaded.may_contain_range(a, b),
@@ -63,15 +69,18 @@ fn assert_bit_identical(
     assert_eq!(got, want, "{label}: batch answers diverged");
     // The loaded filter serializes back to the identical blob: the format
     // is a fixed point, not merely query-equivalent.
-    assert_eq!(loaded.to_bytes(), built.to_bytes(), "{label}: re-serialization drifted");
+    assert_eq!(
+        loaded.to_bytes(),
+        built.to_bytes(),
+        "{label}: re-serialization drifted"
+    );
 }
 
 #[test]
 fn every_registry_spec_roundtrips_through_registry_load() {
     let registry = standard_registry();
     let keys = pseudo_keys(3000, 0xF11735);
-    let sample: Vec<(u64, u64)> =
-        (0..256u64).map(|i| (i << 40, (i << 40) + 31)).collect();
+    let sample: Vec<(u64, u64)> = (0..256u64).map(|i| (i << 40, (i << 40) + 31)).collect();
     let queries = probe_queries(&keys);
     // 20 bits/key keeps every family above its structural floor, so all
     // eleven configurations build (and must then round-trip).
@@ -94,7 +103,12 @@ fn every_registry_spec_roundtrips_through_registry_load() {
         let loaded = registry
             .load(&blob)
             .unwrap_or_else(|e| panic!("{} failed to load: {e}", spec.label()));
-        assert_eq!(loaded.spec_id(), spec.spec_id(), "{}: spec id drifted", spec.label());
+        assert_eq!(
+            loaded.spec_id(),
+            spec.spec_id(),
+            "{}: spec id drifted",
+            spec.label()
+        );
         assert_bit_identical(built.as_ref(), loaded.as_ref(), &queries, spec.label());
     }
 }
@@ -104,8 +118,7 @@ fn empty_and_tiny_key_sets_roundtrip() {
     let registry = standard_registry();
     for keys in [vec![], vec![42u64], vec![0, u64::MAX]] {
         let cfg = FilterConfig::new(&keys).bits_per_key(20.0).max_range(32);
-        let queries =
-            vec![(0u64, 0u64), (0, u64::MAX), (41, 43), (u64::MAX, u64::MAX)];
+        let queries = vec![(0u64, 0u64), (0, u64::MAX), (41, 43), (u64::MAX, u64::MAX)];
         for spec in FilterSpec::ALL {
             let built = match registry.build(spec, &cfg) {
                 Ok(f) => f,
@@ -129,7 +142,10 @@ fn string_grafite_roundtrips() {
     let blob = built.to_bytes();
     let loaded = StringGrafite::deserialize(&blob).unwrap();
     for w in &words {
-        assert_eq!(loaded.may_contain(w.as_bytes()), built.may_contain(w.as_bytes()));
+        assert_eq!(
+            loaded.may_contain(w.as_bytes()),
+            built.may_contain(w.as_bytes())
+        );
     }
     for i in 0..1000 {
         let a = format!("key-{i:05}");
@@ -146,7 +162,11 @@ fn string_grafite_roundtrips() {
 #[test]
 fn workload_aware_bucketing_roundtrips() {
     let keys = pseudo_keys(2000, 3);
-    let sample: Vec<u64> = keys.iter().step_by(10).map(|&k| k.saturating_add(5)).collect();
+    let sample: Vec<u64> = keys
+        .iter()
+        .step_by(10)
+        .map(|&k| k.saturating_add(5))
+        .collect();
     let built = WorkloadAwareBucketing::new(&keys, 12.0, &sample).unwrap();
     let blob = built.to_bytes();
     let loaded = WorkloadAwareBucketing::deserialize(&blob).unwrap();
@@ -159,7 +179,10 @@ fn typed_deserialize_rejects_foreign_family() {
     let keys = pseudo_keys(200, 5);
     let cfg = FilterConfig::new(&keys).bits_per_key(16.0);
     let registry = standard_registry();
-    let grafite_blob = registry.build(FilterSpec::Grafite, &cfg).unwrap().to_bytes();
+    let grafite_blob = registry
+        .build(FilterSpec::Grafite, &cfg)
+        .unwrap()
+        .to_bytes();
     // A Rosetta deserializer pointed at a Grafite blob must refuse, typed.
     assert_eq!(
         grafite_filters::Rosetta::deserialize(&grafite_blob).err(),
@@ -182,8 +205,7 @@ fn typed_deserialize_rejects_foreign_family() {
 fn in_memory_size_estimates_track_serialized_bits() {
     let registry = standard_registry();
     let keys = pseudo_keys(20_000, 0x517E);
-    let sample: Vec<(u64, u64)> =
-        (0..256u64).map(|i| (i << 40, (i << 40) + 31)).collect();
+    let sample: Vec<(u64, u64)> = (0..256u64).map(|i| (i << 40, (i << 40) + 31)).collect();
     let cfg = FilterConfig::new(&keys)
         .bits_per_key(18.0)
         .max_range(1 << 10)

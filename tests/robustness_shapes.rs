@@ -7,7 +7,10 @@ use grafite_filters::{Rosetta, Snarf, SuffixMode, Surf};
 use grafite_workloads::{correlated_queries, datasets::Dataset, generate, uncorrelated_queries};
 
 fn fpr(filter: &dyn RangeFilter, queries: &[grafite_workloads::RangeQuery]) -> f64 {
-    let fps = queries.iter().filter(|q| filter.may_contain_range(q.lo, q.hi)).count();
+    let fps = queries
+        .iter()
+        .filter(|q| filter.may_contain_range(q.lo, q.hi))
+        .count();
     fps as f64 / queries.len() as f64
 }
 
@@ -19,11 +22,17 @@ fn correlation_separates_robust_from_heuristic() {
     let l = 32u64;
     let correlated = correlated_queries(&keys, 10_000, l, 0.8, 7);
 
-    let grafite = GrafiteFilter::builder().bits_per_key(20.0).build(&keys).unwrap();
+    let grafite = GrafiteFilter::builder()
+        .bits_per_key(20.0)
+        .build(&keys)
+        .unwrap();
     let rosetta = Rosetta::new(&keys, 20.0, l, None, 7).unwrap();
     let snarf = Snarf::new(&keys, 20.0).unwrap();
     let surf = Surf::new(&keys, SuffixMode::Real { bits: 9 }).unwrap();
-    let bucketing = BucketingFilter::builder().bits_per_key(20.0).build(&keys).unwrap();
+    let bucketing = BucketingFilter::builder()
+        .bits_per_key(20.0)
+        .build(&keys)
+        .unwrap();
 
     let fpr_grafite = fpr(&grafite, &correlated);
     let fpr_rosetta = fpr(&rosetta, &correlated);
@@ -37,7 +46,10 @@ fn correlation_separates_robust_from_heuristic() {
     // Heuristics provide (almost) no filtering (paper: FPR -> 1 past D=0.4).
     assert!(fpr_snarf > 0.9, "SNARF should collapse, FPR {fpr_snarf}");
     assert!(fpr_surf > 0.9, "SuRF should collapse, FPR {fpr_surf}");
-    assert!(fpr_bucketing > 0.9, "Bucketing should collapse, FPR {fpr_bucketing}");
+    assert!(
+        fpr_bucketing > 0.9,
+        "Bucketing should collapse, FPR {fpr_bucketing}"
+    );
     // Grafite dominates Rosetta by at least an order of magnitude.
     assert!(
         fpr_grafite * 10.0 <= fpr_rosetta + 1e-6,
@@ -53,7 +65,10 @@ fn bucketing_competitive_on_uncorrelated() {
     let l = 32u64;
     let queries = uncorrelated_queries(&keys, 10_000, l, 11);
 
-    let bucketing = BucketingFilter::builder().bits_per_key(18.0).build(&keys).unwrap();
+    let bucketing = BucketingFilter::builder()
+        .bits_per_key(18.0)
+        .build(&keys)
+        .unwrap();
     let snarf = Snarf::new(&keys, 18.0).unwrap();
     let surf = Surf::new(&keys, SuffixMode::Real { bits: 7 }).unwrap();
 
@@ -80,11 +95,22 @@ fn grafite_fpr_halves_per_budget_bit() {
         let queries = uncorrelated_queries(&keys, 20_000, l, 13);
         let mut prev = f64::INFINITY;
         for bpk in [12.0, 14.0, 16.0] {
-            let filter = GrafiteFilter::builder().bits_per_key(bpk).build(&keys).unwrap();
+            let filter = GrafiteFilter::builder()
+                .bits_per_key(bpk)
+                .build(&keys)
+                .unwrap();
             let rate = fpr(&filter, &queries);
             let bound = filter.fpp_for_range_size(l);
-            assert!(rate <= bound * 1.6 + 0.002, "{}: {rate} > bound {bound}", dataset.name());
-            assert!(rate <= prev, "{}: FPR must not grow with budget", dataset.name());
+            assert!(
+                rate <= bound * 1.6 + 0.002,
+                "{}: {rate} > bound {bound}",
+                dataset.name()
+            );
+            assert!(
+                rate <= prev,
+                "{}: FPR must not grow with budget",
+                dataset.name()
+            );
             prev = rate;
         }
     }
@@ -97,7 +123,13 @@ fn fb_case_study_grafite_near_exact() {
     let keys = generate(Dataset::Fb, 30_000, 17);
     let l = 32u64;
     let queries = correlated_queries(&keys, 10_000, l, 0.8, 23);
-    let grafite = GrafiteFilter::builder().bits_per_key(12.0).build(&keys).unwrap();
+    let grafite = GrafiteFilter::builder()
+        .bits_per_key(12.0)
+        .build(&keys)
+        .unwrap();
     let rate = fpr(&grafite, &queries);
-    assert!(rate <= 2e-3, "Grafite on Fb at 12 bpk should be near-exact, got {rate}");
+    assert!(
+        rate <= 2e-3,
+        "Grafite on Fb at 12 bpk should be near-exact, got {rate}"
+    );
 }

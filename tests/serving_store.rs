@@ -1,0 +1,283 @@
+//! Acceptance suite for the serving layer: the `FilterStore` round-trip
+//! holds for all eleven registry specs plus StringGrafite.
+//!
+//! * A single-shard store answers **bit-identically** to a fresh
+//!   single-filter build on the same keys — sharding is pure plumbing, it
+//!   adds no approximation of its own.
+//! * A multi-shard store survives `save_to` → `open` with byte-identical
+//!   re-serialization and bit-identical answers, under both partitionings.
+//! * An opened store keeps accepting update batches with no false
+//!   negatives, and round-trips again.
+//! * A damaged manifest fails with the typed `FilterError`s, never a
+//!   misload.
+
+use grafite::{
+    standard_registry, FamilySpec, FilterConfig, FilterError, FilterStore, Partitioning,
+    RangeFilter, Registry, StoreConfig, Update,
+};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Sorted, deduplicated keys with universe edges and tight clusters.
+fn dataset() -> Vec<u64> {
+    let mut keys = vec![0, 1, 2, 255, 256, 257, u64::MAX - 1, u64::MAX];
+    let mut state = 0xACCE_55ED;
+    for _ in 0..1100 {
+        keys.push(lcg(&mut state));
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Key-avoiding empty ranges for the auto-tuned families.
+fn sample_queries(sorted_keys: &[u64]) -> Vec<(u64, u64)> {
+    let mut sample = Vec::new();
+    let mut state = 3u64;
+    while sample.len() < 64 {
+        let a = lcg(&mut state);
+        let Some(b) = a.checked_add(31) else { continue };
+        let i = sorted_keys.partition_point(|&k| k < a);
+        if i < sorted_keys.len() && sorted_keys[i] <= b {
+            continue;
+        }
+        sample.push((a, b));
+    }
+    sample
+}
+
+/// A mixed probe batch: key-anchored hits, near misses, far misses, edges.
+fn probes(keys: &[u64]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for &k in keys.iter().step_by(3) {
+        out.push((k, k));
+        out.push((k.saturating_sub(7), k.saturating_add(7)));
+    }
+    let mut state = 0xBEEF;
+    for _ in 0..800 {
+        let a = lcg(&mut state);
+        for width in [0u64, 1, 31, 63] {
+            out.push((a, a.saturating_add(width)));
+        }
+    }
+    out.push((0, 63));
+    out.push((u64::MAX - 63, u64::MAX));
+    out
+}
+
+fn store_config(family: FamilySpec, sample: Vec<(u64, u64)>, p: Partitioning) -> StoreConfig {
+    StoreConfig::new(family)
+        .bits_per_key(18.0)
+        .max_range(64)
+        .seed(13)
+        .sample(sample)
+        .partitioning(p)
+}
+
+/// Sharding is pure plumbing: with one shard, the store *is* the filter.
+#[test]
+fn single_shard_store_answers_bit_identically_to_a_fresh_filter() {
+    let registry = standard_registry();
+    let keys = dataset();
+    let sample = sample_queries(&keys);
+    let queries = probes(&keys);
+    for family in FamilySpec::ALL {
+        let config = store_config(family, sample.clone(), Partitioning::Range { shards: 1 });
+        let store = FilterStore::build(&registry, config, &keys)
+            .unwrap_or_else(|e| panic!("{}: store build failed: {e}", family.label()));
+        let cfg = FilterConfig::new(&keys)
+            .bits_per_key(18.0)
+            .max_range(64)
+            .sample(&sample)
+            .seed(13);
+        let fresh = family.build(&registry, &cfg).unwrap();
+
+        let snap = store.snapshot();
+        assert_eq!(snap.num_shards(), 1, "{}", family.label());
+        let mut store_answers = Vec::new();
+        snap.query_ranges(&queries, &mut store_answers);
+        let mut fresh_answers = Vec::new();
+        fresh.may_contain_ranges(&queries, &mut fresh_answers);
+        assert_eq!(
+            store_answers,
+            fresh_answers,
+            "{}: single-shard store diverged from a fresh single-filter build",
+            family.label()
+        );
+        // The single-query path agrees too.
+        for &(a, b) in queries.iter().step_by(11) {
+            assert_eq!(
+                snap.may_contain_range(a, b),
+                fresh.may_contain_range(a, b),
+                "{}: single-query path diverged on [{a}, {b}]",
+                family.label()
+            );
+        }
+    }
+}
+
+/// build → save_to → open: byte-identical manifests, bit-identical answers,
+/// no false negatives — for every family under both partitionings.
+#[test]
+fn multi_shard_manifest_roundtrip_is_bit_identical() {
+    let registry = standard_registry();
+    let keys = dataset();
+    let sample = sample_queries(&keys);
+    let queries = probes(&keys);
+    for family in FamilySpec::ALL {
+        for partitioning in [
+            Partitioning::Range { shards: 4 },
+            Partitioning::Hash { shards: 4 },
+        ] {
+            let config = store_config(family, sample.clone(), partitioning);
+            let store = FilterStore::build(&registry, config, &keys)
+                .unwrap_or_else(|e| panic!("{}: store build failed: {e}", family.label()));
+            let bytes = store.to_bytes();
+            let reopened = FilterStore::open(&registry, &bytes)
+                .unwrap_or_else(|e| panic!("{}: open failed: {e}", family.label()));
+
+            assert_eq!(reopened.num_keys(), store.num_keys(), "{}", family.label());
+            // Deterministic shard blobs make the whole manifest re-serialize
+            // byte-identically: the strongest possible round-trip statement.
+            assert_eq!(
+                reopened.to_bytes(),
+                bytes,
+                "{}/{partitioning:?}: reopened store re-serializes differently",
+                family.label()
+            );
+            let (snap, reopened_snap) = (store.snapshot(), reopened.snapshot());
+            let (mut before, mut after) = (Vec::new(), Vec::new());
+            snap.query_ranges(&queries, &mut before);
+            reopened_snap.query_ranges(&queries, &mut after);
+            assert_eq!(
+                before,
+                after,
+                "{}/{partitioning:?}: answers changed across save/open",
+                family.label()
+            );
+            for &k in keys.iter().step_by(13) {
+                assert!(
+                    reopened_snap.may_contain(k),
+                    "{}/{partitioning:?}: reopened store lost key {k}",
+                    family.label()
+                );
+            }
+        }
+    }
+}
+
+/// An opened store is a live store: update batches apply with the original
+/// configuration, preserve no-false-negatives, and round-trip again.
+#[test]
+fn reopened_stores_keep_accepting_updates() {
+    let registry = standard_registry();
+    let keys = dataset();
+    let sample = sample_queries(&keys);
+    let inserts: Vec<u64> = {
+        let mut state = 0xF00Du64;
+        (0..150).map(|_| lcg(&mut state) | (1 << 63)).collect()
+    };
+    for family in FamilySpec::ALL {
+        let config = store_config(family, sample.clone(), Partitioning::Range { shards: 4 });
+        let store = FilterStore::build(&registry, config, &keys).unwrap();
+        let reopened = FilterStore::open(&registry, &store.to_bytes()).unwrap();
+
+        let batch: Vec<Update> = inserts
+            .iter()
+            .map(|&k| Update::Insert(k))
+            .chain(keys.iter().step_by(4).map(|&k| Update::Delete(k)))
+            .collect();
+        let report = reopened.apply(&batch).unwrap();
+        assert!(report.dirty_shards >= 1, "{}", family.label());
+        let snap = reopened.snapshot();
+        for &k in &inserts {
+            assert!(
+                snap.may_contain(k),
+                "{}: inserted key {k} lost",
+                family.label()
+            );
+        }
+        for &k in keys.iter().skip(1).step_by(4) {
+            assert!(
+                snap.may_contain(k),
+                "{}: untouched key {k} lost",
+                family.label()
+            );
+        }
+        // And the updated store round-trips too.
+        let reopened_again = FilterStore::open(&registry, &reopened.to_bytes()).unwrap();
+        assert_eq!(
+            reopened_again.num_keys(),
+            reopened.num_keys(),
+            "{}",
+            family.label()
+        );
+        for &k in inserts.iter().step_by(3) {
+            assert!(reopened_again.may_contain(k), "{}", family.label());
+        }
+    }
+}
+
+/// Damage fails typed: flipped bits, truncation, foreign magic, version
+/// skew, and a registry without the needed loader.
+#[test]
+fn damaged_manifests_fail_typed() {
+    let registry = standard_registry();
+    let keys = dataset();
+    let config = store_config(
+        FamilySpec::Registry(grafite::FilterSpec::Grafite),
+        Vec::new(),
+        Partitioning::Range { shards: 3 },
+    );
+    let store = FilterStore::build(&registry, config, &keys).unwrap();
+    let bytes = store.to_bytes();
+
+    // Bit rot in the body: the manifest checksum catches it before any
+    // shard blob is even looked at.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x10;
+    assert!(matches!(
+        FilterStore::open(&registry, &corrupt),
+        Err(FilterError::ChecksumMismatch { .. })
+    ));
+
+    // Truncation, in the header and in the body.
+    assert!(matches!(
+        FilterStore::open(&registry, &bytes[..40]),
+        Err(FilterError::TruncatedBuffer { .. })
+    ));
+    assert!(matches!(
+        FilterStore::open(&registry, &bytes[..bytes.len() - 8]),
+        Err(FilterError::TruncatedBuffer { .. })
+    ));
+
+    // A filter blob is not a store manifest (distinct magics).
+    let filter_blob = FamilySpec::Registry(grafite::FilterSpec::Grafite)
+        .build(&registry, &FilterConfig::new(&keys))
+        .unwrap()
+        .to_bytes();
+    assert!(matches!(
+        FilterStore::open(&registry, &filter_blob),
+        Err(FilterError::BadMagic(_))
+    ));
+
+    // Version skew fails before anything else is interpreted.
+    let mut skewed = bytes.clone();
+    skewed[12] = 9; // low byte of the version half of word 1
+    assert!(matches!(
+        FilterStore::open(&registry, &skewed),
+        Err(FilterError::UnsupportedFormatVersion { found: 9, .. })
+    ));
+
+    // A registry that cannot load the family reports it.
+    assert!(matches!(
+        FilterStore::open(&Registry::empty(), &bytes),
+        Err(FilterError::Unregistered(_))
+    ));
+}

@@ -5,11 +5,13 @@
 //! checks the same specs through the measurement harness on synthetic
 //! datasets; this test probes the filters directly through the meta-crate.
 //!
-//! Deliberately written against the pre-`FilterConfig` entry points
-//! (`BuildCtx` + `build_filter`), so the legacy construction path stays
-//! covered; `tests/buildable_conformance.rs` covers the new protocol.
+//! Uses the `FilterConfig`/`build_spec` registry path, the workspace-wide
+//! construction contract; `tests/buildable_conformance.rs` covers the
+//! typed per-filter protocol, and the doc-level deprecated
+//! `BuildCtx`/`build_filter` wrappers keep a delegation-equivalence unit
+//! test inside `grafite_bench::registry`.
 
-use grafite_bench::registry::{build_filter, BuildCtx, FilterSpec};
+use grafite_bench::registry::{build_spec, FilterConfig, FilterSpec};
 
 const ALL_SPECS: [FilterSpec; 11] = [
     FilterSpec::Grafite,
@@ -50,7 +52,9 @@ fn smoke_keys() -> Vec<u64> {
     ];
     let mut state = 0xD1CEu64;
     for _ in 0..200 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         keys.push(state);
     }
     keys
@@ -84,15 +88,13 @@ fn every_registry_spec_has_no_false_negatives() {
     let sample = sample_queries(&sorted);
 
     for budget in [12.0, 20.0] {
-        let ctx = BuildCtx {
-            keys: &keys,
-            bits_per_key: budget,
-            max_range: 64,
-            sample: &sample,
-            seed: 13,
-        };
+        let cfg = FilterConfig::new(&keys)
+            .bits_per_key(budget)
+            .max_range(64)
+            .sample(&sample)
+            .seed(13);
         for spec in ALL_SPECS {
-            let Some(filter) = build_filter(spec, &ctx) else {
+            let Some(filter) = build_spec(spec, &cfg) else {
                 panic!("{} infeasible at {budget} bits/key", spec.label());
             };
             assert_eq!(filter.num_keys(), keys.len(), "{}", spec.label());
@@ -119,29 +121,24 @@ fn every_registry_spec_has_no_false_negatives() {
 #[test]
 fn every_registry_spec_accepts_single_key_and_handles_empty() {
     let sample = [(100u64, 131u64)];
+    let single = [777u64];
     for spec in ALL_SPECS {
         // Single key.
-        let ctx = BuildCtx {
-            keys: &[777],
-            bits_per_key: 16.0,
-            max_range: 64,
-            sample: &sample,
-            seed: 1,
-        };
-        let filter = build_filter(spec, &ctx)
+        let cfg = FilterConfig::new(&single)
+            .max_range(64)
+            .sample(&sample)
+            .seed(1);
+        let filter = build_spec(spec, &cfg)
             .unwrap_or_else(|| panic!("{} infeasible on a single key", spec.label()));
         assert!(filter.may_contain(777), "{}", spec.label());
         assert!(filter.may_contain_range(700, 800), "{}", spec.label());
 
         // Empty key set: must build and answer "empty" everywhere.
-        let ctx = BuildCtx {
-            keys: &[],
-            bits_per_key: 16.0,
-            max_range: 64,
-            sample: &sample,
-            seed: 1,
-        };
-        let filter = build_filter(spec, &ctx)
+        let cfg = FilterConfig::new(&[][..])
+            .max_range(64)
+            .sample(&sample)
+            .seed(1);
+        let filter = build_spec(spec, &cfg)
             .unwrap_or_else(|| panic!("{} infeasible on an empty key set", spec.label()));
         assert!(
             !filter.may_contain_range(0, u64::MAX),
