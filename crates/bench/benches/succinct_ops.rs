@@ -1,0 +1,161 @@
+//! Criterion microbenchmarks of the succinct hot path the PR overhauled:
+//! position-sampled `select0`/`select1`, branch-free `rank1`, the fused
+//! single-probe Elias–Fano `predecessor` (against the retained two-probe
+//! baseline and the uncompressed alternatives), and the `EfCursor`
+//! sorted-batch walk against per-probe restarts.
+//!
+//! The paper-scale regime mirrors Grafite at ~16 bits/key: n = 1M codes in
+//! a universe of n·2^14, which puts the Elias–Fano high bits at the ~1/3
+//! set-bit density every Grafite query probes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grafite_succinct::{BitVec, EliasFano, RsBitVec};
+use grafite_workloads::WorkloadRng;
+
+const N: usize = 1_000_000;
+const PROBE_COUNT: usize = 8192;
+
+fn paper_scale_values(rng: &mut WorkloadRng, universe: u64) -> Vec<u64> {
+    let mut values: Vec<u64> = (0..N).map(|_| rng.below(universe)).collect();
+    values.sort_unstable();
+    values.dedup();
+    values
+}
+
+fn bench_rank_select(c: &mut Criterion) {
+    let mut rng = WorkloadRng::new(3);
+    // EF-high-like density: one set bit every ~3 positions.
+    let dense: BitVec = (0..3 * N).map(|_| rng.below(3) == 0).collect();
+    // Sparse: one set bit every ~600 positions (samples span many blocks).
+    let sparse: BitVec = (0..3 * N).map(|_| rng.below(600) == 0).collect();
+
+    for (name, bits) in [("dense_third", dense), ("sparse_600", sparse)] {
+        let rs = RsBitVec::new(bits);
+        let positions: Vec<usize> = (0..PROBE_COUNT)
+            .map(|_| rng.below(rs.len() as u64) as usize)
+            .collect();
+        let ones_ks: Vec<usize> = (0..PROBE_COUNT)
+            .map(|_| rng.below(rs.count_ones() as u64) as usize)
+            .collect();
+        let zeros_ks: Vec<usize> = (0..PROBE_COUNT)
+            .map(|_| rng.below(rs.count_zeros() as u64) as usize)
+            .collect();
+
+        let mut group = c.benchmark_group(format!("rs_bitvec_{name}"));
+        group
+            .sample_size(30)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+        group.bench_function("rank1", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let pos = positions[i % positions.len()];
+                i += 1;
+                std::hint::black_box(rs.rank1(pos))
+            })
+        });
+        group.bench_function("select1", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let k = ones_ks[i % ones_ks.len()];
+                i += 1;
+                std::hint::black_box(rs.select1(k))
+            })
+        });
+        group.bench_function("select0", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let k = zeros_ks[i % zeros_ks.len()];
+                i += 1;
+                std::hint::black_box(rs.select0(k))
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_predecessor(c: &mut Criterion) {
+    let universe = (N as u64) << 14; // ~16 bits/key Elias-Fano regime
+    let mut rng = WorkloadRng::new(7);
+    let values = paper_scale_values(&mut rng, universe);
+    let ef = EliasFano::new(&values, universe);
+    let probes: Vec<u64> = (0..PROBE_COUNT).map(|_| rng.below(universe)).collect();
+
+    let mut group = c.benchmark_group("ef_predecessor_1M");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("fused_one_probe", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let y = probes[i % probes.len()];
+            i += 1;
+            std::hint::black_box(ef.predecessor(y))
+        })
+    });
+    group.bench_function("baseline_two_probe", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let y = probes[i % probes.len()];
+            i += 1;
+            std::hint::black_box(ef.predecessor_two_probe(y))
+        })
+    });
+    group.bench_function("sorted_vec_binary_search", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let y = probes[i % probes.len()];
+            i += 1;
+            let idx = values.partition_point(|&v| v <= y);
+            std::hint::black_box(if idx > 0 { Some(values[idx - 1]) } else { None })
+        })
+    });
+    group.finish();
+
+    // Whole-batch comparison: the cursor's monotone walk over sorted probes
+    // versus restarting a fused probe per query.
+    let mut sorted_probes = probes.clone();
+    sorted_probes.sort_unstable();
+    let mut group = c.benchmark_group("ef_batch_8k_sorted");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(sorted_probes.len() as u64));
+    group.bench_function("cursor_monotone", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            let mut cur = ef.cursor();
+            for &y in &sorted_probes {
+                if cur.predecessor(y).is_some() {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("per_probe_restart", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &y in &sorted_probes {
+                if ef.predecessor(y).is_some() {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.finish();
+
+    eprintln!(
+        "[space] elias-fano: {:.2} bits/key over {} codes",
+        ef.size_in_bits() as f64 / values.len() as f64,
+        values.len()
+    );
+}
+
+criterion_group!(benches, bench_rank_select, bench_predecessor);
+criterion_main!(benches);

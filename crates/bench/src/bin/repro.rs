@@ -6,8 +6,9 @@
 //!
 //! experiments:
 //!   fig1  fig3  fig4  fig5  fig6  fig7  table1  fb  normal_check  serving
-//!   sort_ablation  ablation_pow2  ablation_snarf_overflow  ablation_batch
-//!   ablation_rosetta_tuning  ablation_bucketing  ablation_wa_bucketing  all
+//!   hotpath  sort_ablation  ablation_pow2  ablation_snarf_overflow
+//!   ablation_batch  ablation_rosetta_tuning  ablation_bucketing
+//!   ablation_wa_bucketing  all
 //! ```
 //!
 //! Defaults run at laptop scale (n = 100k keys, 20k queries; the paper used
@@ -76,6 +77,7 @@ fn main() {
         "ablation_wa_bucketing" => experiments::ablation_wa_bucketing(&cfg),
         "normal_check" => experiments::normal_check(&cfg),
         "serving" => experiments::serving(&cfg),
+        "hotpath" => experiments::hotpath(&cfg),
         "all" => experiments::all(&cfg),
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -88,7 +90,7 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fb|normal_check|serving|\
-         sort_ablation|ablation_pow2|ablation_snarf_overflow|ablation_batch|\
+         hotpath|sort_ablation|ablation_pow2|ablation_snarf_overflow|ablation_batch|\
          ablation_rosetta_tuning|ablation_bucketing|ablation_wa_bucketing|all> \
          [--n N] [--queries Q] [--seed S] [--out DIR] \
          [--data DIR] [--budgets 8,12,...]"

@@ -860,6 +860,181 @@ pub fn serving(cfg: &RunConfig) {
     let _ = rebuild.write_csv(&cfg.out_dir, "serving_rebuild");
 }
 
+/// Minimum-of-`reps` wall-clock nanoseconds per operation for a closure
+/// performing `ops` operations per call — the noise-robust estimator every
+/// hotpath metric uses (the minimum over repetitions discards scheduler
+/// and frequency noise that inflates means).
+fn best_ns_per_op<T>(reps: usize, ops: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(reps > 0 && ops > 0);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    best
+}
+
+/// The succinct hot-path experiment: micro timings of the fused Elias–Fano
+/// `predecessor` against the retained two-probe baseline (and the
+/// uncompressed sorted-vec alternative, which doubles as a
+/// machine-speed normalizer), plus filter-level Grafite/Bucketing query
+/// latency, scalar and batched. Prints a table and writes the
+/// machine-readable `BENCH_query.json` that CI's perf-smoke step diffs
+/// against the committed baseline in `results/` — this file is the repo's
+/// query-performance trajectory.
+pub fn hotpath(cfg: &RunConfig) {
+    use grafite_succinct::EliasFano;
+    use grafite_workloads::WorkloadRng;
+
+    println!("== hotpath: succinct hot-path micro + query-latency baseline ==");
+    const MICRO_PROBES: usize = 8192;
+    const MICRO_ROUNDS: usize = 16; // probes replayed per timing rep
+    let reps = 9; // min-of-9 keeps shared-runner noise out of the gate
+
+    // --- micro: Elias–Fano at the paper-scale ~16 bits/key density. The
+    // element count is floored at 1M so the structure leaves the cache the
+    // way the paper's 200M-key experiments do — the fused probe's saved
+    // memory touches are the point of the measurement.
+    let micro_n = cfg.n.max(1_000_000);
+    let universe = (micro_n as u64) << 14;
+    let mut rng = WorkloadRng::new(cfg.seed ^ 0x407);
+    let mut values: Vec<u64> = (0..micro_n).map(|_| rng.below(universe)).collect();
+    values.sort_unstable();
+    values.dedup();
+    let ef = EliasFano::new(&values, universe);
+    let probes: Vec<u64> = (0..MICRO_PROBES).map(|_| rng.below(universe)).collect();
+    let micro_ops = MICRO_PROBES * MICRO_ROUNDS;
+    let fused_ns = best_ns_per_op(reps, micro_ops, || {
+        let mut acc = 0u64;
+        for _ in 0..MICRO_ROUNDS {
+            for &y in &probes {
+                acc ^= ef.predecessor(y).unwrap_or(0);
+            }
+        }
+        acc
+    });
+    let two_probe_ns = best_ns_per_op(reps, micro_ops, || {
+        let mut acc = 0u64;
+        for _ in 0..MICRO_ROUNDS {
+            for &y in &probes {
+                acc ^= ef.predecessor_two_probe(y).unwrap_or(0);
+            }
+        }
+        acc
+    });
+    let sorted_vec_ns = best_ns_per_op(reps, micro_ops, || {
+        let mut acc = 0u64;
+        for _ in 0..MICRO_ROUNDS {
+            for &y in &probes {
+                let idx = values.partition_point(|&v| v <= y);
+                if idx > 0 {
+                    acc ^= values[idx - 1];
+                }
+            }
+        }
+        acc
+    });
+
+    // --- macro: filter-level query latency at 16 bits/key ---
+    let keys: Vec<u64> = (0..cfg.n).map(|_| rng.next_u64()).collect();
+    let grafite = GrafiteFilter::builder()
+        .bits_per_key(16.0)
+        .seed(cfg.seed)
+        .build(&keys)
+        .expect("grafite build");
+    let bucketing = BucketingFilter::builder()
+        .bits_per_key(16.0)
+        .build(&keys)
+        .expect("bucketing build");
+
+    let mut table = Table::new(&["metric", "ns/op", "notes"]);
+    let mut metrics = crate::report::JsonObject::new();
+    metrics.num("ef_predecessor_fused_ns", fused_ns);
+    metrics.num("ef_predecessor_two_probe_ns", two_probe_ns);
+    metrics.num("sorted_vec_predecessor_ns", sorted_vec_ns);
+    table.row(vec![
+        "ef_predecessor_fused".into(),
+        format!("{fused_ns:.1}"),
+        "one select0 + word-local scans".into(),
+    ]);
+    table.row(vec![
+        "ef_predecessor_two_probe".into(),
+        format!("{two_probe_ns:.1}"),
+        "seed algorithm on the new directories".into(),
+    ]);
+    table.row(vec![
+        "sorted_vec_predecessor".into(),
+        format!("{sorted_vec_ns:.1}"),
+        "uncompressed baseline / machine normalizer".into(),
+    ]);
+
+    for &(l, size_name) in &RANGE_SIZES {
+        let queries = uncorrelated_queries(&keys, cfg.queries, l, cfg.seed ^ 0xB07);
+        let mut scalar = f64::INFINITY;
+        let mut fpr = 0.0;
+        let mut bpk = 0.0;
+        for _ in 0..reps {
+            let m = measure(&grafite, &queries);
+            scalar = scalar.min(m.ns_per_query);
+            fpr = m.positive_rate;
+            bpk = m.bits_per_key;
+        }
+        metrics.num(&format!("grafite_query_{size_name}_ns"), scalar);
+        table.row(vec![
+            format!("grafite_query_{size_name}"),
+            format!("{scalar:.1}"),
+            format!("fpr={} bpk={bpk:.1}", fmt_fpr(fpr)),
+        ]);
+        if l > 1 {
+            let mut pairs = queries_as_pairs(&queries);
+            pairs.sort_unstable();
+            let mut batched = f64::INFINITY;
+            for _ in 0..reps {
+                batched = batched.min(measure_batch(&grafite, &pairs).ns_per_query);
+            }
+            metrics.num(&format!("grafite_batch_{size_name}_ns"), batched);
+            table.row(vec![
+                format!("grafite_batch_{size_name}"),
+                format!("{batched:.1}"),
+                "sorted batch through EfCursor".into(),
+            ]);
+        }
+        let mut bucketing_ns = f64::INFINITY;
+        for _ in 0..reps {
+            bucketing_ns = bucketing_ns.min(measure(&bucketing, &queries).ns_per_query);
+        }
+        metrics.num(&format!("bucketing_query_{size_name}_ns"), bucketing_ns);
+        table.row(vec![
+            format!("bucketing_query_{size_name}"),
+            format!("{bucketing_ns:.1}"),
+            "one EF predecessor per query".into(),
+        ]);
+    }
+
+    let speedup = two_probe_ns / fused_ns;
+    metrics.num("speedup_fused_vs_two_probe", speedup);
+    table.row(vec![
+        "speedup_fused_vs_two_probe".into(),
+        format!("{speedup:.2}x"),
+        "acceptance target: >= 1.5x".into(),
+    ]);
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "hotpath");
+
+    let mut config = crate::report::JsonObject::new();
+    config
+        .int("n", cfg.n as u64)
+        .int("queries", cfg.queries as u64)
+        .int("seed", cfg.seed);
+    let mut doc = crate::report::JsonObject::new();
+    doc.str_field("schema", "grafite-hotpath-v1")
+        .obj("config", &config)
+        .obj("metrics", &metrics);
+    doc.write(&cfg.out_dir, "BENCH_query")
+        .expect("write BENCH_query.json");
+}
+
 /// Runs every experiment.
 pub fn all(cfg: &RunConfig) {
     fig1(cfg);
@@ -879,4 +1054,5 @@ pub fn all(cfg: &RunConfig) {
     ablation_wa_bucketing(cfg);
     normal_check(cfg);
     serving(cfg);
+    hotpath(cfg);
 }

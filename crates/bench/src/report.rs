@@ -63,9 +63,106 @@ impl Table {
     }
 }
 
+/// A minimal ordered JSON object builder for machine-readable bench
+/// artifacts (the workspace vendors no serde). Keys keep insertion order;
+/// values are numbers, strings, or nested objects.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, key: &str, rendered: String) -> &mut Self {
+        assert!(
+            !key.contains(['"', '\\']),
+            "JSON keys must not need escaping"
+        );
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a numeric field (rendered with up to 3 fractional digits —
+    /// nanosecond metrics need no more).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        assert!(value.is_finite(), "JSON numbers must be finite ({key})");
+        let mut s = format!("{value:.3}");
+        while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+            s.pop();
+        }
+        self.push(key, s)
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a string field (the value must not need escaping).
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        assert!(
+            !value.contains(['"', '\\']),
+            "JSON strings must not need escaping"
+        );
+        self.push(key, format!("\"{value}\""))
+    }
+
+    /// Adds a nested object.
+    pub fn obj(&mut self, key: &str, nested: &JsonObject) -> &mut Self {
+        self.push(key, nested.render())
+    }
+
+    /// Renders the object as a JSON string.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// Writes the object as `dir/name.json`.
+    pub fn write(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.json"));
+        fs::write(&path, self.render() + "\n")?;
+        eprintln!("  [json] {}", path.display());
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_object_renders_and_writes() {
+        let mut inner = JsonObject::new();
+        inner.num("ns", 12.3456).int("count", 7);
+        let mut obj = JsonObject::new();
+        obj.str_field("schema", "test-v1").obj("metrics", &inner);
+        assert_eq!(
+            obj.render(),
+            "{\"schema\": \"test-v1\", \"metrics\": {\"ns\": 12.346, \"count\": 7}}"
+        );
+        let dir = std::env::temp_dir().join("grafite_json_test");
+        obj.write(&dir, "bench").unwrap();
+        let body = std::fs::read_to_string(dir.join("bench.json")).unwrap();
+        assert!(body.starts_with('{') && body.ends_with("}\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_numbers_trim_trailing_zeros() {
+        let mut obj = JsonObject::new();
+        obj.num("a", 5.0).num("b", 0.25);
+        assert_eq!(obj.render(), "{\"a\": 5, \"b\": 0.25}");
+    }
 
     #[test]
     fn csv_roundtrip() {

@@ -18,6 +18,38 @@ use crate::error::FilterError;
 use crate::persist::{spec_id, Header};
 use crate::traits::{BuildableFilter, FilterConfig, PersistentFilter, RangeFilter};
 
+/// Batches smaller than this take the scalar path: the sort-and-cursor
+/// bookkeeping of the batch specialisation cannot pay for itself.
+const BATCH_MIN_QUERIES: usize = 32;
+
+/// Sorted-probe batch resolution shared by the two bucketing variants: map
+/// each query to a `(bucket(b), bucket(a))` probe through the monotone
+/// `bucket` function, sort, and resolve every probe with one
+/// [`grafite_succinct::EfCursor`] pass over the bucket sequence.
+fn batch_bucket_probes(
+    buckets: &EliasFano,
+    bucket: impl Fn(u64) -> u64,
+    queries: &[(u64, u64)],
+    out: &mut Vec<bool>,
+) {
+    out.resize(queries.len(), false);
+    let mut probes: Vec<(u64, u64, u32)> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| {
+            debug_assert!(a <= b, "inverted range [{a}, {b}]");
+            (bucket(b), bucket(a), i as u32)
+        })
+        .collect();
+    probes.sort_unstable();
+    let mut cursor = buckets.cursor();
+    for &(pb, pa, i) in &probes {
+        if cursor.predecessor(pb).is_some_and(|bk| bk >= pa) {
+            out[i as usize] = true;
+        }
+    }
+}
+
 /// The Bucketing heuristic range filter.
 #[derive(Clone, Debug)]
 pub struct BucketingFilter {
@@ -74,6 +106,22 @@ impl RangeFilter for BucketingFilter {
             Some(bucket) => bucket >= bucket_id(a, self.s),
             None => false,
         }
+    }
+
+    /// Batch specialisation: bucket ids are monotone in the key, so sorted
+    /// probes resolve with one cursor pass over the Elias–Fano bucket
+    /// sequence. Answers are bit-identical to the scalar path.
+    fn may_contain_ranges(&self, queries: &[(u64, u64)], out: &mut Vec<bool>) {
+        out.clear();
+        if self.n_keys == 0 {
+            out.resize(queries.len(), false);
+            return;
+        }
+        if queries.len() < BATCH_MIN_QUERIES {
+            out.extend(queries.iter().map(|&(a, b)| self.may_contain_range(a, b)));
+            return;
+        }
+        batch_bucket_probes(&self.buckets, |k| bucket_id(k, self.s), queries, out);
     }
 
     fn size_in_bits(&self) -> usize {
@@ -212,7 +260,11 @@ impl PersistentFilter for BucketingFilter {
         if s == 0 {
             return Err(FilterError::corrupt("zero bucket size"));
         }
-        let buckets = EliasFano::read_from(src)?;
+        let buckets = if header.legacy_directories() {
+            EliasFano::read_from_v1(src)?
+        } else {
+            EliasFano::read_from(src)?
+        };
         Ok(Self {
             s,
             buckets,
@@ -350,6 +402,42 @@ mod tests {
             .unwrap();
         assert!(f.may_contain(0));
         assert!(f.may_contain(u64::MAX));
+    }
+
+    #[test]
+    fn batch_matches_scalar_path() {
+        let mut state = 17u64;
+        let keys: Vec<u64> = (0..3000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect();
+        let f = BucketingFilter::builder()
+            .bits_per_key(10.0)
+            .build(&keys)
+            .unwrap();
+        let queries: Vec<(u64, u64)> = (0..1500u64)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = if i % 3 == 0 {
+                    keys[(state % keys.len() as u64) as usize].saturating_sub(state % 1000)
+                } else {
+                    state
+                };
+                (a, a.saturating_add((state % 2000) + 1))
+            })
+            .collect();
+        let mut batched = Vec::new();
+        f.may_contain_ranges(&queries, &mut batched);
+        let singles: Vec<bool> = queries
+            .iter()
+            .map(|&(a, b)| f.may_contain_range(a, b))
+            .collect();
+        assert_eq!(batched, singles, "batch diverged from scalar path");
+        // Small batches (fallback loop) answer identically too.
+        f.may_contain_ranges(&queries[..7], &mut batched);
+        assert_eq!(batched, &singles[..7]);
     }
 
     #[test]
@@ -570,7 +658,11 @@ impl PersistentFilter for WorkloadAwareBucketing {
             return Err(FilterError::corrupt("region table lengths differ"));
         }
         let region_offsets = src.take(n_offsets)?;
-        let buckets = EliasFano::read_from(src)?;
+        let buckets = if header.legacy_directories() {
+            EliasFano::read_from_v1(src)?
+        } else {
+            EliasFano::read_from(src)?
+        };
         Ok(Self {
             region_starts,
             region_log2_s,
@@ -602,6 +694,21 @@ impl RangeFilter for WorkloadAwareBucketing {
             Some(bucket) => bucket >= self.bucket_of(a),
             None => false,
         }
+    }
+
+    /// Batch specialisation: `bucket_of` is monotone, so the same
+    /// sorted-probe cursor pass as plain [`BucketingFilter`] applies.
+    fn may_contain_ranges(&self, queries: &[(u64, u64)], out: &mut Vec<bool>) {
+        out.clear();
+        if self.n_keys == 0 {
+            out.resize(queries.len(), false);
+            return;
+        }
+        if queries.len() < BATCH_MIN_QUERIES {
+            out.extend(queries.iter().map(|&(a, b)| self.may_contain_range(a, b)));
+            return;
+        }
+        batch_bucket_probes(&self.buckets, |k| self.bucket_of(k), queries, out);
     }
 
     fn size_in_bits(&self) -> usize {
@@ -768,5 +875,27 @@ mod workload_aware_tests {
     fn empty_keys() {
         let f = WorkloadAwareBucketing::new(&[], 10.0, &[1, 2, 3]).unwrap();
         assert!(!f.may_contain_range(0, u64::MAX));
+    }
+
+    #[test]
+    fn batch_matches_scalar_path() {
+        let keys = pseudo_keys(4000, 31);
+        let sample: Vec<u64> = keys.iter().step_by(9).map(|&k| k ^ 0xFFFF).collect();
+        let f = WorkloadAwareBucketing::new(&keys, 10.0, &sample).unwrap();
+        let mut state = 0xABCu64;
+        let queries: Vec<(u64, u64)> = (0..1200)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = state;
+                (a, a.saturating_add(state % 4096))
+            })
+            .collect();
+        let mut batched = Vec::new();
+        f.may_contain_ranges(&queries, &mut batched);
+        let singles: Vec<bool> = queries
+            .iter()
+            .map(|&(a, b)| f.may_contain_range(a, b))
+            .collect();
+        assert_eq!(batched, singles, "WA batch diverged from scalar path");
     }
 }

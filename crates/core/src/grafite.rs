@@ -1,11 +1,11 @@
 //! The Grafite range filter (paper Section 3).
 
 use grafite_hash::{LocalityHash, PairwiseHash};
-use grafite_succinct::io::{WordSource, WordWriter};
+use grafite_succinct::io::{DecodeError, WordSource, WordWriter};
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
-use crate::persist::{spec_id, Header};
+use crate::persist::{spec_id, Header, FORMAT_VERSION};
 use crate::traits::{BuildableFilter, FilterConfig, PersistentFilter, RangeFilter, DEFAULT_SEED};
 
 /// Largest supported reduced universe: the pairwise-independent family's
@@ -13,13 +13,8 @@ use crate::traits::{BuildableFilter, FilterConfig, PersistentFilter, RangeFilter
 pub const MAX_REDUCED_UNIVERSE: u64 = grafite_hash::pairwise::MERSENNE_61 - 1;
 
 /// Batches smaller than this always take the one-at-a-time path: the
-/// forward-scan bookkeeping cannot pay for itself.
+/// sort-and-cursor bookkeeping cannot pay for itself.
 const BATCH_MIN_QUERIES: usize = 32;
-
-/// The forward scan visits every stored code; take it only when that
-/// spreads to at most this many codes per query (`codes.len() / queries.len()
-/// <= 8`), otherwise per-query predecessor probes are cheaper.
-const BATCH_CODES_PER_QUERY: usize = 8;
 
 /// The Grafite approximate range-emptiness filter.
 ///
@@ -88,15 +83,26 @@ impl<'a> GrafiteFilterView<'a> {
         if header.spec_id != spec_id::GRAFITE {
             return Err(FilterError::SpecMismatch(header.spec_id));
         }
-        Self::decode_payload(&mut cur, &header)
+        if header.legacy_directories() {
+            // A borrowed view cannot hold the rebuilt select directories a
+            // v1 blob needs; load it owned (and re-save) instead.
+            return Err(FilterError::UnsupportedFormatVersion {
+                found: header.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Self::decode_payload(&mut cur, &header, EliasFano::read_from)
     }
 }
 
 impl<S: AsRef<[u64]>> GrafiteFilter<S> {
-    /// Shared payload codec for the owned and view load paths.
+    /// Shared payload codec for the owned and view load paths. `read_ef`
+    /// selects the Elias–Fano decoder: the current-format reader, or the
+    /// legacy-v1 reader (owned only) that rebuilds select directories.
     fn decode_payload<Src: WordSource<Storage = S>>(
         src: &mut Src,
         header: &Header,
+        read_ef: fn(&mut Src) -> Result<EliasFano<S>, DecodeError>,
     ) -> Result<Self, FilterError> {
         let c1 = src.word()?;
         let c2 = src.word()?;
@@ -106,7 +112,7 @@ impl<S: AsRef<[u64]>> GrafiteFilter<S> {
             return Err(FilterError::corrupt("pairwise hash parameters"));
         }
         let h = LocalityHash::from_pairwise(PairwiseHash::with_params(c1, c2, p, r));
-        let codes = EliasFano::read_from(src)?;
+        let codes = read_ef(src)?;
         if codes.universe() != r {
             return Err(FilterError::corrupt("code universe differs from r"));
         }
@@ -223,20 +229,20 @@ impl<S: AsRef<[u64]>> RangeFilter for GrafiteFilter<S> {
 
     /// Batch specialisation: instead of one Elias–Fano predecessor search
     /// per query, collect every non-wrapped hashed sub-interval as a probe
-    /// point, sort the probes, and resolve all of them in **one forward
-    /// pass** over the Elias–Fano codes. Wrapped sub-intervals and
+    /// point, sort the probes, and resolve all of them with one
+    /// [`grafite_succinct::EfCursor`] pass: the cursor walks the high bits
+    /// of `H` with monotone state, galloping over gaps, instead of
+    /// restarting a predecessor probe per query. Wrapped sub-intervals and
     /// block-spanning queries stay `O(1)` as in the scalar path. Answers
     /// are bit-identical to the per-query path; small batches (where the
-    /// scan cannot amortise) fall through to the default loop.
+    /// sort cannot amortise) fall through to the default loop.
     fn may_contain_ranges(&self, queries: &[(u64, u64)], out: &mut Vec<bool>) {
         out.clear();
         if self.n_keys == 0 {
             out.resize(queries.len(), false);
             return;
         }
-        if queries.len() < BATCH_MIN_QUERIES
-            || queries.len() * BATCH_CODES_PER_QUERY < self.codes.len()
-        {
+        if queries.len() < BATCH_MIN_QUERIES {
             out.extend(queries.iter().map(|&(a, b)| self.may_contain_range(a, b)));
             return;
         }
@@ -271,23 +277,13 @@ impl<S: AsRef<[u64]>> RangeFilter for GrafiteFilter<S> {
                 out[i] = true;
             }
         }
-        // Ascending h(b) lets one merge-scan over the codes compute every
-        // predecessor: after the inner while, `pred` is the largest stored
-        // code <= hb, exactly what `EliasFano::predecessor(hb)` returns.
+        // Ascending h(b) keeps the cursor's probes monotone: each probe
+        // resumes where the previous one stopped, answering exactly what
+        // `EliasFano::predecessor(hb)` would.
         probes.sort_unstable();
-        let mut codes = self.codes.iter();
-        let mut next = codes.next();
-        let mut pred: Option<u64> = None;
+        let mut cursor = self.codes.cursor();
         for &(hb, ha, i) in &probes {
-            while let Some(v) = next {
-                if v <= hb {
-                    pred = Some(v);
-                    next = codes.next();
-                } else {
-                    break;
-                }
-            }
-            if pred.is_some_and(|p| p >= ha) {
+            if cursor.predecessor(hb).is_some_and(|p| p >= ha) {
                 out[i as usize] = true;
             }
         }
@@ -332,7 +328,11 @@ impl PersistentFilter for GrafiteFilter {
         src: &mut Src,
         header: &Header,
     ) -> Result<Self, FilterError> {
-        Self::decode_payload(src, header)
+        if header.legacy_directories() {
+            Self::decode_payload(src, header, EliasFano::read_from_v1)
+        } else {
+            Self::decode_payload(src, header, EliasFano::read_from)
+        }
     }
 }
 

@@ -18,33 +18,47 @@ pub fn std_sort(data: &mut [u64]) {
 /// LSD radix sort with 8-bit digits (8 stable counting passes).
 ///
 /// Skips passes whose digit is constant across the input — on keys from a
-/// small universe this makes it adaptive.
+/// small universe this makes it adaptive. The scatter passes ping-pong
+/// between `data` and a scratch buffer instead of copying the buffer back
+/// after every pass; a single final copy runs only when an odd number of
+/// scatter passes left the result in the scratch side.
 pub fn radix_sort(data: &mut [u64]) {
     let n = data.len();
     if n <= 1 {
         return;
     }
     let mut buf = vec![0u64; n];
-    for pass in 0..8u32 {
-        let shift = pass * 8;
-        let mut counts = [0usize; 256];
-        for &x in data.iter() {
-            counts[((x >> shift) & 0xFF) as usize] += 1;
+    let mut in_data = true;
+    {
+        let mut src: &mut [u64] = data;
+        let mut dst: &mut [u64] = &mut buf;
+        for pass in 0..8u32 {
+            let shift = pass * 8;
+            let mut counts = [0usize; 256];
+            for &x in src.iter() {
+                counts[((x >> shift) & 0xFF) as usize] += 1;
+            }
+            if counts.contains(&n) {
+                continue; // constant digit: nothing to do this pass
+            }
+            let mut offsets = [0usize; 256];
+            let mut acc = 0usize;
+            for d in 0..256 {
+                offsets[d] = acc;
+                acc += counts[d];
+            }
+            for &x in src.iter() {
+                let d = ((x >> shift) & 0xFF) as usize;
+                dst[offsets[d]] = x;
+                offsets[d] += 1;
+            }
+            std::mem::swap(&mut src, &mut dst);
+            in_data = !in_data;
         }
-        if counts.contains(&n) {
-            continue; // constant digit: nothing to do this pass
-        }
-        let mut offsets = [0usize; 256];
-        let mut acc = 0usize;
-        for d in 0..256 {
-            offsets[d] = acc;
-            acc += counts[d];
-        }
-        for &x in data.iter() {
-            let d = ((x >> shift) & 0xFF) as usize;
-            buf[offsets[d]] = x;
-            offsets[d] += 1;
-        }
+    }
+    // An even number of scatter passes lands back in `data`; otherwise the
+    // sorted run sits in the scratch buffer and needs the one copy.
+    if !in_data {
         data.copy_from_slice(&buf);
     }
 }
@@ -120,6 +134,33 @@ mod tests {
     #[test]
     fn radix_small_universe_adaptive() {
         let mut data: Vec<u64> = pseudo_random(5000, 7).iter().map(|x| x % 1000).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        radix_sort(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    /// Exercises every ping-pong parity: 1 scatter pass (odd — result ends
+    /// in the scratch side), 2 passes (even — ends in place), and mixed
+    /// skipped passes between varying digits.
+    #[test]
+    fn radix_ping_pong_parities() {
+        for modulus in [1u64 << 8, 1 << 16, 1 << 24, 1 << 40] {
+            let mut data: Vec<u64> = pseudo_random(3000, 11)
+                .iter()
+                .map(|x| x % modulus)
+                .collect();
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            radix_sort(&mut data);
+            assert_eq!(data, expect, "modulus {modulus}");
+        }
+        // Digits varying only in bytes 0 and 3 (bytes 1-2 skipped between
+        // two scatter passes).
+        let mut data: Vec<u64> = pseudo_random(2000, 13)
+            .iter()
+            .map(|x| (x & 0xFF) | ((x >> 8) & 0xFF) << 24)
+            .collect();
         let mut expect = data.clone();
         expect.sort_unstable();
         radix_sort(&mut data);

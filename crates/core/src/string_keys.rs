@@ -239,6 +239,10 @@ impl StringGrafite {
     }
 }
 
+/// Batches smaller than this take the scalar path (mirrors
+/// `GrafiteFilter`'s batch gate).
+const BATCH_MIN_QUERIES: usize = 32;
+
 /// The integer view over the embedded universe, so `StringGrafite` plugs
 /// into every harness that speaks [`RangeFilter`]. Probes are interpreted
 /// as already-embedded keys (what a [`KeyCodec`] produces); the inherent
@@ -249,6 +253,57 @@ impl RangeFilter for StringGrafite {
     fn may_contain_range(&self, a: u64, b: u64) -> bool {
         debug_assert!(a <= b, "inverted range [{a}, {b}]");
         self.query_embedded(a, b)
+    }
+
+    /// Batch specialisation mirroring `GrafiteFilter`'s: every non-wrapped
+    /// hashed sub-interval becomes a sorted probe resolved with one
+    /// [`grafite_succinct::EfCursor`] pass over the code sequence.
+    fn may_contain_ranges(&self, queries: &[(u64, u64)], out: &mut Vec<bool>) {
+        out.clear();
+        if self.n_keys == 0 {
+            out.resize(queries.len(), false);
+            return;
+        }
+        if queries.len() < BATCH_MIN_QUERIES {
+            out.extend(queries.iter().map(|&(a, b)| self.query_embedded(a, b)));
+            return;
+        }
+        out.resize(queries.len(), false);
+        let mut probes: Vec<(u64, u64, u32)> = Vec::with_capacity(queries.len());
+        let (first, last) = (self.codes.first(), self.codes.last());
+        let push_sub =
+            |probes: &mut Vec<(u64, u64, u32)>, answered: &mut bool, a: u64, b: u64, i: usize| {
+                if *answered {
+                    return;
+                }
+                let (ha, hb) = (self.h(a), self.h(b));
+                if ha <= hb {
+                    probes.push((hb, ha, i as u32));
+                } else if first <= hb || last >= ha {
+                    // Wrapped image [ha, r) ∪ [0, hb]: O(1), no probe needed.
+                    *answered = true;
+                }
+            };
+        for (i, &(a, b)) in queries.iter().enumerate() {
+            debug_assert!(a <= b, "inverted range [{a}, {b}]");
+            let (block_a, block_b) = (a >> self.k, b >> self.k);
+            if block_a == block_b {
+                push_sub(&mut probes, &mut out[i], a, b, i);
+            } else if block_b == block_a + 1 {
+                let b_first = b & !(self.r() - 1);
+                push_sub(&mut probes, &mut out[i], b_first, b, i);
+                push_sub(&mut probes, &mut out[i], a, b_first - 1, i);
+            } else {
+                out[i] = true;
+            }
+        }
+        probes.sort_unstable();
+        let mut cursor = self.codes.cursor();
+        for &(hb, ha, i) in &probes {
+            if cursor.predecessor(hb).is_some_and(|p| p >= ha) {
+                out[i as usize] = true;
+            }
+        }
     }
 
     fn size_in_bits(&self) -> usize {
@@ -290,7 +345,11 @@ impl PersistentFilter for StringGrafite {
             return Err(FilterError::corrupt("string-Grafite exponent out of range"));
         }
         let seed = src.word()?;
-        let codes = EliasFano::read_from(src)?;
+        let codes = if header.legacy_directories() {
+            EliasFano::read_from_v1(src)?
+        } else {
+            EliasFano::read_from(src)?
+        };
         if codes.universe() != 1u64 << k {
             return Err(FilterError::corrupt("code universe differs from 2^k"));
         }
@@ -436,6 +495,43 @@ mod tests {
                 RangeFilter::may_contain_range(&via_ints, a, b),
             );
         }
+    }
+
+    #[test]
+    fn batch_matches_scalar_path() {
+        let keys: Vec<u64> = (0..4000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let f = StringGrafite::from_u64_keys(&keys, 12.0, 9).unwrap();
+        let r = 1u64 << f.k;
+        let mut state = 0x57A7Eu64;
+        let queries: Vec<(u64, u64)> = (0..1500)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                match i % 4 {
+                    0 => {
+                        let k = keys[(state % keys.len() as u64) as usize];
+                        (k.saturating_sub(state % 64), k.saturating_add(5))
+                    }
+                    1 => (state, state.saturating_add(31)),
+                    2 => {
+                        // Crosses exactly one r-block boundary.
+                        let block = (state % (u64::MAX / r)).max(1);
+                        (block * r - 2, block * r + 2)
+                    }
+                    _ => (state % r, state % r + 3 * r),
+                }
+            })
+            .collect();
+        let mut batched = Vec::new();
+        RangeFilter::may_contain_ranges(&f, &queries, &mut batched);
+        let singles: Vec<bool> = queries
+            .iter()
+            .map(|&(a, b)| RangeFilter::may_contain_range(&f, a, b))
+            .collect();
+        assert_eq!(batched, singles, "string batch diverged from scalar path");
+        RangeFilter::may_contain_ranges(&f, &queries[..6], &mut batched);
+        assert_eq!(batched, &singles[..6], "small-batch fallback diverged");
     }
 
     #[test]

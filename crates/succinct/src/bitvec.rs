@@ -38,6 +38,31 @@ impl BitVec {
         }
     }
 
+    /// Wraps already-packed `words` as a bit vector of `len` bits — the
+    /// word-level construction path used when the caller sets bits directly
+    /// in a word buffer (e.g. Elias–Fano's high-bits build) instead of
+    /// going through per-bit [`BitVec::set`] calls.
+    ///
+    /// # Panics
+    /// Panics if the word count does not match `len`, or if any bit at a
+    /// position `>= len` is set (the invariant `count_ones` relies on).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            div_ceil(len.max(1), WORD_BITS),
+            "word count does not match bit length"
+        );
+        let tail_zero = if len == 0 {
+            words[0] == 0
+        } else if len % WORD_BITS != 0 {
+            words[len / WORD_BITS] >> (len % WORD_BITS) == 0
+        } else {
+            true
+        };
+        assert!(tail_zero, "bits beyond len must be zero");
+        Self { words, len }
+    }
+
     /// Creates an empty bit vector with room for `cap` bits.
     pub fn with_capacity(cap: usize) -> Self {
         Self {

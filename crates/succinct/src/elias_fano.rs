@@ -8,15 +8,43 @@
 //! of `H` is set. The total size is `n * l + 2n + o(n)` bits, which is what
 //! gives Grafite its `n log(L/eps) + 2n + o(n)` space bound (Theorem 3.4).
 //!
-//! `predecessor(y)` follows the paper's three steps (Example 3.3): locate the
-//! bucket of `y`'s high part with two `select0` calls, binary search the low
-//! parts within the bucket, and fall back to the last element of an earlier
-//! bucket via `select1` when the bucket yields nothing.
+//! # The fused hot path
+//!
+//! The paper's Example 3.3 locates the bucket of `y`'s high part with *two*
+//! `select0` calls and then binary-searches the bucket's low parts. This
+//! implementation fuses the locate into **one** `select0`: bucket `p`'s
+//! elements occupy a contiguous run of ones ending right below the `p`-th
+//! zero of `H`, so a word-local backward scan from that zero recovers both
+//! bucket endpoints (a second `select0` is issued only for degenerate
+//! multi-hundred-element buckets). The low parts are then resolved with a
+//! word-addressed sequential probe — one running bit cursor over the packed
+//! array — instead of a binary search that re-derives word offsets per
+//! probe; buckets are a couple of elements at the paper's densities, so the
+//! sequential probe wins on every real workload (a binary search remains as
+//! the fallback for adversarially deep buckets). `successor` and `rank`
+//! share the same machinery, and batch callers walk `H` with monotone state
+//! through an [`EfCursor`] instead of restarting per probe.
 
 use crate::intvec::IntVec;
 use crate::io::{DecodeError, WordSource, WordWriter};
 use crate::rs_bitvec::RsBitVec;
-use crate::BitVec;
+use crate::{BitVec, WORD_BITS};
+
+/// Word budget of the word-local scans around a bucket's delimiting zero;
+/// past it the classic `select0`/`select1` probes answer exactly. At the
+/// paper's densities (a set bit every ~2–3 positions of `H`) one word
+/// almost always suffices.
+const RUN_SCAN_WORDS: usize = 8;
+
+/// Buckets up to this deep take the sequential word-addressed low-bits
+/// probe; deeper (adversarially duplicated) buckets binary-search instead.
+const LINEAR_SCAN_MAX: usize = 48;
+
+/// When a cursor's target bucket starts more than this many `H` bits past
+/// the scan frontier, the cursor jumps with one fused probe instead of
+/// walking the gap. The walk costs a few ns per set bit passed and a fused
+/// probe ~100 ns, so the crossover sits at a few dozen bits of `H`.
+const GALLOP_BITS: usize = 64;
 
 /// An Elias–Fano encoded monotone sequence supporting random access,
 /// predecessor/successor, and rank.
@@ -45,6 +73,11 @@ impl EliasFano {
     /// deduplicates before encoding, as in the paper, but other users (and
     /// tests) may not.
     ///
+    /// Validation is hoisted out of the encode loop: one upfront
+    /// monotonicity pass plus a single bounds check on the maximum (the
+    /// last element, by monotonicity); the loop itself carries only
+    /// `debug_assert!`s and writes the high bits word-directly.
+    ///
     /// # Panics
     /// Panics if the values are not non-decreasing or exceed the universe.
     pub fn new(values: &[u64], universe: u64) -> Self {
@@ -64,6 +97,15 @@ impl EliasFano {
             universe > 0,
             "universe must be positive for a non-empty set"
         );
+        assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "values must be non-decreasing"
+        );
+        assert!(
+            values[n - 1] < universe,
+            "value {} >= universe {universe}",
+            values[n - 1]
+        );
         let low_bits = if universe > n as u64 {
             (universe / n as u64).ilog2() as usize
         } else {
@@ -76,16 +118,20 @@ impl EliasFano {
         };
 
         let hi_max = (universe - 1) >> low_bits;
-        let mut high = BitVec::zeros((hi_max as usize) + n + 1);
+        let high_len = (hi_max as usize) + n + 1;
+        let mut high_words = vec![0u64; crate::div_ceil(high_len.max(1), WORD_BITS)];
         let mut low = IntVec::with_capacity(low_bits, n);
-        let mut prev = 0u64;
         for (i, &v) in values.iter().enumerate() {
-            assert!(v < universe, "value {v} >= universe {universe}");
-            assert!(i == 0 || v >= prev, "values must be non-decreasing");
-            prev = v;
-            high.set((v >> low_bits) as usize + i, true);
+            debug_assert!(v < universe, "value {v} >= universe {universe}");
+            debug_assert!(
+                i == 0 || v >= values[i - 1],
+                "values must be non-decreasing"
+            );
+            let pos = (v >> low_bits) as usize + i;
+            high_words[pos / WORD_BITS] |= 1u64 << (pos % WORD_BITS);
             low.push(v & mask);
         }
+        let high = BitVec::from_words(high_words, high_len);
 
         Self {
             n,
@@ -97,7 +143,23 @@ impl EliasFano {
             last: values[n - 1],
         }
     }
+
+    /// Reads the **format-v1** stream (whose embedded [`RsBitVec`] stores
+    /// the legacy block-index select hints): the bits and rank directory
+    /// load verbatim, the select position samples are rebuilt. Owned
+    /// storage only.
+    pub fn read_from_v1<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+    ) -> Result<Self, DecodeError> {
+        let head = Self::read_head(src)?;
+        let low = IntVec::read_from(src)?;
+        let high = RsBitVec::read_from_v1(src)?;
+        Self::validate_parts(head, low, high)
+    }
 }
+
+/// The five scalar header words of an Elias–Fano stream.
+type EfHead = (usize, u64, usize, u64, u64);
 
 impl<S: AsRef<[u64]>> EliasFano<S> {
     /// Number of stored values.
@@ -152,42 +214,172 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
         (hi << self.low_bits) | self.low.get(i)
     }
 
-    /// Index range `[start, end)` of the elements whose high part equals `p`.
     #[inline]
-    fn bucket(&self, p: u64) -> (usize, usize) {
-        let p = p as usize;
-        let start = if p == 0 {
+    fn low_mask(&self) -> u64 {
+        if self.low_bits == 0 {
             0
         } else {
-            self.high.select0(p - 1) - (p - 1)
-        };
-        let end = self.high.select0(p) - p;
-        (start, end)
+            (1u64 << self.low_bits) - 1
+        }
+    }
+
+    /// Fused bucket locate: index range `[start, end)` of the elements with
+    /// high part `p`, plus the `H` position of bucket `p`'s delimiting
+    /// zero — from **one** `select0`. The bucket's ones sit contiguously
+    /// right below that zero (element `i` lives at bit `hi_i + i`), so a
+    /// word-local backward run scan recovers `start`; only a degenerate
+    /// bucket deeper than `RUN_SCAN_WORDS` words falls back to the second
+    /// probe.
+    #[inline]
+    fn bucket_one_probe(&self, p: u64) -> (usize, usize, usize) {
+        let p = p as usize;
+        let zpos = self.high.select0(p);
+        let end = zpos - p;
+        let words = self.high.bits().words();
+        let mut run = 0usize;
+        let mut pos = zpos;
+        let mut budget = RUN_SCAN_WORDS;
+        while pos > 0 {
+            let w_idx = (pos - 1) / WORD_BITS;
+            let used = (pos - 1) % WORD_BITS + 1;
+            let chunk = words[w_idx] << (WORD_BITS - used);
+            let ones_at_top = chunk.leading_ones() as usize;
+            if ones_at_top < used {
+                return (end - (run + ones_at_top), end, zpos);
+            }
+            run += used;
+            pos -= used;
+            budget -= 1;
+            if budget == 0 {
+                let start = if p == 0 {
+                    0
+                } else {
+                    self.high.select0(p - 1) - (p - 1)
+                };
+                return (start, end, zpos);
+            }
+        }
+        (end - run, end, zpos)
+    }
+
+    /// First index in `[start, end)` whose low part passes `y_lo` — past
+    /// equal lows when `include_equal` (predecessor's partition), at the
+    /// first `>= y_lo` otherwise (successor/rank). Sequential
+    /// word-addressed probe for real-world bucket depths, binary search for
+    /// adversarial ones.
+    #[inline]
+    fn low_partition(&self, start: usize, end: usize, y_lo: u64, include_equal: bool) -> usize {
+        if start == end {
+            return start;
+        }
+        let width = self.low_bits;
+        if width == 0 {
+            // Every low is zero, and so is y_lo.
+            return if include_equal { end } else { start };
+        }
+        if end - start > LINEAR_SCAN_MAX {
+            let (mut lo, mut hi) = (start, end);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let v = self.low.get(mid);
+                if v < y_lo || (include_equal && v == y_lo) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            return lo;
+        }
+        let words = self.low.raw_words();
+        let mask = (1u64 << width) - 1;
+        let mut bitpos = start * width;
+        for i in start..end {
+            let word = bitpos / WORD_BITS;
+            let off = bitpos % WORD_BITS;
+            let mut v = words[word] >> off;
+            if off + width > WORD_BITS {
+                v |= words[word + 1] << (WORD_BITS - off);
+            }
+            let v = v & mask;
+            if v > y_lo || (!include_equal && v == y_lo) {
+                return i;
+            }
+            bitpos += width;
+        }
+        end
+    }
+
+    /// `predecessor` with the element's index — the shared core of
+    /// [`EliasFano::predecessor`] and the cursor's gallop jumps.
+    fn pred_entry(&self, y: u64) -> Option<(usize, u64)> {
+        if self.n == 0 || y < self.first {
+            return None;
+        }
+        if y >= self.last {
+            return Some((self.n - 1, self.last));
+        }
+        let p = y >> self.low_bits;
+        let y_lo = y & self.low_mask();
+        let (start, end, zpos) = self.bucket_one_probe(p);
+        let lo = self.low_partition(start, end, y_lo, true);
+        if lo > start {
+            return Some((lo - 1, (p << self.low_bits) | self.low.get(lo - 1)));
+        }
+        if start == 0 {
+            return None;
+        }
+        // No candidate in bucket p: the answer is element start-1, whose
+        // one is the first set bit below the zero delimiting bucket p from
+        // below (at position zpos - bucket_size - 1). Word-local backward
+        // scan, with the classic select1 as the long-gap fallback.
+        let idx = start - 1;
+        let words = self.high.bits().words();
+        let mut pos = zpos - (end - start) - 1;
+        let mut budget = RUN_SCAN_WORDS;
+        while pos > 0 {
+            let w_idx = (pos - 1) / WORD_BITS;
+            let used = (pos - 1) % WORD_BITS + 1;
+            let chunk = words[w_idx] << (WORD_BITS - used);
+            if chunk != 0 {
+                let one_pos = pos - 1 - chunk.leading_zeros() as usize;
+                let hi = (one_pos - idx) as u64;
+                return Some((idx, (hi << self.low_bits) | self.low.get(idx)));
+            }
+            pos -= used;
+            budget -= 1;
+            if budget == 0 {
+                return Some((idx, self.get(idx)));
+            }
+        }
+        unreachable!("start > 0 guarantees a preceding element")
     }
 
     /// The largest stored value `<= y`, or `None` if every value is `> y`.
     ///
-    /// This is the `predecessor` of the paper's Section 3; it runs in
-    /// `O(log(universe / n))` time (the binary search spans one bucket of at
-    /// most `2^l` low parts).
+    /// This is the `predecessor` of the paper's Section 3, on the fused
+    /// single-probe path described in the module docs: one `select0`, a
+    /// word-local bucket scan, and a word-addressed low-bits probe.
+    #[inline]
     pub fn predecessor(&self, y: u64) -> Option<u64> {
+        self.pred_entry(y).map(|(_, v)| v)
+    }
+
+    /// The seed implementation of `predecessor` — two `select0` probes plus
+    /// a binary search through [`IntVec::get`] — kept as the measured
+    /// baseline for the fused path. Benches and equivalence tests call it;
+    /// it is not part of the public API surface.
+    #[doc(hidden)]
+    pub fn predecessor_two_probe(&self, y: u64) -> Option<u64> {
         if self.n == 0 || y < self.first {
             return None;
         }
         if y >= self.last {
             return Some(self.last);
         }
-        let y = y.min(self.universe - 1);
         let p = y >> self.low_bits;
-        let y_lo = y & if self.low_bits == 0 {
-            0
-        } else {
-            (1u64 << self.low_bits) - 1
-        };
-        let (start, end) = self.bucket(p);
-        // Binary search for the first index in [start, end) with low > y_lo.
-        let mut lo = start;
-        let mut hi = end;
+        let y_lo = y & self.low_mask();
+        let (start, end) = self.bucket_two_select(p);
+        let (mut lo, mut hi) = (start, end);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             if self.low.get(mid) <= y_lo {
@@ -197,16 +389,26 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
             }
         }
         if lo > start {
-            // Predecessor lies inside the bucket.
             Some((p << self.low_bits) | self.low.get(lo - 1))
         } else if start > 0 {
-            // Bucket is empty of candidates; take the last element of the
-            // previous non-empty bucket (corner case of the paper, recovered
-            // through select1).
             Some(self.get(start - 1))
         } else {
             None
         }
+    }
+
+    /// The seed's two-probe bucket locate, serving only
+    /// [`EliasFano::predecessor_two_probe`].
+    #[inline]
+    fn bucket_two_select(&self, p: u64) -> (usize, usize) {
+        let p = p as usize;
+        let start = if p == 0 {
+            0
+        } else {
+            self.high.select0(p - 1) - (p - 1)
+        };
+        let end = self.high.select0(p) - p;
+        (start, end)
     }
 
     /// The smallest stored value `>= y`, or `None` if every value is `< y`.
@@ -218,28 +420,32 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
             return Some(self.first);
         }
         let p = y >> self.low_bits;
-        let y_lo = y & if self.low_bits == 0 {
-            0
-        } else {
-            (1u64 << self.low_bits) - 1
-        };
-        let (start, end) = self.bucket(p);
-        let mut lo = start;
-        let mut hi = end;
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.low.get(mid) < y_lo {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
+        let y_lo = y & self.low_mask();
+        let (start, end, zpos) = self.bucket_one_probe(p);
+        let lo = self.low_partition(start, end, y_lo, false);
         if lo < end {
-            Some((p << self.low_bits) | self.low.get(lo))
-        } else {
-            // First element of a later bucket; `end < n` is guaranteed
-            // because y <= last.
-            Some(self.get(end))
+            return Some((p << self.low_bits) | self.low.get(lo));
+        }
+        // First element of a later bucket; `end < n` is guaranteed because
+        // y < last here. Its one is the first set bit after zpos: forward
+        // word scan, select1 as the long-gap fallback.
+        let idx = end;
+        let words = self.high.bits().words();
+        let mut w_idx = (zpos + 1) / WORD_BITS;
+        let mut w = words[w_idx] & (!0u64 << ((zpos + 1) % WORD_BITS));
+        let mut budget = RUN_SCAN_WORDS;
+        loop {
+            if w != 0 {
+                let one_pos = w_idx * WORD_BITS + w.trailing_zeros() as usize;
+                let hi = (one_pos - idx) as u64;
+                return Some((hi << self.low_bits) | self.low.get(idx));
+            }
+            budget -= 1;
+            if budget == 0 {
+                return Some(self.get(idx));
+            }
+            w_idx += 1;
+            w = words[w_idx];
         }
     }
 
@@ -256,23 +462,9 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
             return self.n;
         }
         let p = y >> self.low_bits;
-        let y_lo = y & if self.low_bits == 0 {
-            0
-        } else {
-            (1u64 << self.low_bits) - 1
-        };
-        let (start, end) = self.bucket(p);
-        let mut lo = start;
-        let mut hi = end;
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.low.get(mid) < y_lo {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        let y_lo = y & self.low_mask();
+        let (start, end, _) = self.bucket_one_probe(p);
+        self.low_partition(start, end, y_lo, false)
     }
 
     /// Whether any stored value lies in the closed interval `[a, b]`.
@@ -282,6 +474,21 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
         match self.predecessor(b) {
             Some(v) => v >= a,
             None => false,
+        }
+    }
+
+    /// A stateful cursor for resolving a **non-decreasing** sequence of
+    /// predecessor probes in one forward pass — see [`EfCursor`].
+    pub fn cursor(&self) -> EfCursor<'_, S> {
+        let words = self.high.bits().words();
+        EfCursor {
+            ef: self,
+            idx: 0,
+            word_idx: 0,
+            word: words.first().copied().unwrap_or(0),
+            prev: None,
+            #[cfg(debug_assertions)]
+            last_y: 0,
         }
     }
 
@@ -315,21 +522,24 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
         Ok(w.words_written() - before)
     }
 
-    /// Reads back what [`EliasFano::write_to`] wrote; storage kind follows
-    /// the source, so a [`crate::io::WordCursor`] yields a zero-copy
-    /// [`EliasFanoView`] ready to answer `predecessor` queries without any
-    /// rebuilding.
-    pub fn read_from<Src: WordSource<Storage = S>>(src: &mut Src) -> Result<Self, DecodeError> {
+    fn read_head<Src: WordSource<Storage = S>>(src: &mut Src) -> Result<EfHead, DecodeError> {
         let n = src.length()?;
         let universe = src.word()?;
         let low_bits = src.length()?;
-        if low_bits > 64 {
+        if low_bits >= 64 {
             return Err(DecodeError::Invalid("Elias-Fano low-bit width"));
         }
         let first = src.word()?;
         let last = src.word()?;
-        let low = IntVec::read_from(src)?;
-        let high = RsBitVec::read_from(src)?;
+        Ok((n, universe, low_bits, first, last))
+    }
+
+    fn validate_parts(
+        head: EfHead,
+        low: IntVec<S>,
+        high: RsBitVec<S>,
+    ) -> Result<Self, DecodeError> {
+        let (n, universe, low_bits, first, last) = head;
         if low.len() != n || low.width() != low_bits {
             return Err(DecodeError::Invalid("Elias-Fano low array shape"));
         }
@@ -348,6 +558,108 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
             first,
             last,
         })
+    }
+
+    /// Reads back what [`EliasFano::write_to`] wrote; storage kind follows
+    /// the source, so a [`crate::io::WordCursor`] yields a zero-copy
+    /// [`EliasFanoView`] ready to answer `predecessor` queries without any
+    /// rebuilding. For format-v1 streams use [`EliasFano::read_from_v1`].
+    pub fn read_from<Src: WordSource<Storage = S>>(src: &mut Src) -> Result<Self, DecodeError> {
+        let head = Self::read_head(src)?;
+        let low = IntVec::read_from(src)?;
+        let high = RsBitVec::read_from(src)?;
+        Self::validate_parts(head, low, high)
+    }
+}
+
+/// A stateful scanner resolving a **non-decreasing** sequence of
+/// `predecessor` probes with monotone state: the cursor remembers its
+/// position in `H` and the last element it decoded, so a batch of sorted
+/// probes walks the high bits once instead of restarting a probe per query.
+/// Gaps larger than a couple of kilobits are skipped with one fused probe
+/// (galloping), so sparse batches never degrade to a full scan.
+///
+/// Answers are bit-identical to [`EliasFano::predecessor`]; feeding probes
+/// out of order is a contract violation (debug-asserted).
+pub struct EfCursor<'a, S: AsRef<[u64]> = Vec<u64>> {
+    ef: &'a EliasFano<S>,
+    /// Element index of the next undecoded element.
+    idx: usize,
+    /// Word index of the scan frontier in `H`.
+    word_idx: usize,
+    /// The frontier word with already-consumed bits cleared.
+    word: u64,
+    /// Last consumed element as `(index, H position)` — its value decodes
+    /// lazily, once per answered probe, never once per element walked.
+    prev: Option<(usize, usize)>,
+    #[cfg(debug_assertions)]
+    last_y: u64,
+}
+
+impl<S: AsRef<[u64]>> EfCursor<'_, S> {
+    /// The largest stored value `<= y`. Probes must be non-decreasing
+    /// across calls on the same cursor.
+    pub fn predecessor(&mut self, y: u64) -> Option<u64> {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(y >= self.last_y, "cursor probes must be non-decreasing");
+            self.last_y = y;
+        }
+        let ef = self.ef;
+        if ef.n == 0 || y < ef.first {
+            return None;
+        }
+        if y >= ef.last {
+            return Some(ef.last);
+        }
+        let p = y >> ef.low_bits;
+        let y_lo = y & ef.low_mask();
+        // Gallop: bucket p's delimiting zero sits at H position
+        // p + |{elements below bucket p+1}| >= p + idx. If that is past the
+        // frontier by more than the walk/probe crossover, one fused probe
+        // beats walking the gap.
+        if (p as usize + self.idx).saturating_sub(self.word_idx * WORD_BITS) > GALLOP_BITS {
+            let (idx, v) = ef.pred_entry(y).expect("y >= first implies a predecessor");
+            let pos = ((v >> ef.low_bits) as usize) + idx;
+            self.prev = Some((idx, pos));
+            self.reposition_after(pos, idx);
+            return Some(v);
+        }
+        let words = ef.high.bits().words();
+        while self.idx < ef.n {
+            while self.word == 0 {
+                self.word_idx += 1;
+                self.word = words[self.word_idx];
+            }
+            let pos = self.word_idx * WORD_BITS + self.word.trailing_zeros() as usize;
+            let hi = (pos - self.idx) as u64;
+            if hi > p {
+                break; // this and every later element exceeds y
+            }
+            // Elements below bucket p are `<= y` by construction; only
+            // bucket p's own elements need their low bits compared.
+            if hi == p && ef.low.get(self.idx) > y_lo {
+                break;
+            }
+            self.prev = Some((self.idx, pos));
+            self.word &= self.word - 1;
+            self.idx += 1;
+        }
+        self.prev
+            .map(|(i, pos)| (((pos - i) as u64) << ef.low_bits) | ef.low.get(i))
+    }
+
+    /// Moves the frontier to just past the element at H position `pos`.
+    fn reposition_after(&mut self, pos: usize, idx: usize) {
+        self.idx = idx + 1;
+        self.word_idx = pos / WORD_BITS;
+        let consumed = pos % WORD_BITS + 1;
+        let w = self.ef.high.bits().words()[self.word_idx];
+        self.word = if consumed == WORD_BITS {
+            0
+        } else {
+            w & (!0u64 << consumed)
+        };
     }
 }
 
@@ -385,16 +697,26 @@ mod tests {
         }
         let collected: Vec<u64> = ef.iter().collect();
         assert_eq!(collected, values);
+        let mut sorted_probes = Vec::new();
         for y in probes {
             let y = y.min(universe - 1);
-            assert_eq!(
-                ef.predecessor(y),
-                reference_predecessor(&set, y),
-                "pred({y})"
-            );
+            sorted_probes.push(y);
+            let expect = reference_predecessor(&set, y);
+            assert_eq!(ef.predecessor(y), expect, "pred({y})");
+            assert_eq!(ef.predecessor_two_probe(y), expect, "pred2({y})");
             assert_eq!(ef.successor(y), reference_successor(&set, y), "succ({y})");
             let expect_rank = values.iter().filter(|&&v| v < y).count();
             assert_eq!(ef.rank(y), expect_rank, "rank({y})");
+        }
+        // The cursor answers the same probes identically when sorted.
+        sorted_probes.sort_unstable();
+        let mut cur = ef.cursor();
+        for &y in &sorted_probes {
+            assert_eq!(
+                cur.predecessor(y),
+                reference_predecessor(&set, y),
+                "cursor pred({y})"
+            );
         }
     }
 
@@ -421,6 +743,7 @@ mod tests {
         assert_eq!(ef.successor(500), None);
         assert_eq!(ef.rank(500), 0);
         assert!(!ef.any_in_range(0, 999));
+        assert_eq!(ef.cursor().predecessor(500), None);
     }
 
     #[test]
@@ -439,6 +762,18 @@ mod tests {
     fn duplicates() {
         let values = [5u64, 5, 5, 9, 9, 20];
         check(&values, 32, 0..32);
+    }
+
+    /// Adversarially deep buckets: enough duplicates to exhaust both the
+    /// backward run scan and the linear low probe, forcing the second
+    /// select0 and the binary-search fallbacks.
+    #[test]
+    fn degenerate_buckets() {
+        let mut values = vec![100_000u64; 3000];
+        values.extend([100_001u64; 70]);
+        values.extend((0..200u64).map(|i| 500_000 + i * 1000));
+        values.sort_unstable();
+        check(&values, 1_000_000, (0..2000u64).map(|i| i * 499));
     }
 
     #[test]
@@ -478,6 +813,26 @@ mod tests {
         values.sort_unstable();
         let probes: Vec<u64> = (0..3000u64).map(|i| (i * 337) % 1_000_000).collect();
         check(&values, 1_000_000, probes.into_iter());
+    }
+
+    /// The cursor's gallop path: sorted probes with kilobit-scale gaps in H
+    /// between them must answer identically to the scalar fused path.
+    #[test]
+    fn cursor_gallops_across_sparse_regions() {
+        let values: Vec<u64> = (0..2000u64).map(|i| i * 131_071).collect();
+        let universe = 2000 * 131_071 + 1;
+        let ef = EliasFano::new(&values, universe);
+        let set: BTreeSet<u64> = values.iter().copied().collect();
+        let mut probes: Vec<u64> = (0..4000u64).map(|i| (i * 7_919_999) % universe).collect();
+        probes.sort_unstable();
+        let mut cur = ef.cursor();
+        for &y in &probes {
+            assert_eq!(
+                cur.predecessor(y),
+                reference_predecessor(&set, y),
+                "gallop pred({y})"
+            );
+        }
     }
 
     #[test]

@@ -115,6 +115,13 @@ impl<S: AsRef<[u64]>> IntVec<S> {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// The raw backing words, for callers that stream fields sequentially
+    /// with their own bit cursor (the Elias–Fano low-bits scan).
+    #[inline]
+    pub(crate) fn raw_words(&self) -> &[u64] {
+        self.bits.words()
+    }
+
     /// Heap size in bits.
     pub fn size_in_bits(&self) -> usize {
         self.bits.size_in_bits() + 128 // width + len bookkeeping

@@ -12,7 +12,8 @@
 //! * [`EliasFano`] — the quasi-succinct monotone-sequence encoding of
 //!   Elias \[14\] and Fano \[16\], extended with the `predecessor`, `successor`,
 //!   and `rank` operations that Section 3 of the paper builds Grafite's query
-//!   algorithm on.
+//!   algorithm on, plus an [`EfCursor`] that resolves sorted batches of
+//!   predecessor probes with monotone state.
 //! * [`GolombRiceSeq`] — a block-compressed monotone sequence with Golomb–Rice
 //!   coded gaps, used as the compressed bit array of our SNARF reproduction.
 //!
@@ -42,7 +43,7 @@ pub mod io;
 pub mod rs_bitvec;
 
 pub use bitvec::{BitVec, BitVecView};
-pub use elias_fano::{EliasFano, EliasFanoView};
+pub use elias_fano::{EfCursor, EliasFano, EliasFanoView};
 pub use golomb::{GolombRiceSeq, GolombRiceSeqView};
 pub use intvec::{IntVec, IntVecView};
 pub use rs_bitvec::{RsBitVec, RsBitVecView};

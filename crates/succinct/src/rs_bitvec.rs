@@ -1,20 +1,42 @@
-//! An immutable bit vector with constant-time rank and fast select for both
-//! bit polarities.
+//! An immutable bit vector with constant-time rank and constant-time-ish
+//! select for both bit polarities.
 //!
-//! Layout: the bit sequence is divided into 512-bit blocks (8 words). A block
+//! # Layout (format v2, position-sampled select)
+//!
+//! The bit sequence is divided into 512-bit blocks (8 words). A block
 //! directory stores the absolute number of ones before each block (12.5 %
-//! overhead); `rank` popcounts at most 8 words on top of a directory lookup.
-//! `select` uses sampled *hints* — the index of the block containing every
-//! 512-th occurrence — followed by a directory scan and an in-word broadword
-//! select. This is the classic engineering trade-off described by
-//! Navarro \[28\] and used by all the filters in the paper; queries are
-//! `O(1)` amortised at our densities.
+//! overhead); `rank` popcounts the block's words under per-word masks on top
+//! of a directory lookup — a fixed-shape, branch-free loop rather than a
+//! data-dependent word walk.
+//!
+//! `select` uses *position samples*: the directory stores the **exact bit
+//! position** of every 512-th one (resp. zero). A query `select1(k)` whose
+//! rank hits a sample answers in O(1) with no memory touched beyond the
+//! sample itself; otherwise the two samples bracketing `k` bound the block
+//! range the answer can live in, and a binary search over that window of the
+//! block directory (the inter-sample block locate) lands in the right block
+//! without ever walking the directory linearly. At the densities the
+//! Elias–Fano high bits exhibit (one set bit every ~2–3 positions) the
+//! window spans 2–4 blocks, so the locate is one or two comparisons. The
+//! final step is an in-word broadword select. `select0` shares the machinery
+//! through a *cumulative-zeros view* derived from the ones directory
+//! (`zeros before block b = min(b·512, len) − ones before block b`) — no
+//! second directory array is stored or serialized.
+//!
+//! This replaces the seed's scheme (block-index hints plus a forward scan of
+//! the directory), trading the same space for strictly less work per query;
+//! it is the classic rank/select engineering trade-off described by
+//! Navarro \[28\], tuned for the query hot path of the paper's filters.
+//!
+//! # Persistence
 //!
 //! Like every structure in this crate, `RsBitVec` is generic over its word
 //! store: the rank/select directories serialize alongside the bits and are
 //! read back **verbatim** — loading never recomputes them, and the
 //! [`RsBitVecView`] variant answers queries directly out of a loaded
-//! buffer.
+//! buffer. Blobs written by the format-v1 layout (block-index hints) load
+//! through [`RsBitVec::read_from_v1`], which rebuilds the position samples
+//! from the bits in one O(n/64) pass.
 
 use crate::bitvec::BitVec;
 use crate::broadword::select_in_word;
@@ -25,6 +47,19 @@ const BLOCK_WORDS: usize = 8;
 const BLOCK_BITS: usize = BLOCK_WORDS * WORD_BITS; // 512
 const SELECT_SAMPLE: usize = 512;
 
+/// Word budget of the select fast path that scans forward from the sampled
+/// position (sequential loads, no directory touch). 32 words = 2048 bits
+/// cover a full inter-sample gap at any density >= 1/4 — the Elias–Fano
+/// high bits sit near 1/2 — so only genuinely sparse stretches take the
+/// block-locate fallback.
+const SCAN_FROM_SAMPLE_WORDS: usize = 32;
+
+/// The low `n` bits set, for `n` in `0..=64`.
+#[inline]
+fn mask_low(n: usize) -> u64 {
+    1u64.checked_shl(n as u32).map_or(!0, |m| m.wrapping_sub(1))
+}
+
 /// An immutable rank/select bit vector.
 #[derive(Clone, Debug)]
 pub struct RsBitVec<S = Vec<u64>> {
@@ -32,17 +67,50 @@ pub struct RsBitVec<S = Vec<u64>> {
     /// `blocks[b]` = number of ones in bits `[0, b * 512)`; one sentinel entry
     /// at the end holding the total.
     blocks: S,
-    /// `select1_hints[i]` = index of the block containing the
-    /// `(i * SELECT_SAMPLE)`-th one.
-    select1_hints: S,
+    /// `select1_pos[i]` = exact bit position of the `(i * SELECT_SAMPLE)`-th
+    /// one.
+    select1_pos: S,
     /// Same for zeros.
-    select0_hints: S,
+    select0_pos: S,
     ones: usize,
 }
 
 /// A rank/select bit vector whose bits *and* directories borrow from a
 /// loaded `&[u64]` buffer.
 pub type RsBitVecView<'a> = RsBitVec<&'a [u64]>;
+
+/// One pass over the words: the exact positions of every `SELECT_SAMPLE`-th
+/// one and zero. Returns `(select1_pos, select0_pos, ones_seen)` so callers
+/// can cross-check the claimed total.
+fn build_select_samples(bits: &BitVec, ones: usize, zeros: usize) -> (Vec<u64>, Vec<u64>, usize) {
+    let mut s1 = Vec::with_capacity(ones.div_ceil(SELECT_SAMPLE));
+    let mut s0 = Vec::with_capacity(zeros.div_ceil(SELECT_SAMPLE));
+    let (mut next1, mut next0) = (0usize, 0usize);
+    let (mut ones_seen, mut zeros_seen) = (0usize, 0usize);
+    let len = bits.len();
+    for (wi, &w) in bits.words().iter().enumerate() {
+        let valid = (len - (wi * WORD_BITS).min(len)).min(WORD_BITS);
+        if valid == 0 {
+            break;
+        }
+        let w_ones = w.count_ones() as usize; // tail bits beyond len are zero
+        while next1 < ones && next1 < ones_seen + w_ones {
+            let in_word = select_in_word(w, (next1 - ones_seen) as u32) as usize;
+            s1.push((wi * WORD_BITS + in_word) as u64);
+            next1 += SELECT_SAMPLE;
+        }
+        let inv = !w & mask_low(valid);
+        let w_zeros = valid - w_ones;
+        while next0 < zeros && next0 < zeros_seen + w_zeros {
+            let in_word = select_in_word(inv, (next0 - zeros_seen) as u32) as usize;
+            s0.push((wi * WORD_BITS + in_word) as u64);
+            next0 += SELECT_SAMPLE;
+        }
+        ones_seen += w_ones;
+        zeros_seen += w_zeros;
+    }
+    (s1, s0, ones_seen)
+}
 
 impl RsBitVec {
     /// Freezes `bits` and builds rank/select support.
@@ -60,36 +128,71 @@ impl RsBitVec {
         }
         blocks.push(acc);
         let ones = acc as usize;
+        Self::assemble(bits, blocks, ones)
+    }
+
+    fn assemble(bits: BitVec, blocks: Vec<u64>, ones: usize) -> Self {
         let zeros = bits.len() - ones;
-
-        let mut select1_hints = Vec::with_capacity(ones / SELECT_SAMPLE + 1);
-        let mut select0_hints = Vec::with_capacity(zeros / SELECT_SAMPLE + 1);
-        {
-            // For each sampled occurrence index, record the containing block.
-            let mut next1 = 0usize;
-            let mut next0 = 0usize;
-            for b in 0..n_blocks {
-                let ones_through = blocks[b + 1] as usize;
-                let bits_through = ((b + 1) * BLOCK_BITS).min(bits.len());
-                let zeros_through = bits_through - ones_through;
-                while next1 < ones && next1 < ones_through {
-                    select1_hints.push(b as u64);
-                    next1 += SELECT_SAMPLE;
-                }
-                while next0 < zeros && next0 < zeros_through {
-                    select0_hints.push(b as u64);
-                    next0 += SELECT_SAMPLE;
-                }
-            }
-        }
-
+        let (select1_pos, select0_pos, seen) = build_select_samples(&bits, ones, zeros);
+        debug_assert_eq!(seen, ones, "rank directory inconsistent with bits");
         Self {
             bits,
             blocks,
-            select1_hints,
-            select0_hints,
+            select1_pos,
+            select0_pos,
             ones,
         }
+    }
+
+    /// Reads the **format-v1** layout (select directories stored as
+    /// block-index *hints* rather than positions) and upgrades it: the bits
+    /// and the rank directory come back verbatim, the position samples are
+    /// rebuilt in one O(n/64) word pass. Owned storage only — a zero-copy
+    /// view cannot hold rebuilt directories.
+    pub fn read_from_v1<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+    ) -> Result<Self, DecodeError> {
+        let ones = src.length()?;
+        let bits = BitVec::read_from(src)?;
+        if ones > bits.len() {
+            return Err(DecodeError::Invalid("rank directory total exceeds length"));
+        }
+        let n_blocks = crate::div_ceil(bits.len().max(1), BLOCK_BITS);
+        let blocks_len = src.length()?;
+        if blocks_len != n_blocks + 1 {
+            return Err(DecodeError::Invalid("rank directory block count"));
+        }
+        let blocks = src.take(blocks_len)?;
+        if blocks.windows(2).any(|w| w[0] > w[1]) || blocks.last() != Some(&(ones as u64)) {
+            return Err(DecodeError::Invalid("rank directory inconsistent"));
+        }
+        let zeros = bits.len() - ones;
+        // The v1 hints are consumed and validated but not kept: the v2
+        // position samples are rebuilt from the bits below.
+        let h1_len = src.length()?;
+        if h1_len != ones.div_ceil(SELECT_SAMPLE) {
+            return Err(DecodeError::Invalid("select1 hint count"));
+        }
+        let h1 = src.take(h1_len)?;
+        let h0_len = src.length()?;
+        if h0_len != zeros.div_ceil(SELECT_SAMPLE) {
+            return Err(DecodeError::Invalid("select0 hint count"));
+        }
+        let h0 = src.take(h0_len)?;
+        if h1.iter().chain(&h0).any(|&h| h >= n_blocks as u64) {
+            return Err(DecodeError::Invalid("select hint out of range"));
+        }
+        let (select1_pos, select0_pos, seen) = build_select_samples(&bits, ones, zeros);
+        if seen != ones {
+            return Err(DecodeError::Invalid("rank directory total mismatches bits"));
+        }
+        Ok(Self {
+            bits,
+            blocks,
+            select1_pos,
+            select0_pos,
+            ones,
+        })
     }
 }
 
@@ -136,22 +239,23 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
     }
 
     /// Number of ones in `[0, pos)`. `pos` may equal `len`.
+    ///
+    /// Branch-free over the 8-word block: every block word is popcounted
+    /// under a mask that keeps exactly its bits below `pos` (possibly none,
+    /// possibly all), so the loop has no data-dependent branches to
+    /// mispredict.
     #[inline]
     pub fn rank1(&self, pos: usize) -> usize {
         assert!(pos <= self.len(), "rank position {pos} out of range");
-        if pos == 0 {
-            return 0;
-        }
         let block = pos / BLOCK_BITS;
         let mut r = self.block_dir()[block] as usize;
+        let words = self.bits.words();
         let first_word = block * BLOCK_WORDS;
-        let last_word = pos / WORD_BITS;
-        for w in first_word..last_word {
-            r += self.bits.word(w).count_ones() as usize;
-        }
-        let rem = pos % WORD_BITS;
-        if rem != 0 {
-            r += (self.bits.word(last_word) & ((1u64 << rem) - 1)).count_ones() as usize;
+        let end = (first_word + BLOCK_WORDS).min(words.len());
+        let in_block = pos - block * BLOCK_BITS;
+        for (j, &w) in words[first_word..end].iter().enumerate() {
+            let take = in_block.saturating_sub(j * WORD_BITS).min(WORD_BITS);
+            r += (w & mask_low(take)).count_ones() as usize;
         }
         r
     }
@@ -162,59 +266,163 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
         pos - self.rank1(pos)
     }
 
+    /// Zeros in `[0, b * 512)` — the cumulative-zeros view over the ones
+    /// directory. Valid for `b` up to and including the sentinel index.
+    #[inline]
+    fn zeros_before_block(&self, b: usize) -> usize {
+        (b * BLOCK_BITS).min(self.len()) - self.block_dir()[b] as usize
+    }
+
+    /// Last block index in `[lo, hi]` whose directory value (per `key`) is
+    /// `<= k` — the bounded inter-sample block locate shared by both
+    /// selects. The invariant `key(lo) <= k` must hold on entry.
+    #[inline]
+    fn locate_block(&self, mut lo: usize, mut hi: usize, k: usize, zeros: bool) -> usize {
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            let before = if zeros {
+                self.zeros_before_block(mid)
+            } else {
+                self.block_dir()[mid] as usize
+            };
+            if before <= k {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
     /// Position of the `k`-th (0-based) set bit.
+    ///
+    /// The fast path scans **forward from the sampled position** — a
+    /// sequential, prefetch-friendly walk of a bounded number of bit words
+    /// with no directory touch at all; sparse stretches that exhaust the
+    /// budget fall back to the bounded block locate.
     ///
     /// # Panics
     /// Panics if `k >= count_ones()`.
     pub fn select1(&self, k: usize) -> usize {
         assert!(k < self.ones, "select1 rank {k} out of range {}", self.ones);
-        let blocks = self.block_dir();
-        // Start from the sampled hint and scan the block directory forward.
-        let mut block = self.select1_hints.as_ref()[k / SELECT_SAMPLE] as usize;
-        while blocks[block + 1] as usize <= k {
-            block += 1;
+        let samples = self.select1_pos.as_ref();
+        let s = k / SELECT_SAMPLE;
+        let sampled = samples[s] as usize;
+        let rem = k % SELECT_SAMPLE;
+        if rem == 0 {
+            return sampled;
         }
-        let mut remaining = k - blocks[block] as usize;
+        // The k-th one is the rem-th one strictly after the sampled
+        // position: walk the words from there, clearing the sampled bit
+        // and everything below it in the first word.
+        let words = self.bits.words();
+        let mut w_idx = sampled / WORD_BITS;
+        let above = sampled % WORD_BITS + 1;
+        let mut mask = if above == WORD_BITS {
+            w_idx += 1;
+            !0
+        } else {
+            !mask_low(above)
+        };
+        let mut remaining = rem; // ones still to cross, target included
+        for _ in 0..SCAN_FROM_SAMPLE_WORDS {
+            let Some(&raw) = words.get(w_idx) else { break };
+            let w = raw & mask;
+            let ones = w.count_ones() as usize;
+            if remaining <= ones {
+                return w_idx * WORD_BITS + select_in_word(w, (remaining - 1) as u32) as usize;
+            }
+            remaining -= ones;
+            mask = !0;
+            w_idx += 1;
+        }
+        self.select1_via_blocks(k, s)
+    }
+
+    /// The block-directory slow path of [`RsBitVec::select1`], for sparse
+    /// stretches the sample-local scan cannot cover.
+    #[cold]
+    fn select1_via_blocks(&self, k: usize, s: usize) -> usize {
+        let samples = self.select1_pos.as_ref();
+        let sampled = samples[s] as usize;
+        let hi = samples
+            .get(s + 1)
+            .map_or(self.block_dir().len() - 2, |&p| p as usize / BLOCK_BITS);
+        let block = self.locate_block(sampled / BLOCK_BITS, hi, k, false);
+        let mut remaining = k - self.block_dir()[block] as usize;
+        let words = self.bits.words();
         let first_word = block * BLOCK_WORDS;
-        let last_word = self.bits.words().len();
-        for w in first_word..last_word {
-            let ones = self.bits.word(w).count_ones() as usize;
+        for (j, &w) in words[first_word..].iter().enumerate() {
+            let ones = w.count_ones() as usize;
             if remaining < ones {
-                return w * WORD_BITS
-                    + select_in_word(self.bits.word(w), remaining as u32) as usize;
+                return (first_word + j) * WORD_BITS + select_in_word(w, remaining as u32) as usize;
             }
             remaining -= ones;
         }
         unreachable!("select1: inconsistent rank directory");
     }
 
-    /// Position of the `k`-th (0-based) zero bit.
+    /// Position of the `k`-th (0-based) zero bit. Fast path as in
+    /// [`RsBitVec::select1`]: sequential scan from the sample, block locate
+    /// as the sparse fallback.
     ///
     /// # Panics
     /// Panics if `k >= count_zeros()`.
     pub fn select0(&self, k: usize) -> usize {
         let zeros = self.count_zeros();
         assert!(k < zeros, "select0 rank {k} out of range {zeros}");
-        let blocks = self.block_dir();
-        let mut block = self.select0_hints.as_ref()[k / SELECT_SAMPLE] as usize;
-        // Zeros before block b+1 = min(len, (b+1)*512) - ones before it.
-        loop {
-            let bits_through = ((block + 1) * BLOCK_BITS).min(self.len());
-            let zeros_through = bits_through - blocks[block + 1] as usize;
-            if zeros_through > k {
-                break;
-            }
-            block += 1;
+        let samples = self.select0_pos.as_ref();
+        let s = k / SELECT_SAMPLE;
+        let sampled = samples[s] as usize;
+        let rem = k % SELECT_SAMPLE;
+        if rem == 0 {
+            return sampled;
         }
-        let zeros_before = (block * BLOCK_BITS).min(self.len()) - blocks[block] as usize;
-        let mut remaining = k - zeros_before;
+        let words = self.bits.words();
+        let len = self.len();
+        let mut w_idx = sampled / WORD_BITS;
+        let above = sampled % WORD_BITS + 1;
+        let mut mask = if above == WORD_BITS {
+            w_idx += 1;
+            !0
+        } else {
+            !mask_low(above)
+        };
+        let mut remaining = rem; // zeros still to cross, target included
+        for _ in 0..SCAN_FROM_SAMPLE_WORDS {
+            let Some(&raw) = words.get(w_idx) else { break };
+            let word_start = w_idx * WORD_BITS;
+            // Mask out phantom zeros beyond len in the final word.
+            let valid = (len - word_start.min(len)).min(WORD_BITS);
+            let inv = !raw & mask_low(valid) & mask;
+            let zeros_here = inv.count_ones() as usize;
+            if remaining <= zeros_here {
+                return word_start + select_in_word(inv, (remaining - 1) as u32) as usize;
+            }
+            remaining -= zeros_here;
+            mask = !0;
+            w_idx += 1;
+        }
+        self.select0_via_blocks(k, s)
+    }
+
+    /// The block-directory slow path of [`RsBitVec::select0`].
+    #[cold]
+    fn select0_via_blocks(&self, k: usize, s: usize) -> usize {
+        let samples = self.select0_pos.as_ref();
+        let sampled = samples[s] as usize;
+        let hi = samples
+            .get(s + 1)
+            .map_or(self.block_dir().len() - 2, |&p| p as usize / BLOCK_BITS);
+        let block = self.locate_block(sampled / BLOCK_BITS, hi, k, true);
+        let mut remaining = k - self.zeros_before_block(block);
+        let words = self.bits.words();
         let first_word = block * BLOCK_WORDS;
-        let last_word = self.bits.words().len();
-        for w in first_word..last_word {
-            // Mask out phantom zeros beyond len in the final partial word.
-            let word_start = w * WORD_BITS;
-            let valid = (self.len() - word_start).min(WORD_BITS);
-            let inv = !self.bits.word(w) & if valid == 64 { !0 } else { (1u64 << valid) - 1 };
+        let len = self.len();
+        for (j, &w) in words[first_word..].iter().enumerate() {
+            let word_start = (first_word + j) * WORD_BITS;
+            let valid = (len - word_start).min(WORD_BITS);
+            let inv = !w & mask_low(valid);
             let zeros_here = inv.count_ones() as usize;
             if remaining < zeros_here {
                 return word_start + select_in_word(inv, remaining as u32) as usize;
@@ -228,8 +436,8 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
     pub fn size_in_bits(&self) -> usize {
         self.bits.size_in_bits()
             + self.block_dir().len() * 64
-            + self.select1_hints.as_ref().len() * 64
-            + self.select0_hints.as_ref().len() * 64
+            + self.select1_pos.as_ref().len() * 64
+            + self.select0_pos.as_ref().len() * 64
     }
 
     /// Size of the rank/select overhead only, in bits.
@@ -238,21 +446,24 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
     }
 
     /// Serializes bits **and** directories: `[ones] + bits + [n_blocks,
-    /// blocks…] + [n_h1, h1…] + [n_h0, h0…]`. Returns the word count.
+    /// blocks…] + [n_s1, select1_pos…] + [n_s0, select0_pos…]`. Returns the
+    /// word count. This is the format-v2 layout; the sample arrays hold the
+    /// exact positions described in the module docs.
     pub fn write_to(&self, w: &mut WordWriter<'_>) -> std::io::Result<usize> {
         let before = w.words_written();
         w.word(self.ones as u64)?;
         self.bits.write_to(w)?;
         w.prefixed(self.block_dir())?;
-        w.prefixed(self.select1_hints.as_ref())?;
-        w.prefixed(self.select0_hints.as_ref())?;
+        w.prefixed(self.select1_pos.as_ref())?;
+        w.prefixed(self.select0_pos.as_ref())?;
         Ok(w.words_written() - before)
     }
 
     /// Reads back what [`RsBitVec::write_to`] wrote. The rank/select
     /// directories come back verbatim from the stream — nothing is rebuilt,
     /// which is what makes cold loads O(size) copies (owned) or O(1)
-    /// (borrowed view).
+    /// (borrowed view). For blobs written by the v1 layout use
+    /// [`RsBitVec::read_from_v1`].
     pub fn read_from<Src: WordSource<Storage = S>>(src: &mut Src) -> Result<Self, DecodeError> {
         let ones = src.length()?;
         let bits = BitVec::read_from(src)?;
@@ -266,7 +477,7 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
         }
         let blocks = src.take(blocks_len)?;
         // The directory must be non-decreasing and close on the claimed
-        // total: that is what bounds `select`'s directory walk before the
+        // total: that is what bounds `select`'s block locate before the
         // sentinel. O(n/512) at load, no popcounting.
         {
             let dir = blocks.as_ref();
@@ -274,35 +485,91 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
                 return Err(DecodeError::Invalid("rank directory inconsistent"));
             }
         }
-        let h1_len = src.length()?;
-        if h1_len != ones.div_ceil(SELECT_SAMPLE) {
-            return Err(DecodeError::Invalid("select1 hint count"));
+        let s1_len = src.length()?;
+        if s1_len != ones.div_ceil(SELECT_SAMPLE) {
+            return Err(DecodeError::Invalid("select1 sample count"));
         }
-        let select1_hints = src.take(h1_len)?;
+        let select1_pos = src.take(s1_len)?;
         let zeros = bits.len() - ones;
-        let h0_len = src.length()?;
-        if h0_len != zeros.div_ceil(SELECT_SAMPLE) {
-            return Err(DecodeError::Invalid("select0 hint count"));
+        let s0_len = src.length()?;
+        if s0_len != zeros.div_ceil(SELECT_SAMPLE) {
+            return Err(DecodeError::Invalid("select0 sample count"));
         }
-        let select0_hints = src.take(h0_len)?;
-        // Hints are block indices: an out-of-range one would index past the
-        // directory at query time. O(hints) = O(n/512), negligible at load.
-        if select1_hints
-            .as_ref()
-            .iter()
-            .chain(select0_hints.as_ref())
-            .any(|&h| h >= n_blocks as u64)
-        {
-            return Err(DecodeError::Invalid("select hint out of range"));
+        let select0_pos = src.take(s0_len)?;
+        // Samples are exact bit positions: strictly increasing and within
+        // the bit range, or a query would index out of bounds. O(n/512).
+        let len = bits.len() as u64;
+        for samples in [select1_pos.as_ref(), select0_pos.as_ref()] {
+            if samples.iter().any(|&p| p >= len) || samples.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(DecodeError::Invalid("select sample out of range"));
+            }
         }
         Ok(Self {
             bits,
             blocks,
-            select1_hints,
-            select0_hints,
+            select1_pos,
+            select0_pos,
             ones,
         })
     }
+}
+
+/// Test support, not public API: hand-encodes the **frozen format-v1**
+/// stream layout (block-index select hints) for a pattern, exactly as the
+/// seed's `write_to` produced it. This is the single reference encoder
+/// behind every v1-compatibility suite — the unit tests here and the
+/// property tests in `tests/proptests.rs` — so a fix to the reference
+/// encoding lands in one place.
+#[doc(hidden)]
+pub fn encode_v1_for_tests(pattern: &[bool]) -> Vec<u64> {
+    let len = pattern.len();
+    let n_words = crate::div_ceil(len.max(1), WORD_BITS);
+    let mut words = vec![0u64; n_words];
+    for (i, &b) in pattern.iter().enumerate() {
+        if b {
+            words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        }
+    }
+    let n_blocks = crate::div_ceil(len.max(1), BLOCK_BITS);
+    let mut blocks = Vec::with_capacity(n_blocks + 1);
+    let mut acc = 0u64;
+    for b in 0..n_blocks {
+        blocks.push(acc);
+        for w in words
+            .iter()
+            .take(((b + 1) * BLOCK_WORDS).min(n_words))
+            .skip(b * BLOCK_WORDS)
+        {
+            acc += w.count_ones() as u64;
+        }
+    }
+    blocks.push(acc);
+    let ones = acc as usize;
+    let zeros = len - ones;
+    let (mut h1, mut h0) = (Vec::new(), Vec::new());
+    let (mut next1, mut next0) = (0usize, 0usize);
+    for b in 0..n_blocks {
+        let ones_through = blocks[b + 1] as usize;
+        let bits_through = ((b + 1) * BLOCK_BITS).min(len);
+        let zeros_through = bits_through - ones_through;
+        while next1 < ones && next1 < ones_through {
+            h1.push(b as u64);
+            next1 += SELECT_SAMPLE;
+        }
+        while next0 < zeros && next0 < zeros_through {
+            h0.push(b as u64);
+            next0 += SELECT_SAMPLE;
+        }
+    }
+    let mut out = vec![ones as u64, len as u64, n_words as u64];
+    out.extend_from_slice(&words);
+    out.push(blocks.len() as u64);
+    out.extend_from_slice(&blocks);
+    out.push(h1.len() as u64);
+    out.extend_from_slice(&h1);
+    out.push(h0.len() as u64);
+    out.extend_from_slice(&h0);
+    out
 }
 
 #[cfg(test)]
@@ -385,6 +652,29 @@ mod tests {
         check_all(v);
     }
 
+    /// The adversarial densities of the issue: all-zero runs long enough to
+    /// spread one select sample over many blocks, dense bursts that pack
+    /// multiple samples into one block, and near-full blocks around the
+    /// 512-boundaries where the inter-sample window degenerates.
+    #[test]
+    fn adversarial_densities() {
+        // >512 ones packed right before and after a block boundary.
+        let mut v = vec![false; 4096];
+        for item in v.iter_mut().skip(200).take(700) {
+            *item = true;
+        }
+        check_all(v);
+        // Sparse: one set bit every 600 positions (samples span many blocks).
+        check_all((0..20_000).map(|i| i % 600 == 599).collect());
+        // Near-full blocks with single-zero punctures at 512-boundaries.
+        check_all((0..8192).map(|i| i % 512 != 0).collect());
+        // Alternating full / empty blocks.
+        check_all((0..8192).map(|i| (i / 512) % 2 == 0).collect());
+        // Exactly 512 ones then exactly 512 zeros, repeated (samples land on
+        // block boundaries for both polarities).
+        check_all((0..6144).map(|i| (i / 512) % 2 == 1).collect());
+    }
+
     #[test]
     fn pseudo_random_large() {
         let mut state = 12345u64;
@@ -414,6 +704,58 @@ mod tests {
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect()
+    }
+
+    use super::encode_v1_for_tests as encode_v1;
+
+    #[test]
+    fn legacy_v1_stream_loads_and_answers() {
+        use crate::io::ReadSource;
+        let mut state = 77u64;
+        let pattern: Vec<bool> = (0..9000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state & 7 < 3
+            })
+            .collect();
+        let words = encode_v1(&pattern);
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let legacy = RsBitVec::read_from_v1(&mut ReadSource::new(bytes.as_slice())).unwrap();
+        let fresh = RsBitVec::new(pattern.iter().copied().collect());
+        assert_eq!(legacy.count_ones(), fresh.count_ones());
+        for pos in 0..=pattern.len() {
+            assert_eq!(legacy.rank1(pos), fresh.rank1(pos), "rank1({pos})");
+        }
+        for k in 0..fresh.count_ones() {
+            assert_eq!(legacy.select1(k), fresh.select1(k), "select1({k})");
+        }
+        for k in 0..fresh.count_zeros() {
+            assert_eq!(legacy.select0(k), fresh.select0(k), "select0({k})");
+        }
+        // Re-serializing the upgraded structure produces the v2 image.
+        assert_eq!(serialize(&legacy), serialize(&fresh));
+    }
+
+    #[test]
+    fn legacy_v1_rejects_corrupt_streams() {
+        use crate::io::ReadSource;
+        let pattern: Vec<bool> = (0..1200).map(|i| i % 3 == 0).collect();
+        let words = encode_v1(&pattern);
+        let as_bytes =
+            |ws: &[u64]| -> Vec<u8> { ws.iter().flat_map(|w| w.to_le_bytes()).collect() };
+        // Claimed ones above the length.
+        let mut bad = words.clone();
+        bad[0] = 5000;
+        assert!(RsBitVec::read_from_v1(&mut ReadSource::new(as_bytes(&bad).as_slice())).is_err());
+        // Claimed ones consistent with the directory but not the bits.
+        let mut bad = words.clone();
+        bad[0] -= 1;
+        let dir_last = 3 + crate::div_ceil(1200, WORD_BITS) + 1 + crate::div_ceil(1200, BLOCK_BITS);
+        bad[dir_last] -= 1;
+        assert!(matches!(
+            RsBitVec::read_from_v1(&mut ReadSource::new(as_bytes(&bad).as_slice())),
+            Err(DecodeError::Invalid("rank directory total mismatches bits"))
+        ));
     }
 
     #[test]
@@ -477,6 +819,29 @@ mod tests {
         assert!(matches!(
             RsBitVecView::read_from(&mut WordCursor::new(&words)),
             Err(DecodeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_select_samples_rejected() {
+        use crate::io::WordCursor;
+        let rs = RsBitVec::new((0..4096).map(|i| i % 3 == 0).collect());
+        let words = serialize(&rs);
+        // First select1 sample (right after the block directory prefix).
+        let s1_start = 1 + 2 + rs.bits().words().len() + 1 + rs.block_dir().len() + 1;
+        // Out-of-range position.
+        let mut bad = words.clone();
+        bad[s1_start] = rs.len() as u64 + 7;
+        assert!(matches!(
+            RsBitVecView::read_from(&mut WordCursor::new(&bad)),
+            Err(DecodeError::Invalid("select sample out of range"))
+        ));
+        // Non-increasing samples.
+        let mut bad = words.clone();
+        bad[s1_start + 1] = bad[s1_start];
+        assert!(matches!(
+            RsBitVecView::read_from(&mut WordCursor::new(&bad)),
+            Err(DecodeError::Invalid("select sample out of range"))
         ));
     }
 }

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate a fresh `repro hotpath` run against the committed perf baseline.
+
+Usage: check_perf.py <baseline BENCH_query.json> <fresh BENCH_query.json>
+
+Raw nanosecond numbers are machine-dependent, so every `*_ns` metric is
+first normalized by the run's own `sorted_vec_predecessor_ns` — a fixed
+baseline implementation (binary search over an uncompressed sorted vec)
+measured in the same process, which cancels out CPU-speed differences
+between the committing machine and the CI runner. The gate fails when:
+
+  * any normalized query metric regresses by more than REGRESSION_TOLERANCE
+    against the committed baseline, or
+  * the in-run fused-vs-two-probe predecessor speedup (a fully
+    machine-independent ratio) drops below SPEEDUP_FLOOR.
+"""
+
+import json
+import sys
+
+# A normalized metric may grow by at most 25% before the gate fails.
+REGRESSION_TOLERANCE = 1.25
+# The fused predecessor must stay comfortably ahead of the two-probe
+# baseline; the committed measurement is ~1.7x, the acceptance target 1.5x,
+# and the floor leaves headroom for shared-runner noise (observed spread on
+# busy machines reaches ~±15% even on min-of-N timings).
+SPEEDUP_FLOOR = 1.3
+
+NORMALIZER = "sorted_vec_predecessor_ns"
+
+
+def metrics_of(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "grafite-hotpath-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc["metrics"]
+
+
+def normalized(metrics):
+    scale = metrics[NORMALIZER]
+    if scale <= 0:
+        sys.exit(f"normalizer {NORMALIZER} must be positive, got {scale}")
+    return {
+        key: value / scale
+        for key, value in metrics.items()
+        if key.endswith("_ns") and key != NORMALIZER
+    }
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    baseline = metrics_of(sys.argv[1])
+    fresh = metrics_of(sys.argv[2])
+    base_norm = normalized(baseline)
+    fresh_norm = normalized(fresh)
+
+    failures = []
+    for key, base_value in sorted(base_norm.items()):
+        if key not in fresh_norm:
+            failures.append(f"{key}: missing from the fresh run")
+            continue
+        ratio = fresh_norm[key] / base_value
+        marker = "FAIL" if ratio > REGRESSION_TOLERANCE else "ok"
+        print(f"  [{marker}] {key}: normalized {base_value:.3f} -> "
+              f"{fresh_norm[key]:.3f} ({ratio:.2f}x)")
+        if ratio > REGRESSION_TOLERANCE:
+            failures.append(
+                f"{key}: normalized regression {ratio:.2f}x exceeds "
+                f"{REGRESSION_TOLERANCE}x")
+
+    speedup = fresh.get("speedup_fused_vs_two_probe", 0.0)
+    print(f"  fused-vs-two-probe speedup: {speedup:.2f}x "
+          f"(floor {SPEEDUP_FLOOR}x)")
+    if speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"fused predecessor speedup {speedup:.2f}x fell below the "
+            f"{SPEEDUP_FLOOR}x floor")
+
+    if failures:
+        print("\nperf smoke FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("perf smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,16 @@
 //! Format-stability goldens: one small serialized filter per family is
-//! committed under `tests/golden/`, and this suite asserts current code
-//! still loads each one and answers the fixed probe workload exactly as
-//! recorded in `tests/golden/manifest.txt` — catching silent format breaks
-//! (a payload re-ordering, a changed directory layout, a checksum rule
-//! drift) that round-trip tests alone cannot see.
+//! committed under `tests/golden/` (the frozen **v1** set, written before
+//! the position-sampled select directories) and `tests/golden/v2/` (the
+//! current format). This suite asserts current code still loads each one —
+//! v1 through the legacy rebuild-on-load path, v2 verbatim — and answers
+//! the fixed probe workload exactly as recorded in the per-set
+//! `manifest.txt`, catching silent format breaks (a payload re-ordering, a
+//! changed directory layout, a checksum rule drift) that round-trip tests
+//! alone cannot see.
 //!
-//! Regenerate after an *intentional* format change (bump
-//! `grafite_core::persist::FORMAT_VERSION` first!) with:
+//! The v1 set is **frozen**: never regenerate it. After an *intentional*
+//! format change (bump `grafite_core::persist::FORMAT_VERSION` first!)
+//! regenerate the current set with:
 //!
 //! ```text
 //! cargo test --test format_golden -- --ignored regenerate_golden_files
@@ -21,6 +25,12 @@ use grafite_filters::standard_registry;
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The current-format golden set lives one level down; the parent directory
+/// holds the frozen v1 blobs.
+fn golden_v2_dir() -> PathBuf {
+    golden_dir().join("v2")
 }
 
 /// 257 deterministic keys — small enough for a few-KB blob per family,
@@ -83,12 +93,14 @@ fn string_golden_words() -> Vec<String> {
     (0..200).map(|i| format!("golden-{i:04}-key")).collect()
 }
 
-/// Writes every golden blob and the manifest. `#[ignore]`d: run explicitly
-/// (see module docs) only when the format intentionally changes.
+/// Writes every **current-format** golden blob and its manifest under
+/// `tests/golden/v2/`. `#[ignore]`d: run explicitly (see module docs) only
+/// when the format intentionally changes. The v1 set in the parent
+/// directory is frozen and never rewritten.
 #[test]
 #[ignore = "regenerates the committed golden files; run explicitly on intentional format changes"]
 fn regenerate_golden_files() {
-    let dir = golden_dir();
+    let dir = golden_v2_dir();
     std::fs::create_dir_all(&dir).unwrap();
     let keys = golden_keys();
     let (cfg, sample) = golden_config(&keys);
@@ -126,9 +138,10 @@ fn regenerate_golden_files() {
     std::fs::write(dir.join("manifest.txt"), manifest).unwrap();
 }
 
-fn read_manifest() -> BTreeMap<String, (u32, u64)> {
-    let text = std::fs::read_to_string(golden_dir().join("manifest.txt"))
-        .expect("tests/golden/manifest.txt missing — run the regenerate test");
+fn read_manifest(dir: &std::path::Path) -> BTreeMap<String, (u32, u64)> {
+    let path = dir.join("manifest.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("{} missing — run the regenerate test", path.display()));
     text.lines()
         .map(|line| {
             let mut parts = line.split_whitespace();
@@ -141,29 +154,43 @@ fn read_manifest() -> BTreeMap<String, (u32, u64)> {
         .collect()
 }
 
-#[test]
-fn committed_goldens_still_load_and_answer_identically() {
+/// Loads and probes every golden blob in `dir`, asserting the recorded
+/// answers. Covers both the frozen v1 set (legacy rebuild-on-load) and the
+/// current v2 set (verbatim directories) — `generation` only labels the
+/// failure messages.
+fn check_golden_set(dir: &std::path::Path, generation: &str) {
     let keys = golden_keys();
     let probes = golden_probes(&keys);
     let registry = standard_registry();
-    let manifest = read_manifest();
+    let manifest = read_manifest(dir);
     for (name, spec) in families() {
         let (want_spec, want_fp) = manifest[&name];
-        let blob = std::fs::read(golden_dir().join(format!("{name}.bin")))
-            .unwrap_or_else(|e| panic!("golden blob for {name} missing: {e}"));
+        let blob = std::fs::read(dir.join(format!("{name}.bin")))
+            .unwrap_or_else(|e| panic!("{generation} golden blob for {name} missing: {e}"));
         let filter = registry
             .load(&blob)
-            .unwrap_or_else(|e| panic!("golden {name} no longer loads: {e}"));
-        assert_eq!(filter.spec_id(), want_spec, "{name}: spec id drifted");
+            .unwrap_or_else(|e| panic!("{generation} golden {name} no longer loads: {e}"));
+        assert_eq!(
+            filter.spec_id(),
+            want_spec,
+            "{generation}/{name}: spec id drifted"
+        );
         assert_eq!(
             filter.spec_id(),
             spec.spec_id(),
-            "{name}: registry mapping drifted"
+            "{generation}/{name}: registry mapping drifted"
         );
-        assert_eq!(filter.num_keys(), keys.len(), "{name}: key count drifted");
+        assert_eq!(
+            filter.num_keys(),
+            keys.len(),
+            "{generation}/{name}: key count drifted"
+        );
         // No false negatives on the golden key set…
         for &k in &keys {
-            assert!(filter.may_contain(k), "{name}: golden blob lost key {k}");
+            assert!(
+                filter.may_contain(k),
+                "{generation}/{name}: golden blob lost key {k}"
+            );
         }
         // …and the exact recorded answers on the full probe workload.
         let mut answers = Vec::new();
@@ -171,26 +198,67 @@ fn committed_goldens_still_load_and_answer_identically() {
         assert_eq!(
             fingerprint(answers),
             want_fp,
-            "{name}: loaded answers drifted from the committed fingerprint — \
+            "{generation}/{name}: loaded answers drifted from the committed fingerprint — \
              the on-disk format changed semantically; if intentional, bump \
              FORMAT_VERSION and regenerate"
         );
     }
     // StringGrafite golden.
     let (want_spec, want_fp) = manifest[STRING_GRAFITE_FILE];
-    let blob = std::fs::read(golden_dir().join(format!("{STRING_GRAFITE_FILE}.bin"))).unwrap();
-    let sg = StringGrafite::deserialize(&blob).expect("string_grafite golden no longer loads");
+    let blob = std::fs::read(dir.join(format!("{STRING_GRAFITE_FILE}.bin"))).unwrap();
+    let sg = StringGrafite::deserialize(&blob)
+        .unwrap_or_else(|e| panic!("{generation} string_grafite golden no longer loads: {e}"));
     assert_eq!(sg.spec_id(), want_spec);
     for w in string_golden_words() {
-        assert!(sg.may_contain(w.as_bytes()), "string golden lost {w}");
+        assert!(
+            sg.may_contain(w.as_bytes()),
+            "{generation} string golden lost {w}"
+        );
     }
     let mut answers = Vec::new();
     grafite_core::RangeFilter::may_contain_ranges(&sg, &probes, &mut answers);
     assert_eq!(
         fingerprint(answers),
         want_fp,
-        "string_grafite answers drifted"
+        "{generation} string_grafite answers drifted"
     );
+}
+
+#[test]
+fn committed_goldens_still_load_and_answer_identically() {
+    check_golden_set(&golden_v2_dir(), "v2");
+}
+
+/// The frozen v1 blobs (legacy select-hint directories) must keep loading
+/// through the rebuild-on-load path and answering identically.
+#[test]
+fn legacy_v1_goldens_still_load_and_answer_identically() {
+    check_golden_set(&golden_dir(), "v1");
+}
+
+/// A v1 blob must answer the probe workload **bit-identically** to a
+/// freshly built (v2) filter of the same configuration: the directory
+/// overhaul changed the layout, never the answers. The two manifests are
+/// therefore identical fingerprint-for-fingerprint, and a loaded v1 filter
+/// re-serializes as a byte-identical v2 blob.
+#[test]
+fn v1_goldens_answer_identically_to_fresh_v2_filters() {
+    let v1 = read_manifest(&golden_dir());
+    let v2 = read_manifest(&golden_v2_dir());
+    assert_eq!(
+        v1, v2,
+        "v1 and v2 manifests must agree: same spec ids, same answer fingerprints"
+    );
+    let registry = standard_registry();
+    for (name, _) in families() {
+        let v1_blob = std::fs::read(golden_dir().join(format!("{name}.bin"))).unwrap();
+        let v2_blob = std::fs::read(golden_v2_dir().join(format!("{name}.bin"))).unwrap();
+        let upgraded = registry.load(&v1_blob).unwrap().to_bytes();
+        assert_eq!(
+            upgraded, v2_blob,
+            "{name}: loading a v1 blob and re-serializing must produce the v2 image"
+        );
+    }
 }
 
 /// Corrupt, truncated, and wrong-version variants of a committed golden
@@ -199,19 +267,34 @@ fn committed_goldens_still_load_and_answer_identically() {
 #[test]
 fn corrupted_goldens_fail_typed() {
     let registry = standard_registry();
-    let blob = std::fs::read(golden_dir().join("grafite.bin")).unwrap();
+    let blob = std::fs::read(golden_v2_dir().join("grafite.bin")).unwrap();
 
     // Bad magic.
     let mut bad = blob.clone();
     bad[0] ^= 0x5A;
     assert!(matches!(registry.load(&bad), Err(FilterError::BadMagic(_))));
 
-    // Wrong format version.
+    // Unsupported format versions on either side of the accepted range.
+    for version in [0u32, 9] {
+        let mut bad = blob.clone();
+        bad[12..16].copy_from_slice(&version.to_le_bytes());
+        assert!(
+            matches!(
+                registry.load(&bad),
+                Err(FilterError::UnsupportedFormatVersion { .. })
+            ),
+            "version {version} unexpectedly accepted"
+        );
+    }
+
+    // A v2 blob whose version word is rewritten to v1 still fails: the
+    // checksum covers the spec/version word, so version skew cannot
+    // smuggle a v2 payload through the legacy decoder.
     let mut bad = blob.clone();
-    bad[12] = bad[12].wrapping_add(1);
+    bad[12..16].copy_from_slice(&1u32.to_le_bytes());
     assert!(matches!(
         registry.load(&bad),
-        Err(FilterError::UnsupportedFormatVersion { .. })
+        Err(FilterError::ChecksumMismatch { .. })
     ));
 
     // Unknown spec id.
@@ -222,12 +305,16 @@ fn corrupted_goldens_fail_typed() {
         Err(FilterError::UnknownSpecId(250))
     ));
 
-    // Truncations: every prefix length must fail typed, never panic.
-    for cut in [0, 1, 8, 39, 40, 41, blob.len() / 2, blob.len() - 1] {
-        match registry.load(&blob[..cut]) {
-            Err(FilterError::TruncatedBuffer { .. }) => {}
-            Err(other) => panic!("truncation at {cut} gave error {other:?}"),
-            Ok(_) => panic!("truncation at {cut} unexpectedly loaded"),
+    // Truncations: every prefix length must fail typed, never panic — on
+    // both the v2 blob and its frozen v1 counterpart.
+    let v1_blob = std::fs::read(golden_dir().join("grafite.bin")).unwrap();
+    for blob in [&blob, &v1_blob] {
+        for cut in [0, 1, 8, 39, 40, 41, blob.len() / 2, blob.len() - 1] {
+            match registry.load(&blob[..cut]) {
+                Err(FilterError::TruncatedBuffer { .. }) => {}
+                Err(other) => panic!("truncation at {cut} gave error {other:?}"),
+                Ok(_) => panic!("truncation at {cut} unexpectedly loaded"),
+            }
         }
     }
 
@@ -251,4 +338,29 @@ fn corrupted_goldens_fail_typed() {
         registry.load(&bad),
         Err(FilterError::TruncatedBuffer { .. })
     ));
+}
+
+/// Zero-copy views require the current format: a legacy v1 blob cannot
+/// back a borrowed view (its directories must be rebuilt), so the view
+/// constructor rejects it typed while the owned load path accepts it.
+#[test]
+fn v1_blobs_load_owned_but_not_as_views() {
+    use grafite_core::persist::bytes_to_words;
+    use grafite_core::{GrafiteFilter, GrafiteFilterView, RangeFilter};
+    let v1_blob = std::fs::read(golden_dir().join("grafite.bin")).unwrap();
+    let words = bytes_to_words(&v1_blob).unwrap();
+    assert!(matches!(
+        GrafiteFilterView::view(&words),
+        Err(FilterError::UnsupportedFormatVersion { found: 1, .. })
+    ));
+    let owned = GrafiteFilter::deserialize(&v1_blob).expect("owned legacy load");
+    // And the v2 image of the same filter views fine.
+    let v2_words = bytes_to_words(&owned.to_bytes()).unwrap();
+    let view = GrafiteFilterView::view(&v2_words).expect("v2 view");
+    for probe in (0..2000u64).map(|i| i.wrapping_mul(0xDEAD_BEEF_CAFE)) {
+        assert_eq!(
+            view.may_contain_range(probe, probe.saturating_add(64)),
+            owned.may_contain_range(probe, probe.saturating_add(64)),
+        );
+    }
 }
