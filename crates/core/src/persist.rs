@@ -56,7 +56,7 @@
 
 use std::io;
 
-use grafite_succinct::io::WordCursor;
+use grafite_succinct::io::{le_word, WordCursor};
 
 use crate::error::FilterError;
 
@@ -150,9 +150,7 @@ pub fn blob_checksum(
 /// words.
 pub fn words_of_bytes(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
     debug_assert_eq!(bytes.len() % 8, 0, "payloads are whole words");
-    bytes
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+    bytes.chunks_exact(8).map(le_word)
 }
 
 /// The parsed five-word blob header.
@@ -202,10 +200,11 @@ impl Header {
     }
 
     fn validate(words: [u64; HEADER_WORDS], total_available: usize) -> Result<Self, FilterError> {
-        if words[0] != MAGIC {
-            return Err(FilterError::BadMagic(words[0]));
+        let [magic, spec_version, n_keys, payload_words, checksum] = words;
+        if magic != MAGIC {
+            return Err(FilterError::BadMagic(magic));
         }
-        let version = (words[1] >> 32) as u32;
+        let version = (spec_version >> 32) as u32;
         if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(FilterError::UnsupportedFormatVersion {
                 found: version,
@@ -214,10 +213,10 @@ impl Header {
         }
         let header = Self {
             version,
-            spec_id: words[1] as u32,
-            n_keys: words[2],
-            payload_words: words[3],
-            checksum: words[4],
+            spec_id: spec_version as u32,
+            n_keys,
+            payload_words,
+            checksum,
         };
         let needed = usize::try_from(header.payload_words)
             .ok()
@@ -262,7 +261,7 @@ impl Header {
         }
         let mut words = [0u64; HEADER_WORDS];
         for (w, c) in words.iter_mut().zip(bytes.chunks_exact(8)) {
-            *w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            *w = le_word(c);
         }
         Self::validate(words, bytes.len())
     }
@@ -273,7 +272,15 @@ impl Header {
     /// be loaded out of a larger mapped region.
     pub fn parse(bytes: &[u8]) -> Result<(Self, &[u8]), FilterError> {
         let header = Self::peek(bytes)?;
-        let payload = &bytes[HEADER_BYTES..HEADER_BYTES + header.payload_words as usize * 8];
+        // `validate` (via `peek`) proved (payload_words + HEADER_WORDS) * 8
+        // fits a usize and the buffer holds it, so the checked chain here
+        // cannot fail in practice — but corrupt input never gets to panic.
+        let payload = usize::try_from(header.payload_words)
+            .ok()
+            .and_then(|pw| pw.checked_mul(8))
+            .and_then(|len| len.checked_add(HEADER_BYTES))
+            .and_then(|end| bytes.get(HEADER_BYTES..end))
+            .ok_or(FilterError::corrupt("payload extent exceeds buffer"))?;
         header.verify_checksum(words_of_bytes(payload))?;
         Ok((header, payload))
     }
@@ -283,15 +290,18 @@ impl Header {
     /// [`WordCursor`] over it parses view structures that
     /// answer queries straight out of the buffer.
     pub fn parse_words(words: &[u64]) -> Result<(Self, &[u64]), FilterError> {
-        if words.len() < HEADER_WORDS {
+        let &[w0, w1, w2, w3, w4, ..] = words else {
             return Err(FilterError::TruncatedBuffer {
                 needed: HEADER_BYTES,
-                have: words.len() * 8,
+                have: words.len().saturating_mul(8),
             });
-        }
-        let head: [u64; HEADER_WORDS] = words[..HEADER_WORDS].try_into().expect("five words");
-        let header = Self::validate(head, words.len() * 8)?;
-        let payload = &words[HEADER_WORDS..HEADER_WORDS + header.payload_words as usize];
+        };
+        let header = Self::validate([w0, w1, w2, w3, w4], words.len().saturating_mul(8))?;
+        let payload = usize::try_from(header.payload_words)
+            .ok()
+            .and_then(|pw| pw.checked_add(HEADER_WORDS))
+            .and_then(|end| words.get(HEADER_WORDS..end))
+            .ok_or(FilterError::corrupt("payload extent exceeds buffer"))?;
         header.verify_checksum(payload.iter().copied())?;
         Ok((header, payload))
     }
@@ -314,10 +324,7 @@ pub fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u64>, FilterError> {
             have: bytes.len(),
         });
     }
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-        .collect())
+    Ok(bytes.chunks_exact(8).map(le_word).collect())
 }
 
 #[cfg(test)]

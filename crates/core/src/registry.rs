@@ -280,7 +280,7 @@ impl Registry {
         let header = Header::peek(bytes)?;
         let spec = FilterSpec::from_spec_id(header.spec_id)
             .ok_or(FilterError::UnknownSpecId(header.spec_id))?;
-        match self.loaders[spec.index()] {
+        match self.loaders.get(spec.index()).copied().flatten() {
             Some(loader) => loader(bytes),
             None => Err(FilterError::Unregistered(spec.label())),
         }

@@ -346,10 +346,19 @@ impl FstDs {
                 Fst::read_from(src)?,
             )
         };
-        if labels.len() != dense_nodes * 256 || has_child.len() != labels.len() {
+        // `checked_mul` matters here: a crafted `dense_nodes` close to
+        // `usize::MAX` must not wrap into a small product that happens to
+        // equal `labels.len()` and slip past the size check.
+        let expected_bits = dense_nodes
+            .checked_mul(256)
+            .ok_or(DecodeError::Invalid("dense node count overflows"))?;
+        if labels.len() != expected_bits || has_child.len() != labels.len() {
             return Err(DecodeError::Invalid("dense bitmap sizes inconsistent"));
         }
-        if labels.count_ones() != dense_leaves + has_child.count_ones() {
+        let expected_ones = dense_leaves
+            .checked_add(has_child.count_ones())
+            .ok_or(DecodeError::Invalid("dense leaf count overflows"))?;
+        if labels.count_ones() != expected_ones {
             return Err(DecodeError::Invalid("dense leaf count inconsistent"));
         }
         if dense_nodes == 0 && dense_depth != 0 {

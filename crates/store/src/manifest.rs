@@ -44,7 +44,7 @@ use std::sync::Arc;
 use grafite_core::persist::checksum_words;
 use grafite_core::registry::Registry;
 use grafite_core::{FilterError, RangeFilter};
-use grafite_succinct::io::{WordCursor, WordSource, WordWriter};
+use grafite_succinct::io::{le_word, WordCursor, WordSource, WordWriter};
 
 use crate::family::FamilySpec;
 use crate::store::{Partitioning, Routing, Shard, Snapshot, StoreConfig};
@@ -108,16 +108,17 @@ pub fn write(
         (body.len() / 8) as u64,
     ];
     let checksum = checksum_words(
-        header[1..].iter().copied().chain(
-            body.chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
-        ),
+        header
+            .iter()
+            .skip(1)
+            .copied()
+            .chain(body.chunks_exact(8).map(le_word)),
     );
     for w in header.iter().copied().chain([checksum]) {
         out.write_all(&w.to_le_bytes())?;
     }
     out.write_all(&body)?;
-    Ok(MANIFEST_HEADER_WORDS * 8 + body.len())
+    Ok((MANIFEST_HEADER_WORDS.saturating_mul(8)).saturating_add(body.len()))
 }
 
 /// Parses and validates a manifest, loading every shard filter through
@@ -135,57 +136,56 @@ pub fn read(
             have: bytes.len(),
         });
     }
-    let word_at =
-        |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8-byte chunk"));
-    if word_at(0) != STORE_MAGIC {
-        return Err(FilterError::BadMagic(word_at(0)));
+    let mut head = [0u64; MANIFEST_HEADER_WORDS];
+    for (w, c) in head.iter_mut().zip(bytes.chunks_exact(8)) {
+        *w = le_word(c);
     }
-    let version = (word_at(1) >> 32) as u32;
+    let [magic, spec_version, routing_kind, n_shards_w, total_keys, bits_w, max_range, seed, body_words_w, expected_checksum] =
+        head;
+    if magic != STORE_MAGIC {
+        return Err(FilterError::BadMagic(magic));
+    }
+    let version = (spec_version >> 32) as u32;
     if version != STORE_FORMAT_VERSION {
         return Err(FilterError::UnsupportedFormatVersion {
             found: version,
             supported: STORE_FORMAT_VERSION,
         });
     }
-    let spec_id = word_at(1) as u32;
+    let spec_id = spec_version as u32;
     let family = FamilySpec::from_spec_id(spec_id).ok_or(FilterError::UnknownSpecId(spec_id))?;
-    let routing_kind = word_at(2);
-    let n_shards = usize::try_from(word_at(3))
+    let n_shards = usize::try_from(n_shards_w)
         .ok()
         .filter(|&s| s >= 1)
         .ok_or_else(|| FilterError::corrupt("shard count out of range"))?;
-    let total_keys = word_at(4);
-    let bits_per_key = f64::from_bits(word_at(5));
+    let bits_per_key = f64::from_bits(bits_w);
     if !(bits_per_key.is_finite() && bits_per_key > 0.0) {
         return Err(FilterError::corrupt(
             "store bits-per-key not a positive float",
         ));
     }
-    let max_range = word_at(6);
-    let seed = word_at(7);
-    let body_words = usize::try_from(word_at(8))
+    let body_end = usize::try_from(body_words_w)
         .ok()
         .and_then(|bw| bw.checked_add(MANIFEST_HEADER_WORDS))
         .and_then(|w| w.checked_mul(8))
         .ok_or_else(|| FilterError::corrupt("manifest body length overflows usize"))?;
-    if bytes.len() < body_words {
-        return Err(FilterError::TruncatedBuffer {
-            needed: body_words,
+    let body_bytes = bytes
+        .get(header_bytes..body_end)
+        .ok_or(FilterError::TruncatedBuffer {
+            needed: body_end,
             have: bytes.len(),
-        });
-    }
-    let body: Vec<u64> = bytes[header_bytes..body_words]
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-        .collect();
+        })?;
+    let body: Vec<u64> = body_bytes.chunks_exact(8).map(le_word).collect();
     let actual = checksum_words(
-        (1..MANIFEST_HEADER_WORDS - 1)
-            .map(word_at)
+        head.iter()
+            .skip(1)
+            .take(MANIFEST_HEADER_WORDS - 2)
+            .copied()
             .chain(body.iter().copied()),
     );
-    if actual != word_at(MANIFEST_HEADER_WORDS - 1) {
+    if actual != expected_checksum {
         return Err(FilterError::ChecksumMismatch {
-            expected: word_at(MANIFEST_HEADER_WORDS - 1),
+            expected: expected_checksum,
             actual,
         });
     }
@@ -194,7 +194,9 @@ pub fn read(
     let (routing, partitioning) = match routing_kind {
         ROUTING_RANGE => {
             let starts: Vec<u64> = cursor.take(n_shards)?.to_vec();
-            if starts[0] != 0 || !starts.windows(2).all(|w| w[0] < w[1]) {
+            if starts.first() != Some(&0)
+                || !starts.windows(2).all(|w| matches!(w, [a, b] if a < b))
+            {
                 return Err(FilterError::corrupt(
                     "range routing starts not strictly increasing from 0",
                 ));
@@ -233,7 +235,7 @@ pub fn read(
     for s in 0..n_shards {
         let n_keys = cursor.length()?;
         let keys: Vec<u64> = cursor.take(n_keys)?.to_vec();
-        if !keys.windows(2).all(|w| w[0] < w[1]) {
+        if !keys.windows(2).all(|w| matches!(w, [a, b] if a < b)) {
             return Err(FilterError::corrupt("shard keys not strictly increasing"));
         }
         if keys.iter().any(|&k| routing.shard_of(k) != s) {
@@ -241,17 +243,23 @@ pub fn read(
                 "shard key routes to a different shard",
             ));
         }
-        keys_total += keys.len() as u64;
+        keys_total = keys_total.saturating_add(keys.len() as u64);
         let blob_len = cursor.length()?;
         // The blob sits word-aligned inside `bytes`; advance the cursor
         // over its padded words (bounds-checking in the process) and hand
         // the loader a sub-slice of the original buffer rather than a
         // `take_bytes` copy.
-        let blob_start = header_bytes + cursor.position() * 8;
+        let blob = cursor
+            .position()
+            .checked_mul(8)
+            .and_then(|off| off.checked_add(header_bytes))
+            .and_then(|blob_start| {
+                let blob_end = blob_start.checked_add(blob_len)?;
+                bytes.get(blob_start..blob_end)
+            })
+            .ok_or(FilterError::corrupt("shard blob extent exceeds manifest"))?;
         let _ = cursor.take(blob_len.div_ceil(8))?;
-        let filter = config
-            .family
-            .load(registry, &bytes[blob_start..blob_start + blob_len])?;
+        let filter = config.family.load(registry, blob)?;
         if filter.num_keys() != keys.len() {
             return Err(FilterError::corrupt(
                 "shard blob key count differs from manifest",

@@ -314,10 +314,11 @@ impl<S: AsRef<[u64]>> BitVec<S> {
             // Enforce the "bits beyond len are zero" invariant `count_ones`
             // relies on.
             let tail_ok = if len % WORD_BITS != 0 {
-                ws[len / WORD_BITS] >> (len % WORD_BITS) == 0
+                ws.get(len / WORD_BITS)
+                    .is_some_and(|&w| w >> (len % WORD_BITS) == 0)
             } else {
                 true
-            } && ws[min_words..].iter().all(|&w| w == 0);
+            } && ws.get(min_words..).into_iter().flatten().all(|&w| w == 0);
             if !tail_ok {
                 return Err(DecodeError::Invalid("bit vector tail bits set"));
             }

@@ -282,7 +282,9 @@ impl<S: AsRef<[u64]>> GolombRiceSeq<S> {
         // offset *equal* to `data.len()` is legitimate only for a block
         // with no gap payload (a single-value tail block).
         for (i, &off) in block_offsets.as_ref().iter().enumerate() {
-            let in_block = (n - i * block_size).min(block_size);
+            let in_block = n
+                .saturating_sub(i.saturating_mul(block_size))
+                .min(block_size);
             let out_of_range =
                 off > data.len() as u64 || (in_block > 1 && off == data.len() as u64);
             if out_of_range {

@@ -49,6 +49,19 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Folds (up to) the first eight bytes of `chunk` into a little-endian
+/// word. Panic-free for any input length: missing high bytes read as zero,
+/// extra bytes are ignored — callers pair it with `chunks_exact(8)` or an
+/// explicit length check when exactness matters.
+#[inline]
+pub fn le_word(chunk: &[u8]) -> u64 {
+    chunk
+        .iter()
+        .take(8)
+        .enumerate()
+        .fold(0u64, |acc, (slot, &b)| acc | (u64::from(b) << (8 * slot)))
+}
+
 /// A counting writer of little-endian `u64` words over any byte sink.
 ///
 /// Non-generic (the sink is a `&mut dyn Write`) so persistence traits using
@@ -68,7 +81,7 @@ impl<'a> WordWriter<'a> {
     #[inline]
     pub fn word(&mut self, w: u64) -> io::Result<()> {
         self.out.write_all(&w.to_le_bytes())?;
-        self.words += 1;
+        self.words = self.words.saturating_add(1);
         Ok(())
     }
 
@@ -77,7 +90,7 @@ impl<'a> WordWriter<'a> {
         for &w in ws {
             self.out.write_all(&w.to_le_bytes())?;
         }
-        self.words += ws.len();
+        self.words = self.words.saturating_add(ws.len());
         Ok(())
     }
 
@@ -99,9 +112,7 @@ impl<'a> WordWriter<'a> {
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
-            let mut w = [0u8; 8];
-            w[..rem.len()].copy_from_slice(rem);
-            self.word(u64::from_le_bytes(w))?;
+            self.word(le_word(rem))?;
         }
         Ok(())
     }
@@ -141,7 +152,7 @@ pub trait WordSource {
     fn take_bytes(&mut self, n: usize) -> Result<Vec<u8>, DecodeError> {
         let words = n.div_ceil(8);
         let ws = self.take(words)?;
-        let mut out = Vec::with_capacity(words * 8);
+        let mut out = Vec::with_capacity(words.saturating_mul(8));
         for w in ws.as_ref() {
             out.extend_from_slice(&w.to_le_bytes());
         }
@@ -184,10 +195,10 @@ impl<'a> WordSource for WordCursor<'a> {
     #[inline]
     fn word(&mut self) -> Result<u64, DecodeError> {
         let w = *self.words.get(self.pos).ok_or(DecodeError::Truncated {
-            needed: self.pos + 1,
+            needed: self.pos.saturating_add(1),
             have: self.words.len(),
         })?;
-        self.pos += 1;
+        self.pos = self.pos.saturating_add(1);
         Ok(w)
     }
 
@@ -196,13 +207,13 @@ impl<'a> WordSource for WordCursor<'a> {
             .pos
             .checked_add(n)
             .ok_or(DecodeError::Invalid("length overflow"))?;
-        if end > self.words.len() {
-            return Err(DecodeError::Truncated {
+        let s = self
+            .words
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated {
                 needed: end,
                 have: self.words.len(),
-            });
-        }
-        let s = &self.words[self.pos..end];
+            })?;
         self.pos = end;
         Ok(s)
     }
@@ -235,7 +246,7 @@ impl<R: io::Read> ReadSource<R> {
         self.inner.read_exact(buf).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 DecodeError::Truncated {
-                    needed: self.words_read + needed_words,
+                    needed: self.words_read.saturating_add(needed_words),
                     have: self.words_read,
                 }
             } else {
@@ -251,7 +262,7 @@ impl<R: io::Read> WordSource for ReadSource<R> {
     fn word(&mut self) -> Result<u64, DecodeError> {
         let mut buf = [0u8; 8];
         self.read_exact(&mut buf, 1)?;
-        self.words_read += 1;
+        self.words_read = self.words_read.saturating_add(1);
         Ok(u64::from_le_bytes(buf))
     }
 
@@ -263,27 +274,25 @@ impl<R: io::Read> WordSource for ReadSource<R> {
         const CHUNK_WORDS: usize = 1 << 15;
         let start = self.words_read;
         let mut out = Vec::with_capacity(n.min(CHUNK_WORDS));
-        let mut buf = vec![0u8; n.min(CHUNK_WORDS) * 8];
+        let mut buf = vec![0u8; n.min(CHUNK_WORDS).saturating_mul(8)];
         let mut remaining = n;
         while remaining > 0 {
             let chunk = remaining.min(CHUNK_WORDS);
-            let bytes = &mut buf[..chunk * 8];
+            let bytes = buf
+                .get_mut(..chunk.saturating_mul(8))
+                .ok_or(DecodeError::Invalid("chunk exceeds staging buffer"))?;
             self.inner.read_exact(bytes).map_err(|e| {
                 if e.kind() == io::ErrorKind::UnexpectedEof {
                     DecodeError::Truncated {
-                        needed: start + n,
+                        needed: start.saturating_add(n),
                         have: self.words_read,
                     }
                 } else {
                     DecodeError::Io(e.kind())
                 }
             })?;
-            out.extend(
-                bytes
-                    .chunks_exact(8)
-                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
-            );
-            self.words_read += chunk;
+            out.extend(bytes.chunks_exact(8).map(le_word));
+            self.words_read = self.words_read.saturating_add(chunk);
             remaining -= chunk;
         }
         Ok(out)
@@ -312,7 +321,7 @@ impl CountingSink {
 
 impl io::Write for CountingSink {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.bytes += buf.len();
+        self.bytes = self.bytes.saturating_add(buf.len());
         Ok(buf.len())
     }
 

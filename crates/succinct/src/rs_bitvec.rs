@@ -159,11 +159,13 @@ impl RsBitVec {
         }
         let n_blocks = crate::div_ceil(bits.len().max(1), BLOCK_BITS);
         let blocks_len = src.length()?;
-        if blocks_len != n_blocks + 1 {
+        if n_blocks.checked_add(1) != Some(blocks_len) {
             return Err(DecodeError::Invalid("rank directory block count"));
         }
         let blocks = src.take(blocks_len)?;
-        if blocks.windows(2).any(|w| w[0] > w[1]) || blocks.last() != Some(&(ones as u64)) {
+        if blocks.windows(2).any(|w| matches!(w, [a, b] if a > b))
+            || blocks.last() != Some(&(ones as u64))
+        {
             return Err(DecodeError::Invalid("rank directory inconsistent"));
         }
         let zeros = bits.len() - ones;
@@ -472,7 +474,7 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
         }
         let n_blocks = crate::div_ceil(bits.len().max(1), BLOCK_BITS);
         let blocks_len = src.length()?;
-        if blocks_len != n_blocks + 1 {
+        if n_blocks.checked_add(1) != Some(blocks_len) {
             return Err(DecodeError::Invalid("rank directory block count"));
         }
         let blocks = src.take(blocks_len)?;
@@ -481,7 +483,9 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
         // sentinel. O(n/512) at load, no popcounting.
         {
             let dir = blocks.as_ref();
-            if dir.windows(2).any(|w| w[0] > w[1]) || dir.last() != Some(&(ones as u64)) {
+            if dir.windows(2).any(|w| matches!(w, [a, b] if a > b))
+                || dir.last() != Some(&(ones as u64))
+            {
                 return Err(DecodeError::Invalid("rank directory inconsistent"));
             }
         }
@@ -500,7 +504,9 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
         // the bit range, or a query would index out of bounds. O(n/512).
         let len = bits.len() as u64;
         for samples in [select1_pos.as_ref(), select0_pos.as_ref()] {
-            if samples.iter().any(|&p| p >= len) || samples.windows(2).any(|w| w[0] >= w[1]) {
+            if samples.iter().any(|&p| p >= len)
+                || samples.windows(2).any(|w| matches!(w, [a, b] if a >= b))
+            {
                 return Err(DecodeError::Invalid("select sample out of range"));
             }
         }

@@ -1,0 +1,131 @@
+//! The declared untrusted-input surface and the shared lint configuration.
+//!
+//! Everything here is a *policy declaration*: which files parse
+//! attacker-controllable bytes, which functions in otherwise-trusted files
+//! do, and what a conforming crate header looks like. The lints in
+//! [`crate::lints`] are mechanisms; this module is the contract they
+//! enforce. Grow these tables as new load paths land (the server/mmap/LSM
+//! work on the ROADMAP) — a new `read_from` in a listed crate is picked up
+//! automatically by the function-name rules.
+
+/// Files whose **entire** (non-`#[cfg(test)]`) contents consume untrusted
+/// bytes: the word-stream primitives, the blob header codec, and the store
+/// manifest parser. L1 (panic-freedom) and L4 (unchecked arithmetic) apply
+/// to every line.
+pub const UNTRUSTED_FILES: &[&str] = &[
+    "crates/succinct/src/io.rs",
+    "crates/core/src/persist.rs",
+    "crates/store/src/manifest.rs",
+];
+
+/// Function names that decode untrusted bytes wherever they appear inside
+/// [`UNTRUSTED_FN_GLOBS`] files: the `read_from`/view/deserialize family.
+/// L1 and L4 apply inside the body of every function with one of these
+/// names.
+pub const UNTRUSTED_FNS: &[&str] = &[
+    "read_from",
+    "read_from_v1",
+    "read_from_impl",
+    "read_head",
+    "validate_parts",
+    "read_payload",
+    "decode_payload",
+    "deserialize",
+    "view",
+    "load",
+    "load_as",
+    "open",
+    "from_bytes",
+    "bytes_to_words",
+    "parse",
+    "parse_words",
+    "peek",
+    "payload_cursor",
+    "validate",
+    "verify_checksum",
+];
+
+/// Directory prefixes searched for [`UNTRUSTED_FNS`] bodies. (Benches,
+/// examples, integration tests, and the shims are deliberately absent:
+/// they consume trusted, locally produced bytes.)
+pub const UNTRUSTED_FN_GLOBS: &[&str] = &[
+    "crates/succinct/src/",
+    "crates/core/src/",
+    "crates/store/src/",
+    "crates/fst/src/",
+    "crates/bloom/src/",
+    "crates/filters/src/",
+];
+
+/// The header every workspace crate must carry (L2): memory safety is
+/// forbidden outright, and public API must be documented. Checked against
+/// the crate root (`src/lib.rs`, or `src/main.rs` for binaries).
+pub const REQUIRED_HEADERS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
+
+/// Identifier fragments that mark a value as length/offset-typed for the
+/// L4 unchecked-arithmetic heuristic. Matching is case-insensitive
+/// substring over each operand identifier.
+pub const OFFSET_NAME_FRAGMENTS: &[&str] = &[
+    "len",
+    "pos",
+    "offset",
+    "idx",
+    "index",
+    "start",
+    "end",
+    "count",
+    "word",
+    "byte",
+    "need",
+    "have",
+    "size",
+    "chunk",
+    "block",
+    "shard",
+    "blob",
+    "sample",
+    "key",
+    "width",
+    "depth",
+    "node",
+    "leaf",
+    "label",
+    "ones",
+    "zeros",
+    "remaining",
+    "total",
+];
+
+/// Short identifiers that are length/offset-typed only as exact matches
+/// (loop counters and the conventional `n`).
+pub const OFFSET_NAME_EXACT: &[&str] = &["n", "i", "j", "k", "s", "m"];
+
+/// Arithmetic method-call names whose *result* is already overflow-safe:
+/// a flagged operator whose operand is produced by one of these does not
+/// need a second layer of checking. (`min`/`clamp` bound the value; the
+/// `checked_`/`saturating_`/`wrapping_` families are explicit already.)
+pub const SAFE_RESULT_METHODS: &[&str] = &["min", "clamp"];
+
+/// Where the atomic-ordering audit (L5) looks. Every
+/// `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` in these trees must
+/// carry an `// ordering:` justification comment.
+pub const ATOMIC_AUDIT_GLOBS: &[&str] = &["crates/store/src/"];
+
+/// The atomic memory orderings L5 recognizes (`std::cmp::Ordering`'s
+/// variants deliberately excluded).
+pub const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The comment marker that justifies an atomic ordering for L5.
+pub const ORDERING_JUSTIFICATION: &str = "ordering:";
+
+/// How many lines above an `Ordering::` use L5 searches for the
+/// justification comment.
+pub const ORDERING_COMMENT_WINDOW: usize = 3;
+
+/// Keywords that may legitimately precede a `[` without it being an index
+/// expression (slice patterns, array types, `in [..]` iteration, …).
+pub const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "as", "mut", "ref", "move", "const", "static",
+    "dyn", "impl", "where", "break", "continue", "type", "fn", "pub", "use", "unsafe", "while",
+    "for", "loop", "box",
+];

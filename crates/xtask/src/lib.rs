@@ -1,0 +1,142 @@
+//! Repo-specific static analysis for the Grafite workspace.
+//!
+//! `cargo run -p xtask -- lint` runs five lexical lints (see
+//! [`lints`]) that encode this repository's correctness contract: blob
+//! loading is panic-free, length arithmetic on untrusted values is
+//! checked, crate headers are uniform, the persistence constants agree
+//! with the committed golden blobs, and every atomic ordering in the
+//! serving layer is justified. The crate is dependency-free and fully
+//! offline: plain `std::fs` walks plus a hand-rolled Rust lexer
+//! ([`scan`]) that masks comments and strings before any rule looks at
+//! the tokens.
+//!
+//! The analysis is deliberately *lexical*, not semantic: it trades a
+//! small amount of precision (recovered via the counted
+//! `// lint:allow(reason)` escape hatch) for zero build-time cost, zero
+//! dependencies, and rules that are trivially auditable in
+//! [`config`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lints;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+use lints::{Finding, Scopes, Sink};
+use scan::{AllowUse, SourceFile};
+
+/// The outcome of a full lint pass.
+#[derive(Default)]
+pub struct LintReport {
+    /// Violations, sorted by file then line. Non-empty ⇒ the run fails.
+    pub findings: Vec<Finding>,
+    /// Counted `lint:allow` suppressions, for the summary footer.
+    pub allows: Vec<AllowUse>,
+    /// How many files the scoped lints actually scanned.
+    pub files_scanned: usize,
+}
+
+/// Locates the workspace root: the ancestor of this crate's manifest dir
+/// that holds the workspace `Cargo.toml`.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Recursively collects `.rs` files under `root/prefix`, returned as
+/// workspace-relative paths with `/` separators, sorted.
+fn walk_rs(root: &Path, prefix: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(prefix)];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs all five lints from `root` and returns the combined report.
+pub fn run_lints(root: &Path) -> LintReport {
+    let mut sink = Sink::default();
+    let mut files_scanned = 0usize;
+
+    // L1 + L4 need per-file scopes; L5 needs the store tree. Build the
+    // union of files to scan once, load each once.
+    let mut scoped_files: Vec<String> = config::UNTRUSTED_FILES
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for glob in config::UNTRUSTED_FN_GLOBS {
+        scoped_files.extend(walk_rs(root, glob));
+    }
+    for glob in config::ATOMIC_AUDIT_GLOBS {
+        scoped_files.extend(walk_rs(root, glob));
+    }
+    scoped_files.sort();
+    scoped_files.dedup();
+
+    for rel in &scoped_files {
+        let Ok(raw) = std::fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        files_scanned += 1;
+        let file = SourceFile::scan(rel, &raw);
+
+        // Scope for L1/L4: whole file if declared untrusted, else the
+        // bodies of the untrusted-function family (if any).
+        let in_fn_globs = config::UNTRUSTED_FN_GLOBS
+            .iter()
+            .any(|g| rel.starts_with(g));
+        let scopes = if config::UNTRUSTED_FILES.contains(&rel.as_str()) {
+            Some(Scopes::whole_file())
+        } else if in_fn_globs {
+            let s = Scopes::of_functions(&file, config::UNTRUSTED_FNS);
+            (!s.is_empty()).then_some(s)
+        } else {
+            None
+        };
+        if let Some(scopes) = scopes {
+            lints::panic_freedom::check(&file, &scopes, &mut sink);
+            lints::arithmetic::check(&file, &scopes, &mut sink);
+        }
+
+        if config::ATOMIC_AUDIT_GLOBS
+            .iter()
+            .any(|g| rel.starts_with(g))
+        {
+            lints::atomics::check(&file, &mut sink);
+        }
+    }
+
+    lints::headers::check(root, &mut sink);
+    lints::format_consts::check(root, &mut sink);
+
+    sink.findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    sink.allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    LintReport {
+        findings: sink.findings,
+        allows: sink.allows,
+        files_scanned,
+    }
+}

@@ -1,0 +1,260 @@
+//! L4 — unchecked-arithmetic heuristic for untrusted-input scopes.
+//!
+//! A length or offset decoded from attacker-controllable bytes must never
+//! flow through bare `+`, `*`, or `<<` (or their compound-assignment
+//! forms): in release builds these wrap silently, and a wrapped length is
+//! exactly how a crafted blob turns a bounds check into an out-of-bounds
+//! read. Inside the untrusted scopes this lint flags those operators when
+//! either operand *looks* length/offset-typed (see
+//! [`crate::config::OFFSET_NAME_FRAGMENTS`]); the fix is `checked_*`,
+//! `saturating_*`, or a `min`-style clamp — all of which this lint
+//! recognizes as already safe. A deliberate exception carries
+//! `// lint:allow(reason)`.
+//!
+//! Subtraction is deliberately out of scope (underflow is caught by the
+//! hardened-profile CI run; most `a - b` sites sit behind an explicit
+//! `a >= b` guard), as are `%` and `/` (cannot overflow on unsigned).
+
+use crate::config::{OFFSET_NAME_EXACT, OFFSET_NAME_FRAGMENTS, SAFE_RESULT_METHODS};
+use crate::lints::{Scopes, Sink};
+use crate::scan::{SourceFile, Token};
+
+/// How an operand participates in the heuristic.
+#[derive(PartialEq)]
+enum Operand {
+    /// Carries a length/offset-looking name: flaggable.
+    Offsetish(String),
+    /// Produced by a clamping method (`min`/`clamp`): the operation is
+    /// already bounded, don't flag.
+    Clamped,
+    /// Anything else (literal, unrelated name, unknown).
+    Neutral,
+}
+
+fn is_offsetish_name(name: &str) -> bool {
+    // Uppercase-initial identifiers are types/variants (`Send`, `Vec`),
+    // never length-typed locals; SCREAMING_CASE constants are compile-time
+    // known, and if the *other* operand is untrusted it flags on its own.
+    if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        return false;
+    }
+    let lower = name.to_ascii_lowercase();
+    OFFSET_NAME_EXACT.contains(&lower.as_str())
+        || OFFSET_NAME_FRAGMENTS.iter().any(|f| lower.contains(f))
+}
+
+/// Classifies the operand ending at token `i` (exclusive of the operator).
+fn left_operand(toks: &[Token], i: usize) -> Operand {
+    let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return Operand::Neutral;
+    };
+    // A lifetime (`'a + 'b` bounds) is never arithmetic.
+    if i >= 2 && toks[i - 2].text == "'" {
+        return Operand::Neutral;
+    }
+    match prev.text.as_str() {
+        ")" => {
+            // Walk back over the parenthesized group; the token before the
+            // `(` names the producing function/method, if any.
+            let mut depth = 0usize;
+            let mut j = i - 1;
+            loop {
+                match toks[j].text.as_str() {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                let Some(nj) = j.checked_sub(1) else {
+                    return Operand::Neutral;
+                };
+                j = nj;
+            }
+            let before = j.checked_sub(1).and_then(|p| toks.get(p));
+            match before {
+                Some(t) if t.is_ident => {
+                    if SAFE_RESULT_METHODS.contains(&t.text.as_str())
+                        || t.text.starts_with("checked_")
+                        || t.text.starts_with("saturating_")
+                        || t.text.starts_with("wrapping_")
+                    {
+                        Operand::Clamped
+                    } else if is_offsetish_name(&t.text) {
+                        Operand::Offsetish(t.text.clone())
+                    } else {
+                        Operand::Neutral
+                    }
+                }
+                // Plain parenthesized expression: look inside for any
+                // offset-named identifier.
+                _ => {
+                    for t in &toks[j..i - 1] {
+                        if t.is_ident && is_offsetish_name(&t.text) {
+                            return Operand::Offsetish(t.text.clone());
+                        }
+                    }
+                    Operand::Neutral
+                }
+            }
+        }
+        _ if prev.is_ident => {
+            if is_offsetish_name(&prev.text) {
+                Operand::Offsetish(prev.text.clone())
+            } else {
+                Operand::Neutral
+            }
+        }
+        _ => Operand::Neutral,
+    }
+}
+
+/// Classifies the operand starting at token `i` (exclusive of the operator).
+fn right_operand(toks: &[Token], mut i: usize) -> Operand {
+    // Skip leading `(`s and `&`s.
+    while toks
+        .get(i)
+        .is_some_and(|t| t.text == "(" || t.text == "&" || t.text == "*")
+    {
+        i += 1;
+    }
+    let Some(first) = toks.get(i) else {
+        return Operand::Neutral;
+    };
+    if first.text == "'" {
+        return Operand::Neutral; // lifetime bound
+    }
+    if !first.is_ident {
+        return Operand::Neutral; // literal or other
+    }
+    // Follow a field/method path: `self.pos`, `header.payload_words`,
+    // `v.min(x)` — the final segment decides.
+    let mut last = first.text.clone();
+    let mut j = i + 1;
+    while toks.get(j).is_some_and(|t| t.text == ".") && toks.get(j + 1).is_some_and(|t| t.is_ident)
+    {
+        last = toks[j + 1].text.clone();
+        j += 2;
+    }
+    if SAFE_RESULT_METHODS.contains(&last.as_str())
+        || last.starts_with("checked_")
+        || last.starts_with("saturating_")
+        || last.starts_with("wrapping_")
+    {
+        Operand::Clamped
+    } else if is_offsetish_name(&last) {
+        Operand::Offsetish(last)
+    } else {
+        Operand::Neutral
+    }
+}
+
+/// Whether the operator token at `i` is a *binary* use (vs. unary deref /
+/// generic bracket).
+fn is_binary(toks: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return false;
+    };
+    (prev.is_ident && !crate::config::NON_INDEX_KEYWORDS.contains(&prev.text.as_str()))
+        || prev.text == ")"
+        || prev.text == "]"
+        || prev.text.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Runs L4 over `file` within `scopes`.
+pub fn check(file: &SourceFile, scopes: &Scopes, sink: &mut Sink) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let op = t.text.as_str();
+        let compound = matches!(op, "+=" | "*=" | "<<=");
+        if !(compound || matches!(op, "+" | "*" | "<<")) {
+            continue;
+        }
+        if !scopes.contains(file, t.line) {
+            continue;
+        }
+        if !compound && !is_binary(toks, i) {
+            continue;
+        }
+        let left = left_operand(toks, i);
+        let right = right_operand(toks, i + 1);
+        if left == Operand::Clamped || right == Operand::Clamped {
+            continue;
+        }
+        let offender = match (&left, &right) {
+            (Operand::Offsetish(n), _) | (_, Operand::Offsetish(n)) => n.clone(),
+            _ => continue,
+        };
+        sink.emit(
+            file,
+            "L4",
+            t.line,
+            format!(
+                "bare `{op}` on length/offset-typed `{offender}` in an untrusted-input scope: \
+                 use checked_/saturating_ arithmetic or clamp first"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<String> {
+        let f = SourceFile::scan("t.rs", src);
+        let mut sink = Sink::default();
+        check(&f, &Scopes::whole_file(), &mut sink);
+        sink.findings.iter().map(|f| f.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_bare_ops_on_lengths() {
+        let found = run("fn f(len: usize, pos: usize) -> usize { len + pos * 8 }");
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn checked_and_clamped_forms_pass() {
+        let found = run(
+            "fn f(len: usize, cap: usize) -> Option<usize> { len.checked_add(cap)?.checked_mul(8) }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+        let found = run("fn g(n: usize) -> usize { n.min(1024) * 8 }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn neutral_names_pass() {
+        let found = run("fn f(epsilon: f64, budget: f64) -> f64 { epsilon * budget + 2.0 }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn shifts_on_widths_flag() {
+        let found = run("fn f(width: u32) -> u64 { 1u64 << width }");
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn compound_assign_flags() {
+        let found = run("fn f(mut pos: usize) { pos += 1; }");
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn deref_and_trait_bounds_pass() {
+        let found = run("fn f<T: Send + Sync>(x: &usize) -> usize { *x }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn field_paths_on_the_right_flag() {
+        let found =
+            run("struct H { payload_words: u64 }\nfn f(h: &H) -> u64 { 40 + h.payload_words }");
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+}

@@ -1,0 +1,81 @@
+//! L5 — atomic-ordering audit in `grafite-store`.
+//!
+//! Every atomic `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` in
+//! the serving layer must carry an `// ordering: …` comment on the same
+//! line or within the few lines above, stating *why* that ordering is
+//! sufficient (what it synchronizes with, or why no synchronization is
+//! needed). Memory-ordering bugs do not show up in tests on x86; the
+//! justification comment is the only reviewable artifact. `std::cmp` /
+//! `std::collections` comparison `Ordering`s (`Less`/`Equal`/`Greater`)
+//! are not atomic orderings and are ignored.
+
+use crate::config::{ATOMIC_ORDERINGS, ORDERING_COMMENT_WINDOW, ORDERING_JUSTIFICATION};
+use crate::lints::Sink;
+use crate::scan::SourceFile;
+
+/// Runs L5 over `file` (already filtered to the audit globs by the caller).
+pub fn check(file: &SourceFile, sink: &mut Sink) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "Ordering" || file.in_test_code(t.line) {
+            continue;
+        }
+        let variant = match (toks.get(i + 1), toks.get(i + 2)) {
+            (Some(sep), Some(v)) if sep.text == "::" => &v.text,
+            _ => continue,
+        };
+        if !ATOMIC_ORDERINGS.contains(&variant.as_str()) {
+            continue;
+        }
+        let lo = t.line.saturating_sub(ORDERING_COMMENT_WINDOW);
+        let justified = (lo..=t.line).any(|l| {
+            file.comment_on(l)
+                .is_some_and(|c| c.contains(ORDERING_JUSTIFICATION))
+        });
+        if !justified {
+            sink.emit(
+                file,
+                "L5",
+                t.line,
+                format!(
+                    "`Ordering::{variant}` without an `// ordering:` justification within \
+                     {ORDERING_COMMENT_WINDOW} lines"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<String> {
+        let f = SourceFile::scan("t.rs", src);
+        let mut sink = Sink::default();
+        check(&f, &mut sink);
+        sink.findings.iter().map(|f| f.to_string()).collect()
+    }
+
+    #[test]
+    fn unjustified_ordering_flags() {
+        let found =
+            run("fn f(a: &std::sync::atomic::AtomicU64) -> u64 { a.load(Ordering::Relaxed) }");
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("Relaxed"));
+    }
+
+    #[test]
+    fn justified_ordering_passes() {
+        let found = run(
+            "fn f(a: &std::sync::atomic::AtomicU64) -> u64 {\n    // ordering: monotone counter, readers tolerate staleness\n    a.load(Ordering::Relaxed)\n}",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let found = run("fn f(a: u32, b: u32) -> bool { a.cmp(&b) == Ordering::Less }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

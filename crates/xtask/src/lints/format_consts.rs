@@ -1,0 +1,357 @@
+//! L3 — format-constant consistency.
+//!
+//! The persistence contract lives in three places that can drift apart:
+//! the constants in `crates/core/src/persist.rs` (`FORMAT_VERSION`,
+//! `MIN_FORMAT_VERSION`, the `spec_id` table), the store manifest codec
+//! (`STORE_FORMAT_VERSION`), and the committed golden blobs under
+//! `tests/golden/`. This lint re-derives each side *statically* — the
+//! constants lexically from source, the blob headers from their first 16
+//! bytes — and cross-checks them, so that bumping `FORMAT_VERSION` without
+//! regenerating `tests/golden/v{N}/`, or retiring v1 support while frozen
+//! v1 blobs are still committed, fails before any test runs.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::lints::Sink;
+use crate::scan::SourceFile;
+
+/// The blob magic, kept in sync with `grafite_core::persist::MAGIC`.
+const BLOB_MAGIC: [u8; 8] = *b"GRAFILT\0";
+
+/// Spec ids every golden set must cover: the paper's eleven-way registry.
+const REQUIRED_SPEC_IDS: std::ops::RangeInclusive<u32> = 1..=11;
+
+/// A `pub const NAME: u32 = N;` constant pulled lexically from source.
+fn parse_u32_const(file: &SourceFile, name: &str) -> Option<u32> {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == name
+            && t.is_ident
+            && toks.get(i + 1).is_some_and(|c| c.text == ":")
+            && toks.get(i + 2).is_some_and(|ty| ty.text == "u32")
+            && toks.get(i + 3).is_some_and(|e| e.text == "=")
+        {
+            return toks.get(i + 4).and_then(|v| v.text.parse().ok());
+        }
+    }
+    None
+}
+
+/// Every `pub const NAME: u32 = N;` inside `pub mod spec_id { … }`.
+fn parse_spec_table(file: &SourceFile) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    let toks = &file.tokens;
+    // Find `mod spec_id {`, then collect consts until the matching `}`.
+    let Some(open) = toks
+        .iter()
+        .enumerate()
+        .find(|(i, t)| t.text == "spec_id" && *i > 0 && toks[i - 1].text == "mod")
+        .and_then(|(i, _)| {
+            toks[i..]
+                .iter()
+                .position(|t| t.text == "{")
+                .map(|off| i + off)
+        })
+    else {
+        return out;
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "const" => {
+                if let (Some(name), Some(val)) = (toks.get(i + 1), toks.get(i + 5)) {
+                    if toks.get(i + 3).is_some_and(|ty| ty.text == "u32") {
+                        if let Ok(v) = val.text.parse() {
+                            out.insert(name.text.clone(), v);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One `name id fingerprint` line from a golden `manifest.txt`.
+struct ManifestEntry {
+    name: String,
+    id: u32,
+}
+
+fn parse_manifest(text: &str) -> Vec<ManifestEntry> {
+    text.lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            let name = parts.next()?.to_string();
+            let id = parts.next()?.parse().ok()?;
+            Some(ManifestEntry { name, id })
+        })
+        .collect()
+}
+
+/// The `(spec_id, version)` pair from a blob's second header word.
+fn read_blob_head(path: &Path) -> Result<(u32, u32), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
+    let Some(head) = bytes.get(..16) else {
+        return Err(format!(
+            "only {} bytes, need 16 for the header",
+            bytes.len()
+        ));
+    };
+    if head[..8] != BLOB_MAGIC {
+        return Err("magic is not GRAFILT".into());
+    }
+    let word1 = head
+        .get(8..16)
+        .map(|c| {
+            c.iter()
+                .rev()
+                .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+        })
+        .unwrap_or(0);
+    Ok((word1 as u32, (word1 >> 32) as u32))
+}
+
+/// Cross-checks one golden directory against the spec table.
+///
+/// `expected_versions` is the inclusive range a blob's header version may
+/// carry: exactly `FORMAT_VERSION` for the current set, the accepted
+/// `MIN..=FORMAT` window for the frozen v1 set.
+fn check_golden_dir(
+    root: &Path,
+    rel_dir: &str,
+    expected_versions: std::ops::RangeInclusive<u32>,
+    spec_table: &BTreeMap<String, u32>,
+    sink: &mut Sink,
+) {
+    let manifest_rel = format!("{rel_dir}/manifest.txt");
+    let manifest_text = match std::fs::read_to_string(root.join(&manifest_rel)) {
+        Ok(t) => t,
+        Err(e) => {
+            sink.emit_unconditional(
+                manifest_rel,
+                "L3",
+                1,
+                format!(
+                    "golden manifest missing ({e}): a FORMAT_VERSION bump requires regenerating \
+                     this golden set (cargo test regenerates via GOLDEN_REGEN=1)"
+                ),
+            );
+            return;
+        }
+    };
+    let entries = parse_manifest(&manifest_text);
+    let known_ids: Vec<u32> = spec_table.values().copied().collect();
+    let mut seen_ids = Vec::new();
+    for (lineno, entry) in entries.iter().enumerate() {
+        seen_ids.push(entry.id);
+        if !known_ids.contains(&entry.id) {
+            sink.emit_unconditional(
+                manifest_rel.clone(),
+                "L3",
+                lineno + 1,
+                format!(
+                    "`{}` declares spec id {} which is absent from persist.rs's spec_id table",
+                    entry.name, entry.id
+                ),
+            );
+        }
+        let blob_rel = format!("{rel_dir}/{}.bin", entry.name);
+        match read_blob_head(&root.join(&blob_rel)) {
+            Err(why) => sink.emit_unconditional(blob_rel, "L3", 1, format!("golden blob {why}")),
+            Ok((spec, version)) => {
+                if spec != entry.id {
+                    sink.emit_unconditional(
+                        blob_rel.clone(),
+                        "L3",
+                        1,
+                        format!(
+                            "header says spec id {spec} but the manifest says {}",
+                            entry.id
+                        ),
+                    );
+                }
+                if !expected_versions.contains(&version) {
+                    sink.emit_unconditional(
+                        blob_rel,
+                        "L3",
+                        1,
+                        format!(
+                            "header format version {version} is outside the accepted range \
+                             {}..={} — regenerate the goldens or widen MIN/FORMAT_VERSION",
+                            expected_versions.start(),
+                            expected_versions.end()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    for id in REQUIRED_SPEC_IDS {
+        if !seen_ids.contains(&id) {
+            sink.emit_unconditional(
+                manifest_rel.clone(),
+                "L3",
+                1,
+                format!("registry spec id {id} has no golden blob in this set"),
+            );
+        }
+    }
+}
+
+/// Runs L3 from the workspace root.
+pub fn check(root: &Path, sink: &mut Sink) {
+    let persist_rel = "crates/core/src/persist.rs";
+    let persist_src = match std::fs::read_to_string(root.join(persist_rel)) {
+        Ok(s) => s,
+        Err(e) => {
+            sink.emit_unconditional(persist_rel.into(), "L3", 1, format!("unreadable: {e}"));
+            return;
+        }
+    };
+    let persist = SourceFile::scan(persist_rel, &persist_src);
+    let Some(format_version) = parse_u32_const(&persist, "FORMAT_VERSION") else {
+        sink.emit_unconditional(
+            persist_rel.into(),
+            "L3",
+            1,
+            "FORMAT_VERSION: u32 constant not found".into(),
+        );
+        return;
+    };
+    let Some(min_version) = parse_u32_const(&persist, "MIN_FORMAT_VERSION") else {
+        sink.emit_unconditional(
+            persist_rel.into(),
+            "L3",
+            1,
+            "MIN_FORMAT_VERSION: u32 constant not found".into(),
+        );
+        return;
+    };
+    if min_version > format_version {
+        sink.emit_unconditional(
+            persist_rel.into(),
+            "L3",
+            1,
+            format!("MIN_FORMAT_VERSION ({min_version}) exceeds FORMAT_VERSION ({format_version})"),
+        );
+    }
+    let spec_table = parse_spec_table(&persist);
+    if spec_table.is_empty() {
+        sink.emit_unconditional(
+            persist_rel.into(),
+            "L3",
+            1,
+            "spec_id table not found or empty".into(),
+        );
+        return;
+    }
+    // Append-only table: ids must be unique.
+    let mut ids: Vec<u32> = spec_table.values().copied().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != spec_table.len() {
+        sink.emit_unconditional(
+            persist_rel.into(),
+            "L3",
+            1,
+            "spec_id table contains duplicate ids (the table is append-only)".into(),
+        );
+    }
+
+    // Current golden set: must exist for the *current* FORMAT_VERSION and
+    // carry exactly that version in every header.
+    check_golden_dir(
+        root,
+        &format!("tests/golden/v{format_version}"),
+        format_version..=format_version,
+        &spec_table,
+        sink,
+    );
+    // Frozen v1 set at the golden root: still within the accepted window.
+    // Retiring v1 support (bumping MIN_FORMAT_VERSION) while these blobs
+    // remain committed fails here — delete or migrate them deliberately.
+    check_golden_dir(
+        root,
+        "tests/golden",
+        min_version..=format_version,
+        &spec_table,
+        sink,
+    );
+
+    // Store manifest codec: the version constant must exist and be ≥ 1.
+    let store_rel = "crates/store/src/manifest.rs";
+    match std::fs::read_to_string(root.join(store_rel)) {
+        Err(e) => sink.emit_unconditional(store_rel.into(), "L3", 1, format!("unreadable: {e}")),
+        Ok(src) => {
+            let store = SourceFile::scan(store_rel, &src);
+            match parse_u32_const(&store, "STORE_FORMAT_VERSION") {
+                None => sink.emit_unconditional(
+                    store_rel.into(),
+                    "L3",
+                    1,
+                    "STORE_FORMAT_VERSION: u32 constant not found".into(),
+                ),
+                Some(0) => sink.emit_unconditional(
+                    store_rel.into(),
+                    "L3",
+                    1,
+                    "STORE_FORMAT_VERSION must be ≥ 1".into(),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_const_parses() {
+        let f = SourceFile::scan("t.rs", "pub const FORMAT_VERSION: u32 = 2;\n");
+        assert_eq!(parse_u32_const(&f, "FORMAT_VERSION"), Some(2));
+        assert_eq!(parse_u32_const(&f, "MISSING"), None);
+    }
+
+    #[test]
+    fn spec_table_parses() {
+        let src = "pub mod spec_id {\n    /// a\n    pub const A: u32 = 1;\n    pub const B: u32 = 32;\n}\n";
+        let f = SourceFile::scan("t.rs", src);
+        let table = parse_spec_table(&f);
+        assert_eq!(table.get("A"), Some(&1));
+        assert_eq!(table.get("B"), Some(&32));
+    }
+
+    #[test]
+    fn manifest_lines_parse() {
+        let entries = parse_manifest("grafite 1 0xdead\nbucketing 2 0xbeef\n");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].name, "bucketing");
+        assert_eq!(entries[1].id, 2);
+    }
+
+    #[test]
+    fn blob_head_decodes_spec_and_version() {
+        let dir = std::env::temp_dir().join("xtask_l3_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BLOB_MAGIC);
+        bytes.extend_from_slice(&((7u64) | (2u64 << 32)).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_blob_head(&path), Ok((7, 2)));
+    }
+}

@@ -1,0 +1,105 @@
+//! L2 — crate-header conformance.
+//!
+//! Every workspace member (and the root meta-crate) must open with the
+//! agreed header block: `#![forbid(unsafe_code)]` — memory safety is not a
+//! per-crate choice — and `#![warn(missing_docs)]`. The check runs over
+//! the masked source, so a doc comment *mentioning* the attributes does
+//! not satisfy it.
+
+use std::path::Path;
+
+use crate::config::REQUIRED_HEADERS;
+use crate::lints::Sink;
+use crate::scan::SourceFile;
+
+/// Extracts the `members = [...]` list from the root `Cargo.toml` text,
+/// plus `"."` for the root package itself.
+pub fn workspace_members(cargo_toml: &str) -> Vec<String> {
+    let mut members = vec![".".to_string()];
+    let Some(at) = cargo_toml.find("members = [") else {
+        return members;
+    };
+    let rest = &cargo_toml[at..];
+    let Some(close) = rest.find(']') else {
+        return members;
+    };
+    for piece in rest[..close].split('"').skip(1).step_by(2) {
+        if !members.iter().any(|m| m == piece) {
+            members.push(piece.to_string());
+        }
+    }
+    members
+}
+
+/// Runs L2 over every member's crate roots.
+pub fn check(root: &Path, sink: &mut Sink) {
+    let cargo_toml = match std::fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            sink.emit_unconditional(
+                "Cargo.toml".into(),
+                "L2",
+                1,
+                format!("workspace manifest unreadable: {e}"),
+            );
+            return;
+        }
+    };
+    for member in workspace_members(&cargo_toml) {
+        let dir = if member == "." {
+            root.to_path_buf()
+        } else {
+            root.join(&member)
+        };
+        let mut any_root = false;
+        for crate_root in ["src/lib.rs", "src/main.rs"] {
+            let path = dir.join(crate_root);
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            any_root = true;
+            let rel = if member == "." {
+                crate_root.to_string()
+            } else {
+                format!("{member}/{crate_root}")
+            };
+            let scanned = SourceFile::scan(&rel, &raw);
+            for required in REQUIRED_HEADERS {
+                if !scanned.masked.contains(required) {
+                    sink.emit_unconditional(
+                        rel.clone(),
+                        "L2",
+                        1,
+                        format!("crate root is missing the `{required}` header"),
+                    );
+                }
+            }
+        }
+        if !any_root {
+            sink.emit_unconditional(
+                format!("{member}/src"),
+                "L2",
+                1,
+                "workspace member has no src/lib.rs or src/main.rs to check".into(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parse() {
+        let toml = "[workspace]\nmembers = [\n    \"crates/a\",\n    \"shims/b\",\n]\n";
+        assert_eq!(workspace_members(toml), vec![".", "crates/a", "shims/b"]);
+    }
+
+    #[test]
+    fn doc_comment_mention_does_not_satisfy() {
+        let raw = "//! says #![forbid(unsafe_code)] in prose only\nfn x() {}\n";
+        let scanned = SourceFile::scan("t.rs", raw);
+        assert!(!scanned.masked.contains("#![forbid(unsafe_code)]"));
+    }
+}

@@ -1,0 +1,123 @@
+//! The five repo-specific lints behind `cargo run -p xtask -- lint`.
+//!
+//! | id | name | what it proves |
+//! |---|---|---|
+//! | L1 | panic-freedom | no `unwrap`/`expect`/`panic!`-family macro/bare indexing in untrusted-input scopes |
+//! | L2 | crate-header conformance | every workspace crate forbids `unsafe_code` and warns on `missing_docs` |
+//! | L3 | format-constant consistency | version/spec-id constants agree with the committed golden blobs |
+//! | L4 | unchecked arithmetic | no bare `+`/`*`/`<<` on length/offset-typed values in untrusted scopes |
+//! | L5 | atomic-ordering audit | every atomic `Ordering::` in `grafite-store` carries an `// ordering:` justification |
+//!
+//! L1 and L4 honour the `// lint:allow(reason)` escape hatch (same line or
+//! the line directly above); suppressions are counted and reported, never
+//! silent.
+
+pub mod arithmetic;
+pub mod atomics;
+pub mod format_consts;
+pub mod headers;
+pub mod panic_freedom;
+
+use crate::scan::{AllowUse, SourceFile};
+
+/// One lint violation, pointing at `file:line`.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Lint id (`"L1"`…`"L5"`).
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (1 for file-level findings).
+    pub line: usize,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Sink shared by every lint: routes each candidate violation either to
+/// the findings (fail the build) or, when a `// lint:allow(reason)` covers
+/// its line, to the counted suppressions.
+#[derive(Default)]
+pub struct Sink {
+    /// Violations that will fail the run.
+    pub findings: Vec<Finding>,
+    /// Suppressed-and-counted `lint:allow` uses.
+    pub allows: Vec<AllowUse>,
+}
+
+impl Sink {
+    /// Reports a violation in `file` unless an allow comment covers it.
+    pub fn emit(&mut self, file: &SourceFile, lint: &'static str, line: usize, message: String) {
+        if let Some(reason) = file.allow_reason(line) {
+            self.allows.push(AllowUse {
+                file: file.rel.clone(),
+                line,
+                lint,
+                reason,
+            });
+        } else {
+            self.findings.push(Finding {
+                lint,
+                file: file.rel.clone(),
+                line,
+                message,
+            });
+        }
+    }
+
+    /// Reports a violation with no allow-comment escape (structural lints:
+    /// L2/L3 conformance cannot be waived inline).
+    pub fn emit_unconditional(
+        &mut self,
+        file: String,
+        lint: &'static str,
+        line: usize,
+        message: String,
+    ) {
+        self.findings.push(Finding {
+            lint,
+            file,
+            line,
+            message,
+        });
+    }
+}
+
+/// Inclusive line ranges a scoped lint applies to.
+#[derive(Clone, Debug)]
+pub struct Scopes(pub Vec<(usize, usize)>);
+
+impl Scopes {
+    /// A scope covering the whole file.
+    pub fn whole_file() -> Self {
+        Scopes(vec![(1, usize::MAX)])
+    }
+
+    /// The union of the extents of the named functions in `file`.
+    pub fn of_functions(file: &SourceFile, names: &[&str]) -> Self {
+        let mut v = Vec::new();
+        for name in names {
+            v.extend(file.fn_extents(name));
+        }
+        Scopes(v)
+    }
+
+    /// Whether `line` is in scope and outside `#[cfg(test)]` code.
+    pub fn contains(&self, file: &SourceFile, line: usize) -> bool {
+        !file.in_test_code(line) && self.0.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Whether any scope exists at all.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}

@@ -1,0 +1,163 @@
+//! L1 — panic-freedom in untrusted-input scopes.
+//!
+//! Inside the declared untrusted scopes (see [`crate::config`]), loading
+//! attacker-controllable bytes must fail with typed errors, never panic.
+//! This lint denies, lexically:
+//!
+//! * `.unwrap()` and `.expect(…)` (`unwrap_or*` / `expect_err` and friends
+//!   are distinct tokens and stay legal);
+//! * the panicking macros `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`, `assert!`, `assert_eq!`, `assert_ne!`
+//!   (`debug_assert*!` stays legal: it expresses an internal invariant and
+//!   compiles out of release builds — the hardened CI profile arms it);
+//! * bare index/slice expressions `x[…]` — including `[..]`/`[a..b]` range
+//!   forms — which must become `get`/`get_mut` with a typed error (or carry
+//!   a `// lint:allow(reason)` stating why they cannot fail).
+
+use crate::config::NON_INDEX_KEYWORDS;
+use crate::lints::{Scopes, Sink};
+use crate::scan::SourceFile;
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Runs L1 over `file` within `scopes`.
+pub fn check(file: &SourceFile, scopes: &Scopes, sink: &mut Sink) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !scopes.contains(file, t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(`
+        if t.is_ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            sink.emit(
+                file,
+                "L1",
+                t.line,
+                format!(
+                    "`.{}()` in an untrusted-input scope: return a typed DecodeError/FilterError instead",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // Panicking macros.
+        if t.is_ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.text == "!")
+        {
+            sink.emit(
+                file,
+                "L1",
+                t.line,
+                format!(
+                    "`{}!` in an untrusted-input scope: corrupt input must surface as a typed error",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // Bare indexing: `expr[` where expr ends in an identifier, `)`,
+        // `]`, or `?`. Attributes (`#[…]`), macro bangs (`vec![…]`), slice
+        // patterns (`let [a, b] = …`), and array types (`[u64; N]`) all
+        // have a different preceding token and pass.
+        if t.text == "[" && i > 0 {
+            let prev = &toks[i - 1];
+            // `&'a [u64]` is a lifetime + slice type, not an index.
+            let lifetime = i >= 2 && toks[i - 2].text == "'";
+            let indexes = !lifetime
+                && ((prev.is_ident && !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()))
+                    || prev.text == ")"
+                    || prev.text == "]"
+                    || prev.text == "?");
+            if indexes {
+                sink.emit(
+                    file,
+                    "L1",
+                    t.line,
+                    format!(
+                        "bare index/slice `{}[…]` in an untrusted-input scope: use `.get(…)` and return a typed error",
+                        if prev.is_ident { prev.text.as_str() } else { "expr" }
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<String>, usize) {
+        let f = SourceFile::scan("t.rs", src);
+        let mut sink = Sink::default();
+        check(&f, &Scopes::whole_file(), &mut sink);
+        (
+            sink.findings.iter().map(|f| f.to_string()).collect(),
+            sink.allows.len(),
+        )
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let (found, _) = run("fn f(x: Option<u8>) { x.unwrap(); x.expect(\"no\"); panic!(); }");
+        assert_eq!(found.len(), 3);
+        assert!(found[0].contains("L1"));
+    }
+
+    #[test]
+    fn unwrap_or_is_legal() {
+        let (found, _) = run("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).saturating_add(1) }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn debug_assert_is_legal_assert_is_not() {
+        let (found, _) = run("fn f(a: usize) { debug_assert!(a > 0); assert!(a > 0); }");
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("`assert!`"));
+    }
+
+    #[test]
+    fn indexing_flags_but_patterns_do_not() {
+        let (found, _) = run(
+            "fn f(v: &[u8]) -> u8 { let [a, b] = [1u8, 2]; let w: [u8; 2] = [a, b]; v[0] + w[1] }",
+        );
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn lifetime_slice_types_are_not_indexing() {
+        let (found, _) = run("struct C<'a> { words: &'a [u64] }\nfn f<'b>(x: &'b [u8]) {}");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn allows_suppress_and_count() {
+        let (found, allows) = run(
+            "fn f(v: &[u8]) -> u8 {\n    // lint:allow(v always has one element here)\n    v[0]\n}",
+        );
+        assert!(found.is_empty(), "{found:?}");
+        assert_eq!(allows, 1);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let (found, _) =
+            run("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}");
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,0 +1,53 @@
+//! `cargo run -p xtask -- lint` — the workspace's static-analysis gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint");
+    eprintln!();
+    eprintln!("Runs the repo-specific lints (L1 panic-freedom, L2 crate headers,");
+    eprintln!("L3 format-constant consistency, L4 unchecked arithmetic, L5 atomic");
+    eprintln!("orderings). Exits 1 if any violation is found.");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") if args.len() == 1 => {}
+        _ => return usage(),
+    }
+
+    let root = xtask::workspace_root();
+    let report = xtask::run_lints(&root);
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if !report.allows.is_empty() {
+        eprintln!(
+            "note: {} lint:allow suppression(s) in effect:",
+            report.allows.len()
+        );
+        for allow in &report.allows {
+            eprintln!(
+                "  {}:{}: [{}] allowed: {}",
+                allow.file, allow.line, allow.lint, allow.reason
+            );
+        }
+    }
+    eprintln!(
+        "xtask lint: {} file(s) scanned, {} violation(s), {} suppression(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.allows.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,14 @@
+//! Seeded L5 and store-version violations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub const STORE_FORMAT_VERSION: u32 = 0;
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn load_count(counter: &AtomicU64) -> u64 {
+    // ordering: fixture-level justification for the audit
+    counter.load(Ordering::Acquire)
+}

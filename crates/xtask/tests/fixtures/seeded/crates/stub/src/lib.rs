@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Conforming member crate for the seeded fixture.

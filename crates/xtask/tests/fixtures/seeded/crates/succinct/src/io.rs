@@ -1,0 +1,10 @@
+//! Seeded L1/L4 violations: this file mirrors the untrusted io module.
+
+pub fn decode(v: &[u64]) -> u64 {
+    let first = v[0];
+    let total = v.len() + 1;
+    let x: u64 = v.iter().copied().next().unwrap();
+    // lint:allow(fixture demonstrates a counted suppression)
+    let allowed = v[1];
+    panic!("seeded: {first} {total} {x} {allowed}");
+}

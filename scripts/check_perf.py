@@ -30,15 +30,26 @@ NORMALIZER = "sorted_vec_predecessor_ns"
 
 
 def metrics_of(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "grafite-hotpath-v1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return doc["metrics"]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read metrics file: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != "grafite-hotpath-v1":
+        schema = doc.get("schema") if isinstance(doc, dict) else type(doc).__name__
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        sys.exit(f"{path}: 'metrics' object missing from the report")
+    return metrics
 
 
 def normalized(metrics):
-    scale = metrics[NORMALIZER]
+    scale = metrics.get(NORMALIZER)
+    if not isinstance(scale, (int, float)):
+        sys.exit(f"normalizer metric {NORMALIZER!r} missing from the run")
     if scale <= 0:
         sys.exit(f"normalizer {NORMALIZER} must be positive, got {scale}")
     return {

@@ -1,0 +1,177 @@
+//! Corruption sweep: the dynamic twin of `cargo run -p xtask -- lint`'s
+//! static panic-freedom pass (L1/L4).
+//!
+//! The lint proves the untrusted load paths *contain* no panicking
+//! operations; this suite proves the paths *behave*: every truncation
+//! prefix of every committed golden blob, every single-bit flip of every
+//! header byte (all eight masks), one flip per byte over whole blobs, and
+//! the same treatment for a serialized `FilterStore` manifest must come
+//! back as a typed [`FilterError`] — never a panic, never an abort, never a
+//! silently wrong filter. CI runs this under the `hardened` profile
+//! (overflow-checks + debug-assertions on), so any arithmetic wrap on the
+//! way to the typed error aborts the test too.
+
+use std::path::PathBuf;
+
+use grafite::{
+    standard_registry, FamilySpec, FilterError, FilterSpec, FilterStore, Partitioning, Registry,
+    StoreConfig,
+};
+use proptest::prelude::*;
+
+fn golden_dirs() -> [PathBuf; 2] {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    [root.clone(), root.join("v2")]
+}
+
+/// Every committed golden blob: `(label, bytes)`.
+fn golden_blobs() -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for dir in golden_dirs() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("golden dir")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let label = format!(
+                "{}/{}",
+                dir.file_name().unwrap().to_string_lossy(),
+                path.file_name().unwrap().to_string_lossy()
+            );
+            out.push((label, std::fs::read(&path).expect("golden blob")));
+        }
+    }
+    assert!(
+        out.len() >= 24,
+        "expected both golden sets, got {}",
+        out.len()
+    );
+    out
+}
+
+/// Loading corrupt bytes must produce `Err`, never `Ok`. A panic fails the
+/// test on its own; the typed-error contract is the `Err` assertion.
+fn assert_rejects(registry: &Registry, bytes: &[u8], what: &str) {
+    match registry.load(bytes) {
+        Err(FilterError::Io { .. }) => panic!("{what}: in-memory load reported an I/O error"),
+        Err(_) => {}
+        Ok(_) => panic!("{what}: corrupt blob unexpectedly loaded"),
+    }
+}
+
+/// Exhaustive truncation: all prefixes `0..len` of every golden blob.
+#[test]
+fn every_truncation_prefix_of_every_golden_fails_typed() {
+    let registry = standard_registry();
+    for (label, blob) in golden_blobs() {
+        for cut in 0..blob.len() {
+            assert_rejects(&registry, &blob[..cut], &format!("{label} cut at {cut}"));
+        }
+    }
+}
+
+/// Every bit of the five-word header, individually flipped: all eight
+/// masks over bytes `0..40` of every golden blob.
+#[test]
+fn every_header_bit_flip_of_every_golden_fails_typed() {
+    let registry = standard_registry();
+    for (label, blob) in golden_blobs() {
+        for byte in 0..40.min(blob.len()) {
+            for bit in 0..8u8 {
+                let mut bad = blob.clone();
+                bad[byte] ^= 1 << bit;
+                assert_rejects(
+                    &registry,
+                    &bad,
+                    &format!("{label} header byte {byte} bit {bit}"),
+                );
+            }
+        }
+    }
+}
+
+/// One flip per byte over the *whole* blob (mask rotates with position):
+/// the checksum must catch every payload corruption.
+#[test]
+fn every_byte_flip_of_every_golden_fails_typed() {
+    let registry = standard_registry();
+    for (label, blob) in golden_blobs() {
+        for byte in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[byte] ^= 1 << (byte % 8);
+            assert_rejects(&registry, &bad, &format!("{label} byte {byte}"));
+        }
+    }
+}
+
+fn sample_store_bytes(registry: &Registry) -> Vec<u8> {
+    let keys: Vec<u64> = (0..200u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let config = StoreConfig::new(FamilySpec::Registry(FilterSpec::Grafite))
+        .bits_per_key(16.0)
+        .max_range(1 << 8)
+        .partitioning(Partitioning::Range { shards: 3 });
+    let store = FilterStore::build(registry, config, &keys).expect("build store");
+    store.to_bytes()
+}
+
+/// The `FilterStore` manifest gets the same two sweeps: every truncation
+/// prefix and one bit flip per byte must fail typed through
+/// [`FilterStore::open`].
+#[test]
+fn store_manifest_corruption_fails_typed() {
+    let registry = standard_registry();
+    let bytes = sample_store_bytes(&registry);
+    for cut in 0..bytes.len() {
+        match FilterStore::open(&registry, &bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("manifest cut at {cut} unexpectedly opened"),
+        }
+    }
+    for byte in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[byte] ^= 1 << (byte % 8);
+        match FilterStore::open(&registry, &bad) {
+            Err(_) => {}
+            Ok(_) => panic!("manifest flip at byte {byte} unexpectedly opened"),
+        }
+    }
+    // The pristine image still opens — the sweep isn't vacuous.
+    assert!(FilterStore::open(&registry, &bytes).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized multi-site corruption: between 1 and 8 byte positions
+    /// XORed with arbitrary nonzero masks. A 64-bit checksum forgery from
+    /// random flips is ~2^-64; every case must reject typed.
+    #[test]
+    fn random_multi_flip_corruption_fails_typed(
+        seed in any::<u64>(),
+        flips in 1usize..8,
+    ) {
+        let registry = standard_registry();
+        let blob = std::fs::read(
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/v2/grafite.bin"),
+        ).expect("golden blob");
+        let mut bad = blob.clone();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..flips {
+            let pos = (next() as usize) % bad.len();
+            let mask = (next() % 255 + 1) as u8;
+            bad[pos] ^= mask;
+        }
+        if bad != blob {
+            prop_assert!(registry.load(&bad).is_err(), "corrupt blob loaded");
+        }
+    }
+}
