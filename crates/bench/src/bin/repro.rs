@@ -6,9 +6,12 @@
 //!
 //! experiments:
 //!   fig1  fig3  fig4  fig5  fig6  fig7  table1  fb  normal_check  serving
-//!   hotpath  sort_ablation  ablation_pow2  ablation_snarf_overflow
+//!   serve  hotpath  sort_ablation  ablation_pow2  ablation_snarf_overflow
 //!   ablation_batch  ablation_rosetta_tuning  ablation_bucketing
 //!   ablation_wa_bucketing  all
+//!
+//! `serve` builds a >=100MB manifest to time mapped vs eager cold starts
+//! (writes BENCH_serve.json); it is deliberately not part of `all`.
 //! ```
 //!
 //! Defaults run at laptop scale (n = 100k keys, 20k queries; the paper used
@@ -77,6 +80,7 @@ fn main() {
         "ablation_wa_bucketing" => experiments::ablation_wa_bucketing(&cfg),
         "normal_check" => experiments::normal_check(&cfg),
         "serving" => experiments::serving(&cfg),
+        "serve" => experiments::serve(&cfg),
         "hotpath" => experiments::hotpath(&cfg),
         "all" => experiments::all(&cfg),
         other => {
@@ -90,7 +94,7 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fb|normal_check|serving|\
-         hotpath|sort_ablation|ablation_pow2|ablation_snarf_overflow|ablation_batch|\
+         serve|hotpath|sort_ablation|ablation_pow2|ablation_snarf_overflow|ablation_batch|\
          ablation_rosetta_tuning|ablation_bucketing|ablation_wa_bucketing|all> \
          [--n N] [--queries Q] [--seed S] [--out DIR] \
          [--data DIR] [--budgets 8,12,...]"

@@ -858,6 +858,194 @@ pub fn serving(cfg: &RunConfig) {
     }
     rebuild.print();
     let _ = rebuild.write_csv(&cfg.out_dir, "serving_rebuild");
+
+    // Coalescing: concurrent single-probe submitters route through the
+    // grafite-server combining batcher, so overlapping submissions merge
+    // into one sorted store batch. The coalescing factor (probes per
+    // executed batch) and the tail of the per-submit latency are the two
+    // numbers an operator watches.
+    let mut coalescing = Table::new(&[
+        "filter",
+        "threads",
+        "probes",
+        "Mq/s",
+        "coalescing_factor",
+        "p50_us",
+        "p99_us",
+    ]);
+    for family in families {
+        let config = StoreConfig::new(family)
+            .bits_per_key(16.0)
+            .max_range(l)
+            .seed(cfg.seed)
+            .partitioning(Partitioning::Range { shards });
+        let store = match FilterStore::build(registry, config, &keys) {
+            Ok(s) => std::sync::Arc::new(s),
+            Err(e) => {
+                eprintln!("  [skip] {}: {e}", family.label());
+                continue;
+            }
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let telemetry = std::sync::Arc::new(grafite_server::Telemetry::new(shards));
+            let batcher = grafite_server::Batcher::new(
+                std::sync::Arc::clone(&store),
+                std::sync::Arc::clone(&telemetry),
+            );
+            let per_thread = (cfg.queries / threads).max(1);
+            let start = std::time::Instant::now();
+            let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let batcher = &batcher;
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            let mut lat = Vec::with_capacity(per_thread);
+                            for q in queries.iter().cycle().skip(t * 131).take(per_thread) {
+                                let t0 = std::time::Instant::now();
+                                std::hint::black_box(batcher.submit(std::slice::from_ref(q)));
+                                lat.push(t0.elapsed().as_micros() as u64);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("submitter thread"))
+                    .collect()
+            });
+            let secs = start.elapsed().as_secs_f64();
+            latencies_us.sort_unstable();
+            let quantile = |num: usize| -> u64 {
+                let rank = (latencies_us.len() * num).div_ceil(100).max(1);
+                latencies_us[rank - 1]
+            };
+            coalescing.row(vec![
+                family.label().to_string(),
+                threads.to_string(),
+                latencies_us.len().to_string(),
+                format!("{:.3}", latencies_us.len() as f64 / secs / 1e6),
+                format!("{:.2}", telemetry.coalescing_factor()),
+                quantile(50).to_string(),
+                quantile(99).to_string(),
+            ]);
+        }
+    }
+    coalescing.print();
+    let _ = coalescing.write_csv(&cfg.out_dir, "serving_coalescing");
+}
+
+/// The serving cold-start experiment behind `results/BENCH_serve.json`:
+/// saves a ≥100 MB multi-shard manifest, then times the eager
+/// [`open`](grafite_store::FilterStore::open) path (read the whole file,
+/// checksum the whole body, parse every shard) against the lazy
+/// [`open_mapped`](grafite_store::FilterStore::open_mapped) scan
+/// (`O(shards)` small reads), plus the first-query latency that pays for
+/// one shard's materialization. CI gates the committed JSON through
+/// `scripts/check_perf.py serve`: the store must stay ≥100 MB and the
+/// mapped cold-start ≥10× faster than the eager open.
+pub fn serve(cfg: &RunConfig) {
+    use grafite_store::{FamilySpec, FilterStore, Partitioning, StoreConfig};
+
+    println!("== serve: mapped cold-start vs eager open on a >=100MB manifest ==");
+    // Keys dominate the manifest (8 bytes each, plus ~2 blob bytes at 16
+    // bits/key), so 12M keys lands comfortably above the 100 MB floor.
+    let n = cfg.n.max(12_000_000);
+    let shards = 64usize;
+    let keys = sosd::dataset_or_synthetic(Dataset::Uniform, n, cfg.seed, &cfg.data_dir);
+    let registry = crate::registry::standard();
+    let config = StoreConfig::new(FamilySpec::Registry(FilterSpec::Grafite))
+        .bits_per_key(16.0)
+        .max_range(32)
+        .seed(cfg.seed)
+        .partitioning(Partitioning::Range { shards });
+    let (build_secs, store) =
+        time_it(|| FilterStore::build(registry, config, &keys).expect("store build"));
+    std::fs::create_dir_all(&cfg.out_dir).expect("create out dir");
+    let path = cfg.out_dir.join("serve_store.bin");
+    {
+        let file = std::fs::File::create(&path).expect("create manifest file");
+        let mut out = std::io::BufWriter::new(file);
+        store.save_to(&mut out).expect("save manifest");
+    }
+    let store_bytes = std::fs::metadata(&path).expect("manifest metadata").len();
+    drop(store);
+
+    // Eager open: the whole file comes off disk and through the full-body
+    // checksum before the first query can run.
+    let mut open_eager_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let (secs, eager) = time_it(|| {
+            let bytes = std::fs::read(&path).expect("read manifest");
+            FilterStore::open(registry, &bytes).expect("eager open")
+        });
+        open_eager_secs = open_eager_secs.min(secs);
+        assert!(eager.may_contain(keys[n / 2]));
+    }
+
+    // Mapped open: header + routing + per-shard extents only.
+    let mut open_mapped_secs = f64::INFINITY;
+    for _ in 0..5 {
+        let (secs, mapped) =
+            time_it(|| FilterStore::open_mapped(registry, &path).expect("mapped open"));
+        open_mapped_secs = open_mapped_secs.min(secs);
+        drop(mapped);
+    }
+    let mapped = FilterStore::open_mapped(registry, &path).expect("mapped open");
+    let (first_query_secs, hit) = time_it(|| mapped.may_contain(keys[n / 2]));
+    assert!(hit, "mapped store lost a present key");
+    let lazy_loads = mapped.stats().lazy_shard_loads();
+    let _ = std::fs::remove_file(&path);
+
+    let mapped_speedup = open_eager_secs / open_mapped_secs;
+    let mut table = Table::new(&["metric", "value", "notes"]);
+    table.row(vec![
+        "store_bytes".into(),
+        store_bytes.to_string(),
+        format!("{n} keys, {shards} shards, build {build_secs:.1}s"),
+    ]);
+    table.row(vec![
+        "open_eager_ms".into(),
+        format!("{:.2}", open_eager_secs * 1e3),
+        "full read + body checksum + every shard parsed".into(),
+    ]);
+    table.row(vec![
+        "open_mapped_ms".into(),
+        format!("{:.2}", open_mapped_secs * 1e3),
+        "O(shards) scan, metadata checksum only".into(),
+    ]);
+    table.row(vec![
+        "mapped_speedup".into(),
+        format!("{mapped_speedup:.0}x"),
+        "acceptance target: >= 10x".into(),
+    ]);
+    table.row(vec![
+        "first_query_ms".into(),
+        format!("{:.3}", first_query_secs * 1e3),
+        format!("materialized {lazy_loads} of {shards} shards"),
+    ]);
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "serve");
+
+    let mut config_obj = crate::report::JsonObject::new();
+    config_obj
+        .int("n", n as u64)
+        .int("shards", shards as u64)
+        .int("seed", cfg.seed);
+    let mut metrics = crate::report::JsonObject::new();
+    metrics.int("store_bytes", store_bytes);
+    metrics.num("open_eager_ms", open_eager_secs * 1e3);
+    metrics.num("open_mapped_ms", open_mapped_secs * 1e3);
+    metrics.num("mapped_speedup", mapped_speedup);
+    metrics.num("first_query_ms", first_query_secs * 1e3);
+    metrics.int("lazy_shard_loads_after_first_query", lazy_loads);
+    let mut doc = crate::report::JsonObject::new();
+    doc.str_field("schema", "grafite-serve-v1")
+        .obj("config", &config_obj)
+        .obj("metrics", &metrics);
+    doc.write(&cfg.out_dir, "BENCH_serve")
+        .expect("write BENCH_serve.json");
 }
 
 /// Minimum-of-`reps` wall-clock nanoseconds per operation for a closure

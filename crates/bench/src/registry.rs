@@ -4,8 +4,12 @@
 //! delegation: the spec enum, the config, and the builder table all live in
 //! [`grafite_core::registry`] (populated by
 //! [`grafite_filters::standard_registry`]), and are re-exported here so
-//! existing `grafite_bench::registry::{FilterSpec, build_filter}` paths
-//! keep working. The former 70-line construction `match` is gone.
+//! existing `grafite_bench::registry::FilterSpec` paths keep working. The
+//! former 70-line construction `match` is gone, and the pre-redesign
+//! `BuildCtx`/`build_filter` wrappers have been removed — write
+//! `FilterConfig::new(keys).bits_per_key(..)` and go through
+//! [`standard`]/[`build_spec`], or `grafite_store::FilterStore` for the
+//! build → serve → update → reload lifecycle.
 
 use std::sync::OnceLock;
 
@@ -27,78 +31,4 @@ pub fn standard() -> &'static Registry {
 /// [`standard`]`().build(spec, cfg)`.
 pub fn build_spec(spec: FilterSpec, cfg: &FilterConfig<'_>) -> Option<Box<dyn PersistentFilter>> {
     standard().build(spec, cfg).ok()
-}
-
-/// Everything a filter build may need.
-///
-/// **Deprecated (doc-level):** superseded by [`FilterConfig`] (same
-/// fields, builder-style construction, lives in `grafite-core`) for
-/// one-off builds, and by `grafite_store::StoreConfig` for serving
-/// deployments. No internal caller uses it anymore; it is kept only so
-/// pre-redesign downstream call sites compile unchanged, and may be
-/// removed in a future major version. New code should write
-/// `FilterConfig::new(keys).bits_per_key(..)` and go through
-/// [`standard`]`()`/[`build_spec`] — or `grafite_store::FilterStore` when
-/// it needs the build → serve → update → reload lifecycle.
-pub struct BuildCtx<'a> {
-    /// The key set (sorted is fine, not required).
-    pub keys: &'a [u64],
-    /// Space budget in bits per key.
-    pub bits_per_key: f64,
-    /// The workload's max range size (`L`).
-    pub max_range: u64,
-    /// Query sample (empty ranges) for the auto-tuned filters.
-    pub sample: &'a [(u64, u64)],
-    /// Seed for any randomised component.
-    pub seed: u64,
-}
-
-impl<'a> BuildCtx<'a> {
-    /// The equivalent [`FilterConfig`].
-    pub fn to_config(&self) -> FilterConfig<'a> {
-        FilterConfig::new(self.keys)
-            .bits_per_key(self.bits_per_key)
-            .max_range(self.max_range)
-            .sample(self.sample)
-            .seed(self.seed)
-    }
-}
-
-/// Legacy entry point over [`BuildCtx`]; thin delegation to [`build_spec`].
-///
-/// **Deprecated (doc-level):** see [`BuildCtx`] — use [`build_spec`] with a
-/// [`FilterConfig`] (or `grafite_store::FilterStore` for serving) instead.
-pub fn build_filter(spec: FilterSpec, ctx: &BuildCtx<'_>) -> Option<Box<dyn PersistentFilter>> {
-    build_spec(spec, &ctx.to_config())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// The deprecated wrappers must stay faithful delegates for as long as
-    /// they exist: same filter, same answers as the registry path.
-    #[test]
-    fn legacy_wrappers_delegate_to_the_registry_path() {
-        let keys: Vec<u64> = (0..500u64).map(|i| i * 999_983).collect();
-        let ctx = BuildCtx {
-            keys: &keys,
-            bits_per_key: 14.0,
-            max_range: 64,
-            sample: &[],
-            seed: 7,
-        };
-        let legacy = build_filter(FilterSpec::Grafite, &ctx).expect("feasible");
-        let cfg = FilterConfig::new(&keys)
-            .bits_per_key(14.0)
-            .max_range(64)
-            .seed(7);
-        let modern = build_spec(FilterSpec::Grafite, &cfg).expect("feasible");
-        assert_eq!(legacy.name(), modern.name());
-        assert_eq!(
-            legacy.to_bytes(),
-            modern.to_bytes(),
-            "wrapper built a different filter"
-        );
-    }
 }

@@ -1,8 +1,6 @@
 //! Smoke tests for the experiment harness plumbing: every registry spec
 //! builds (or declines) cleanly at every budget and answers soundly,
-//! through the `FilterConfig`/`build_spec` registry path. (The doc-level
-//! deprecated `BuildCtx`/`build_filter` wrappers are covered by a
-//! delegation-equivalence unit test in `grafite_bench::registry`.)
+//! through the `FilterConfig`/`build_spec` registry path.
 
 use grafite_bench::harness::{measure, RunConfig};
 use grafite_bench::registry::{build_spec, FilterConfig, FilterSpec};

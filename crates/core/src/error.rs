@@ -91,6 +91,17 @@ pub enum FilterError {
     /// ≥ 32) load through their typed `PersistentFilter::deserialize`
     /// instead.
     UnknownSpecId(u32),
+    /// A shard of a mapped store failed to materialize from its recorded
+    /// blob extent on first touch. The serving layer treats the shard as
+    /// *pass-all* (no false negatives are ever introduced) and surfaces
+    /// this error through its stats instead of failing queries.
+    ShardLoad {
+        /// Index of the shard whose lazy materialization failed.
+        shard: u32,
+        /// The underlying load failure
+        /// ([`std::error::Error::source`] reports it).
+        source: Box<FilterError>,
+    },
     /// The byte sink or source failed while (de)serializing.
     Io {
         /// The i/o failure kind.
@@ -174,6 +185,9 @@ impl fmt::Display for FilterError {
                     "header spec id {id} maps to no spec in this registry table"
                 )
             }
+            FilterError::ShardLoad { shard, source } => {
+                write!(f, "shard {shard} failed to materialize: {source}")
+            }
             FilterError::Io { kind, .. } => {
                 write!(f, "i/o failure during (de)serialization: {kind}")
             }
@@ -190,6 +204,7 @@ impl std::error::Error for FilterError {
             FilterError::CorruptPayload { source, .. } | FilterError::Io { source, .. } => {
                 source.as_ref().map(|e| e as _)
             }
+            FilterError::ShardLoad { source, .. } => Some(source.as_ref() as _),
             _ => None,
         }
     }

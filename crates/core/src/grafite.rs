@@ -1,7 +1,7 @@
 //! The Grafite range filter (paper Section 3).
 
 use grafite_hash::{LocalityHash, PairwiseHash};
-use grafite_succinct::io::{DecodeError, WordSource, WordWriter};
+use grafite_succinct::io::{DecodeError, MappedCursor, MappedSource, WordSource, WordWriter};
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
@@ -45,6 +45,11 @@ pub struct GrafiteFilter<S = Vec<u64>> {
 /// A Grafite filter borrowing its Elias–Fano storage (directories
 /// included) from a loaded `&[u64]` buffer.
 pub type GrafiteFilterView<'a> = GrafiteFilter<&'a [u64]>;
+
+/// A Grafite filter owning its Elias–Fano storage by reference count — the
+/// `'static`, thread-shareable twin of [`GrafiteFilterView`], used by the
+/// mapped store/serving path (see [`MappedGrafiteFilter::open_mapped`]).
+pub type MappedGrafiteFilter = GrafiteFilter<MappedSource>;
 
 impl GrafiteFilter {
     /// Starts building a filter. See [`GrafiteBuilder`].
@@ -95,7 +100,43 @@ impl<'a> GrafiteFilterView<'a> {
     }
 }
 
+impl MappedGrafiteFilter {
+    /// Opens a serialized Grafite filter (header included) over a shared
+    /// word buffer: like [`GrafiteFilterView::view`], nothing is copied or
+    /// rebuilt — the Elias–Fano arrays and their directories are sub-ranges
+    /// of `source`'s buffer — but the result is `'static` and can be moved
+    /// into a `Box<dyn PersistentFilter>` and shared across threads, which
+    /// a borrowed view cannot. Legacy v1 blobs are rejected for the same
+    /// reason views reject them (their directories must be rebuilt, which
+    /// only the owned path can hold).
+    pub fn open_mapped(source: &MappedSource) -> Result<Self, FilterError> {
+        let (header, mut cur) = Header::payload_cursor_mapped(source)?;
+        if header.spec_id != spec_id::GRAFITE {
+            return Err(FilterError::SpecMismatch(header.spec_id));
+        }
+        if header.legacy_directories() {
+            return Err(FilterError::UnsupportedFormatVersion {
+                found: header.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Self::decode_payload(&mut cur, &header, EliasFano::read_from)
+    }
+}
+
 impl<S: AsRef<[u64]>> GrafiteFilter<S> {
+    /// Payload writer shared by every storage type: `[c1, c2, p, r]` (the
+    /// locality hash, fully determined by its pairwise parameters) followed
+    /// by the Elias–Fano code sequence.
+    fn write_payload_words(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        let q = self.h.pairwise();
+        w.word(q.c1())?;
+        w.word(q.c2())?;
+        w.word(q.prime())?;
+        w.word(self.r)?;
+        self.codes.write_to(w)?;
+        Ok(())
+    }
     /// Shared payload codec for the owned and view load paths. `read_ef`
     /// selects the Elias–Fano decoder: the current-format reader, or the
     /// legacy-v1 reader (owned only) that rebuilds select directories.
@@ -315,13 +356,7 @@ impl PersistentFilter for GrafiteFilter {
     /// Payload: `[c1, c2, p, r]` (the locality hash, fully determined by
     /// its pairwise parameters) followed by the Elias–Fano code sequence.
     fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
-        let q = self.h.pairwise();
-        w.word(q.c1())?;
-        w.word(q.c2())?;
-        w.word(q.prime())?;
-        w.word(self.r)?;
-        self.codes.write_to(w)?;
-        Ok(())
+        self.write_payload_words(w)
     }
 
     fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
@@ -333,6 +368,41 @@ impl PersistentFilter for GrafiteFilter {
         } else {
             Self::decode_payload(src, header, EliasFano::read_from)
         }
+    }
+}
+
+impl PersistentFilter for MappedGrafiteFilter {
+    fn spec_id(&self) -> u32 {
+        spec_id::GRAFITE
+    }
+
+    fn spec_ids() -> &'static [u32] {
+        &[spec_id::GRAFITE]
+    }
+
+    fn write_payload(&self, w: &mut WordWriter<'_>) -> std::io::Result<()> {
+        self.write_payload_words(w)
+    }
+
+    /// Owned source, mapped storage: the payload words are read once into
+    /// a fresh shared buffer and the filter's containers become sub-ranges
+    /// of it. Legacy v1 blobs are rejected as in
+    /// [`MappedGrafiteFilter::open_mapped`].
+    fn read_payload<Src: WordSource<Storage = Vec<u64>>>(
+        src: &mut Src,
+        header: &Header,
+    ) -> Result<Self, FilterError> {
+        if header.legacy_directories() {
+            return Err(FilterError::UnsupportedFormatVersion {
+                found: header.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let need = usize::try_from(header.payload_words)
+            .map_err(|_| FilterError::corrupt("payload length overflows usize"))?;
+        let words = src.take(need).map_err(FilterError::from)?;
+        let mut cur = MappedCursor::new(MappedSource::from_words(words));
+        Self::decode_payload(&mut cur, header, EliasFano::read_from)
     }
 }
 
@@ -893,7 +963,7 @@ mod persist_tests {
         let bytes = filter.to_bytes();
         assert_eq!(bytes.len() * 8, filter.serialized_bits());
 
-        let back = GrafiteFilter::deserialize(&bytes).expect("deserialize");
+        let back: GrafiteFilter = GrafiteFilter::deserialize(&bytes).expect("deserialize");
         assert_eq!(back.reduced_universe(), filter.reduced_universe());
         assert_eq!(back.num_keys(), filter.num_keys());
         assert_eq!(back.num_codes(), filter.num_codes());
@@ -931,6 +1001,65 @@ mod persist_tests {
         assert_eq!(via_view, via_filter);
     }
 
+    /// The mapped path — `open_mapped` over a shared buffer and the owned
+    /// `deserialize` of `MappedGrafiteFilter` — answers bit-identically to
+    /// the owned filter, and its clones share (not copy) the storage.
+    #[test]
+    fn mapped_open_matches_owned_filter() {
+        let keys: Vec<u64> = (0..1200u64)
+            .map(|i| i.wrapping_mul(0x000A_5A51_2349))
+            .collect();
+        let filter = GrafiteFilter::builder()
+            .bits_per_key(13.0)
+            .seed(8)
+            .build(&keys)
+            .unwrap();
+        let bytes = filter.to_bytes();
+        let source = MappedSource::from_le_bytes(&bytes).unwrap();
+        let mapped = MappedGrafiteFilter::open_mapped(&source).expect("open_mapped");
+        let owned_src = MappedGrafiteFilter::deserialize(&bytes).expect("deserialize");
+        assert_eq!(mapped.num_keys(), filter.num_keys());
+        assert_eq!(mapped.reduced_universe(), filter.reduced_universe());
+        for probe in 0..3000u64 {
+            let a = probe.wrapping_mul(0x9E3779B9);
+            let b = a.saturating_add(128);
+            let expect = filter.may_contain_range(a, b);
+            assert_eq!(mapped.may_contain_range(a, b), expect);
+            assert_eq!(owned_src.may_contain_range(a, b), expect);
+        }
+        // Batch path too, and re-serialization is byte-identical.
+        let queries: Vec<(u64, u64)> = (0..400u64).map(|i| (i * 977, i * 977 + 50)).collect();
+        let (mut via_mapped, mut via_owned) = (Vec::new(), Vec::new());
+        mapped.may_contain_ranges(&queries, &mut via_mapped);
+        filter.may_contain_ranges(&queries, &mut via_owned);
+        assert_eq!(via_mapped, via_owned);
+        assert_eq!(mapped.to_bytes(), bytes);
+    }
+
+    /// Mapped loading is as hardened as the owned path: corruption,
+    /// truncation, and foreign specs come back typed, never a panic.
+    #[test]
+    fn mapped_open_rejects_foreign_bytes_typed() {
+        let filter = GrafiteFilter::builder()
+            .bits_per_key(8.0)
+            .build(&[5u64, 6, 7])
+            .unwrap();
+        let bytes = filter.to_bytes();
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        let source = MappedSource::from_le_bytes(&corrupt).unwrap();
+        assert!(matches!(
+            MappedGrafiteFilter::open_mapped(&source),
+            Err(FilterError::ChecksumMismatch { .. })
+        ));
+        let short = MappedSource::from_le_bytes(&bytes[..bytes.len() - 8]).unwrap();
+        assert!(matches!(
+            MappedGrafiteFilter::open_mapped(&short),
+            Err(FilterError::TruncatedBuffer { .. })
+        ));
+    }
+
     #[test]
     fn foreign_bytes_are_rejected_typed() {
         let keys = [1u64, 2, 3];
@@ -940,14 +1069,14 @@ mod persist_tests {
             .unwrap();
         let bytes = filter.to_bytes();
         assert!(matches!(
-            GrafiteFilter::deserialize(&bytes[..bytes.len() - 3]),
+            GrafiteFilter::<Vec<u64>>::deserialize(&bytes[..bytes.len() - 3]),
             Err(FilterError::TruncatedBuffer { .. })
         ));
         let mut corrupt = bytes.clone();
         let last = corrupt.len() - 1;
         corrupt[last] ^= 0xFF;
         assert!(matches!(
-            GrafiteFilter::deserialize(&corrupt),
+            GrafiteFilter::<Vec<u64>>::deserialize(&corrupt),
             Err(FilterError::ChecksumMismatch { .. })
         ));
     }

@@ -55,7 +55,9 @@ pub mod traits;
 
 pub use bucketing::{BucketingBuilder, BucketingFilter, BucketingTuning, WorkloadAwareBucketing};
 pub use error::FilterError;
-pub use grafite::{GrafiteBuilder, GrafiteFilter, GrafiteFilterView, GrafiteTuning};
+pub use grafite::{
+    GrafiteBuilder, GrafiteFilter, GrafiteFilterView, GrafiteTuning, MappedGrafiteFilter,
+};
 pub use persist::{Header, FORMAT_VERSION, MAGIC};
 pub use registry::{BuilderFn, FilterSpec, LoaderFn, Registry};
 pub use string_keys::{BytesPrefixCodec, IdentityCodec, KeyCodec, StringGrafite};

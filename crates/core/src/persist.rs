@@ -56,7 +56,7 @@
 
 use std::io;
 
-use grafite_succinct::io::{le_word, WordCursor};
+use grafite_succinct::io::{le_word, MappedCursor, MappedSource, WordCursor};
 
 use crate::error::FilterError;
 
@@ -311,6 +311,26 @@ impl Header {
     pub fn payload_cursor(words: &[u64]) -> Result<(Self, WordCursor<'_>), FilterError> {
         let (header, payload) = Self::parse_words(words)?;
         Ok((header, WordCursor::new(payload)))
+    }
+
+    /// [`Header::payload_cursor`] over a shared [`MappedSource`] buffer —
+    /// the mapped load path: the header is parsed and checksummed exactly
+    /// like [`Header::parse_words`], and the returned cursor yields
+    /// sub-range `MappedSource`s, so structures parsed from it *own* the
+    /// buffer by reference count (`'static`, thread-shareable) instead of
+    /// borrowing it.
+    pub fn payload_cursor_mapped(
+        source: &MappedSource,
+    ) -> Result<(Self, MappedCursor), FilterError> {
+        // Full validation (magic, version, extent, checksum) over the word
+        // image, then a zero-copy slice of the same shared buffer.
+        let (header, _) = Self::parse_words(source.as_ref())?;
+        let end = usize::try_from(header.payload_words)
+            .ok()
+            .and_then(|pw| pw.checked_add(HEADER_WORDS))
+            .ok_or(FilterError::corrupt("payload length overflows usize"))?;
+        let payload = source.slice(HEADER_WORDS..end).map_err(FilterError::from)?;
+        Ok((header, MappedCursor::new(payload)))
     }
 }
 

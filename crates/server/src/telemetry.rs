@@ -1,0 +1,376 @@
+//! Operational telemetry: lock-free counters and streaming histograms the
+//! server updates on every request and exports as JSON over `STATS`.
+//!
+//! Everything is plain `std` atomics — no dependencies, no sampling locks
+//! — so recording costs a handful of relaxed atomic adds per request:
+//!
+//! * per-verb request counts, error counts, and log₂-bucketed latency
+//!   histograms (approximate p50/p99 in microseconds),
+//! * per-shard probe counts (which shards the routing sends traffic to),
+//! * batch coalescing: how many probes each executed batch carried,
+//! * rebuild (apply) durations,
+//! * an observed-false-positive estimator: every positive answer the
+//!   server can refute against the snapshot's retained keys counts as a
+//!   confirmed false positive, so `fp.observed_rate` converges on the
+//!   store's real FPR under live traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use grafite_store::FilterStore;
+
+/// Relaxed monotonic add — every counter in this module goes through here.
+fn add(counter: &AtomicU64, n: u64) {
+    // ordering: pure monotonic event counter; nothing synchronizes on it,
+    // so relaxed suffices.
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Relaxed counter read for reporting.
+fn get(counter: &AtomicU64) -> u64 {
+    // ordering: statistical snapshot read; slight tearing across counters
+    // is acceptable for telemetry, so relaxed suffices.
+    counter.load(Ordering::Relaxed)
+}
+
+/// A log₂-bucketed streaming histogram of `u64` samples: bucket `i` holds
+/// samples whose bit length is `i` (value 0 lands in bucket 0). Quantiles
+/// come back as the upper bound of the bucket the rank falls in — within
+/// 2× of the true value, which is all a latency dashboard needs.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let idx = (64 - value.leading_zeros() as usize).min(63);
+        if let Some(bucket) = self.buckets.get(idx) {
+            add(bucket, 1);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(get).sum()
+    }
+
+    /// The approximate `num/den` quantile: the upper bound of the bucket
+    /// holding that rank (0 when empty).
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        let total = self.count();
+        if total == 0 || den == 0 {
+            return 0;
+        }
+        let rank = (total as u128)
+            .saturating_mul(num as u128)
+            .div_ceil(den as u128)
+            .max(1) as u64;
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(get(bucket));
+            if seen >= rank {
+                return upper_bound(idx);
+            }
+        }
+        upper_bound(63)
+    }
+}
+
+/// The largest value bucket `idx` can hold.
+fn upper_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// Labels for the six request verbs, indexed by `verb - 1`.
+const VERB_LABELS: [&str; 6] = [
+    "query",
+    "batch_query",
+    "apply",
+    "stats",
+    "reload",
+    "shutdown",
+];
+
+/// One verb's counters: requests served, requests failed, latency.
+#[derive(Debug, Default)]
+pub struct VerbStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    latency_us: Histogram,
+}
+
+impl VerbStats {
+    /// Requests of this verb answered successfully.
+    pub fn count(&self) -> u64 {
+        get(&self.count)
+    }
+
+    /// Requests of this verb that failed (malformed or rejected).
+    pub fn errors(&self) -> u64 {
+        get(&self.errors)
+    }
+
+    /// The latency histogram (microseconds).
+    pub fn latency_us(&self) -> &Histogram {
+        &self.latency_us
+    }
+}
+
+/// The server's full telemetry state. One instance lives as long as the
+/// server; handlers record into it lock-free from every connection thread.
+#[derive(Debug)]
+pub struct Telemetry {
+    started: Instant,
+    verbs: [VerbStats; 6],
+    shard_probes: Vec<AtomicU64>,
+    batches: AtomicU64,
+    batched_probes: AtomicU64,
+    positives: AtomicU64,
+    refuted: AtomicU64,
+    rebuild_us: Histogram,
+    bad_frames: AtomicU64,
+}
+
+impl Telemetry {
+    /// Fresh telemetry for a store with `num_shards` shards (per-shard
+    /// probe counters are sized once; probes to shards beyond the initial
+    /// count — possible after a reload — are dropped from the per-shard
+    /// breakdown but still counted per verb).
+    pub fn new(num_shards: usize) -> Self {
+        Self {
+            started: Instant::now(),
+            verbs: Default::default(),
+            shard_probes: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            batches: AtomicU64::new(0),
+            batched_probes: AtomicU64::new(0),
+            positives: AtomicU64::new(0),
+            refuted: AtomicU64::new(0),
+            rebuild_us: Histogram::default(),
+            bad_frames: AtomicU64::new(0),
+        }
+    }
+
+    fn verb_slot(&self, verb: u8) -> Option<&VerbStats> {
+        self.verbs.get((verb as usize).wrapping_sub(1))
+    }
+
+    /// Records one successfully served request of `verb` and its latency.
+    pub fn record_request(&self, verb: u8, latency_us: u64) {
+        if let Some(slot) = self.verb_slot(verb) {
+            add(&slot.count, 1);
+            slot.latency_us.record(latency_us);
+        }
+    }
+
+    /// Records one failed request of `verb` (pass `0` for frames whose
+    /// verb never parsed; those land in no per-verb slot but the caller
+    /// still counts them via [`Telemetry::record_bad_frame`]).
+    pub fn record_error(&self, verb: u8) {
+        if let Some(slot) = self.verb_slot(verb) {
+            add(&slot.errors, 1);
+        } else {
+            self.record_bad_frame();
+        }
+    }
+
+    /// Records a frame that failed before its verb was known (bad length
+    /// prefix, unknown verb). These land in a dedicated counter rather
+    /// than any per-verb error slot.
+    pub fn record_bad_frame(&self) {
+        add(&self.bad_frames, 1);
+    }
+
+    /// Records one probe routed to `shard`.
+    pub fn record_shard_probe(&self, shard: usize) {
+        if let Some(slot) = self.shard_probes.get(shard) {
+            add(slot, 1);
+        }
+    }
+
+    /// Records one executed batch carrying `probes` coalesced probes.
+    pub fn record_batch(&self, probes: u64) {
+        add(&self.batches, 1);
+        add(&self.batched_probes, probes);
+    }
+
+    /// Records one positive answer and whether the retained-key check
+    /// refuted it (refuted = confirmed false positive).
+    pub fn record_positive(&self, refuted: bool) {
+        add(&self.positives, 1);
+        if refuted {
+            add(&self.refuted, 1);
+        }
+    }
+
+    /// Records one `apply` rebuild duration in microseconds.
+    pub fn record_rebuild(&self, duration_us: u64) {
+        self.rebuild_us.record(duration_us);
+    }
+
+    /// Total requests that failed across all verbs plus unparseable
+    /// frames — the number a smoke test gates on.
+    pub fn total_errors(&self) -> u64 {
+        self.verbs
+            .iter()
+            .map(VerbStats::errors)
+            .sum::<u64>()
+            .saturating_add(get(&self.bad_frames))
+    }
+
+    /// The mean number of probes per executed batch (the coalescing
+    /// factor; 0.0 before the first batch).
+    pub fn coalescing_factor(&self) -> f64 {
+        let batches = get(&self.batches);
+        if batches == 0 {
+            return 0.0;
+        }
+        get(&self.batched_probes) as f64 / batches as f64
+    }
+
+    /// The observed false-positive rate: refuted positives over all
+    /// positives (0.0 before the first positive).
+    pub fn observed_fp_rate(&self) -> f64 {
+        let positives = get(&self.positives);
+        if positives == 0 {
+            return 0.0;
+        }
+        get(&self.refuted) as f64 / positives as f64
+    }
+}
+
+/// Renders the full telemetry state — plus the store's own counters and
+/// current snapshot shape — as one JSON object. Hand-rolled: keys are
+/// fixed identifiers and values numeric, so no escaping is needed.
+pub fn render_json(t: &Telemetry, store: &FilterStore) -> String {
+    let uptime = t.started.elapsed();
+    let uptime_s = uptime.as_secs_f64().max(1e-9);
+    let snap = store.snapshot();
+    let stats = store.stats();
+    let mut out = String::with_capacity(2048);
+    out.push('{');
+    push_kv(&mut out, "schema", "\"grafite-server-stats-v1\"");
+    push_kv(
+        &mut out,
+        "family",
+        &format!("\"{}\"", store.config().family.label()),
+    );
+    push_kv(&mut out, "uptime_ms", &format!("{}", uptime.as_millis()));
+    out.push_str("\"verbs\":{");
+    for (idx, label) in VERB_LABELS.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        let slot = &t.verbs[idx];
+        out.push_str(&format!(
+            "\"{label}\":{{\"count\":{},\"errors\":{},\"qps\":{:.3},\"p50_us\":{},\"p99_us\":{}}}",
+            slot.count(),
+            slot.errors(),
+            slot.count() as f64 / uptime_s,
+            slot.latency_us().quantile(1, 2),
+            slot.latency_us().quantile(99, 100),
+        ));
+    }
+    out.push_str("},");
+    push_kv(&mut out, "bad_frames", &format!("{}", get(&t.bad_frames)));
+    push_kv(&mut out, "total_errors", &format!("{}", t.total_errors()));
+    out.push_str("\"batch\":{");
+    out.push_str(&format!(
+        "\"batches\":{},\"probes\":{},\"coalescing_factor\":{:.3}}},",
+        get(&t.batches),
+        get(&t.batched_probes),
+        t.coalescing_factor(),
+    ));
+    out.push_str("\"shard_probes\":[");
+    for (idx, slot) in t.shard_probes.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}", get(slot)));
+    }
+    out.push_str("],");
+    out.push_str(&format!(
+        "\"fp\":{{\"positives\":{},\"refuted\":{},\"observed_rate\":{:.6}}},",
+        get(&t.positives),
+        get(&t.refuted),
+        t.observed_fp_rate(),
+    ));
+    out.push_str(&format!(
+        "\"rebuild_us\":{{\"count\":{},\"p50\":{},\"p99\":{}}},",
+        t.rebuild_us.count(),
+        t.rebuild_us.quantile(1, 2),
+        t.rebuild_us.quantile(99, 100),
+    ));
+    out.push_str(&format!(
+        "\"store\":{{\"version\":{},\"num_shards\":{},\"lazy_shard_loads\":{},\"shard_load_errors\":{},\"reloads\":{}}}",
+        snap.version(),
+        snap.num_shards(),
+        stats.lazy_shard_loads(),
+        stats.shard_load_errors(),
+        stats.reloads(),
+    ));
+    out.push('}');
+    out
+}
+
+/// Appends `"key":value,` to a JSON object under construction.
+fn push_kv(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(value);
+    out.push(',');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let p50 = h.quantile(1, 2);
+        let p99 = h.quantile(99, 100);
+        assert!((3..=127).contains(&p50), "p50 bucket bound: {p50}");
+        assert!(p99 >= 100_000, "p99 bound: {p99}");
+        assert!(p99 <= 262_143, "p99 bound: {p99}");
+        assert_eq!(Histogram::default().quantile(1, 2), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_and_ratios() {
+        let t = Telemetry::new(4);
+        t.record_request(1, 10);
+        t.record_request(1, 20);
+        t.record_error(1);
+        t.record_bad_frame();
+        t.record_batch(8);
+        t.record_batch(2);
+        t.record_positive(true);
+        t.record_positive(false);
+        t.record_shard_probe(2);
+        t.record_shard_probe(99); // out of range: dropped, no panic
+        assert_eq!(t.total_errors(), 2);
+        assert!((t.coalescing_factor() - 5.0).abs() < 1e-9);
+        assert!((t.observed_fp_rate() - 0.5).abs() < 1e-9);
+    }
+}

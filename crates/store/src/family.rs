@@ -155,6 +155,14 @@ impl DynRangeFilter {
         family.load(registry, bytes)
     }
 
+    /// Wraps a pre-boxed filter under an explicit family — the mapped load
+    /// path's entry point, where the concrete type (e.g. a
+    /// `GrafiteFilter<MappedSource>` or a pass-all placeholder) is chosen
+    /// per shard at materialization time.
+    pub(crate) fn from_boxed(family: FamilySpec, inner: Box<dyn PersistentFilter>) -> Self {
+        Self { family, inner }
+    }
+
     /// Wraps an already-built typed filter. Fails with
     /// [`FilterError::UnknownSpecId`] if the filter's spec id names no
     /// servable family (a custom family outside [`FamilySpec::ALL`]).

@@ -19,6 +19,14 @@
 //!   ([`FilterStore::save_to`] / [`FilterStore::open`]): per-shard blobs in
 //!   the `grafite_core::persist` flat-byte format plus routing metadata,
 //!   so a store built offline revives on another machine with one call.
+//! * [`mapped`] — the lazy open path ([`FilterStore::open_mapped`] /
+//!   [`FilterStore::reload_mapped`]): the manifest file is *indexed* in
+//!   `O(shards)` small reads instead of parsed whole, and each shard
+//!   materializes from disk on first touch — Grafite shards zero-copy over
+//!   a shared word buffer — so a multi-gigabyte store cold-starts in
+//!   milliseconds and hot-reloads without dropping in-flight queries.
+//! * [`StoreStats`] — always-on operational counters (lazy loads, load
+//!   failures, reloads) the serving front end scrapes into its telemetry.
 //!
 //! # Example
 //!
@@ -54,10 +62,14 @@
 
 pub mod family;
 pub mod manifest;
+pub mod mapped;
+pub mod stats;
 pub mod store;
 
 pub use family::{DynRangeFilter, FamilySpec};
 pub use manifest::{MANIFEST_HEADER_WORDS, STORE_FORMAT_VERSION, STORE_MAGIC};
+pub use mapped::MappedManifest;
+pub use stats::StoreStats;
 pub use store::{
     ApplyReport, FilterStore, Partitioning, Routing, Shard, Snapshot, StoreConfig, Update,
 };

@@ -24,12 +24,18 @@
 //!
 //! The body is, in order:
 //!
+//! * the **metadata checksum**: [`checksum_words`] over header words 1–8,
+//!   the routing words, the sample words, and every per-shard framing word
+//!   (key count, keys checksum, blob length) — exactly the words the lazy
+//!   scan of [`crate::mapped`] reads, so a scan that never touches key or
+//!   blob bytes still authenticates everything it routes by;
 //! * routing words — range routing: `S` interval-start keys (word 2 names
 //!   the kind; hash routing has no body words, its seed is header word 7);
 //! * the tuning sample: a pair count followed by `lo, hi` words per pair;
-//! * per shard: the key count, the sorted keys, the shard blob's byte
-//!   length, and the blob itself ([`grafite_core::persist`] header
-//!   included) zero-padded to a word boundary.
+//! * per shard: the key count, the sorted keys, a [`checksum_words`] over
+//!   the keys, the shard blob's byte length, and the blob itself
+//!   ([`grafite_core::persist`] header included) zero-padded to a word
+//!   boundary.
 //!
 //! Shard keys ride in the manifest because updates rebuild dirty shards
 //! from them; each shard blob additionally carries its own header and
@@ -58,13 +64,13 @@ pub const STORE_MAGIC: u64 = u64::from_le_bytes(*b"GRAFSHRD");
 /// incompatible change, exactly like
 /// [`grafite_core::persist::FORMAT_VERSION`] (the two version independently:
 /// a manifest change does not invalidate filter blobs).
-pub const STORE_FORMAT_VERSION: u32 = 1;
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Header length in words.
 pub const MANIFEST_HEADER_WORDS: usize = 10;
 
-const ROUTING_RANGE: u64 = 0;
-const ROUTING_HASH: u64 = 1;
+pub(crate) const ROUTING_RANGE: u64 = 0;
+pub(crate) const ROUTING_HASH: u64 = 1;
 
 /// Serializes `snapshot` under `config` into `out`. Returns bytes written.
 pub fn write(
@@ -72,30 +78,47 @@ pub fn write(
     snapshot: &Snapshot,
     out: &mut dyn io::Write,
 ) -> Result<usize, FilterError> {
-    let mut body = Vec::new();
+    // `framing` collects every word the lazy scan reads (routing, sample,
+    // per-shard record framing); the metadata checksum over them — plus
+    // header words 1–8 — is the scan's integrity anchor.
+    let mut rest = Vec::new();
+    let mut framing: Vec<u64> = Vec::new();
     {
-        let mut w = WordWriter::new(&mut body);
+        let mut w = WordWriter::new(&mut rest);
         match snapshot.routing() {
-            Routing::Range { starts } => w.words(starts)?,
+            Routing::Range { starts } => {
+                w.words(starts)?;
+                framing.extend_from_slice(starts);
+            }
             Routing::Hash { .. } => {}
         }
         w.word(config.sample.len() as u64)?;
+        framing.push(config.sample.len() as u64);
         for &(lo, hi) in &config.sample {
             w.word(lo)?;
             w.word(hi)?;
+            framing.push(lo);
+            framing.push(hi);
         }
         for shard in snapshot.shards() {
-            w.prefixed(shard.keys())?;
+            let keys = shard.keys();
+            w.prefixed(keys)?;
+            let keys_checksum = checksum_words(keys.iter().copied());
+            w.word(keys_checksum)?;
             let blob = shard.filter().to_bytes();
             w.word(blob.len() as u64)?;
             w.bytes_padded(&blob)?;
+            framing.push(keys.len() as u64);
+            framing.push(keys_checksum);
+            framing.push(blob.len() as u64);
         }
     }
-    debug_assert_eq!(body.len() % 8, 0);
+    debug_assert_eq!(rest.len() % 8, 0);
     let (routing_kind, n_shards) = match snapshot.routing() {
         Routing::Range { starts } => (ROUTING_RANGE, starts.len() as u64),
         Routing::Hash { shards, .. } => (ROUTING_HASH, *shards as u64),
     };
+    let body_words = ((rest.len() / 8).saturating_add(1)) as u64; // + the metadata checksum word
     let header: [u64; MANIFEST_HEADER_WORDS - 1] = [
         STORE_MAGIC,
         ((STORE_FORMAT_VERSION as u64) << 32) | config.family.spec_id() as u64,
@@ -105,20 +128,152 @@ pub fn write(
         config.bits_per_key.to_bits(),
         config.max_range,
         config.seed,
-        (body.len() / 8) as u64,
+        body_words,
     ];
+    let meta_checksum = checksum_words(
+        header
+            .iter()
+            .skip(1)
+            .copied()
+            .chain(framing.iter().copied()),
+    );
     let checksum = checksum_words(
         header
             .iter()
             .skip(1)
             .copied()
-            .chain(body.chunks_exact(8).map(le_word)),
+            .chain([meta_checksum])
+            .chain(rest.chunks_exact(8).map(le_word)),
     );
-    for w in header.iter().copied().chain([checksum]) {
+    for w in header.iter().copied().chain([checksum, meta_checksum]) {
         out.write_all(&w.to_le_bytes())?;
     }
-    out.write_all(&body)?;
-    Ok((MANIFEST_HEADER_WORDS.saturating_mul(8)).saturating_add(body.len()))
+    out.write_all(&rest)?;
+    Ok((MANIFEST_HEADER_WORDS.saturating_mul(8))
+        .saturating_add(8)
+        .saturating_add(rest.len()))
+}
+
+/// The validated ten-word manifest header — everything the open paths
+/// (eager [`read`] and the lazy mapped scan of [`crate::mapped`]) agree on
+/// before touching the body.
+pub(crate) struct ManifestHead {
+    /// The shard filter family.
+    pub(crate) family: FamilySpec,
+    /// Routing kind word ([`ROUTING_RANGE`] / [`ROUTING_HASH`], already
+    /// range-checked).
+    pub(crate) routing_kind: u64,
+    /// Shard count (at least 1).
+    pub(crate) n_shards: usize,
+    /// Total distinct keys across shards, per the header.
+    pub(crate) total_keys: u64,
+    /// Per-shard space budget.
+    pub(crate) bits_per_key: f64,
+    /// The workload's max range size.
+    pub(crate) max_range: u64,
+    /// Seed for filter components and hash routing.
+    pub(crate) seed: u64,
+    /// Body length in words.
+    pub(crate) body_words: u64,
+    /// Checksum over header words 1–8 and the body words.
+    pub(crate) checksum: u64,
+}
+
+impl ManifestHead {
+    /// Validates the fixed header fields: magic, version, family, shard
+    /// count, budget, and routing kind. Body extent and checksum are the
+    /// caller's job (the eager path checks both; the mapped path defers the
+    /// body checksum to per-shard validation).
+    pub(crate) fn validate(head: [u64; MANIFEST_HEADER_WORDS]) -> Result<Self, FilterError> {
+        let [magic, spec_version, routing_kind, n_shards_w, total_keys, bits_w, max_range, seed, body_words, checksum] =
+            head;
+        if magic != STORE_MAGIC {
+            return Err(FilterError::BadMagic(magic));
+        }
+        let version = (spec_version >> 32) as u32;
+        if version != STORE_FORMAT_VERSION {
+            return Err(FilterError::UnsupportedFormatVersion {
+                found: version,
+                supported: STORE_FORMAT_VERSION,
+            });
+        }
+        let spec_id = spec_version as u32;
+        let family =
+            FamilySpec::from_spec_id(spec_id).ok_or(FilterError::UnknownSpecId(spec_id))?;
+        let n_shards = usize::try_from(n_shards_w)
+            .ok()
+            .filter(|&s| s >= 1)
+            .ok_or_else(|| FilterError::corrupt("shard count out of range"))?;
+        let bits_per_key = f64::from_bits(bits_w);
+        if !(bits_per_key.is_finite() && bits_per_key > 0.0) {
+            return Err(FilterError::corrupt(
+                "store bits-per-key not a positive float",
+            ));
+        }
+        if !matches!(routing_kind, ROUTING_RANGE | ROUTING_HASH) {
+            return Err(FilterError::corrupt("unknown routing kind"));
+        }
+        Ok(Self {
+            family,
+            routing_kind,
+            n_shards,
+            total_keys,
+            bits_per_key,
+            max_range,
+            seed,
+            body_words,
+            checksum,
+        })
+    }
+
+    /// The routing table and partitioning named by the header plus the
+    /// routing body words (range-interval starts; empty for hash routing).
+    pub(crate) fn routing(&self, starts: Vec<u64>) -> Result<(Routing, Partitioning), FilterError> {
+        match self.routing_kind {
+            ROUTING_RANGE => {
+                if starts.first() != Some(&0)
+                    || !starts.windows(2).all(|w| matches!(w, [a, b] if a < b))
+                {
+                    return Err(FilterError::corrupt(
+                        "range routing starts not strictly increasing from 0",
+                    ));
+                }
+                Ok((
+                    Routing::Range { starts },
+                    Partitioning::Range {
+                        shards: self.n_shards,
+                    },
+                ))
+            }
+            _ => {
+                let shards = u32::try_from(self.n_shards)
+                    .map_err(|_| FilterError::corrupt("hash shard count above u32"))?;
+                Ok((
+                    Routing::Hash {
+                        shards,
+                        seed: self.seed,
+                    },
+                    Partitioning::Hash {
+                        shards: self.n_shards,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// The reconstructed [`StoreConfig`] (given the body's tuning sample).
+    pub(crate) fn config(
+        &self,
+        partitioning: Partitioning,
+        sample: Vec<(u64, u64)>,
+    ) -> StoreConfig {
+        StoreConfig::new(self.family)
+            .bits_per_key(self.bits_per_key)
+            .max_range(self.max_range)
+            .seed(self.seed)
+            .sample(sample)
+            .partitioning(partitioning)
+    }
 }
 
 /// Parses and validates a manifest, loading every shard filter through
@@ -136,35 +291,14 @@ pub fn read(
             have: bytes.len(),
         });
     }
-    let mut head = [0u64; MANIFEST_HEADER_WORDS];
-    for (w, c) in head.iter_mut().zip(bytes.chunks_exact(8)) {
+    let mut raw_head = [0u64; MANIFEST_HEADER_WORDS];
+    for (w, c) in raw_head.iter_mut().zip(bytes.chunks_exact(8)) {
         *w = le_word(c);
     }
-    let [magic, spec_version, routing_kind, n_shards_w, total_keys, bits_w, max_range, seed, body_words_w, expected_checksum] =
-        head;
-    if magic != STORE_MAGIC {
-        return Err(FilterError::BadMagic(magic));
-    }
-    let version = (spec_version >> 32) as u32;
-    if version != STORE_FORMAT_VERSION {
-        return Err(FilterError::UnsupportedFormatVersion {
-            found: version,
-            supported: STORE_FORMAT_VERSION,
-        });
-    }
-    let spec_id = spec_version as u32;
-    let family = FamilySpec::from_spec_id(spec_id).ok_or(FilterError::UnknownSpecId(spec_id))?;
-    let n_shards = usize::try_from(n_shards_w)
-        .ok()
-        .filter(|&s| s >= 1)
-        .ok_or_else(|| FilterError::corrupt("shard count out of range"))?;
-    let bits_per_key = f64::from_bits(bits_w);
-    if !(bits_per_key.is_finite() && bits_per_key > 0.0) {
-        return Err(FilterError::corrupt(
-            "store bits-per-key not a positive float",
-        ));
-    }
-    let body_end = usize::try_from(body_words_w)
+    let head = ManifestHead::validate(raw_head)?;
+    let n_shards = head.n_shards;
+    let total_keys = head.total_keys;
+    let body_end = usize::try_from(head.body_words)
         .ok()
         .and_then(|bw| bw.checked_add(MANIFEST_HEADER_WORDS))
         .and_then(|w| w.checked_mul(8))
@@ -177,45 +311,30 @@ pub fn read(
         })?;
     let body: Vec<u64> = body_bytes.chunks_exact(8).map(le_word).collect();
     let actual = checksum_words(
-        head.iter()
+        raw_head
+            .iter()
             .skip(1)
             .take(MANIFEST_HEADER_WORDS - 2)
             .copied()
             .chain(body.iter().copied()),
     );
-    if actual != expected_checksum {
+    if actual != head.checksum {
         return Err(FilterError::ChecksumMismatch {
-            expected: expected_checksum,
+            expected: head.checksum,
             actual,
         });
     }
 
     let mut cursor = WordCursor::new(&body);
-    let (routing, partitioning) = match routing_kind {
-        ROUTING_RANGE => {
-            let starts: Vec<u64> = cursor.take(n_shards)?.to_vec();
-            if starts.first() != Some(&0)
-                || !starts.windows(2).all(|w| matches!(w, [a, b] if a < b))
-            {
-                return Err(FilterError::corrupt(
-                    "range routing starts not strictly increasing from 0",
-                ));
-            }
-            (
-                Routing::Range { starts },
-                Partitioning::Range { shards: n_shards },
-            )
-        }
-        ROUTING_HASH => {
-            let shards = u32::try_from(n_shards)
-                .map_err(|_| FilterError::corrupt("hash shard count above u32"))?;
-            (
-                Routing::Hash { shards, seed },
-                Partitioning::Hash { shards: n_shards },
-            )
-        }
-        _ => return Err(FilterError::corrupt("unknown routing kind")),
+    // The metadata checksum exists for the lazy scan (which never sees the
+    // whole body); the full-body checksum above already covers every word
+    // it covers, so the eager path just steps over it.
+    let _meta_checksum = cursor.word()?;
+    let routing_starts = match head.routing_kind {
+        ROUTING_RANGE => cursor.take(n_shards)?.to_vec(),
+        _ => Vec::new(),
     };
+    let (routing, partitioning) = head.routing(routing_starts)?;
     let sample_len = cursor.length()?;
     let mut sample = Vec::with_capacity(sample_len.min(1 << 20));
     for _ in 0..sample_len {
@@ -223,12 +342,7 @@ pub fn read(
         let hi = cursor.word()?;
         sample.push((lo, hi));
     }
-    let config = StoreConfig::new(family)
-        .bits_per_key(bits_per_key)
-        .max_range(max_range)
-        .seed(seed)
-        .sample(sample)
-        .partitioning(partitioning);
+    let config = head.config(partitioning, sample);
 
     let mut shards = Vec::with_capacity(n_shards);
     let mut keys_total = 0u64;
@@ -242,6 +356,14 @@ pub fn read(
             return Err(FilterError::corrupt(
                 "shard key routes to a different shard",
             ));
+        }
+        let keys_checksum = cursor.word()?;
+        let keys_actual = checksum_words(keys.iter().copied());
+        if keys_actual != keys_checksum {
+            return Err(FilterError::ChecksumMismatch {
+                expected: keys_checksum,
+                actual: keys_actual,
+            });
         }
         keys_total = keys_total.saturating_add(keys.len() as u64);
         let blob_len = cursor.length()?;

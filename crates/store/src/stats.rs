@@ -1,0 +1,89 @@
+//! Operational counters for the serving store: cheap, always-on atomics
+//! the serving front end (`grafite-server`) scrapes into its telemetry
+//! export.
+//!
+//! The counters are deliberately *store-level* facts — lazy shard
+//! materializations, materialization failures, manifest reloads — not
+//! query-path metrics: per-query counting belongs to the server's
+//! telemetry module, where it can be sampled and histogrammed without
+//! taxing the store's lock-free read path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared by a [`FilterStore`](crate::FilterStore) and
+/// every lazy shard it hands out. All methods are lock-free and safe to
+/// call from any thread.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    lazy_shard_loads: AtomicU64,
+    shard_load_errors: AtomicU64,
+    reloads: AtomicU64,
+}
+
+impl StoreStats {
+    /// Records one lazy shard materialization attempt.
+    pub(crate) fn record_lazy_load(&self) {
+        // ordering: pure monotonic event counter; nothing synchronizes on
+        // it, so relaxed suffices.
+        self.lazy_shard_loads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed shard materialization (the shard now serves
+    /// pass-all).
+    pub(crate) fn record_load_error(&self) {
+        // ordering: pure monotonic event counter; nothing synchronizes on
+        // it, so relaxed suffices.
+        self.shard_load_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one successful manifest hot-reload.
+    pub(crate) fn record_reload(&self) {
+        // ordering: pure monotonic event counter; nothing synchronizes on
+        // it, so relaxed suffices.
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lazy shard materialization attempts so far (mapped stores only;
+    /// eagerly opened stores never increment this).
+    pub fn lazy_shard_loads(&self) -> u64 {
+        // ordering: independent counter read for reporting; no ordering
+        // relationship with other memory is implied.
+        self.lazy_shard_loads.load(Ordering::Relaxed)
+    }
+
+    /// Shard materializations that failed and fell back to a pass-all
+    /// placeholder. Non-zero means queries are safe (no false negatives)
+    /// but degraded (every query on that shard answers `true`).
+    pub fn shard_load_errors(&self) -> u64 {
+        // ordering: independent counter read for reporting; no ordering
+        // relationship with other memory is implied.
+        self.shard_load_errors.load(Ordering::Relaxed)
+    }
+
+    /// Successful manifest hot-reloads since the store opened.
+    pub fn reloads(&self) -> u64 {
+        // ordering: independent counter read for reporting; no ordering
+        // relationship with other memory is implied.
+        self.reloads.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_zero_and_count() {
+        let stats = StoreStats::default();
+        assert_eq!(stats.lazy_shard_loads(), 0);
+        assert_eq!(stats.shard_load_errors(), 0);
+        assert_eq!(stats.reloads(), 0);
+        stats.record_lazy_load();
+        stats.record_lazy_load();
+        stats.record_load_error();
+        stats.record_reload();
+        assert_eq!(stats.lazy_shard_loads(), 2);
+        assert_eq!(stats.shard_load_errors(), 1);
+        assert_eq!(stats.reloads(), 1);
+    }
+}

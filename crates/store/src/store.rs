@@ -20,13 +20,16 @@
 //!   during, and after concurrent `apply` calls.
 
 use std::io;
-use std::sync::{Arc, Mutex, RwLock};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use grafite_core::registry::Registry;
 use grafite_core::{FilterConfig, FilterError, RangeFilter, DEFAULT_SEED};
 
 use crate::family::{DynRangeFilter, FamilySpec};
 use crate::manifest;
+use crate::mapped::{MappedManifest, ShardSource};
+use crate::stats::StoreStats;
 
 /// How a [`FilterStore`] splits the key space across shards.
 ///
@@ -244,12 +247,36 @@ impl StoreConfig {
     }
 }
 
-/// One shard: its slice of the key set (retained so updates can rebuild the
-/// filter) and the filter serving it.
-#[derive(Debug)]
+/// A shard's materialized contents: its slice of the key set (retained so
+/// updates can rebuild the filter), the filter serving it, and — for mapped
+/// shards that failed to load — the retained error behind the pass-all
+/// fallback.
+pub(crate) struct LoadedShard {
+    pub(crate) keys: Vec<u64>,
+    pub(crate) filter: DynRangeFilter,
+    pub(crate) error: Option<FilterError>,
+}
+
+/// One shard of the store. Eagerly built shards hold their keys and filter
+/// from construction; shards of a mapped store ([`FilterStore::open_mapped`])
+/// hold only a lazy source and materialize — read their keys and blob
+/// from the manifest file — on first touch, memoized thereafter.
 pub struct Shard {
-    keys: Vec<u64>,
-    filter: DynRangeFilter,
+    cell: OnceLock<LoadedShard>,
+    source: Option<ShardSource>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("Shard");
+        match self.cell.get() {
+            Some(loaded) => s
+                .field("num_keys", &loaded.keys.len())
+                .field("degraded", &loaded.error.is_some()),
+            None => s.field("materialized", &false),
+        }
+        .finish_non_exhaustive()
+    }
 }
 
 impl Shard {
@@ -265,23 +292,67 @@ impl Shard {
         let filter = config
             .family
             .build(registry, &config.filter_config(&keys))?;
-        Ok(Self { keys, filter })
+        Ok(Self::eager(keys, filter))
+    }
+
+    /// A shard materialized from birth (the build and eager-open paths).
+    fn eager(keys: Vec<u64>, filter: DynRangeFilter) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(LoadedShard {
+            keys,
+            filter,
+            error: None,
+        });
+        Self { cell, source: None }
     }
 
     /// Reassembles a shard from already-validated parts (the manifest
     /// reader's entry point).
     pub(crate) fn from_parts(keys: Vec<u64>, filter: DynRangeFilter) -> Self {
-        Self { keys, filter }
+        Self::eager(keys, filter)
     }
 
-    /// The shard's sorted, deduplicated keys.
+    /// A shard that materializes lazily from a mapped manifest.
+    pub(crate) fn from_source(source: ShardSource) -> Self {
+        Self {
+            cell: OnceLock::new(),
+            source: Some(source),
+        }
+    }
+
+    /// The materialized contents, loading them on first touch.
+    fn loaded(&self) -> &LoadedShard {
+        if let Some(loaded) = self.cell.get() {
+            return loaded;
+        }
+        match &self.source {
+            Some(src) => self.cell.get_or_init(|| src.materialize()),
+            // Eager constructors pre-set the cell, so a source-less shard
+            // can never reach this arm.
+            None => unreachable!("eager shards pre-set their cell"),
+        }
+    }
+
+    /// The shard's sorted, deduplicated keys (materializes the shard).
     pub fn keys(&self) -> &[u64] {
-        &self.keys
+        &self.loaded().keys
     }
 
-    /// The filter serving this shard.
+    /// The filter serving this shard (materializes the shard).
     pub fn filter(&self) -> &DynRangeFilter {
-        &self.filter
+        &self.loaded().filter
+    }
+
+    /// Whether a lazy shard has materialized yet (eager shards always have).
+    pub fn is_materialized(&self) -> bool {
+        self.cell.get().is_some()
+    }
+
+    /// The error behind a degraded shard: `Some` when materialization
+    /// failed and the shard serves the pass-all fallback (materializes the
+    /// shard).
+    pub fn load_error(&self) -> Option<&FilterError> {
+        self.loaded().error.as_ref()
     }
 }
 
@@ -298,6 +369,15 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Assembles a snapshot from its parts (the open/reload entry point).
+    pub(crate) fn from_parts(routing: Routing, shards: Vec<Arc<Shard>>, version: u64) -> Self {
+        Self {
+            routing,
+            shards,
+            version,
+        }
+    }
+
     /// The update-batch epoch this snapshot reflects (0 = as built).
     pub fn version(&self) -> u64 {
         self.version
@@ -308,14 +388,24 @@ impl Snapshot {
         self.shards.len()
     }
 
-    /// Total distinct keys across shards.
+    /// Total distinct keys across shards (materializes every lazy shard).
     pub fn num_keys(&self) -> usize {
-        self.shards.iter().map(|s| s.keys.len()).sum()
+        self.shards.iter().map(|s| s.keys().len()).sum()
     }
 
-    /// Total serialized footprint of the shard filters, in bits.
+    /// Total serialized footprint of the shard filters, in bits
+    /// (materializes every lazy shard).
     pub fn serialized_bits(&self) -> usize {
-        self.shards.iter().map(|s| s.filter.serialized_bits()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.filter().serialized_bits())
+            .sum()
+    }
+
+    /// The first shard-materialization failure in this snapshot, if any
+    /// shard is degraded to pass-all (materializes every lazy shard).
+    pub fn load_error(&self) -> Option<&FilterError> {
+        self.shards.iter().find_map(|s| s.load_error())
     }
 
     /// The routing table.
@@ -340,16 +430,20 @@ impl Snapshot {
                 (sa..=sb).any(|s| {
                     let (lo, hi) = self.routing.shard_span(s);
                     self.shards[s]
-                        .filter
+                        .filter()
                         .may_contain_range(a.max(lo), b.min(hi))
                 })
             }
             Routing::Hash { .. } => {
                 if a == b {
-                    self.shards[self.routing.shard_of(a)].filter.may_contain(a)
+                    self.shards[self.routing.shard_of(a)]
+                        .filter()
+                        .may_contain(a)
                 } else {
                     // A width-above-one range can hold keys of any shard.
-                    self.shards.iter().any(|s| s.filter.may_contain_range(a, b))
+                    self.shards
+                        .iter()
+                        .any(|s| s.filter().may_contain_range(a, b))
                 }
             }
         }
@@ -405,7 +499,7 @@ impl Snapshot {
         }
         let n_shards = self.shards.len();
         if n_shards == 1 {
-            self.shards[0].filter.may_contain_ranges(queries, out);
+            self.shards[0].filter().may_contain_ranges(queries, out);
             return;
         }
         out.resize(queries.len(), false);
@@ -437,7 +531,7 @@ impl Snapshot {
                 continue;
             }
             self.shards[s]
-                .filter
+                .filter()
                 .may_contain_ranges(&slot_q[lo..hi], &mut answers);
             for (&i, &hit) in slot_idx[lo..hi].iter().zip(&answers) {
                 if hit {
@@ -469,7 +563,11 @@ pub struct ApplyReport {
 /// consistency model and [`StoreConfig`] for the knobs.
 pub struct FilterStore {
     registry: Registry,
-    config: StoreConfig,
+    /// Behind a lock because [`FilterStore::reload`] may install a manifest
+    /// with a different configuration; readers touch it only through
+    /// [`FilterStore::config`]'s clone.
+    config: RwLock<StoreConfig>,
+    stats: Arc<StoreStats>,
     current: RwLock<Arc<Snapshot>>,
     /// Serializes writers; readers never touch it.
     writer: Mutex<()>,
@@ -479,9 +577,8 @@ impl std::fmt::Debug for FilterStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let snap = self.snapshot();
         f.debug_struct("FilterStore")
-            .field("family", &self.config.family)
+            .field("family", &self.config().family)
             .field("num_shards", &snap.num_shards())
-            .field("num_keys", &snap.num_keys())
             .field("version", &snap.version())
             .finish_non_exhaustive()
     }
@@ -526,21 +623,35 @@ impl FilterStore {
             .into_iter()
             .map(|ks| Shard::build(&config, registry, ks).map(Arc::new))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
-            registry: registry.clone(),
-            config,
-            current: RwLock::new(Arc::new(Snapshot {
-                routing,
-                shards,
-                version: 0,
-            })),
-            writer: Mutex::new(()),
-        })
+        Ok(Self::from_parts(registry, config, routing, shards))
     }
 
-    /// The configuration the store builds and rebuilds with.
-    pub fn config(&self) -> &StoreConfig {
-        &self.config
+    /// Assembles a store around an initial snapshot at version 0.
+    fn from_parts(
+        registry: &Registry,
+        config: StoreConfig,
+        routing: Routing,
+        shards: Vec<Arc<Shard>>,
+    ) -> Self {
+        Self {
+            registry: registry.clone(),
+            config: RwLock::new(config),
+            stats: Arc::new(StoreStats::default()),
+            current: RwLock::new(Arc::new(Snapshot::from_parts(routing, shards, 0))),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The configuration the store currently builds and rebuilds with
+    /// (cloned: a concurrent [`FilterStore::reload`] may replace it).
+    pub fn config(&self) -> StoreConfig {
+        self.config.read().expect("store lock poisoned").clone()
+    }
+
+    /// The store's operational counters (lazy loads, load failures,
+    /// reloads), shared with every lazy shard the store hands out.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     /// The current snapshot. The read lock is held only for the `Arc`
@@ -560,6 +671,7 @@ impl FilterStore {
     /// unchanged. Concurrent writers serialize; readers are never blocked.
     pub fn apply(&self, updates: &[Update]) -> Result<ApplyReport, FilterError> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
+        let config = self.config();
         let base = self.snapshot();
         let n_shards = base.shards.len();
         // Last-wins per key, grouped by shard: key -> desired presence.
@@ -579,11 +691,20 @@ impl FilterStore {
         let mut shards = Vec::with_capacity(n_shards);
         for (s, wanted) in per_shard.into_iter().enumerate() {
             let old = &base.shards[s];
+            // A degraded shard lost its keys: rebuilding it from the batch
+            // alone would silently drop them, so updates touching it refuse
+            // with the original materialization error. (Merely *sharing* a
+            // degraded shard into the next snapshot is fine — no data moves.)
+            if !wanted.is_empty() {
+                if let Some(err) = old.load_error() {
+                    return Err(err.clone());
+                }
+            }
             // An update only dirties its shard if it changes key presence.
             let mut inserts: Vec<u64> = Vec::new();
             let mut deletes: Vec<u64> = Vec::new();
             for (key, present) in wanted {
-                let already = old.keys.binary_search(&key).is_ok();
+                let already = old.keys().binary_search(&key).is_ok();
                 match (present, already) {
                     (true, false) => inserts.push(key),
                     (false, true) => deletes.push(key),
@@ -594,7 +715,7 @@ impl FilterStore {
                 shards.push(Arc::clone(old));
                 continue;
             }
-            let mut keys = old.keys.clone();
+            let mut keys = old.keys().to_vec();
             keys.extend_from_slice(&inserts);
             keys.sort_unstable();
             deletes.sort_unstable();
@@ -603,7 +724,7 @@ impl FilterStore {
             report.rebuilt_keys += keys.len();
             report.inserted += inserts.len();
             report.deleted += deletes.len();
-            shards.push(Arc::new(Shard::build(&self.config, &self.registry, keys)?));
+            shards.push(Arc::new(Shard::build(&config, &self.registry, keys)?));
         }
         if report.dirty_shards == 0 {
             return Ok(report);
@@ -622,14 +743,27 @@ impl FilterStore {
     /// per shard — as the versioned multi-shard manifest of
     /// [`crate::manifest`], returning the bytes written.
     pub fn save_to(&self, out: &mut dyn io::Write) -> Result<usize, FilterError> {
-        manifest::write(&self.config, &self.snapshot(), out)
+        let snap = self.snapshot();
+        // A degraded shard serves pass-all placeholders in place of the
+        // keys and filter that failed to load; serializing it would write a
+        // manifest that silently lost data. Refuse with the original error.
+        if let Some(err) = snap.load_error() {
+            return Err(err.clone());
+        }
+        let config = self.config();
+        manifest::write(&config, &snap, out)
     }
 
     /// Serializes into a fresh byte vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store holds a degraded (failed-to-materialize) shard;
+    /// use [`FilterStore::save_to`] for the typed error.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         self.save_to(&mut out)
-            .expect("writing to a Vec cannot fail");
+            .expect("store is degraded or unserializable");
         out
     }
 
@@ -640,16 +774,83 @@ impl FilterStore {
     /// updates under its original configuration.
     pub fn open(registry: &Registry, bytes: &[u8]) -> Result<Self, FilterError> {
         let (config, routing, shards) = manifest::read(registry, bytes)?;
+        Ok(Self::from_parts(registry, config, routing, shards))
+    }
+
+    /// Opens the manifest file at `path` *lazily*: scans only the header,
+    /// routing table, and per-shard extents (`O(shards)` small reads — a
+    /// multi-gigabyte store opens in milliseconds), and materializes each
+    /// shard from disk on its first query. Answers are bit-identical to
+    /// [`FilterStore::open`] over the same manifest; a shard whose bytes
+    /// fail validation at materialization time degrades to pass-all (no
+    /// false negatives) and records the failure in
+    /// [`FilterStore::stats`] and [`Shard::load_error`]. See
+    /// [`crate::mapped`] for the validation model.
+    pub fn open_mapped(registry: &Registry, path: &Path) -> Result<Self, FilterError> {
+        let manifest = Arc::new(MappedManifest::scan(registry, path)?);
+        let stats = Arc::new(StoreStats::default());
+        let (config, routing, shards) = Self::lazy_parts(&manifest, &stats);
         Ok(Self {
             registry: registry.clone(),
-            config,
-            current: RwLock::new(Arc::new(Snapshot {
-                routing,
-                shards,
-                version: 0,
-            })),
+            config: RwLock::new(config),
+            stats,
+            current: RwLock::new(Arc::new(Snapshot::from_parts(routing, shards, 0))),
             writer: Mutex::new(()),
         })
+    }
+
+    /// Lazy shards (plus config and routing) over a scanned manifest.
+    fn lazy_parts(
+        manifest: &Arc<MappedManifest>,
+        stats: &Arc<StoreStats>,
+    ) -> (StoreConfig, Routing, Vec<Arc<Shard>>) {
+        let shards = (0..manifest.num_shards())
+            .map(|i| {
+                let source = ShardSource::new(
+                    Arc::clone(manifest),
+                    u32::try_from(i).unwrap_or(u32::MAX),
+                    Arc::clone(stats),
+                );
+                Arc::new(Shard::from_source(source))
+            })
+            .collect();
+        (
+            manifest.config().clone(),
+            manifest.routing().clone(),
+            shards,
+        )
+    }
+
+    /// Hot-reloads the store from manifest `bytes`: parses and validates
+    /// the whole manifest eagerly, then atomically swaps in the new
+    /// snapshot (and its configuration) at `current version + 1`. In-flight
+    /// queries keep their old snapshot and finish unaffected; queries
+    /// taking a snapshot after the swap see only the new state. On error
+    /// the store is unchanged. Returns the new version.
+    pub fn reload(&self, bytes: &[u8]) -> Result<u64, FilterError> {
+        let (config, routing, shards) = manifest::read(&self.registry, bytes)?;
+        Ok(self.install(config, routing, shards))
+    }
+
+    /// Hot-reloads from the manifest file at `path` through the lazy
+    /// mapped path (see [`FilterStore::open_mapped`]): the swap installs
+    /// unmaterialized shards, so the reload itself is `O(shards)` however
+    /// large the store. Returns the new version.
+    pub fn reload_mapped(&self, path: &Path) -> Result<u64, FilterError> {
+        let manifest = Arc::new(MappedManifest::scan(&self.registry, path)?);
+        let (config, routing, shards) = Self::lazy_parts(&manifest, &self.stats);
+        Ok(self.install(config, routing, shards))
+    }
+
+    /// Swaps in a fully-prepared replacement state under the writer lock.
+    fn install(&self, config: StoreConfig, routing: Routing, shards: Vec<Arc<Shard>>) -> u64 {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let version = self.snapshot().version() + 1;
+        *self.config.write().expect("store lock poisoned") = config;
+        *self.current.write().expect("store lock poisoned") =
+            Arc::new(Snapshot::from_parts(routing, shards, version));
+        self.stats.record_reload();
+        version
     }
 
     /// [`Snapshot::may_contain_range`] on a fresh snapshot — convenience

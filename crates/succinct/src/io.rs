@@ -11,6 +11,8 @@
 //! structure ends up backed by — `Vec<u64>` or `&[u64]`.
 
 use std::io;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Errors produced while decoding a word stream.
 ///
@@ -219,6 +221,153 @@ impl<'a> WordSource for WordCursor<'a> {
     }
 }
 
+/// A shareable, owning word store over a reference-counted buffer: the
+/// backing store of the *mapped* load path.
+///
+/// A `MappedSource` names a word range inside an `Arc<[u64]>` buffer —
+/// typically the word image of one file region loaded once and then served
+/// by many structures. Unlike the borrowed `&[u64]` of [`WordCursor`], a
+/// `MappedSource` has no lifetime: structures parsed over it (e.g.
+/// `GrafiteFilter<MappedSource>` in `grafite-core`) are `'static`, clone by
+/// bumping the reference count, and share the underlying words across
+/// threads without copying. The workspace forbids `unsafe`, so the buffer
+/// is populated by an ordinary read (one byte→word conversion pass per
+/// region, see [`MappedSource::from_le_bytes`]) rather than a raw
+/// `mmap(2)`; the operating system's page cache still backs the file reads
+/// themselves, so concurrently serving processes share pages the usual way.
+#[derive(Clone, Debug)]
+pub struct MappedSource {
+    words: Arc<[u64]>,
+    range: Range<usize>,
+}
+
+impl MappedSource {
+    /// Wraps an owned word buffer (the whole buffer is the range).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        let range = 0..words.len();
+        Self {
+            words: words.into(),
+            range,
+        }
+    }
+
+    /// Converts a little-endian byte image into a mapped word store (one
+    /// copying conversion pass — the only copy the mapped path ever makes).
+    /// The byte length must be whole words.
+    pub fn from_le_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() % 8 != 0 {
+            return Err(DecodeError::Invalid("byte image is not whole words"));
+        }
+        Ok(Self::from_words(
+            bytes.chunks_exact(8).map(le_word).collect(),
+        ))
+    }
+
+    /// A sub-range of this source sharing the same buffer (no copy).
+    /// Returns a typed error when the range exceeds this source's extent.
+    pub fn slice(&self, range: Range<usize>) -> Result<Self, DecodeError> {
+        let len = self.len();
+        if range.start > range.end || range.end > len {
+            return Err(DecodeError::Truncated {
+                needed: range.end,
+                have: len,
+            });
+        }
+        let start = self
+            .range
+            .start
+            .checked_add(range.start)
+            .ok_or(DecodeError::Invalid("mapped range offset overflow"))?;
+        let end = self
+            .range
+            .start
+            .checked_add(range.end)
+            .ok_or(DecodeError::Invalid("mapped range offset overflow"))?;
+        Ok(Self {
+            words: Arc::clone(&self.words),
+            range: start..end,
+        })
+    }
+
+    /// Number of words in this source's range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.range.end - self.range.start
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+impl AsRef<[u64]> for MappedSource {
+    #[inline]
+    fn as_ref(&self) -> &[u64] {
+        // The constructors uphold `range ⊆ 0..words.len()`, so this cannot
+        // be out of bounds; `get` keeps the accessor panic-free regardless.
+        self.words.get(self.range.clone()).unwrap_or(&[])
+    }
+}
+
+/// Word source over a [`MappedSource`]: [`WordSource::take`] returns
+/// sub-range `MappedSource`s sharing the buffer, so structures parsed from
+/// it own their storage by reference count instead of borrowing it — the
+/// `'static` twin of [`WordCursor`].
+#[derive(Clone, Debug)]
+pub struct MappedCursor {
+    source: MappedSource,
+    pos: usize,
+}
+
+impl MappedCursor {
+    /// Starts a cursor at the beginning of `source`.
+    pub fn new(source: MappedSource) -> Self {
+        Self { source, pos: 0 }
+    }
+
+    /// Words consumed so far.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Words left.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.source.len().saturating_sub(self.pos)
+    }
+}
+
+impl WordSource for MappedCursor {
+    type Storage = MappedSource;
+
+    #[inline]
+    fn word(&mut self) -> Result<u64, DecodeError> {
+        let w = *self
+            .source
+            .as_ref()
+            .get(self.pos)
+            .ok_or(DecodeError::Truncated {
+                needed: self.pos.saturating_add(1),
+                have: self.source.len(),
+            })?;
+        self.pos = self.pos.saturating_add(1);
+        Ok(w)
+    }
+
+    fn take(&mut self, n: usize) -> Result<MappedSource, DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DecodeError::Invalid("length overflow"))?;
+        let s = self.source.slice(self.pos..end)?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
 /// Owned word source over any byte reader; bulk reads allocate fresh
 /// `Vec<u64>` storage. This is the load path of
 /// `PersistentFilter::deserialize` in `grafite-core`.
@@ -379,6 +528,67 @@ mod tests {
         let bytes = 7u64.to_le_bytes();
         let mut src = ReadSource::new(&bytes[..4]);
         assert!(matches!(src.word(), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn mapped_source_shares_and_slices() {
+        let src = MappedSource::from_words((0..16u64).collect());
+        assert_eq!(src.len(), 16);
+        let sub = src.slice(4..8).unwrap();
+        assert_eq!(sub.as_ref(), &[4, 5, 6, 7]);
+        // Sub-slicing a sub-range stays relative to the sub-range.
+        let subsub = sub.slice(1..3).unwrap();
+        assert_eq!(subsub.as_ref(), &[5, 6]);
+        // Out-of-range slices are typed, never panics.
+        assert!(matches!(
+            sub.slice(2..9),
+            Err(DecodeError::Truncated { needed: 9, have: 4 })
+        ));
+        // Byte images must be whole words.
+        assert!(matches!(
+            MappedSource::from_le_bytes(&[1, 2, 3]),
+            Err(DecodeError::Invalid(_))
+        ));
+        let bytes: Vec<u8> = [7u64, 9].iter().flat_map(|w| w.to_le_bytes()).collect();
+        let from_bytes = MappedSource::from_le_bytes(&bytes).unwrap();
+        assert_eq!(from_bytes.as_ref(), &[7, 9]);
+    }
+
+    #[test]
+    fn mapped_cursor_matches_word_cursor() {
+        let mut buf = Vec::new();
+        let mut w = WordWriter::new(&mut buf);
+        w.word(7).unwrap();
+        w.prefixed(&[1, 2, 3]).unwrap();
+        w.bytes_padded(b"hello").unwrap();
+        let src = MappedSource::from_le_bytes(&buf).unwrap();
+        let mut cur = MappedCursor::new(src);
+        assert_eq!(cur.word().unwrap(), 7);
+        let n = cur.length().unwrap();
+        assert_eq!(cur.take(n).unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(cur.take_bytes(5).unwrap(), b"hello");
+        assert_eq!(cur.remaining(), 0);
+        assert!(matches!(
+            cur.word(),
+            Err(DecodeError::Truncated { needed: 7, have: 6 })
+        ));
+    }
+
+    /// An Elias–Fano parsed over a `MappedCursor` is backed by the shared
+    /// buffer and answers exactly like its owned twin.
+    #[test]
+    fn elias_fano_parses_over_mapped_storage() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * 37).collect();
+        let ef = crate::EliasFano::new(&values, 20_000);
+        let mut buf = Vec::new();
+        let mut w = WordWriter::new(&mut buf);
+        ef.write_to(&mut w).unwrap();
+        let src = MappedSource::from_le_bytes(&buf).unwrap();
+        let mut cur = MappedCursor::new(src);
+        let mapped = crate::EliasFano::<MappedSource>::read_from(&mut cur).unwrap();
+        for probe in [0u64, 36, 37, 1000, 19_999] {
+            assert_eq!(mapped.predecessor(probe), ef.predecessor(probe));
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub const UNTRUSTED_FILES: &[&str] = &[
     "crates/succinct/src/io.rs",
     "crates/core/src/persist.rs",
     "crates/store/src/manifest.rs",
+    "crates/store/src/mapped.rs",
+    "crates/server/src/protocol.rs",
 ];
 
 /// Function names that decode untrusted bytes wherever they appear inside
@@ -55,6 +57,7 @@ pub const UNTRUSTED_FN_GLOBS: &[&str] = &[
     "crates/fst/src/",
     "crates/bloom/src/",
     "crates/filters/src/",
+    "crates/server/src/",
 ];
 
 /// The header every workspace crate must carry (L2): memory safety is
@@ -109,7 +112,7 @@ pub const SAFE_RESULT_METHODS: &[&str] = &["min", "clamp"];
 /// Where the atomic-ordering audit (L5) looks. Every
 /// `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` in these trees must
 /// carry an `// ordering:` justification comment.
-pub const ATOMIC_AUDIT_GLOBS: &[&str] = &["crates/store/src/"];
+pub const ATOMIC_AUDIT_GLOBS: &[&str] = &["crates/store/src/", "crates/server/src/"];
 
 /// The atomic memory orderings L5 recognizes (`std::cmp::Ordering`'s
 /// variants deliberately excluded).

@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Gate a fresh `repro hotpath` run against the committed perf baseline.
+"""Gate perf reports produced by the `repro` harness.
 
 Usage: check_perf.py <baseline BENCH_query.json> <fresh BENCH_query.json>
+       check_perf.py serve <BENCH_serve.json>
 
-Raw nanosecond numbers are machine-dependent, so every `*_ns` metric is
-first normalized by the run's own `sorted_vec_predecessor_ns` — a fixed
-baseline implementation (binary search over an uncompressed sorted vec)
-measured in the same process, which cancels out CPU-speed differences
-between the committing machine and the CI runner. The gate fails when:
+Hotpath mode (two files): raw nanosecond numbers are machine-dependent, so
+every `*_ns` metric is first normalized by the run's own
+`sorted_vec_predecessor_ns` — a fixed baseline implementation (binary
+search over an uncompressed sorted vec) measured in the same process,
+which cancels out CPU-speed differences between the committing machine and
+the CI runner. The gate fails when:
 
   * any normalized query metric regresses by more than REGRESSION_TOLERANCE
     against the committed baseline, or
   * the in-run fused-vs-two-probe predecessor speedup (a fully
     machine-independent ratio) drops below SPEEDUP_FLOOR.
+
+Serve mode (`serve` + one file): checks a `repro serve` report against the
+serving cold-start acceptance floors — the measured manifest must be at
+least STORE_BYTES_FLOOR, and the lazy `open_mapped` scan must be at least
+MAPPED_SPEEDUP_FLOOR times faster than the eager whole-file open. Both are
+in-run ratios/sizes, so no baseline file is needed.
 """
 
 import json
@@ -28,8 +36,16 @@ SPEEDUP_FLOOR = 1.3
 
 NORMALIZER = "sorted_vec_predecessor_ns"
 
+# Serve-mode floors: the measured manifest must be >= 100 MB (so the
+# cold-start comparison is about a store that actually hurts to read
+# eagerly), and the O(shards) mapped scan must beat the eager whole-file
+# open by >= 10x. The committed measurement is orders of magnitude above
+# the floor; 10x leaves room for page-cache luck on small CI disks.
+STORE_BYTES_FLOOR = 100_000_000
+MAPPED_SPEEDUP_FLOOR = 10.0
 
-def metrics_of(path):
+
+def metrics_of(path, schema):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -37,13 +53,34 @@ def metrics_of(path):
         sys.exit(f"{path}: cannot read metrics file: {e.strerror or e}")
     except json.JSONDecodeError as e:
         sys.exit(f"{path}: not valid JSON: {e}")
-    if not isinstance(doc, dict) or doc.get("schema") != "grafite-hotpath-v1":
-        schema = doc.get("schema") if isinstance(doc, dict) else type(doc).__name__
-        sys.exit(f"{path}: unexpected schema {schema!r}")
+    if not isinstance(doc, dict) or doc.get("schema") != schema:
+        found = doc.get("schema") if isinstance(doc, dict) else type(doc).__name__
+        sys.exit(f"{path}: unexpected schema {found!r} (wanted {schema!r})")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         sys.exit(f"{path}: 'metrics' object missing from the report")
     return metrics
+
+
+def check_serve(path):
+    metrics = metrics_of(path, "grafite-serve-v1")
+    failures = []
+    store_bytes = metrics.get("store_bytes", 0)
+    speedup = metrics.get("mapped_speedup", 0.0)
+    print(f"  store_bytes: {store_bytes} (floor {STORE_BYTES_FLOOR})")
+    if not isinstance(store_bytes, (int, float)) or store_bytes < STORE_BYTES_FLOOR:
+        failures.append(
+            f"store_bytes {store_bytes} below the {STORE_BYTES_FLOOR} floor")
+    print(f"  mapped_speedup: {speedup:.0f}x (floor {MAPPED_SPEEDUP_FLOOR}x)")
+    if not isinstance(speedup, (int, float)) or speedup < MAPPED_SPEEDUP_FLOOR:
+        failures.append(
+            f"mapped_speedup {speedup}x below the {MAPPED_SPEEDUP_FLOOR}x floor")
+    if failures:
+        print("\nserve perf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("serve perf gate passed")
 
 
 def normalized(metrics):
@@ -60,10 +97,13 @@ def normalized(metrics):
 
 
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "serve":
+        check_serve(sys.argv[2])
+        return
     if len(sys.argv) != 3:
         sys.exit(__doc__.strip())
-    baseline = metrics_of(sys.argv[1])
-    fresh = metrics_of(sys.argv[2])
+    baseline = metrics_of(sys.argv[1], "grafite-hotpath-v1")
+    fresh = metrics_of(sys.argv[2], "grafite-hotpath-v1")
     base_norm = normalized(baseline)
     fresh_norm = normalized(fresh)
 

@@ -21,8 +21,17 @@
 //!   space across per-shard filters of any family, serves immutable
 //!   lock-free [`Snapshot`]s to any number of reader threads, applies
 //!   [`Update`] batches by rebuilding only dirty shards behind an atomic
-//!   snapshot swap, and round-trips whole stores through a versioned
-//!   multi-shard manifest.
+//!   snapshot swap, round-trips whole stores through a versioned
+//!   multi-shard manifest, and cold-starts lazily from a saved manifest
+//!   file via [`FilterStore::open_mapped`] (shards materialize on first
+//!   query — a multi-gigabyte store opens in milliseconds).
+//! * [`grafite_server`] — the network front end: a dependency-free TCP
+//!   server ([`serve`]) speaking a length-prefixed binary protocol over a
+//!   shared [`FilterStore`], coalescing concurrent probes into the sorted
+//!   batch path, hot-reloading manifests without dropping in-flight
+//!   queries, and exporting operational telemetry (qps, latency
+//!   histograms, observed-FP estimation) as JSON — plus the matching
+//!   [`Client`] and the `grafite-server` binary (`gen`/`serve`/`smoke`).
 //!
 //! ## Quickstart
 //!
@@ -119,6 +128,7 @@ pub use grafite_core;
 pub use grafite_filters;
 pub use grafite_fst;
 pub use grafite_hash;
+pub use grafite_server;
 pub use grafite_store;
 pub use grafite_succinct;
 pub use grafite_workloads;
@@ -128,6 +138,7 @@ pub use grafite_core::{
     KeyCodec, PersistentFilter, RangeFilter, Registry, StringGrafite,
 };
 pub use grafite_filters::standard_registry;
+pub use grafite_server::{serve, Client, ServerHandle};
 pub use grafite_store::{
     DynRangeFilter, FamilySpec, FilterStore, Partitioning, Snapshot, StoreConfig, Update,
 };

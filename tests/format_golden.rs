@@ -359,7 +359,7 @@ fn v1_blobs_load_owned_but_not_as_views() {
         GrafiteFilterView::view(&words),
         Err(FilterError::UnsupportedFormatVersion { found: 1, .. })
     ));
-    let owned = GrafiteFilter::deserialize(&v1_blob).expect("owned legacy load");
+    let owned: GrafiteFilter = GrafiteFilter::deserialize(&v1_blob).expect("owned legacy load");
     // And the v2 image of the same filter views fine.
     let v2_words = bytes_to_words(&owned.to_bytes()).unwrap();
     let view = GrafiteFilterView::view(&v2_words).expect("v2 view");

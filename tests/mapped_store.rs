@@ -1,0 +1,410 @@
+//! Acceptance suite for the lazily-mapped serving path: `open_mapped`
+//! must be indistinguishable from `open` to a reader.
+//!
+//! * For every family, a mapped store answers **bit-identically** to an
+//!   eagerly-opened store over the same manifest, and re-serializes
+//!   byte-identically once materialized.
+//! * Cold start is genuinely lazy: opening touches no shard bodies, and a
+//!   point query materializes exactly the one shard it routes to.
+//! * `reload_mapped` swaps manifests atomically under four concurrent
+//!   reader threads with zero failed queries: every answer matches the
+//!   old or the new snapshot exactly.
+//! * A byte-flip sweep over the manifest file: every corruption either
+//!   fails typed at `open_mapped` or degrades the damaged shard to a
+//!   fail-open placeholder — present keys still answer `true`, the load
+//!   error is retained, and `save_to`/`apply` refuse the degraded store.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use grafite::{
+    standard_registry, FamilySpec, FilterError, FilterStore, Partitioning, StoreConfig, Update,
+};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Sorted, deduplicated keys with universe edges and tight clusters.
+fn dataset(n: usize, seed: u64) -> Vec<u64> {
+    let mut keys = vec![0, 1, 2, 255, 256, 257, u64::MAX - 1, u64::MAX];
+    let mut state = seed;
+    for _ in 0..n {
+        keys.push(lcg(&mut state));
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Key-avoiding empty ranges for the auto-tuned families.
+fn sample_queries(sorted_keys: &[u64]) -> Vec<(u64, u64)> {
+    let mut sample = Vec::new();
+    let mut state = 3u64;
+    while sample.len() < 64 {
+        let a = lcg(&mut state);
+        let Some(b) = a.checked_add(31) else { continue };
+        let i = sorted_keys.partition_point(|&k| k < a);
+        if i < sorted_keys.len() && sorted_keys[i] <= b {
+            continue;
+        }
+        sample.push((a, b));
+    }
+    sample
+}
+
+/// A mixed probe batch: key-anchored hits, near misses, far misses, edges.
+fn probes(keys: &[u64]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for &k in keys.iter().step_by(3) {
+        out.push((k, k));
+        out.push((k.saturating_sub(7), k.saturating_add(7)));
+    }
+    let mut state = 0xBEEF;
+    for _ in 0..600 {
+        let a = lcg(&mut state);
+        for width in [0u64, 1, 31, 63] {
+            out.push((a, a.saturating_add(width)));
+        }
+    }
+    out.push((0, 63));
+    out.push((u64::MAX - 63, u64::MAX));
+    out
+}
+
+fn store_config(family: FamilySpec, sample: Vec<(u64, u64)>, p: Partitioning) -> StoreConfig {
+    StoreConfig::new(family)
+        .bits_per_key(18.0)
+        .max_range(64)
+        .seed(13)
+        .sample(sample)
+        .partitioning(p)
+}
+
+/// Writes `bytes` to a process-unique temp file and returns the path.
+fn temp_manifest(name: &str, bytes: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("grafite-mapped-{name}-{}", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+/// For every family under both partitionings: `open_mapped` answers
+/// bit-identically to `open` over the same manifest file, loses no key,
+/// and — once every shard has materialized — re-serializes
+/// byte-identically.
+#[test]
+fn mapped_open_matches_eager_open_for_every_family() {
+    let registry = standard_registry();
+    let keys = dataset(1100, 0xACCE_55ED);
+    let sample = sample_queries(&keys);
+    let queries = probes(&keys);
+    for family in FamilySpec::ALL {
+        for partitioning in [
+            Partitioning::Range { shards: 4 },
+            Partitioning::Hash { shards: 4 },
+        ] {
+            let config = store_config(family, sample.clone(), partitioning);
+            let store = FilterStore::build(&registry, config, &keys)
+                .unwrap_or_else(|e| panic!("{}: store build failed: {e}", family.label()));
+            let bytes = store.to_bytes();
+            let path = temp_manifest(&format!("{}-{partitioning:?}", family.label()), &bytes);
+
+            let eager = FilterStore::open(&registry, &bytes)
+                .unwrap_or_else(|e| panic!("{}: open failed: {e}", family.label()));
+            let mapped = FilterStore::open_mapped(&registry, &path)
+                .unwrap_or_else(|e| panic!("{}: open_mapped failed: {e}", family.label()));
+
+            let (eager_snap, mapped_snap) = (eager.snapshot(), mapped.snapshot());
+            let (mut want, mut got) = (Vec::new(), Vec::new());
+            eager_snap.query_ranges(&queries, &mut want);
+            mapped_snap.query_ranges(&queries, &mut got);
+            assert_eq!(
+                want,
+                got,
+                "{}/{partitioning:?}: mapped answers diverged from eager open",
+                family.label()
+            );
+            for &(a, b) in queries.iter().step_by(17) {
+                assert_eq!(
+                    mapped_snap.may_contain_range(a, b),
+                    eager_snap.may_contain_range(a, b),
+                    "{}/{partitioning:?}: single-query path diverged on [{a}, {b}]",
+                    family.label()
+                );
+            }
+            for &k in keys.iter().step_by(13) {
+                assert!(
+                    mapped_snap.may_contain(k),
+                    "{}/{partitioning:?}: mapped store lost key {k}",
+                    family.label()
+                );
+            }
+
+            assert!(
+                mapped.stats().lazy_shard_loads() > 0,
+                "{}/{partitioning:?}: no shard was lazily materialized",
+                family.label()
+            );
+            assert_eq!(
+                mapped.stats().shard_load_errors(),
+                0,
+                "{}/{partitioning:?}: clean manifest reported load errors",
+                family.label()
+            );
+            // The strongest statement: the fully-materialized mapped store
+            // writes back the exact bytes it was opened from.
+            assert_eq!(
+                mapped.to_bytes(),
+                bytes,
+                "{}/{partitioning:?}: mapped store re-serializes differently",
+                family.label()
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Opening a mapped store touches no shard bodies; a point query
+/// materializes exactly the shard it routes to.
+#[test]
+fn mapped_open_is_lazy_per_shard() {
+    let registry = standard_registry();
+    let keys = dataset(2000, 0x1A2B);
+    let config = store_config(
+        FamilySpec::Registry(grafite::FilterSpec::Grafite),
+        Vec::new(),
+        Partitioning::Range { shards: 8 },
+    );
+    let store = FilterStore::build(&registry, config, &keys).unwrap();
+    let path = temp_manifest("lazy", &store.to_bytes());
+
+    let mapped = FilterStore::open_mapped(&registry, &path).unwrap();
+    let snap = mapped.snapshot();
+    assert_eq!(snap.num_shards(), 8);
+    assert_eq!(
+        mapped.stats().lazy_shard_loads(),
+        0,
+        "opening the store materialized shards eagerly"
+    );
+
+    // One point query routes to one shard: exactly one materialization.
+    let k = keys[keys.len() / 2];
+    assert!(snap.may_contain(k));
+    assert_eq!(
+        mapped.stats().lazy_shard_loads(),
+        1,
+        "a point query materialized more than its own shard"
+    );
+
+    // Applying updates only materializes the dirty shards it rebuilds
+    // (plus nothing else beyond what queries already loaded).
+    let loads_before = mapped.stats().lazy_shard_loads();
+    mapped.apply(&[Update::Insert(k.wrapping_add(1))]).unwrap();
+    assert!(
+        mapped.stats().lazy_shard_loads() <= loads_before + 1,
+        "apply materialized unrelated shards"
+    );
+    assert!(mapped.may_contain(k.wrapping_add(1)));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `reload_mapped` under four concurrent reader threads: zero failed
+/// queries, every answer matches the old or the new snapshot exactly, and
+/// the new key set serves after the swap.
+#[test]
+fn reload_mapped_under_concurrent_readers_drops_zero_queries() {
+    let registry = standard_registry();
+    let old_keys = dataset(1500, 0x0111);
+    let new_keys = dataset(1500, 0x9999);
+    let family = FamilySpec::Registry(grafite::FilterSpec::Grafite);
+    let old_store = FilterStore::build(
+        &registry,
+        store_config(family, Vec::new(), Partitioning::Range { shards: 4 }),
+        &old_keys,
+    )
+    .unwrap();
+    let new_store = FilterStore::build(
+        &registry,
+        store_config(family, Vec::new(), Partitioning::Range { shards: 4 }),
+        &new_keys,
+    )
+    .unwrap();
+    let old_path = temp_manifest("reload-old", &old_store.to_bytes());
+    let new_path = temp_manifest("reload-new", &new_store.to_bytes());
+    let (old_snap, new_snap) = (old_store.snapshot(), new_store.snapshot());
+
+    let served = Arc::new(FilterStore::open_mapped(&registry, &old_path).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let served = Arc::clone(&served);
+            let stop = Arc::clone(&stop);
+            let old_snap = Arc::clone(&old_snap);
+            let new_snap = Arc::clone(&new_snap);
+            std::thread::spawn(move || {
+                let mut answered = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let a = (t * 7919 + i).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 1;
+                    let b = a.saturating_add(i % 48);
+                    let got = served.may_contain_range(a, b);
+                    assert!(
+                        got == old_snap.may_contain_range(a, b)
+                            || got == new_snap.may_contain_range(a, b),
+                        "answer matches neither snapshot at [{a}, {b}]"
+                    );
+                    answered += 1;
+                    i += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let version = served.reload_mapped(&new_path).unwrap();
+    assert_eq!(version, 1);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0, "readers answered nothing");
+
+    assert_eq!(served.stats().reloads(), 1);
+    for &k in new_keys.iter().step_by(19) {
+        assert!(served.may_contain(k), "post-reload FN at {k}");
+    }
+
+    let _ = std::fs::remove_file(&old_path);
+    let _ = std::fs::remove_file(&new_path);
+}
+
+/// `reload` from bytes behaves like `reload_mapped` from a file, and a
+/// missing manifest path fails typed without touching the served store.
+#[test]
+fn reload_from_bytes_and_missing_paths() {
+    let registry = standard_registry();
+    let keys_a = dataset(400, 0xAAAA);
+    let keys_b = dataset(400, 0xBBBB);
+    let family = FamilySpec::Registry(grafite::FilterSpec::Grafite);
+    let build = |keys: &[u64]| {
+        FilterStore::build(
+            &registry,
+            store_config(family, Vec::new(), Partitioning::Range { shards: 2 }),
+            keys,
+        )
+        .unwrap()
+    };
+    let served = build(&keys_a);
+    let replacement = build(&keys_b).to_bytes();
+
+    assert_eq!(served.reload(&replacement).unwrap(), 1);
+    for &k in keys_b.iter().step_by(7) {
+        assert!(served.may_contain(k), "post-reload FN at {k}");
+    }
+
+    // A missing file fails typed and leaves the served snapshot alone.
+    let gone = std::env::temp_dir().join(format!("grafite-mapped-missing-{}", std::process::id()));
+    assert!(matches!(
+        served.reload_mapped(&gone),
+        Err(FilterError::Io { .. })
+    ));
+    assert!(served.may_contain(keys_b[0]));
+    assert_eq!(
+        served.snapshot().version(),
+        1,
+        "failed reload bumped the version"
+    );
+}
+
+/// Byte-flip sweep over a saved manifest: every corruption either fails
+/// typed at `open_mapped` (scan-time validation) or opens into a store
+/// whose damaged shard degrades to fail-open — so present keys still
+/// answer `true` — with the load error retained and `save_to`/`apply`
+/// refusing the degraded store.
+#[test]
+fn corrupted_mapped_manifests_fail_typed_or_fail_open() {
+    let registry = standard_registry();
+    let keys = dataset(300, 0xC0DE);
+    let config = store_config(
+        FamilySpec::Registry(grafite::FilterSpec::Grafite),
+        Vec::new(),
+        Partitioning::Range { shards: 3 },
+    );
+    let store = FilterStore::build(&registry, config, &keys).unwrap();
+    let bytes = store.to_bytes();
+    let path = std::env::temp_dir().join(format!("grafite-mapped-sweep-{}", std::process::id()));
+
+    let mut typed_failures = 0usize;
+    let mut degraded_opens = 0usize;
+    let mut clean_opens = 0usize;
+    for at in (0..bytes.len()).step_by(3) {
+        let mut corrupt = bytes.clone();
+        corrupt[at] ^= 0xA5;
+        std::fs::write(&path, &corrupt).unwrap();
+        match FilterStore::open_mapped(&registry, &path) {
+            Err(_) => typed_failures += 1,
+            Ok(mapped) => {
+                // Fail-open invariant: no corruption may introduce a false
+                // negative — a damaged shard answers `true` for everything.
+                let snap = mapped.snapshot();
+                for &k in keys.iter().step_by(5) {
+                    assert!(
+                        snap.may_contain(k),
+                        "byte {at}: corruption caused a false negative at {k}"
+                    );
+                }
+                if let Some(err) = snap.load_error() {
+                    degraded_opens += 1;
+                    assert!(
+                        matches!(err, FilterError::ShardLoad { .. }),
+                        "byte {at}: load error is not ShardLoad: {err}"
+                    );
+                    assert!(
+                        mapped.stats().shard_load_errors() > 0,
+                        "byte {at}: degraded shard not counted"
+                    );
+                    // A degraded store refuses to re-serialize itself or to
+                    // rebuild the damaged shard over bad data.
+                    let mut sink = Vec::new();
+                    assert!(
+                        mapped.save_to(&mut sink).is_err(),
+                        "byte {at}: degraded store serialized anyway"
+                    );
+                    let deg = snap
+                        .shards()
+                        .iter()
+                        .position(|s| s.load_error().is_some())
+                        .unwrap();
+                    let (lo, _) = snap.routing().shard_span(deg);
+                    assert!(
+                        mapped.apply(&[Update::Insert(lo)]).is_err(),
+                        "byte {at}: degraded shard accepted an update"
+                    );
+                } else {
+                    clean_opens += 1;
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+
+    // The sweep must have exercised all three regimes: header/structure
+    // damage (typed scan failure), shard-body damage (fail-open), and
+    // harmless damage (padding bytes).
+    assert!(typed_failures > 0, "no corruption failed at scan time");
+    assert!(degraded_opens > 0, "no corruption degraded a shard");
+    // Truncation fails typed too.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(FilterStore::open_mapped(&registry, &path).is_err());
+    std::fs::write(&path, &bytes[..40]).unwrap();
+    assert!(FilterStore::open_mapped(&registry, &path).is_err());
+    let _ = std::fs::remove_file(&path);
+    // `clean_opens` may legitimately be zero if every byte is covered by a
+    // checksum; it exists so the compiler sees the counter used.
+    let _ = clean_opens;
+}

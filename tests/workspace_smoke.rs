@@ -7,9 +7,7 @@
 //!
 //! Uses the `FilterConfig`/`build_spec` registry path, the workspace-wide
 //! construction contract; `tests/buildable_conformance.rs` covers the
-//! typed per-filter protocol, and the doc-level deprecated
-//! `BuildCtx`/`build_filter` wrappers keep a delegation-equivalence unit
-//! test inside `grafite_bench::registry`.
+//! typed per-filter protocol.
 
 use grafite_bench::registry::{build_spec, FilterConfig, FilterSpec};
 
