@@ -11,7 +11,10 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use grafite_succinct::{BitVec, EliasFano, RsBitVec};
+use grafite_succinct::simd;
+use grafite_succinct::{
+    BitVec, BucketedArray, EliasFano, PredecessorSearch, RsBitVec, SampledIndex,
+};
 use grafite_workloads::WorkloadRng;
 
 const N: usize = 1_000_000;
@@ -76,6 +79,75 @@ fn bench_rank_select(c: &mut Criterion) {
     }
 }
 
+/// Each vectorized succinct kernel at every dispatch level the host
+/// supports, on identical probe sequences — the per-kernel speedup table.
+fn bench_simd_kernels(c: &mut Criterion) {
+    let mut rng = WorkloadRng::new(11);
+    let words: Vec<u64> = (0..4096).map(|_| rng.next_u64()).collect();
+    let rank_probes: Vec<(usize, usize)> = (0..PROBE_COUNT)
+        .map(|_| {
+            (
+                rng.below((words.len() - 8) as u64) as usize,
+                rng.below(513) as usize,
+            )
+        })
+        .collect();
+    let sel_probes: Vec<(u64, u32)> = (0..PROBE_COUNT)
+        .map(|_| {
+            let w = rng.next_u64() | 1;
+            (w, rng.below(w.count_ones() as u64) as u32)
+        })
+        .collect();
+    // Near-max targets force full-run scans (the adversarial
+    // duplicated-bucket regime); uniform targets early-exit in ~2 fields.
+    let width = 14usize;
+    let fields = words.len() * 64 / width - 2;
+    let mask = (1u64 << width) - 1;
+    let lp_probes: Vec<(usize, usize, u64)> = (0..PROBE_COUNT)
+        .map(|_| {
+            let start = rng.below((fields - 64) as u64) as usize;
+            (
+                start,
+                start + 1 + rng.below(63) as usize,
+                mask - rng.below(4),
+            )
+        })
+        .collect();
+
+    for level in simd::available_levels() {
+        let mut group = c.benchmark_group(format!("simd_kernels_{}", level.name()));
+        group
+            .sample_size(30)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+        group.bench_function("rank1_x8", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let (w, upto) = rank_probes[i % rank_probes.len()];
+                i += 1;
+                std::hint::black_box(simd::rank1_x8_at(level, &words[w..w + 8], upto))
+            })
+        });
+        group.bench_function("select_in_word", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let (w, k) = sel_probes[i % sel_probes.len()];
+                i += 1;
+                std::hint::black_box(simd::select_in_word_at(level, w, k))
+            })
+        });
+        group.bench_function("low_partition", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, e, y) = lp_probes[i % lp_probes.len()];
+                i += 1;
+                std::hint::black_box(simd::low_partition_at(level, &words, width, s, e, y, false))
+            })
+        });
+        group.finish();
+    }
+}
+
 fn bench_predecessor(c: &mut Criterion) {
     let universe = (N as u64) << 14; // ~16 bits/key Elias-Fano regime
     let mut rng = WorkloadRng::new(7);
@@ -113,6 +185,21 @@ fn bench_predecessor(c: &mut Criterion) {
             std::hint::black_box(if idx > 0 { Some(values[idx - 1]) } else { None })
         })
     });
+    // Bake-off alternatives behind the same trait: an uncompressed
+    // cache-line-bucketed array and a two-level sampled-search index.
+    let bucketed = BucketedArray::new(&values);
+    let sampled = SampledIndex::new(&values);
+    let alternatives: [&dyn PredecessorSearch; 2] = [&bucketed, &sampled];
+    for s in alternatives {
+        group.bench_function(format!("bakeoff_{}", s.name()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let y = probes[i % probes.len()];
+                i += 1;
+                std::hint::black_box(s.predecessor(y))
+            })
+        });
+    }
     group.finish();
 
     // Whole-batch comparison: the cursor's monotone walk over sorted probes
@@ -131,6 +218,18 @@ fn bench_predecessor(c: &mut Criterion) {
             let mut cur = ef.cursor();
             for &y in &sorted_probes {
                 if cur.predecessor(y).is_some() {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("cursor_bitwise_baseline", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            let mut cur = ef.cursor();
+            for &y in &sorted_probes {
+                if cur.predecessor_bitwise(y).is_some() {
                     hits += 1;
                 }
             }
@@ -157,5 +256,10 @@ fn bench_predecessor(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_rank_select, bench_predecessor);
+criterion_group!(
+    benches,
+    bench_rank_select,
+    bench_simd_kernels,
+    bench_predecessor
+);
 criterion_main!(benches);

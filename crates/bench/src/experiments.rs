@@ -1124,6 +1124,140 @@ pub fn hotpath(cfg: &RunConfig) {
         acc
     });
 
+    // --- kernel micro: each vectorized succinct kernel, forced-scalar vs
+    // the dispatched level, on identical probe sequences. Answers are
+    // asserted identical inside the agreement tests; here only time moves.
+    use grafite_succinct::simd::{self, SimdLevel};
+    let active = simd::level();
+    let simd_active = active != SimdLevel::Scalar;
+
+    let rank_words: Vec<u64> = (0..4096).map(|_| rng.next_u64()).collect();
+    let rank_probes: Vec<(usize, usize)> = (0..MICRO_PROBES)
+        .map(|_| {
+            let w = rng.below((rank_words.len() - 8) as u64) as usize;
+            (w, rng.below(513) as usize)
+        })
+        .collect();
+    let time_rank = |lvl: SimdLevel| {
+        best_ns_per_op(reps, micro_ops, || {
+            let mut acc = 0usize;
+            for _ in 0..MICRO_ROUNDS {
+                for &(w, upto) in &rank_probes {
+                    acc ^= simd::rank1_x8_at(lvl, &rank_words[w..w + 8], upto);
+                }
+            }
+            acc
+        })
+    };
+
+    let sel_probes: Vec<(u64, u32)> = (0..MICRO_PROBES)
+        .map(|_| {
+            let w = rng.next_u64() | 1;
+            let k = rng.below(w.count_ones() as u64) as u32;
+            (w, k)
+        })
+        .collect();
+    let time_select = |lvl: SimdLevel| {
+        best_ns_per_op(reps, micro_ops, || {
+            let mut acc = 0u32;
+            for _ in 0..MICRO_ROUNDS {
+                for &(w, k) in &sel_probes {
+                    acc ^= simd::select_in_word_at(lvl, w, k);
+                }
+            }
+            acc
+        })
+    };
+
+    // Low-bits partition: EF-bucket-shaped runs (a few dozen fields) over
+    // a packed random buffer at a realistic low-bits width. Targets sit
+    // near the top of the field range so probes scan their whole run —
+    // the adversarial duplicated-bucket regime this kernel exists for;
+    // uniform targets would early-exit after ~2 fields and measure
+    // nothing but loop setup.
+    let lp_width = 14usize;
+    let lp_words: Vec<u64> = (0..2048).map(|_| rng.next_u64()).collect();
+    let lp_fields = lp_words.len() * 64 / lp_width - 2;
+    let lp_mask = (1u64 << lp_width) - 1;
+    let lp_probes: Vec<(usize, usize, u64)> = (0..MICRO_PROBES)
+        .map(|_| {
+            let start = rng.below((lp_fields - 64) as u64) as usize;
+            let end = start + 1 + rng.below(63) as usize;
+            (start, end, lp_mask - rng.below(4))
+        })
+        .collect();
+    let time_lp = |lvl: SimdLevel| {
+        best_ns_per_op(reps, MICRO_PROBES, || {
+            let mut acc = 0usize;
+            for &(s, e, y) in &lp_probes {
+                acc ^= simd::low_partition_at(lvl, &lp_words, lp_width, s, e, y, false);
+            }
+            acc
+        })
+    };
+
+    // Cursor batch: the monotone EfCursor walk (whole-word consume +
+    // dispatched zero-run skip) against the retained per-bit walk.
+    let mut sorted_probes = probes.clone();
+    sorted_probes.sort_unstable();
+    let cursor_scalar_ns = best_ns_per_op(reps, MICRO_PROBES, || {
+        let mut acc = 0u64;
+        let mut cur = ef.cursor();
+        for &y in &sorted_probes {
+            acc ^= cur.predecessor_bitwise(y).unwrap_or(0);
+        }
+        acc
+    });
+    let cursor_simd_ns = best_ns_per_op(reps, MICRO_PROBES, || {
+        let mut acc = 0u64;
+        let mut cur = ef.cursor();
+        for &y in &sorted_probes {
+            acc ^= cur.predecessor(y).unwrap_or(0);
+        }
+        acc
+    });
+
+    let kernels = [
+        ("rank1", time_rank(SimdLevel::Scalar), time_rank(active)),
+        (
+            "select_in_word",
+            time_select(SimdLevel::Scalar),
+            time_select(active),
+        ),
+        ("low_partition", time_lp(SimdLevel::Scalar), time_lp(active)),
+        ("cursor_batch", cursor_scalar_ns, cursor_simd_ns),
+    ];
+
+    // --- bake-off: predecessor structures over the same values/probes ---
+    use grafite_succinct::{BucketedArray, PredecessorSearch, SampledIndex};
+    let bucketed = BucketedArray::new(&values);
+    let sampled = SampledIndex::new(&values);
+    let structures: [&dyn PredecessorSearch; 3] = [&ef, &bucketed, &sampled];
+    // Spot-check agreement before timing anything.
+    for &y in sorted_probes.iter().take(256) {
+        let idx = values.partition_point(|&v| v <= y);
+        let want = if idx > 0 { Some(values[idx - 1]) } else { None };
+        for s in structures {
+            assert_eq!(s.predecessor(y), want, "{} diverged at {y}", s.name());
+        }
+    }
+    let bakeoff: Vec<(&'static str, f64, f64)> = structures
+        .iter()
+        .map(|s| {
+            let ns = best_ns_per_op(reps, micro_ops, || {
+                let mut acc = 0u64;
+                for _ in 0..MICRO_ROUNDS {
+                    for &y in &probes {
+                        acc ^= s.predecessor(y).unwrap_or(0);
+                    }
+                }
+                acc
+            });
+            let bpk = s.size_in_bits() as f64 / values.len() as f64;
+            (s.name(), ns, bpk)
+        })
+        .collect();
+
     // --- macro: filter-level query latency at 16 bits/key ---
     let keys: Vec<u64> = (0..cfg.n).map(|_| rng.next_u64()).collect();
     let grafite = GrafiteFilter::builder()
@@ -1156,6 +1290,32 @@ pub fn hotpath(cfg: &RunConfig) {
         format!("{sorted_vec_ns:.1}"),
         "uncompressed baseline / machine normalizer".into(),
     ]);
+
+    metrics.str_field("simd_level", active.name());
+    metrics.int("simd_active", u64::from(simd_active));
+    for &(name, scalar_ns, simd_ns) in &kernels {
+        metrics.num(&format!("kernel_{name}_scalar_ns"), scalar_ns);
+        metrics.num(&format!("kernel_{name}_simd_ns"), simd_ns);
+        metrics.num(&format!("kernel_speedup_{name}"), scalar_ns / simd_ns);
+        table.row(vec![
+            format!("kernel_{name}"),
+            format!("{simd_ns:.1}"),
+            format!(
+                "scalar {scalar_ns:.1} ns, {:.2}x at {}",
+                scalar_ns / simd_ns,
+                active.name()
+            ),
+        ]);
+    }
+    for &(name, ns, bpk) in &bakeoff {
+        metrics.num(&format!("bakeoff_{name}_predecessor_ns"), ns);
+        metrics.num(&format!("bakeoff_{name}_bits_per_key"), bpk);
+        table.row(vec![
+            format!("bakeoff_{name}"),
+            format!("{ns:.1}"),
+            format!("predecessor structure, {bpk:.1} bits/key"),
+        ]);
+    }
 
     for &(l, size_name) in &RANGE_SIZES {
         let queries = uncorrelated_queries(&keys, cfg.queries, l, cfg.seed ^ 0xB07);

@@ -43,8 +43,17 @@ fn batch_bucket_probes(
         .collect();
     probes.sort_unstable();
     let mut cursor = buckets.cursor();
+    // Identical `(bucket(b), bucket(a))` probes sit adjacent after the
+    // sort; the answer depends only on that pair, so duplicates reuse it
+    // without advancing the cursor.
+    let mut prev: Option<(u64, u64, bool)> = None;
     for &(pb, pa, i) in &probes {
-        if cursor.predecessor(pb).is_some_and(|bk| bk >= pa) {
+        let hit = match prev {
+            Some((ppb, ppa, phit)) if ppb == pb && ppa == pa => phit,
+            _ => cursor.predecessor(pb).is_some_and(|bk| bk >= pa),
+        };
+        prev = Some((pb, pa, hit));
+        if hit {
             out[i as usize] = true;
         }
     }

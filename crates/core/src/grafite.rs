@@ -323,8 +323,17 @@ impl<S: AsRef<[u64]>> RangeFilter for GrafiteFilter<S> {
         // `EliasFano::predecessor(hb)` would.
         probes.sort_unstable();
         let mut cursor = self.codes.cursor();
+        // After the sort, identical `(h(b), h(a))` probes sit adjacent;
+        // the answer is a pure function of that pair, so duplicates reuse
+        // it without touching the cursor.
+        let mut prev: Option<(u64, u64, bool)> = None;
         for &(hb, ha, i) in &probes {
-            if cursor.predecessor(hb).is_some_and(|p| p >= ha) {
+            let hit = match prev {
+                Some((phb, pha, phit)) if phb == hb && pha == ha => phit,
+                _ => cursor.predecessor(hb).is_some_and(|p| p >= ha),
+            };
+            prev = Some((hb, ha, hit));
+            if hit {
                 out[i as usize] = true;
             }
         }
@@ -868,6 +877,15 @@ mod tests {
                 &singles[..8],
                 "bpk={bpk} small-batch fallback diverged"
             );
+            // Heavy duplication: every query repeated, exercising the
+            // adjacent-identical-probe reuse in the sorted pass.
+            let dup: Vec<(u64, u64)> = queries
+                .iter()
+                .flat_map(|&q| std::iter::repeat(q).take(3))
+                .collect();
+            let dup_singles: Vec<bool> = singles.iter().flat_map(|&s| [s; 3]).collect();
+            f.may_contain_ranges(&dup, &mut batched);
+            assert_eq!(batched, dup_singles, "bpk={bpk} duplicated batch diverged");
         }
     }
 

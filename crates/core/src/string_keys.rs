@@ -299,8 +299,16 @@ impl RangeFilter for StringGrafite {
         }
         probes.sort_unstable();
         let mut cursor = self.codes.cursor();
+        // Adjacent identical `(h(b), h(a))` probes reuse the previous
+        // answer — it is a pure function of the pair.
+        let mut prev: Option<(u64, u64, bool)> = None;
         for &(hb, ha, i) in &probes {
-            if cursor.predecessor(hb).is_some_and(|p| p >= ha) {
+            let hit = match prev {
+                Some((phb, pha, phit)) if phb == hb && pha == ha => phit,
+                _ => cursor.predecessor(hb).is_some_and(|p| p >= ha),
+            };
+            prev = Some((hb, ha, hit));
+            if hit {
                 out[i as usize] = true;
             }
         }

@@ -122,9 +122,30 @@ impl Batcher {
             let batch = std::mem::take(&mut pending.queue);
             let slot = std::mem::replace(&mut pending.slot, Arc::new(Slot::new()));
             drop(pending);
-            let mut answers = Vec::new();
-            self.store.snapshot().query_ranges(&batch, &mut answers);
+            // Adjacent identical probes collapse to one store probe: a
+            // client hammering the same range (or a burst of retries)
+            // pays for it once per run, and the store batch stays
+            // smaller. `expand` maps each original position back to its
+            // representative's answer slot.
+            let mut unique: Vec<(u64, u64)> = Vec::with_capacity(batch.len());
+            let mut expand: Vec<usize> = Vec::with_capacity(batch.len());
+            for &probe in &batch {
+                if unique.last() != Some(&probe) {
+                    unique.push(probe);
+                }
+                expand.push(unique.len().saturating_sub(1));
+            }
+            let dedup_hits = (batch.len() - unique.len()) as u64;
+            let mut compact = Vec::new();
+            self.store.snapshot().query_ranges(&unique, &mut compact);
+            let answers: Vec<bool> = expand
+                .iter()
+                .map(|&i| compact.get(i).copied().unwrap_or(false))
+                .collect();
             self.telemetry.record_batch(batch.len() as u64);
+            if dedup_hits > 0 {
+                self.telemetry.record_dedup_hits(dedup_hits);
+            }
             slot.fill(answers);
             pending = self.pending.lock().expect("batcher lock poisoned");
             if pending.queue.is_empty() {
@@ -148,6 +169,31 @@ mod tests {
             .max_range(64)
             .partitioning(Partitioning::Range { shards: 4 });
         Arc::new(FilterStore::build(&Registry::new(), config, &keys).unwrap())
+    }
+
+    #[test]
+    fn adjacent_duplicates_are_answered_once() {
+        let store = small_store();
+        let telemetry = Arc::new(Telemetry::new(4));
+        let batcher = Batcher::new(Arc::clone(&store), Arc::clone(&telemetry));
+        let snap = store.snapshot();
+        // Runs of identical probes interleaved with distinct ones.
+        let mut queries = Vec::new();
+        for i in 0..50u64 {
+            let a = i * 99_991;
+            let b = a + (i % 16);
+            for _ in 0..=(i % 4) {
+                queries.push((a, b));
+            }
+        }
+        let got = batcher.submit(&queries);
+        let want: Vec<bool> = queries
+            .iter()
+            .map(|&(a, b)| snap.may_contain_range(a, b))
+            .collect();
+        assert_eq!(got, want, "dedup must not change any answer");
+        let expected_hits: u64 = (0..50u64).map(|i| i % 4).sum();
+        assert_eq!(telemetry.dedup_hits(), expected_hits);
     }
 
     #[test]

@@ -141,6 +141,7 @@ pub struct Telemetry {
     shard_probes: Vec<AtomicU64>,
     batches: AtomicU64,
     batched_probes: AtomicU64,
+    dedup_hits: AtomicU64,
     positives: AtomicU64,
     refuted: AtomicU64,
     rebuild_us: Histogram,
@@ -159,6 +160,7 @@ impl Telemetry {
             shard_probes: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
             batches: AtomicU64::new(0),
             batched_probes: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
             positives: AtomicU64::new(0),
             refuted: AtomicU64::new(0),
             rebuild_us: Histogram::default(),
@@ -207,6 +209,18 @@ impl Telemetry {
     pub fn record_batch(&self, probes: u64) {
         add(&self.batches, 1);
         add(&self.batched_probes, probes);
+    }
+
+    /// Records `n` probes the batcher answered from an adjacent duplicate
+    /// instead of probing the store.
+    pub fn record_dedup_hits(&self, n: u64) {
+        add(&self.dedup_hits, n);
+    }
+
+    /// Probes answered by adjacent-duplicate reuse rather than a store
+    /// probe.
+    pub fn dedup_hits(&self) -> u64 {
+        get(&self.dedup_hits)
     }
 
     /// Records one positive answer and whether the retained-key check
@@ -291,9 +305,10 @@ pub fn render_json(t: &Telemetry, store: &FilterStore) -> String {
     push_kv(&mut out, "total_errors", &format!("{}", t.total_errors()));
     out.push_str("\"batch\":{");
     out.push_str(&format!(
-        "\"batches\":{},\"probes\":{},\"coalescing_factor\":{:.3}}},",
+        "\"batches\":{},\"probes\":{},\"dedup_hits\":{},\"coalescing_factor\":{:.3}}},",
         get(&t.batches),
         get(&t.batched_probes),
+        get(&t.dedup_hits),
         t.coalescing_factor(),
     ));
     out.push_str("\"shard_probes\":[");
@@ -365,6 +380,8 @@ mod tests {
         t.record_bad_frame();
         t.record_batch(8);
         t.record_batch(2);
+        t.record_dedup_hits(3);
+        assert_eq!(t.dedup_hits(), 3);
         t.record_positive(true);
         t.record_positive(false);
         t.record_shard_probe(2);

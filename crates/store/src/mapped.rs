@@ -6,10 +6,13 @@
 //! extents, validated, and (for Grafite) parsed zero-copy over one shared
 //! word buffer via `GrafiteFilter<MappedSource>`.
 //!
-//! The workspace forbids `unsafe`, so "mapped" means demand-paged through
+//! This crate forbids `unsafe`, so "mapped" means demand-paged through
 //! ordinary positioned reads rather than a raw `mmap(2)`: the operating
 //! system's page cache still backs the file, so concurrently serving
-//! processes share pages the usual way, and nothing is read twice.
+//! processes share pages the usual way, and nothing is read twice. On
+//! unix the materialization path issues `pread(2)`-style offset reads
+//! against a shared `&File` — no seek cursor, no lock — so shards
+//! faulting in concurrently never contend on the handle.
 //!
 //! # Validation model
 //!
@@ -39,7 +42,9 @@
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+#[cfg(not(unix))]
+use std::sync::Mutex;
 
 use grafite_core::persist::{checksum_words, spec_id, Header};
 use grafite_core::registry::Registry;
@@ -68,6 +73,8 @@ struct ShardExtent {
 }
 
 /// A poisoned file lock surfaces as a typed i/o failure, never a panic.
+/// (Only the non-unix fallback path holds a lock at all.)
+#[cfg(not(unix))]
 fn lock_poisoned<T>(_: T) -> FilterError {
     FilterError::Io {
         kind: std::io::ErrorKind::Other,
@@ -81,6 +88,62 @@ fn read_bytes_at(file: &mut File, pos: u64, len: usize) -> Result<Vec<u8>, Filte
     let mut buf = vec![0u8; len];
     file.read_exact(&mut buf)?;
     Ok(buf)
+}
+
+/// A read-only file handle answering positioned reads without a shared
+/// cursor. On unix this is `pread(2)` via [`std::os::unix::fs::FileExt`]:
+/// each call carries its own offset, takes `&File`, and never touches the
+/// seek position, so concurrent cold-shard materializations proceed with
+/// **no lock at all**. Elsewhere the handle falls back to the seed's
+/// `Mutex<File>` + seek discipline (the cursor is shared process state).
+struct PositionedFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+}
+
+impl PositionedFile {
+    fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            Self { file }
+        }
+        #[cfg(not(unix))]
+        {
+            Self {
+                file: Mutex::new(file),
+            }
+        }
+    }
+
+    /// Reads `len` bytes at absolute offset `pos` — lock-free on unix.
+    fn bytes_at(&self, pos: u64, len: usize) -> Result<Vec<u8>, FilterError> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            let mut buf = vec![0u8; len];
+            self.file.read_exact_at(&mut buf, pos)?;
+            Ok(buf)
+        }
+        #[cfg(not(unix))]
+        {
+            let mut file = self.file.lock().map_err(lock_poisoned)?;
+            read_bytes_at(&mut file, pos, len)
+        }
+    }
+
+    /// Reads `n` little-endian words at absolute offset `pos`.
+    fn words_at(&self, pos: u64, n: usize) -> Result<Vec<u64>, FilterError> {
+        let len = n
+            .checked_mul(8)
+            .ok_or(FilterError::corrupt("word read length overflows usize"))?;
+        Ok(self
+            .bytes_at(pos, len)?
+            .chunks_exact(8)
+            .map(le_word)
+            .collect())
+    }
 }
 
 /// Reads `n` little-endian words at absolute offset `pos`.
@@ -105,7 +168,7 @@ fn read_word_at(file: &mut File, pos: u64) -> Result<u64, FilterError> {
 /// to serve the store, with the expensive bytes still on disk.
 pub struct MappedManifest {
     path: PathBuf,
-    file: Mutex<File>,
+    file: PositionedFile,
     registry: Registry,
     config: StoreConfig,
     routing: Routing,
@@ -249,7 +312,7 @@ impl MappedManifest {
         }
         Ok(Self {
             path: path.to_path_buf(),
-            file: Mutex::new(file),
+            file: PositionedFile::new(file),
             registry: registry.clone(),
             config: head.config(partitioning, sample),
             routing,
@@ -301,12 +364,10 @@ impl MappedManifest {
             .extents
             .get(shard as usize)
             .ok_or(FilterError::corrupt("shard index out of range"))?;
-        let (keys, blob) = {
-            let mut file = self.file.lock().map_err(lock_poisoned)?;
-            let keys = read_words_at(&mut file, ext.keys_start, ext.n_keys)?;
-            let blob = read_bytes_at(&mut file, ext.blob_start, ext.blob_len)?;
-            (keys, blob)
-        };
+        // Positioned reads carry their own offsets, so concurrent cold
+        // probes materializing different shards never serialize here.
+        let keys = self.file.words_at(ext.keys_start, ext.n_keys)?;
+        let blob = self.file.bytes_at(ext.blob_start, ext.blob_len)?;
         let keys_actual = checksum_words(keys.iter().copied());
         if keys_actual != ext.keys_checksum {
             return Err(FilterError::ChecksumMismatch {

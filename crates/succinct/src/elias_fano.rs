@@ -290,23 +290,11 @@ impl<S: AsRef<[u64]>> EliasFano<S> {
             }
             return lo;
         }
-        let words = self.low.raw_words();
-        let mask = (1u64 << width) - 1;
-        let mut bitpos = start * width;
-        for i in start..end {
-            let word = bitpos / WORD_BITS;
-            let off = bitpos % WORD_BITS;
-            let mut v = words[word] >> off;
-            if off + width > WORD_BITS {
-                v |= words[word + 1] << (WORD_BITS - off);
-            }
-            let v = v & mask;
-            if v > y_lo || (!include_equal && v == y_lo) {
-                return i;
-            }
-            bitpos += width;
-        }
-        end
+        // The word-addressed sequential probe is the dispatched
+        // `simd::low_partition` kernel — vectorized (gather + variable
+        // shifts) where the CPU allows, the same running-cursor scalar
+        // loop otherwise.
+        crate::simd::low_partition(self.low.raw_words(), width, start, end, y_lo, include_equal)
     }
 
     /// `predecessor` with the element's index — the shared core of
@@ -627,9 +615,28 @@ impl<S: AsRef<[u64]>> EfCursor<'_, S> {
         }
         let words = ef.high.bits().words();
         while self.idx < ef.n {
-            while self.word == 0 {
-                self.word_idx += 1;
-                self.word = words[self.word_idx];
+            if self.word == 0 {
+                // Zero-run skip through H (vectorized where available):
+                // idx < n guarantees a set bit remains ahead.
+                let nz = crate::simd::next_nonzero_word(words, self.word_idx + 1)
+                    .expect("H holds a set bit for every remaining element");
+                self.word_idx = nz;
+                self.word = words[nz];
+            }
+            // Whole-word consume: element indices rise one per set bit, so
+            // `hi = pos - idx` is non-decreasing along the walk. If even the
+            // *last* one of the frontier word lands in a bucket below p,
+            // every one in the word is a predecessor of y and the word can
+            // be accepted wholesale — bit-identical to stepping, without
+            // the per-bit loop.
+            let ones = self.word.count_ones() as usize;
+            let last_pos =
+                self.word_idx * WORD_BITS + (WORD_BITS - 1 - self.word.leading_zeros() as usize);
+            if ((last_pos - (self.idx + ones - 1)) as u64) < p {
+                self.prev = Some((self.idx + ones - 1, last_pos));
+                self.idx += ones;
+                self.word = 0;
+                continue;
             }
             let pos = self.word_idx * WORD_BITS + self.word.trailing_zeros() as usize;
             let hi = (pos - self.idx) as u64;
@@ -638,6 +645,55 @@ impl<S: AsRef<[u64]>> EfCursor<'_, S> {
             }
             // Elements below bucket p are `<= y` by construction; only
             // bucket p's own elements need their low bits compared.
+            if hi == p && ef.low.get(self.idx) > y_lo {
+                break;
+            }
+            self.prev = Some((self.idx, pos));
+            self.word &= self.word - 1;
+            self.idx += 1;
+        }
+        self.prev
+            .map(|(i, pos)| (((pos - i) as u64) << ef.low_bits) | ef.low.get(i))
+    }
+
+    /// The PR 5 per-bit frontier walk, kept verbatim as the measured
+    /// baseline for the word-consuming walk above (mirroring
+    /// [`EliasFano::predecessor_two_probe`]). Benches and equivalence tests
+    /// call it; it is not part of the public API surface.
+    #[doc(hidden)]
+    pub fn predecessor_bitwise(&mut self, y: u64) -> Option<u64> {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(y >= self.last_y, "cursor probes must be non-decreasing");
+            self.last_y = y;
+        }
+        let ef = self.ef;
+        if ef.n == 0 || y < ef.first {
+            return None;
+        }
+        if y >= ef.last {
+            return Some(ef.last);
+        }
+        let p = y >> ef.low_bits;
+        let y_lo = y & ef.low_mask();
+        if (p as usize + self.idx).saturating_sub(self.word_idx * WORD_BITS) > GALLOP_BITS {
+            let (idx, v) = ef.pred_entry(y).expect("y >= first implies a predecessor");
+            let pos = ((v >> ef.low_bits) as usize) + idx;
+            self.prev = Some((idx, pos));
+            self.reposition_after(pos, idx);
+            return Some(v);
+        }
+        let words = ef.high.bits().words();
+        while self.idx < ef.n {
+            while self.word == 0 {
+                self.word_idx += 1;
+                self.word = words[self.word_idx];
+            }
+            let pos = self.word_idx * WORD_BITS + self.word.trailing_zeros() as usize;
+            let hi = (pos - self.idx) as u64;
+            if hi > p {
+                break;
+            }
             if hi == p && ef.low.get(self.idx) > y_lo {
                 break;
             }
@@ -708,14 +764,18 @@ mod tests {
             let expect_rank = values.iter().filter(|&&v| v < y).count();
             assert_eq!(ef.rank(y), expect_rank, "rank({y})");
         }
-        // The cursor answers the same probes identically when sorted.
+        // The cursor answers the same probes identically when sorted, on
+        // both the word-consuming walk and the per-bit baseline.
         sorted_probes.sort_unstable();
         let mut cur = ef.cursor();
+        let mut cur_bitwise = ef.cursor();
         for &y in &sorted_probes {
+            let expect = reference_predecessor(&set, y);
+            assert_eq!(cur.predecessor(y), expect, "cursor pred({y})");
             assert_eq!(
-                cur.predecessor(y),
-                reference_predecessor(&set, y),
-                "cursor pred({y})"
+                cur_bitwise.predecessor_bitwise(y),
+                expect,
+                "cursor bitwise pred({y})"
             );
         }
     }

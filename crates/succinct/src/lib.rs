@@ -31,7 +31,10 @@
 //! ([`BitVecView`], [`EliasFanoView`], …) that answer queries zero-copy,
 //! straight out of the loaded buffer.
 
-#![forbid(unsafe_code)]
+// Deny rather than forbid: `simd::kernels` is the one module allowed to
+// opt back in (xtask lint L6 enforces the allowlist and requires a
+// `// safety:` justification on every unsafe block there).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitvec;
@@ -40,13 +43,17 @@ pub mod elias_fano;
 pub mod golomb;
 pub mod intvec;
 pub mod io;
+pub mod predecessor;
 pub mod rs_bitvec;
+pub mod simd;
 
 pub use bitvec::{BitVec, BitVecView};
 pub use elias_fano::{EfCursor, EliasFano, EliasFanoView};
 pub use golomb::{GolombRiceSeq, GolombRiceSeqView};
 pub use intvec::{IntVec, IntVecView};
+pub use predecessor::{BucketedArray, PredecessorSearch, SampledIndex};
 pub use rs_bitvec::{RsBitVec, RsBitVecView};
+pub use simd::SimdLevel;
 
 /// Number of bits in a machine word used throughout the crate.
 pub const WORD_BITS: usize = 64;

@@ -1,0 +1,301 @@
+//! Alternative predecessor structures and the trait that lets the
+//! hotpath bake-off compare them head-to-head.
+//!
+//! Grafite's query algorithm is, at its core, repeated predecessor
+//! search over the sorted hash-code set. [`EliasFano`] is the
+//! space-optimal choice the paper builds on, but "fast as the hardware
+//! allows" is only honest against measured alternatives, so this module
+//! supplies two classic contenders at different space/time trade-offs:
+//!
+//! * [`BucketedArray`] — the raw sorted array re-laid-out in 64-byte
+//!   buckets with a separate minima directory, so the binary search
+//!   runs over one cache line per level and the final scan touches a
+//!   single line.
+//! * [`SampledIndex`] — a two-level sampled search: a radix table over
+//!   the high bits of the universe narrows every query to one small
+//!   slice, then a short binary search finishes inside it.
+//!
+//! All three (plus the plain sorted `Vec` baseline kept in the bench
+//! itself) answer the same `predecessor` contract and report their
+//! footprint, which `repro hotpath` turns into the bake-off rows of
+//! `BENCH_query.json`.
+
+use crate::elias_fano::EliasFano;
+
+/// Common interface for the predecessor-structure bake-off:
+/// `predecessor(x)` returns the largest stored value `<= x`.
+pub trait PredecessorSearch {
+    /// Largest stored value `<= x`, or `None` if every value exceeds `x`.
+    fn predecessor(&self, x: u64) -> Option<u64>;
+    /// Total footprint of the structure in bits (payload + directories).
+    fn size_in_bits(&self) -> usize;
+    /// Short stable identifier used in bench output keys.
+    fn name(&self) -> &'static str;
+}
+
+impl PredecessorSearch for EliasFano {
+    fn predecessor(&self, x: u64) -> Option<u64> {
+        EliasFano::predecessor(self, x)
+    }
+
+    fn size_in_bits(&self) -> usize {
+        EliasFano::size_in_bits(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "elias_fano"
+    }
+}
+
+/// Values per bucket: 8 × `u64` = one 64-byte cache line.
+const BUCKET: usize = 8;
+
+/// Cache-line-bucketed sorted array.
+///
+/// The sorted values are stored verbatim; a directory of per-bucket
+/// minima (one `u64` per 8 values) is searched first, so the expensive
+/// binary-search phase touches `log2(n/8)` cache lines instead of
+/// `log2(n)`, and the final phase is a `<= 8`-element scan inside one
+/// line. Space is `64 + 8` bits per key — the anti-succinct end of the
+/// bake-off.
+#[derive(Debug, Clone, Default)]
+pub struct BucketedArray {
+    values: Vec<u64>,
+    minima: Vec<u64>,
+}
+
+impl BucketedArray {
+    /// Builds from a sorted (non-decreasing) slice of values.
+    ///
+    /// # Panics
+    /// Panics if `values` is not sorted.
+    pub fn new(values: &[u64]) -> Self {
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        let minima = values.chunks(BUCKET).map(|c| c[0]).collect();
+        BucketedArray {
+            values: values.to_vec(),
+            minima,
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl PredecessorSearch for BucketedArray {
+    fn predecessor(&self, x: u64) -> Option<u64> {
+        // Last bucket whose minimum is <= x; earlier buckets are all
+        // smaller, later buckets are all larger than x.
+        let b = self.minima.partition_point(|&m| m <= x);
+        if b == 0 {
+            return None;
+        }
+        let start = (b - 1) * BUCKET;
+        let line = &self.values[start..(start + BUCKET).min(self.values.len())];
+        // The bucket minimum is <= x, so the backward scan always hits.
+        line.iter().rev().find(|&&v| v <= x).copied()
+    }
+
+    fn size_in_bits(&self) -> usize {
+        (self.values.len() + self.minima.len()) * 64
+    }
+
+    fn name(&self) -> &'static str {
+        "bucketed_array"
+    }
+}
+
+/// Two-level sampled-search index.
+///
+/// Level one is a radix table over the top bits of the universe:
+/// `table[h]` holds the index of the first value whose high chunk is
+/// `>= h`, so `values[table[h]..table[h + 1]]` is exactly the run of
+/// values sharing high chunk `h`. A query reads one table slot (O(1))
+/// and finishes with a binary search confined to that run. The table is
+/// sized at roughly one slot per key, making the expected run length
+/// constant for uniform keys — the classic way to buy near-O(1)
+/// predecessor with ~2× the space of the raw array.
+#[derive(Debug, Clone, Default)]
+pub struct SampledIndex {
+    values: Vec<u64>,
+    /// `table.len() == (1 << table_bits) + 1`; slot `h` is the index of
+    /// the first value with `v >> shift >= h`.
+    table: Vec<u32>,
+    shift: u32,
+}
+
+impl SampledIndex {
+    /// Builds from a sorted (non-decreasing) slice of values.
+    ///
+    /// # Panics
+    /// Panics if `values` is not sorted or holds `2^32` or more values.
+    pub fn new(values: &[u64]) -> Self {
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        assert!(values.len() < u32::MAX as usize, "too many values");
+        if values.is_empty() {
+            return SampledIndex {
+                values: Vec::new(),
+                table: vec![0, 0],
+                shift: 63,
+            };
+        }
+        let max = *values.last().expect("non-empty");
+        // Bits needed to express every value, and a table of about one
+        // slot per key (capped so tiny universes don't over-allocate).
+        let ubits = 64 - max.leading_zeros();
+        let want = usize::BITS - values.len().next_power_of_two().leading_zeros() - 1;
+        let table_bits = want.min(ubits).min(24);
+        let shift = ubits - table_bits;
+        let slots = 1usize << table_bits;
+        let mut table = vec![0u32; slots + 1];
+        let mut next = 0usize;
+        for (h, slot) in table.iter_mut().enumerate().take(slots) {
+            while next < values.len() && (values[next] >> shift) < h as u64 {
+                next += 1;
+            }
+            *slot = next as u32;
+        }
+        table[slots] = values.len() as u32;
+        SampledIndex {
+            values: values.to_vec(),
+            table,
+            shift,
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl PredecessorSearch for SampledIndex {
+    fn predecessor(&self, x: u64) -> Option<u64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let h = ((x >> self.shift) as usize).min(self.table.len() - 2);
+        let lo = self.table[h] as usize;
+        let hi = self.table[h + 1] as usize;
+        // Values before `lo` have a smaller high chunk (all <= x); values
+        // from `hi` on have a larger one (all > x, given h wasn't
+        // clamped — and if it was, hi == values.len()).
+        let idx = lo + self.values[lo..hi].partition_point(|&v| v <= x);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.values[idx - 1])
+        }
+    }
+
+    fn size_in_bits(&self) -> usize {
+        self.values.len() * 64 + self.table.len() * 32
+    }
+
+    fn name(&self) -> &'static str {
+        "sampled_index"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_pred(values: &[u64], x: u64) -> Option<u64> {
+        values.iter().copied().filter(|&v| v <= x).max()
+    }
+
+    fn check_all(values: &[u64], probes: impl Iterator<Item = u64>) {
+        let ba = BucketedArray::new(values);
+        let si = SampledIndex::new(values);
+        let ef = if values.windows(2).all(|w| w[0] < w[1]) {
+            Some(EliasFano::new(values, values.last().map_or(1, |&m| m + 1)))
+        } else {
+            None
+        };
+        for x in probes {
+            let want = naive_pred(values, x);
+            assert_eq!(ba.predecessor(x), want, "bucketed x={x}");
+            assert_eq!(si.predecessor(x), want, "sampled x={x}");
+            if let Some(ef) = &ef {
+                assert_eq!(
+                    PredecessorSearch::predecessor(ef, x),
+                    want,
+                    "elias_fano x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_structures() {
+        check_all(&[], [0, 1, u64::MAX].into_iter());
+        assert!(BucketedArray::new(&[]).is_empty());
+        assert!(SampledIndex::new(&[]).is_empty());
+    }
+
+    #[test]
+    fn small_sets_exhaustive() {
+        check_all(&[5], 0..20);
+        check_all(&[0, 1, 2, 3], 0..10);
+        check_all(&[10, 20, 30, 40, 50, 60, 70, 80, 90], 0..101);
+        // Duplicates (EF skipped — it requires strictly increasing).
+        check_all(&[7, 7, 7, 9, 9], 0..15);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        // Exactly 3 full cache-line buckets plus a 1-element tail.
+        let values: Vec<u64> = (0..25).map(|i| i * 3 + 1).collect();
+        check_all(&values, 0..80);
+    }
+
+    #[test]
+    fn pseudo_random_agreement() {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut values: Vec<u64> = (0..1000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 20
+            })
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        let probes: Vec<u64> = (0..2000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 19
+            })
+            .collect();
+        check_all(&values, probes.into_iter());
+    }
+
+    #[test]
+    fn reports_footprint_and_names() {
+        let values: Vec<u64> = (0..100).map(|i| i * 7).collect();
+        let ba = BucketedArray::new(&values);
+        let si = SampledIndex::new(&values);
+        assert!(ba.size_in_bits() >= 100 * 64);
+        assert!(si.size_in_bits() >= 100 * 64);
+        assert_eq!(ba.name(), "bucketed_array");
+        assert_eq!(si.name(), "sampled_index");
+        assert_eq!(ba.len(), 100);
+        assert_eq!(si.len(), 100);
+    }
+}

@@ -39,8 +39,8 @@
 //! from the bits in one O(n/64) pass.
 
 use crate::bitvec::BitVec;
-use crate::broadword::select_in_word;
 use crate::io::{DecodeError, WordSource, WordWriter};
+use crate::simd::select_in_word;
 use crate::WORD_BITS;
 
 const BLOCK_WORDS: usize = 8;
@@ -244,8 +244,9 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
     ///
     /// Branch-free over the 8-word block: every block word is popcounted
     /// under a mask that keeps exactly its bits below `pos` (possibly none,
-    /// possibly all), so the loop has no data-dependent branches to
-    /// mispredict.
+    /// possibly all). The masked block popcount is the dispatched
+    /// [`crate::simd::rank1_x8`] kernel — vectorized where the CPU allows,
+    /// the same fixed-shape scalar loop otherwise.
     #[inline]
     pub fn rank1(&self, pos: usize) -> usize {
         assert!(pos <= self.len(), "rank position {pos} out of range");
@@ -255,10 +256,7 @@ impl<S: AsRef<[u64]>> RsBitVec<S> {
         let first_word = block * BLOCK_WORDS;
         let end = (first_word + BLOCK_WORDS).min(words.len());
         let in_block = pos - block * BLOCK_BITS;
-        for (j, &w) in words[first_word..end].iter().enumerate() {
-            let take = in_block.saturating_sub(j * WORD_BITS).min(WORD_BITS);
-            r += (w & mask_low(take)).count_ones() as usize;
-        }
+        r += crate::simd::rank1_x8(&words[first_word..end], in_block);
         r
     }
 

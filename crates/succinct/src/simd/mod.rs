@@ -1,0 +1,270 @@
+//! Runtime-dispatched vector kernels for the succinct hot paths.
+//!
+//! Four kernels sit on the query-time critical path — the masked 8-word
+//! block rank, in-word select, the Elias-Fano low-bits partition probe,
+//! and zero-word skipping for cursor walks. Each has a portable scalar
+//! reference implementation ([`scalar`]) and, on x86_64, vector
+//! variants ([`kernels`]) selected once per process by CPU feature
+//! detection. The dispatchers here are the only entry points the rest
+//! of the crate uses.
+//!
+//! Dispatch levels form a total order `Scalar < Sse2 < Avx2` on x86_64
+//! (`Neon` is an aarch64 placeholder that currently delegates to
+//! scalar). The detected level can be *capped* with the `GRAFITE_SIMD`
+//! environment variable (`scalar`, `sse2`, `avx2`, `neon`,
+//! case-insensitive) — forcing a level above what the CPU supports is
+//! clamped down, so setting `GRAFITE_SIMD=avx2` on a non-AVX2 machine
+//! is safe and simply yields the best available level. Every vector
+//! kernel is property-tested for bit-identical agreement with its
+//! scalar reference (`tests/simd_agreement.rs`), and the `*_at` entry
+//! points let those tests pin a specific level without touching the
+//! process-global cache.
+
+pub mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub mod kernels;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Vector instruction tier used by the dispatched kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SimdLevel {
+    /// Portable scalar reference kernels (always available).
+    Scalar = 0,
+    /// x86_64 SSE2 (baseline on the 64-bit ISA).
+    Sse2 = 1,
+    /// x86_64 AVX2 (+ BMI2 PDEP select when the CPU has it).
+    Avx2 = 2,
+    /// aarch64 NEON — detection placeholder; kernels delegate to
+    /// scalar until vector implementations land.
+    Neon = 3,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name (matches the `GRAFITE_SIMD` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+
+    fn from_u8(v: u8) -> SimdLevel {
+        match v {
+            1 => SimdLevel::Sse2,
+            2 => SimdLevel::Avx2,
+            3 => SimdLevel::Neon,
+            _ => SimdLevel::Scalar,
+        }
+    }
+
+    fn parse(s: &str) -> Option<SimdLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" | "off" | "0" => Some(SimdLevel::Scalar),
+            "sse2" => Some(SimdLevel::Sse2),
+            "avx2" => Some(SimdLevel::Avx2),
+            "neon" => Some(SimdLevel::Neon),
+            _ => None,
+        }
+    }
+}
+
+/// What the hardware supports, ignoring any environment override.
+pub fn detect_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return SimdLevel::Sse2;
+        }
+        SimdLevel::Scalar
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        SimdLevel::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+/// All levels worth exercising on this machine: scalar, plus every
+/// hardware tier up to the detected one. Agreement tests iterate this.
+pub fn available_levels() -> Vec<SimdLevel> {
+    let top = detect_level();
+    let mut levels = vec![SimdLevel::Scalar];
+    for l in [SimdLevel::Sse2, SimdLevel::Avx2] {
+        if l <= top {
+            levels.push(l);
+        }
+    }
+    if top == SimdLevel::Neon {
+        levels.push(SimdLevel::Neon);
+    }
+    levels
+}
+
+/// 0 = not yet resolved; otherwise `SimdLevel as u8 + 1`.
+static LEVEL_CACHE: AtomicU8 = AtomicU8::new(0);
+
+/// The dispatch level in effect for this process: hardware detection
+/// capped by `GRAFITE_SIMD`, resolved once and cached.
+pub fn level() -> SimdLevel {
+    // ordering: the cache is a monotone write-once memo of a pure
+    // computation — any thread recomputing it stores the same value, so
+    // relaxed loads/stores cannot expose inconsistent state.
+    let cached = LEVEL_CACHE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return SimdLevel::from_u8(cached - 1);
+    }
+    let detected = detect_level();
+    let effective = match std::env::var("GRAFITE_SIMD") {
+        Ok(v) => match SimdLevel::parse(&v) {
+            // Neon requested on non-aarch64 (or any level above the
+            // hardware) clamps down to what is actually available.
+            Some(req) => {
+                if req == SimdLevel::Neon && detected != SimdLevel::Neon {
+                    SimdLevel::Scalar
+                } else {
+                    req.min(detected)
+                }
+            }
+            None => detected,
+        },
+        Err(_) => detected,
+    };
+    // ordering: see the load above — write-once memo of a pure value.
+    LEVEL_CACHE.store(effective as u8 + 1, Ordering::Relaxed);
+    effective
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers
+// ---------------------------------------------------------------------------
+
+/// Ones among bits `[0, upto)` of a block of up to 8 words (bits past
+/// `words.len() * 64` count as zero). See [`scalar::rank1_x8`].
+#[inline]
+pub fn rank1_x8(words: &[u64], upto: usize) -> usize {
+    rank1_x8_at(level(), words, upto)
+}
+
+/// [`rank1_x8`] pinned to an explicit dispatch level (levels the
+/// hardware lacks fall back to scalar inside the kernel, keeping the
+/// result identical).
+#[inline]
+pub fn rank1_x8_at(level: SimdLevel, words: &[u64], upto: usize) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    match level {
+        SimdLevel::Avx2 => return kernels::rank1_x8_avx2(words, upto),
+        SimdLevel::Sse2 => return kernels::rank1_x8_sse2(words, upto),
+        SimdLevel::Scalar | SimdLevel::Neon => {}
+    }
+    let _ = level;
+    scalar::rank1_x8(words, upto)
+}
+
+/// Position of the `k`-th (0-based) set bit of `word`; `k` must be less
+/// than `word.count_ones()`.
+#[inline]
+pub fn select_in_word(word: u64, k: u32) -> u32 {
+    select_in_word_at(level(), word, k)
+}
+
+/// [`select_in_word`] pinned to an explicit dispatch level. The PDEP
+/// variant rides the Avx2 tier (BMI2 and AVX2 arrived together on
+/// mainstream cores, and the kernel re-checks BMI2 itself).
+#[inline]
+pub fn select_in_word_at(level: SimdLevel, word: u64, k: u32) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2 {
+        return kernels::select_in_word_bmi2(word, k);
+    }
+    let _ = level;
+    scalar::select_in_word(word, k)
+}
+
+/// First index in `[start, end)` of the `width`-bit packed array whose
+/// field exceeds `y_lo` (or equals it, when `include_equal` is false).
+/// See [`scalar::low_partition`] for the full contract.
+#[inline]
+pub fn low_partition(
+    words: &[u64],
+    width: usize,
+    start: usize,
+    end: usize,
+    y_lo: u64,
+    include_equal: bool,
+) -> usize {
+    low_partition_at(level(), words, width, start, end, y_lo, include_equal)
+}
+
+/// [`low_partition`] pinned to an explicit dispatch level.
+#[inline]
+pub fn low_partition_at(
+    level: SimdLevel,
+    words: &[u64],
+    width: usize,
+    start: usize,
+    end: usize,
+    y_lo: u64,
+    include_equal: bool,
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2 {
+        return kernels::low_partition_avx2(words, width, start, end, y_lo, include_equal);
+    }
+    let _ = level;
+    scalar::low_partition(words, width, start, end, y_lo, include_equal)
+}
+
+/// Index of the first non-zero word at or after `from`, or `None`.
+#[inline]
+pub fn next_nonzero_word(words: &[u64], from: usize) -> Option<usize> {
+    next_nonzero_word_at(level(), words, from)
+}
+
+/// [`next_nonzero_word`] pinned to an explicit dispatch level.
+#[inline]
+pub fn next_nonzero_word_at(level: SimdLevel, words: &[u64], from: usize) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2 {
+        return kernels::next_nonzero_word_avx2(words, from);
+    }
+    let _ = level;
+    scalar::next_nonzero_word(words, from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_names() {
+        assert_eq!(SimdLevel::parse("scalar"), Some(SimdLevel::Scalar));
+        assert_eq!(SimdLevel::parse("AVX2 "), Some(SimdLevel::Avx2));
+        assert_eq!(SimdLevel::parse("sse2"), Some(SimdLevel::Sse2));
+        assert_eq!(SimdLevel::parse("neon"), Some(SimdLevel::Neon));
+        assert_eq!(SimdLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn available_levels_start_scalar_and_are_ordered() {
+        let levels = available_levels();
+        assert_eq!(levels[0], SimdLevel::Scalar);
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        assert!(levels.contains(&detect_level()) || detect_level() == SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn level_is_at_most_detected() {
+        assert!(level() <= detect_level() || detect_level() == SimdLevel::Neon);
+    }
+}

@@ -65,6 +65,52 @@ pub const UNTRUSTED_FN_GLOBS: &[&str] = &[
 /// the crate root (`src/lib.rs`, or `src/main.rs` for binaries).
 pub const REQUIRED_HEADERS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
 
+/// Crates allowed to *deny* rather than *forbid* `unsafe_code` at the
+/// root, because one allowlisted kernel module opts back in (`forbid`
+/// cannot be overridden per-module). L2 accepts either spelling for
+/// these; L6 polices the actual `unsafe` tokens.
+pub const UNSAFE_GATED_CRATES: &[&str] = &["crates/succinct"];
+
+/// The `deny` spelling of the unsafe header L2 accepts for
+/// [`UNSAFE_GATED_CRATES`].
+pub const DENY_UNSAFE_HEADER: &str = "#![deny(unsafe_code)]";
+
+/// The only files allowed to contain `unsafe` at all (L6): the SIMD
+/// kernel module, where every `unsafe` block must carry an adjacent
+/// `// safety:` justification. Everywhere else in
+/// [`UNSAFE_SCAN_GLOBS`], any `unsafe` token is a violation.
+pub const UNSAFE_KERNEL_FILES: &[&str] = &["crates/succinct/src/simd/kernels.rs"];
+
+/// The comment marker that justifies an `unsafe` block for L6.
+pub const SAFETY_JUSTIFICATION: &str = "safety:";
+
+/// How many lines above an `unsafe` token L6 searches for the
+/// justification comment. Wider than L5's window: soundness arguments
+/// for gathers and raw loads legitimately run several comment lines.
+pub const SAFETY_COMMENT_WINDOW: usize = 5;
+
+/// Directory prefixes L6 sweeps for `unsafe` tokens — every source tree
+/// of the workspace (libraries, binaries, benches, integration tests,
+/// examples, shims). `crates/xtask/tests/` is deliberately absent: the
+/// seeded-violation fixtures plant `unsafe` on purpose.
+pub const UNSAFE_SCAN_GLOBS: &[&str] = &[
+    "src/",
+    "examples/",
+    "tests/",
+    "shims/",
+    "crates/bench/",
+    "crates/bloom/src/",
+    "crates/core/src/",
+    "crates/filters/src/",
+    "crates/fst/src/",
+    "crates/hash/src/",
+    "crates/server/src/",
+    "crates/store/src/",
+    "crates/succinct/",
+    "crates/workloads/src/",
+    "crates/xtask/src/",
+];
+
 /// Identifier fragments that mark a value as length/offset-typed for the
 /// L4 unchecked-arithmetic heuristic. Matching is case-insensitive
 /// substring over each operand identifier.

@@ -1,11 +1,13 @@
 //! Repo-specific static analysis for the Grafite workspace.
 //!
-//! `cargo run -p xtask -- lint` runs five lexical lints (see
+//! `cargo run -p xtask -- lint` runs six lexical lints (see
 //! [`lints`]) that encode this repository's correctness contract: blob
 //! loading is panic-free, length arithmetic on untrusted values is
 //! checked, crate headers are uniform, the persistence constants agree
-//! with the committed golden blobs, and every atomic ordering in the
-//! serving layer is justified. The crate is dependency-free and fully
+//! with the committed golden blobs, every atomic ordering in the
+//! serving layer is justified, and `unsafe` is confined to the
+//! allowlisted SIMD kernel module with per-block `// safety:`
+//! justifications. The crate is dependency-free and fully
 //! offline: plain `std::fs` walks plus a hand-rolled Rust lexer
 //! ([`scan`]) that masks comments and strings before any rule looks at
 //! the tokens.
@@ -74,13 +76,14 @@ fn walk_rs(root: &Path, prefix: &str) -> Vec<String> {
     out
 }
 
-/// Runs all five lints from `root` and returns the combined report.
+/// Runs all six lints from `root` and returns the combined report.
 pub fn run_lints(root: &Path) -> LintReport {
     let mut sink = Sink::default();
     let mut files_scanned = 0usize;
 
-    // L1 + L4 need per-file scopes; L5 needs the store tree. Build the
-    // union of files to scan once, load each once.
+    // L1 + L4 need per-file scopes; L5 needs the store tree; L6 sweeps
+    // every source tree. Build the union of files to scan once, load
+    // each once.
     let mut scoped_files: Vec<String> = config::UNTRUSTED_FILES
         .iter()
         .map(|s| s.to_string())
@@ -89,6 +92,9 @@ pub fn run_lints(root: &Path) -> LintReport {
         scoped_files.extend(walk_rs(root, glob));
     }
     for glob in config::ATOMIC_AUDIT_GLOBS {
+        scoped_files.extend(walk_rs(root, glob));
+    }
+    for glob in config::UNSAFE_SCAN_GLOBS {
         scoped_files.extend(walk_rs(root, glob));
     }
     scoped_files.sort();
@@ -124,6 +130,11 @@ pub fn run_lints(root: &Path) -> LintReport {
             .any(|g| rel.starts_with(g))
         {
             lints::atomics::check(&file, &mut sink);
+        }
+
+        if config::UNSAFE_SCAN_GLOBS.iter().any(|g| rel.starts_with(g)) {
+            let allowlisted = config::UNSAFE_KERNEL_FILES.contains(&rel.as_str());
+            lints::unsafe_kernels::check(&file, allowlisted, &mut sink);
         }
     }
 

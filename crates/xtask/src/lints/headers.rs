@@ -2,13 +2,17 @@
 //!
 //! Every workspace member (and the root meta-crate) must open with the
 //! agreed header block: `#![forbid(unsafe_code)]` — memory safety is not a
-//! per-crate choice — and `#![warn(missing_docs)]`. The check runs over
-//! the masked source, so a doc comment *mentioning* the attributes does
-//! not satisfy it.
+//! per-crate choice — and `#![warn(missing_docs)]`. The crates listed in
+//! [`crate::config::UNSAFE_GATED_CRATES`] may spell the first one
+//! `#![deny(unsafe_code)]` instead, because their allowlisted SIMD kernel
+//! module opts back in (`forbid` cannot be overridden per-module); L6
+//! polices the actual `unsafe` tokens there. The check runs over the
+//! masked source, so a doc comment *mentioning* the attributes does not
+//! satisfy it.
 
 use std::path::Path;
 
-use crate::config::REQUIRED_HEADERS;
+use crate::config::{DENY_UNSAFE_HEADER, REQUIRED_HEADERS, UNSAFE_GATED_CRATES};
 use crate::lints::Sink;
 use crate::scan::SourceFile;
 
@@ -64,13 +68,23 @@ pub fn check(root: &Path, sink: &mut Sink) {
                 format!("{member}/{crate_root}")
             };
             let scanned = SourceFile::scan(&rel, &raw);
+            let gated = UNSAFE_GATED_CRATES.contains(&member.as_str());
             for required in REQUIRED_HEADERS {
-                if !scanned.masked.contains(required) {
+                let satisfied = scanned.masked.contains(required)
+                    || (gated
+                        && required.contains("unsafe_code")
+                        && scanned.masked.contains(DENY_UNSAFE_HEADER));
+                if !satisfied {
+                    let hint = if gated && required.contains("unsafe_code") {
+                        format!("`{required}` (or `{DENY_UNSAFE_HEADER}` for this gated crate)")
+                    } else {
+                        format!("`{required}`")
+                    };
                     sink.emit_unconditional(
                         rel.clone(),
                         "L2",
                         1,
-                        format!("crate root is missing the `{required}` header"),
+                        format!("crate root is missing the {hint} header"),
                     );
                 }
             }

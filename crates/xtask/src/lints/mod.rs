@@ -1,12 +1,13 @@
-//! The five repo-specific lints behind `cargo run -p xtask -- lint`.
+//! The six repo-specific lints behind `cargo run -p xtask -- lint`.
 //!
 //! | id | name | what it proves |
 //! |---|---|---|
 //! | L1 | panic-freedom | no `unwrap`/`expect`/`panic!`-family macro/bare indexing in untrusted-input scopes |
-//! | L2 | crate-header conformance | every workspace crate forbids `unsafe_code` and warns on `missing_docs` |
+//! | L2 | crate-header conformance | every workspace crate forbids `unsafe_code` (gated crates may deny) and warns on `missing_docs` |
 //! | L3 | format-constant consistency | version/spec-id constants agree with the committed golden blobs |
 //! | L4 | unchecked arithmetic | no bare `+`/`*`/`<<` on length/offset-typed values in untrusted scopes |
 //! | L5 | atomic-ordering audit | every atomic `Ordering::` in `grafite-store` carries an `// ordering:` justification |
+//! | L6 | unsafe-kernel confinement | `unsafe` appears only in the allowlisted SIMD kernel module, every block `// safety:`-justified |
 //!
 //! L1 and L4 honour the `// lint:allow(reason)` escape hatch (same line or
 //! the line directly above); suppressions are counted and reported, never
@@ -17,13 +18,14 @@ pub mod atomics;
 pub mod format_consts;
 pub mod headers;
 pub mod panic_freedom;
+pub mod unsafe_kernels;
 
 use crate::scan::{AllowUse, SourceFile};
 
 /// One lint violation, pointing at `file:line`.
 #[derive(Clone, Debug)]
 pub struct Finding {
-    /// Lint id (`"L1"`…`"L5"`).
+    /// Lint id (`"L1"`…`"L6"`).
     pub lint: &'static str,
     /// Workspace-relative path.
     pub file: String,

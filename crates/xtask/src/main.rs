@@ -10,7 +10,8 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("Runs the repo-specific lints (L1 panic-freedom, L2 crate headers,");
     eprintln!("L3 format-constant consistency, L4 unchecked arithmetic, L5 atomic");
-    eprintln!("orderings). Exits 1 if any violation is found.");
+    eprintln!("orderings, L6 unsafe-kernel confinement). Exits 1 if any violation");
+    eprintln!("is found.");
     ExitCode::from(2)
 }
 

@@ -12,3 +12,6 @@ pub mod spec_id {
 pub fn read_from(words: &[u64]) -> u64 {
     words[3]
 }
+
+/// Seeded L6: `unsafe` outside the kernel allowlist.
+pub unsafe fn touch() {}

@@ -1,0 +1,13 @@
+//! Seeded L6: allowlisted kernel file with one justified and one
+//! unjustified `unsafe` block.
+
+pub fn justified(p: *const u64) -> u64 {
+    // safety: fixture pretends the caller guarantees p is valid.
+    unsafe { *p }
+}
+
+/// Far enough below the justified block that its marker comment
+/// falls outside the search window.
+pub fn unjustified(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -64,6 +64,10 @@ fn seeded_fixture_fires_every_lint() {
     // and STORE_FORMAT_VERSION=0 is out of range.
     expect("L3", "tests/golden/v9/manifest.txt", 1);
     expect("L3", "crates/store/src/manifest.rs", 1);
+    // L6 unsafe confinement: an unjustified `unsafe` inside the
+    // allowlisted kernel file, and any `unsafe` outside the allowlist.
+    expect("L6", "crates/succinct/src/simd/kernels.rs", 12);
+    expect("L6", "crates/core/src/persist.rs", 17);
 
     // Both L2 headers are reported for the fixture root.
     assert_eq!(
@@ -79,6 +83,13 @@ fn seeded_fixture_fires_every_lint() {
         !got.iter()
             .any(|(l, f, n)| l == "L5" && f == "crates/store/src/manifest.rs" && *n == 13),
         "a justified ordering must pass the audit"
+    );
+
+    // The `// safety:`-justified unsafe (kernels.rs line 6) must NOT fire.
+    assert!(
+        !got.iter()
+            .any(|(l, f, n)| l == "L6" && f == "crates/succinct/src/simd/kernels.rs" && *n == 6),
+        "a justified unsafe block must pass the confinement audit"
     );
 
     // The lint:allow'd index (io.rs line 8) is suppressed but counted.

@@ -14,7 +14,17 @@ the CI runner. The gate fails when:
   * any normalized query metric regresses by more than REGRESSION_TOLERANCE
     against the committed baseline, or
   * the in-run fused-vs-two-probe predecessor speedup (a fully
-    machine-independent ratio) drops below SPEEDUP_FLOOR.
+    machine-independent ratio) drops below SPEEDUP_FLOOR, or
+  * the run used SIMD dispatch (`simd_active`) but fewer than
+    KERNEL_SPEEDUP_MIN_KERNELS of the vectorized kernels beat their
+    forced-scalar twins by KERNEL_SPEEDUP_FLOOR (an in-run ratio, so it is
+    machine-independent too).
+
+`kernel_*` and `bakeoff_*` metrics are excluded from the normalized
+baseline diff: kernel rows depend on which dispatch level the runner
+supports (a scalar-forced CI leg would trivially "regress" them), and the
+bake-off rows exist to be compared against each other within one run, not
+across machines. They are still carried in the report for trend reading.
 
 Serve mode (`serve` + one file): checks a `repro serve` report against the
 serving cold-start acceptance floors — the measured manifest must be at
@@ -34,7 +44,18 @@ REGRESSION_TOLERANCE = 1.25
 # busy machines reaches ~±15% even on min-of-N timings).
 SPEEDUP_FLOOR = 1.3
 
+# When the fresh run dispatched SIMD kernels, at least this many of them
+# must beat their forced-scalar twins by this factor. The committed
+# measurements are well above the floor; 1.2x matches the acceptance
+# criterion while leaving room for runner noise.
+KERNEL_SPEEDUP_FLOOR = 1.2
+KERNEL_SPEEDUP_MIN_KERNELS = 2
+
 NORMALIZER = "sorted_vec_predecessor_ns"
+
+# Metric prefixes excluded from the normalized baseline diff (see the
+# module docstring).
+UNGATED_PREFIXES = ("kernel_", "bakeoff_")
 
 # Serve-mode floors: the measured manifest must be >= 100 MB (so the
 # cold-start comparison is about a store that actually hurts to read
@@ -93,7 +114,32 @@ def normalized(metrics):
         key: value / scale
         for key, value in metrics.items()
         if key.endswith("_ns") and key != NORMALIZER
+        and not key.startswith(UNGATED_PREFIXES)
     }
+
+
+def check_kernel_speedups(fresh, failures):
+    """In-run SIMD-vs-scalar floor, active only when the run dispatched
+    a vector level (a scalar-forced or scalar-only run has nothing to
+    prove here)."""
+    if not fresh.get("simd_active"):
+        level = fresh.get("simd_level", "unknown")
+        print(f"  simd dispatch inactive (level {level!r}); kernel floor skipped")
+        return
+    speedups = {
+        key[len("kernel_speedup_"):]: value
+        for key, value in fresh.items()
+        if key.startswith("kernel_speedup_") and isinstance(value, (int, float))
+    }
+    passing = sorted(k for k, v in speedups.items() if v >= KERNEL_SPEEDUP_FLOOR)
+    for name, value in sorted(speedups.items()):
+        marker = "ok" if value >= KERNEL_SPEEDUP_FLOOR else "--"
+        print(f"  [{marker}] kernel {name}: {value:.2f}x vs scalar")
+    if len(passing) < KERNEL_SPEEDUP_MIN_KERNELS:
+        failures.append(
+            f"only {len(passing)} kernel(s) reached the {KERNEL_SPEEDUP_FLOOR}x "
+            f"SIMD speedup floor (need {KERNEL_SPEEDUP_MIN_KERNELS}); "
+            f"speedups: {speedups}")
 
 
 def main():
@@ -128,6 +174,8 @@ def main():
         failures.append(
             f"fused predecessor speedup {speedup:.2f}x fell below the "
             f"{SPEEDUP_FLOOR}x floor")
+
+    check_kernel_speedups(fresh, failures)
 
     if failures:
         print("\nperf smoke FAILED:")
