@@ -63,15 +63,15 @@ impl ServerHandle {
     /// Whether a `SHUTDOWN` frame (or [`ServerHandle::shutdown`]) has
     /// stopped the accept loop.
     pub fn is_stopped(&self) -> bool {
-        // ordering: a stop flag with no data published alongside it;
-        // relaxed reads are enough for a poll.
+        // ordering: Relaxed-flag; no data is published alongside the stop
+        // flag, so relaxed reads are enough for a poll.
         self.stop.load(Ordering::Relaxed)
     }
 
     /// Stops accepting, lets in-flight connections drain, and joins the
     /// acceptor.
     pub fn shutdown(mut self) {
-        // ordering: a stop flag with no data published alongside it;
+        // ordering: Relaxed-flag; no data rides on the stop flag,
         // connection threads poll it between frames.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(acceptor) = self.acceptor.take() {
@@ -129,7 +129,7 @@ pub fn serve(
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    // ordering: stop flag poll; no data is published through it.
+    // ordering: Relaxed-flag; stop poll, no data is published through it.
     while !shared.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -162,7 +162,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     };
     let mut writer = stream;
     loop {
-        // ordering: stop flag poll; no data is published through it.
+        // ordering: Relaxed-flag; stop poll, no data is published through it.
         if shared.stop.load(Ordering::Relaxed) {
             return;
         }
@@ -209,8 +209,8 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 shared
                     .telemetry
                     .record_request(frame.verb, elapsed_us(started));
-                // ordering: stop flag set; connection threads and the
-                // acceptor poll it, no data rides on it.
+                // ordering: Relaxed-flag; connection threads and the
+                // acceptor poll the stop flag, no data rides on it.
                 shared.stop.store(true, Ordering::Relaxed);
                 let _ = protocol::write_frame(&mut writer, protocol::ok_verb(frame.verb), &[]);
                 return;

@@ -21,15 +21,15 @@ use grafite_store::FilterStore;
 
 /// Relaxed monotonic add — every counter in this module goes through here.
 fn add(counter: &AtomicU64, n: u64) {
-    // ordering: pure monotonic event counter; nothing synchronizes on it,
-    // so relaxed suffices.
+    // ordering: Relaxed-counter; pure monotonic event counter, nothing
+    // synchronizes on it.
     counter.fetch_add(n, Ordering::Relaxed);
 }
 
 /// Relaxed counter read for reporting.
 fn get(counter: &AtomicU64) -> u64 {
-    // ordering: statistical snapshot read; slight tearing across counters
-    // is acceptable for telemetry, so relaxed suffices.
+    // ordering: Relaxed-counter; statistical snapshot read — slight
+    // tearing across counters is acceptable for telemetry.
     counter.load(Ordering::Relaxed)
 }
 
@@ -332,12 +332,14 @@ pub fn render_json(t: &Telemetry, store: &FilterStore) -> String {
         t.rebuild_us.quantile(99, 100),
     ));
     out.push_str(&format!(
-        "\"store\":{{\"version\":{},\"num_shards\":{},\"lazy_shard_loads\":{},\"shard_load_errors\":{},\"reloads\":{}}}",
+        "\"store\":{{\"version\":{},\"published_version\":{},\"num_shards\":{},\"lazy_shard_loads\":{},\"shard_load_errors\":{},\"reloads\":{},\"degraded\":{}}}",
         snap.version(),
+        store.version(),
         snap.num_shards(),
         stats.lazy_shard_loads(),
         stats.shard_load_errors(),
         stats.reloads(),
+        stats.is_degraded(),
     ));
     out.push('}');
     out

@@ -344,7 +344,12 @@ pub fn read(
     }
     let config = head.config(partitioning, sample);
 
-    let mut shards = Vec::with_capacity(n_shards);
+    // `n_shards` is attacker-controlled until the per-shard reads below
+    // bound it against the body length; clamp the capacity hint so a
+    // forged count cannot force a huge up-front allocation (range routing
+    // already fails fast at the `cursor.take(n_shards)` above, but hash
+    // routing reaches here unchecked).
+    let mut shards = Vec::with_capacity(n_shards.min(1 << 20));
     let mut keys_total = 0u64;
     for s in 0..n_shards {
         let n_keys = cursor.length()?;

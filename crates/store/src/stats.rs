@@ -8,7 +8,7 @@
 //! telemetry module, where it can be sampled and histogrammed without
 //! taxing the store's lock-free read path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Monotonic counters shared by a [`FilterStore`](crate::FilterStore) and
 /// every lazy shard it hands out. All methods are lock-free and safe to
@@ -18,36 +18,45 @@ pub struct StoreStats {
     lazy_shard_loads: AtomicU64,
     shard_load_errors: AtomicU64,
     reloads: AtomicU64,
+    /// Set (and never cleared) once any shard materialization fails —
+    /// that shard now serves pass-all placeholders. Published with
+    /// `Release` so a reader that observes the flag also observes the
+    /// error count that preceded it.
+    degraded: AtomicBool,
 }
 
 impl StoreStats {
     /// Records one lazy shard materialization attempt.
     pub(crate) fn record_lazy_load(&self) {
-        // ordering: pure monotonic event counter; nothing synchronizes on
-        // it, so relaxed suffices.
+        // ordering: Relaxed-counter; pure monotonic event counter, nothing
+        // synchronizes on it.
         self.lazy_shard_loads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one failed shard materialization (the shard now serves
     /// pass-all).
     pub(crate) fn record_load_error(&self) {
-        // ordering: pure monotonic event counter; nothing synchronizes on
-        // it, so relaxed suffices.
+        // ordering: Relaxed-counter; pure monotonic event counter, nothing
+        // synchronizes on it.
         self.shard_load_errors.fetch_add(1, Ordering::Relaxed);
+        // ordering: Release->Acquire pairs-with degraded.load; the flag
+        // publishes the error increment above — a reader that sees
+        // `degraded` also sees a non-zero error count.
+        self.degraded.store(true, Ordering::Release);
     }
 
     /// Records one successful manifest hot-reload.
     pub(crate) fn record_reload(&self) {
-        // ordering: pure monotonic event counter; nothing synchronizes on
-        // it, so relaxed suffices.
+        // ordering: Relaxed-counter; pure monotonic event counter, nothing
+        // synchronizes on it.
         self.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Lazy shard materialization attempts so far (mapped stores only;
     /// eagerly opened stores never increment this).
     pub fn lazy_shard_loads(&self) -> u64 {
-        // ordering: independent counter read for reporting; no ordering
-        // relationship with other memory is implied.
+        // ordering: Relaxed-counter; independent read for reporting, no
+        // ordering relationship with other memory is implied.
         self.lazy_shard_loads.load(Ordering::Relaxed)
     }
 
@@ -55,15 +64,26 @@ impl StoreStats {
     /// placeholder. Non-zero means queries are safe (no false negatives)
     /// but degraded (every query on that shard answers `true`).
     pub fn shard_load_errors(&self) -> u64 {
-        // ordering: independent counter read for reporting; no ordering
-        // relationship with other memory is implied.
+        // ordering: Relaxed-counter; independent read for reporting, no
+        // ordering relationship with other memory is implied.
         self.shard_load_errors.load(Ordering::Relaxed)
+    }
+
+    /// Whether any shard materialization has ever failed: queries stay
+    /// safe (no false negatives) but the failed shard answers pass-all,
+    /// so the store's precision is degraded. Observing `true` here
+    /// happens-after the failure's [`StoreStats::shard_load_errors`]
+    /// increment.
+    pub fn is_degraded(&self) -> bool {
+        // ordering: Release->Acquire pairs-with degraded.store; observing
+        // the flag also observes the error count recorded before it.
+        self.degraded.load(Ordering::Acquire)
     }
 
     /// Successful manifest hot-reloads since the store opened.
     pub fn reloads(&self) -> u64 {
-        // ordering: independent counter read for reporting; no ordering
-        // relationship with other memory is implied.
+        // ordering: Relaxed-counter; independent read for reporting, no
+        // ordering relationship with other memory is implied.
         self.reloads.load(Ordering::Relaxed)
     }
 }

@@ -152,8 +152,116 @@ pub const OFFSET_NAME_EXACT: &[&str] = &["n", "i", "j", "k", "s", "m"];
 /// Arithmetic method-call names whose *result* is already overflow-safe:
 /// a flagged operator whose operand is produced by one of these does not
 /// need a second layer of checking. (`min`/`clamp` bound the value; the
-/// `checked_`/`saturating_`/`wrapping_` families are explicit already.)
+/// [`SAFE_RESULT_PREFIXES`] families are explicit already.)
 pub const SAFE_RESULT_METHODS: &[&str] = &["min", "clamp"];
+
+/// Method-name prefixes whose result is overflow-explicit (L4) — the one
+/// shared spelling of the `checked_`/`saturating_`/`wrapping_` families,
+/// consumed by both the arithmetic lint and the taint sanitizer set.
+pub const SAFE_RESULT_PREFIXES: &[&str] = &["checked_", "saturating_", "wrapping_"];
+
+// ---------------------------------------------------------------------------
+// L7 — dataflow taint. Sources are where attacker-controlled values enter a
+// function; sinks are the operations a hostile length/offset must never
+// reach unlaundered; sanitizers are the only things that clear taint.
+// ---------------------------------------------------------------------------
+
+/// Call names whose *result* is attacker-controlled inside the untrusted
+/// surface: the word-stream primitives, the frame-payload readers, and the
+/// raw little-endian decoders.
+pub const TAINT_SOURCE_CALLS: &[&str] = &[
+    "le_word",
+    "u64_at",
+    "u32_at",
+    "from_le_bytes",
+    "from_be_bytes",
+    "word",
+    "length",
+    "take",
+    "take_bytes",
+    "read_head",
+];
+
+/// Parameter names that denote attacker-controlled buffers or values when
+/// they appear in an untrusted-surface function signature.
+pub const TAINT_SOURCE_PARAMS: &[&str] = &[
+    "payload", "bytes", "body", "buf", "blob", "raw", "declared", "chunk", "frame", "words",
+];
+
+/// Calls that *fill* a `&mut` buffer argument with untrusted bytes
+/// (`Read::read_exact` and friends): their identifier arguments become
+/// tainted.
+pub const TAINT_FILL_CALLS: &[&str] = &["read_exact", "read_exact_at", "read_at", "read"];
+
+/// Call names whose argument is an allocation size, raw offset, or length
+/// (L7 sinks). `vec![_; n]`, slice indexing, and shift amounts are
+/// recognized structurally by the lint rather than by name.
+pub const TAINT_SINK_CALLS: &[&str] = &[
+    "with_capacity",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "set_len",
+    "get_unchecked",
+    "get_unchecked_mut",
+    "read_exact_at",
+    "read_at",
+];
+
+/// Method names that launder taint for L7 (the value is bounded by a
+/// trusted operand). Note `wrapping_*` is deliberately *not* here even
+/// though L4 accepts it: a wrapped attacker length is overflow-explicit
+/// but still attacker-sized.
+pub const TAINT_SANITIZER_METHODS: &[&str] = &["min", "clamp"];
+
+/// Method-name prefixes that launder taint for L7.
+pub const TAINT_SANITIZER_PREFIXES: &[&str] = &["checked_", "saturating_"];
+
+// ---------------------------------------------------------------------------
+// L8 — atomics happens-before. Every atomic op in the audit globs must
+// declare its protocol in a machine-checkable `// ordering:` grammar:
+//
+//     // ordering: <class> [pairs-with <var>.<method>[, <var>.<method>…]]
+//     //           [; free-prose rationale]
+//
+// where `<class>` is one of [`ORDERING_CLASSES`]. `Relaxed-*` classes must
+// not declare a publish edge; `Release->Acquire`/`AcqRel` must, and every
+// named `<var>.<method>` target must resolve to a real opposite-side site
+// of the same atomic somewhere in the audited tree.
+// ---------------------------------------------------------------------------
+
+/// Atomic op method names L8 recognizes as sites (receiver`.method(…,
+/// Ordering::…)`).
+pub const ATOMIC_OP_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// The classes of the `// ordering:` grammar. `Relaxed-counter` is a
+/// statistic that tolerates staleness; `Relaxed-flag` is a monotonic
+/// latch with no data published behind it; `Release->Acquire` is one side
+/// of a publish edge; `AcqRel` is a read-modify-write participating in
+/// both directions. SeqCst has no class: redesign or `lint:allow`.
+pub const ORDERING_CLASSES: &[&str] = &[
+    "Relaxed-counter",
+    "Relaxed-flag",
+    "Release->Acquire",
+    "AcqRel",
+];
+
+/// The keyword introducing pairing targets in the `// ordering:` grammar.
+pub const ORDERING_PAIRS_WITH: &str = "pairs-with";
 
 /// Where the atomic-ordering audit (L5) looks. Every
 /// `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` in these trees must

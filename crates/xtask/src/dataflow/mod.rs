@@ -1,0 +1,24 @@
+//! Intra-procedural dataflow over the token stream: the engine behind the
+//! L7 taint lint.
+//!
+//! This is not a Rust parser. [`stmt`] splits a function body into
+//! statement-ish fragments (let-bindings, assignments, control headers,
+//! expression statements) and extracts, per fragment, what it *defines*,
+//! what it *reads*, which calls it makes, and whether it guards, fills,
+//! sanitizes, or sinks a value. [`taint`] then runs a worklist propagator
+//! over those fragments to a fixpoint: sources seed taint, definitions
+//! propagate it along def-use chains (loop back-edges converge by
+//! re-iteration), sanitizers and bounds-compare guards clear it, and a
+//! tainted value reaching a sink is a finding.
+//!
+//! Precision is deliberately traded in the false-negative direction at
+//! guard sites (any bounds comparison clears the compared chain) and in
+//! the conservative direction at sources — that combination keeps the
+//! real tree clean to analyze while still catching the canonical bug
+//! shape: a decoded length flowing into an allocation unguarded.
+
+pub mod stmt;
+pub mod taint;
+
+pub use stmt::{parse_fn, FnFlow, SinkKind, SinkUse, Stmt};
+pub use taint::{analyze, TaintFinding};

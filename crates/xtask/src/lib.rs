@@ -1,34 +1,72 @@
 //! Repo-specific static analysis for the Grafite workspace.
 //!
-//! `cargo run -p xtask -- lint` runs six lexical lints (see
-//! [`lints`]) that encode this repository's correctness contract: blob
-//! loading is panic-free, length arithmetic on untrusted values is
-//! checked, crate headers are uniform, the persistence constants agree
-//! with the committed golden blobs, every atomic ordering in the
-//! serving layer is justified, and `unsafe` is confined to the
-//! allowlisted SIMD kernel module with per-block `// safety:`
-//! justifications. The crate is dependency-free and fully
-//! offline: plain `std::fs` walks plus a hand-rolled Rust lexer
-//! ([`scan`]) that masks comments and strings before any rule looks at
-//! the tokens.
+//! `cargo run -p xtask -- lint` runs eight lints (see [`lints`]) that
+//! encode this repository's correctness contract:
 //!
-//! The analysis is deliberately *lexical*, not semantic: it trades a
+//! - **L1 panic-freedom** — no `unwrap`/`expect`/panicking macros/bare
+//!   indexing in untrusted-input scopes;
+//! - **L2 crate-header conformance** — every crate forbids `unsafe_code`
+//!   (gated crates may deny) and warns on `missing_docs`;
+//! - **L3 format-constant consistency** — version/spec-id constants agree
+//!   with the committed golden blobs;
+//! - **L4 unchecked arithmetic** — no bare `+`/`*`/`<<` on
+//!   length/offset-*named* values in untrusted scopes;
+//! - **L5 atomic-ordering audit** — every atomic `Ordering::` in the
+//!   audited crates carries an `// ordering:` comment;
+//! - **L6 unsafe-kernel confinement** — `unsafe` only in the allowlisted
+//!   SIMD kernel module, every block `// safety:`-justified;
+//! - **L7 dataflow taint** — a value *derived from attacker bytes*
+//!   (whatever it is named) never reaches an allocation size, slice
+//!   index, raw-read offset, or shift amount without passing a
+//!   `checked_*`/`saturating_*`/`min`/`clamp` sanitizer or an explicit
+//!   bounds comparison ([`dataflow`]);
+//! - **L8 happens-before pairing** — every `// ordering:` comment follows
+//!   the machine-checkable grammar in [`config`], and every declared
+//!   publish edge resolves to a live Release/Acquire partner site.
+//!
+//! L1/L4 and L7 are complementary: L4 is the cheap name heuristic, L7 is
+//! the provenance analysis that catches laundering through neutral
+//! names. L5 and L8 are likewise layered: L5 demands a justification
+//! exists, L8 demands it parses and its pairing claims are true.
+//!
+//! The crate is dependency-free and fully offline: plain `std::fs` walks
+//! plus a hand-rolled Rust lexer ([`scan`]) that masks comments and
+//! strings before any rule looks at the tokens. The analysis trades a
 //! small amount of precision (recovered via the counted
 //! `// lint:allow(reason)` escape hatch) for zero build-time cost, zero
-//! dependencies, and rules that are trivially auditable in
-//! [`config`].
+//! dependencies, and rules that are trivially auditable in [`config`].
+//! Each source file is read and tokenized exactly once per run; the
+//! report carries per-lint wall time so the cost stays observable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dataflow;
 pub mod lints;
 pub mod scan;
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use lints::{Finding, Scopes, Sink};
 use scan::{AllowUse, SourceFile};
+
+/// The lint ids, in report order.
+pub const LINT_IDS: [&str; 8] = ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"];
+
+/// Per-lint cost and yield, for the summary footer and the CI step
+/// summary.
+#[derive(Clone, Debug)]
+pub struct LintStat {
+    /// Lint id (`"L1"`…`"L8"`).
+    pub lint: &'static str,
+    /// Violations this lint reported.
+    pub findings: usize,
+    /// Wall time spent inside this lint's checker.
+    pub wall: Duration,
+}
 
 /// The outcome of a full lint pass.
 #[derive(Default)]
@@ -39,6 +77,8 @@ pub struct LintReport {
     pub allows: Vec<AllowUse>,
     /// How many files the scoped lints actually scanned.
     pub files_scanned: usize,
+    /// Per-lint violation counts and wall times, in [`LINT_IDS`] order.
+    pub per_lint: Vec<LintStat>,
 }
 
 /// Locates the workspace root: the ancestor of this crate's manifest dir
@@ -76,14 +116,16 @@ fn walk_rs(root: &Path, prefix: &str) -> Vec<String> {
     out
 }
 
-/// Runs all six lints from `root` and returns the combined report.
+/// Runs all eight lints from `root` and returns the combined report.
+///
+/// Every `.rs` file any scoped lint cares about is read from disk and
+/// tokenized exactly once; the resulting [`SourceFile`] cache is shared
+/// by L1/L4/L5/L6/L7/L8 (L2/L3 additionally read manifests and golden
+/// blobs, which are not Rust sources).
 pub fn run_lints(root: &Path) -> LintReport {
     let mut sink = Sink::default();
-    let mut files_scanned = 0usize;
 
-    // L1 + L4 need per-file scopes; L5 needs the store tree; L6 sweeps
-    // every source tree. Build the union of files to scan once, load
-    // each once.
+    // The union of files the scoped lints need, loaded once each.
     let mut scoped_files: Vec<String> = config::UNTRUSTED_FILES
         .iter()
         .map(|s| s.to_string())
@@ -100,54 +142,90 @@ pub fn run_lints(root: &Path) -> LintReport {
     scoped_files.sort();
     scoped_files.dedup();
 
+    let mut cache: BTreeMap<String, SourceFile> = BTreeMap::new();
     for rel in &scoped_files {
-        let Ok(raw) = std::fs::read_to_string(root.join(rel)) else {
+        if let Ok(raw) = std::fs::read_to_string(root.join(rel)) {
+            cache.insert(rel.clone(), SourceFile::scan(rel, &raw));
+        }
+    }
+    let files_scanned = cache.len();
+
+    let mut wall: BTreeMap<&'static str, Duration> = BTreeMap::new();
+    let timed = |wall: &mut BTreeMap<&'static str, Duration>,
+                 lint: &'static str,
+                 sink: &mut Sink,
+                 f: &mut dyn FnMut(&mut Sink)| {
+        let t = Instant::now();
+        f(sink);
+        *wall.entry(lint).or_default() += t.elapsed();
+    };
+
+    // L1/L4/L7 share one untrusted-surface scope decision per file.
+    for file in cache.values() {
+        let Some(scopes) = Scopes::untrusted(file) else {
             continue;
         };
-        files_scanned += 1;
-        let file = SourceFile::scan(rel, &raw);
+        timed(&mut wall, "L1", &mut sink, &mut |s| {
+            lints::panic_freedom::check(file, &scopes, s);
+        });
+        timed(&mut wall, "L4", &mut sink, &mut |s| {
+            lints::arithmetic::check(file, &scopes, s);
+        });
+        timed(&mut wall, "L7", &mut sink, &mut |s| {
+            lints::taint::check(file, &scopes, s);
+        });
+    }
 
-        // Scope for L1/L4: whole file if declared untrusted, else the
-        // bodies of the untrusted-function family (if any).
-        let in_fn_globs = config::UNTRUSTED_FN_GLOBS
-            .iter()
-            .any(|g| rel.starts_with(g));
-        let scopes = if config::UNTRUSTED_FILES.contains(&rel.as_str()) {
-            Some(Scopes::whole_file())
-        } else if in_fn_globs {
-            let s = Scopes::of_functions(&file, config::UNTRUSTED_FNS);
-            (!s.is_empty()).then_some(s)
-        } else {
-            None
-        };
-        if let Some(scopes) = scopes {
-            lints::panic_freedom::check(&file, &scopes, &mut sink);
-            lints::arithmetic::check(&file, &scopes, &mut sink);
-        }
-
+    // L5 + L8 site collection over the atomic-audit globs; L6 over the
+    // unsafe-scan globs.
+    let mut sites = Vec::new();
+    for (rel, file) in &cache {
         if config::ATOMIC_AUDIT_GLOBS
             .iter()
             .any(|g| rel.starts_with(g))
         {
-            lints::atomics::check(&file, &mut sink);
+            timed(&mut wall, "L5", &mut sink, &mut |s| {
+                lints::atomics::check(file, s);
+            });
+            let t = Instant::now();
+            sites.extend(lints::happens_before::collect(file, &mut sink));
+            *wall.entry("L8").or_default() += t.elapsed();
         }
-
         if config::UNSAFE_SCAN_GLOBS.iter().any(|g| rel.starts_with(g)) {
             let allowlisted = config::UNSAFE_KERNEL_FILES.contains(&rel.as_str());
-            lints::unsafe_kernels::check(&file, allowlisted, &mut sink);
+            timed(&mut wall, "L6", &mut sink, &mut |s| {
+                lints::unsafe_kernels::check(file, allowlisted, s);
+            });
         }
     }
+    // L8's pairing pass is global: partners may live in other files.
+    let t = Instant::now();
+    lints::happens_before::check_global(&sites, &cache, &mut sink);
+    *wall.entry("L8").or_default() += t.elapsed();
 
-    lints::headers::check(root, &mut sink);
-    lints::format_consts::check(root, &mut sink);
+    timed(&mut wall, "L2", &mut sink, &mut |s| {
+        lints::headers::check(root, s);
+    });
+    timed(&mut wall, "L3", &mut sink, &mut |s| {
+        lints::format_consts::check(root, s);
+    });
 
     sink.findings
         .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     sink.allows
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let per_lint = LINT_IDS
+        .iter()
+        .map(|&lint| LintStat {
+            lint,
+            findings: sink.findings.iter().filter(|f| f.lint == lint).count(),
+            wall: wall.get(lint).copied().unwrap_or_default(),
+        })
+        .collect();
     LintReport {
         findings: sink.findings,
         allows: sink.allows,
         files_scanned,
+        per_lint,
     }
 }

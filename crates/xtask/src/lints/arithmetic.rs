@@ -15,9 +15,18 @@
 //! hardened-profile CI run; most `a - b` sites sit behind an explicit
 //! `a >= b` guard), as are `%` and `/` (cannot overflow on unsigned).
 
-use crate::config::{OFFSET_NAME_EXACT, OFFSET_NAME_FRAGMENTS, SAFE_RESULT_METHODS};
+use crate::config::{
+    OFFSET_NAME_EXACT, OFFSET_NAME_FRAGMENTS, SAFE_RESULT_METHODS, SAFE_RESULT_PREFIXES,
+};
 use crate::lints::{Scopes, Sink};
 use crate::scan::{SourceFile, Token};
+
+/// Whether a method name produces an overflow-safe result (shared table:
+/// `min`/`clamp` plus the explicit-arithmetic prefixes in
+/// [`crate::config`]).
+fn is_safe_result(name: &str) -> bool {
+    SAFE_RESULT_METHODS.contains(&name) || SAFE_RESULT_PREFIXES.iter().any(|p| name.starts_with(p))
+}
 
 /// How an operand participates in the heuristic.
 #[derive(PartialEq)]
@@ -77,11 +86,7 @@ fn left_operand(toks: &[Token], i: usize) -> Operand {
             let before = j.checked_sub(1).and_then(|p| toks.get(p));
             match before {
                 Some(t) if t.is_ident => {
-                    if SAFE_RESULT_METHODS.contains(&t.text.as_str())
-                        || t.text.starts_with("checked_")
-                        || t.text.starts_with("saturating_")
-                        || t.text.starts_with("wrapping_")
-                    {
+                    if is_safe_result(&t.text) {
                         Operand::Clamped
                     } else if is_offsetish_name(&t.text) {
                         Operand::Offsetish(t.text.clone())
@@ -139,11 +144,7 @@ fn right_operand(toks: &[Token], mut i: usize) -> Operand {
         last = toks[j + 1].text.clone();
         j += 2;
     }
-    if SAFE_RESULT_METHODS.contains(&last.as_str())
-        || last.starts_with("checked_")
-        || last.starts_with("saturating_")
-        || last.starts_with("wrapping_")
-    {
+    if is_safe_result(&last) {
         Operand::Clamped
     } else if is_offsetish_name(&last) {
         Operand::Offsetish(last)

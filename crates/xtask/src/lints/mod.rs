@@ -1,4 +1,4 @@
-//! The six repo-specific lints behind `cargo run -p xtask -- lint`.
+//! The eight repo-specific lints behind `cargo run -p xtask -- lint`.
 //!
 //! | id | name | what it proves |
 //! |---|---|---|
@@ -6,18 +6,22 @@
 //! | L2 | crate-header conformance | every workspace crate forbids `unsafe_code` (gated crates may deny) and warns on `missing_docs` |
 //! | L3 | format-constant consistency | version/spec-id constants agree with the committed golden blobs |
 //! | L4 | unchecked arithmetic | no bare `+`/`*`/`<<` on length/offset-typed values in untrusted scopes |
-//! | L5 | atomic-ordering audit | every atomic `Ordering::` in `grafite-store` carries an `// ordering:` justification |
+//! | L5 | atomic-ordering audit | every atomic `Ordering::` in the audited crates carries an `// ordering:` justification |
 //! | L6 | unsafe-kernel confinement | `unsafe` appears only in the allowlisted SIMD kernel module, every block `// safety:`-justified |
+//! | L7 | dataflow taint | no untrusted value reaches an allocation size / index / shift / raw read without a guard |
+//! | L8 | happens-before pairing | every `// ordering:` comment parses under the grammar and every `Release` names a live `Acquire` partner |
 //!
-//! L1 and L4 honour the `// lint:allow(reason)` escape hatch (same line or
-//! the line directly above); suppressions are counted and reported, never
-//! silent.
+//! L1, L4, L7, and L8 honour the `// lint:allow(reason)` escape hatch
+//! (same line or the line directly above); suppressions are counted and
+//! reported, never silent.
 
 pub mod arithmetic;
 pub mod atomics;
 pub mod format_consts;
+pub mod happens_before;
 pub mod headers;
 pub mod panic_freedom;
+pub mod taint;
 pub mod unsafe_kernels;
 
 use crate::scan::{AllowUse, SourceFile};
@@ -113,6 +117,26 @@ impl Scopes {
         Scopes(v)
     }
 
+    /// The shared untrusted-surface scope for `file`, from the single
+    /// policy table in [`crate::config`]: the whole file when its path is
+    /// in `UNTRUSTED_FILES`, the bodies of the `UNTRUSTED_FNS` family when
+    /// it sits under `UNTRUSTED_FN_GLOBS`, `None` otherwise. L1, L4, and
+    /// L7 all scope through this one decision.
+    pub fn untrusted(file: &SourceFile) -> Option<Scopes> {
+        let rel = file.rel.as_str();
+        if crate::config::UNTRUSTED_FILES.contains(&rel) {
+            return Some(Scopes::whole_file());
+        }
+        if crate::config::UNTRUSTED_FN_GLOBS
+            .iter()
+            .any(|g| rel.starts_with(g))
+        {
+            let s = Scopes::of_functions(file, crate::config::UNTRUSTED_FNS);
+            return (!s.is_empty()).then_some(s);
+        }
+        None
+    }
+
     /// Whether `line` is in scope and outside `#[cfg(test)]` code.
     pub fn contains(&self, file: &SourceFile, line: usize) -> bool {
         !file.in_test_code(line) && self.0.iter().any(|&(a, b)| a <= line && line <= b)
@@ -121,5 +145,54 @@ impl Scopes {
     /// Whether any scope exists at all.
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both scoped lints must consume the one untrusted-surface table:
+    /// a violation inside a `read_from` body under a fn-glob path flags
+    /// for L1 and L4 through the *same* `Scopes::untrusted` decision,
+    /// while the identical code outside that scope stays silent.
+    #[test]
+    fn panic_freedom_and_arithmetic_share_the_untrusted_table() {
+        let src = "\
+pub fn read_from(v: &[u64], len: usize) -> u64 {
+    let x = v[len + 1];
+    x
+}
+pub fn trusted_helper(v: &[u64], len: usize) -> u64 {
+    let x = v[len + 1];
+    x
+}
+";
+        // A path under UNTRUSTED_FN_GLOBS but not in UNTRUSTED_FILES.
+        let file = SourceFile::scan("crates/core/src/synthetic.rs", src);
+        let scopes = Scopes::untrusted(&file).expect("read_from body must be in scope");
+        let mut sink = Sink::default();
+        crate::lints::panic_freedom::check(&file, &scopes, &mut sink);
+        crate::lints::arithmetic::check(&file, &scopes, &mut sink);
+        let lines: Vec<(&'static str, usize)> =
+            sink.findings.iter().map(|f| (f.lint, f.line)).collect();
+        assert!(lines.contains(&("L1", 2)), "{lines:?}");
+        assert!(lines.contains(&("L4", 2)), "{lines:?}");
+        assert!(
+            lines.iter().all(|&(_, l)| l == 2),
+            "the trusted twin must stay out of scope: {lines:?}"
+        );
+
+        // A path outside every glob gets no scope at all.
+        let outside = SourceFile::scan("shims/proptest/src/synthetic.rs", src);
+        assert!(Scopes::untrusted(&outside).is_none());
+    }
+
+    /// Whole-file scope comes from the same table's UNTRUSTED_FILES list.
+    #[test]
+    fn untrusted_files_scope_whole_file() {
+        let file = SourceFile::scan("crates/server/src/protocol.rs", "fn any() {}\n");
+        let scopes = Scopes::untrusted(&file).expect("listed file must be whole-file scoped");
+        assert!(scopes.contains(&file, 1));
     }
 }

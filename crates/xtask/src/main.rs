@@ -10,8 +10,8 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("Runs the repo-specific lints (L1 panic-freedom, L2 crate headers,");
     eprintln!("L3 format-constant consistency, L4 unchecked arithmetic, L5 atomic");
-    eprintln!("orderings, L6 unsafe-kernel confinement). Exits 1 if any violation");
-    eprintln!("is found.");
+    eprintln!("orderings, L6 unsafe-kernel confinement, L7 dataflow taint, L8");
+    eprintln!("happens-before pairing). Exits 1 if any violation is found.");
     ExitCode::from(2)
 }
 
@@ -40,6 +40,19 @@ fn main() -> ExitCode {
             );
         }
     }
+    let per_lint: Vec<String> = report
+        .per_lint
+        .iter()
+        .map(|s| {
+            format!(
+                "{} {} ({:.1}ms)",
+                s.lint,
+                s.findings,
+                s.wall.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+    eprintln!("per-lint: {}", per_lint.join(" | "));
     eprintln!(
         "xtask lint: {} file(s) scanned, {} violation(s), {} suppression(s)",
         report.files_scanned,

@@ -111,12 +111,24 @@ impl SourceFile {
     /// named `name`. Signature lines are included. Functions declared
     /// without a body (trait methods) are skipped.
     pub fn fn_extents(&self, name: &str) -> Vec<(usize, usize)> {
+        self.fn_spans()
+            .into_iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.lines)
+            .collect()
+    }
+
+    /// Every function item with a body in the file, in source order,
+    /// including nested and `impl`-block functions. Backbone of both the
+    /// named-function scoping (L1/L4) and the dataflow layer (L7).
+    pub fn fn_spans(&self) -> Vec<FnSpan> {
         let mut out = Vec::new();
         let toks = &self.tokens;
         for i in 0..toks.len() {
-            if !(toks[i].text == "fn" && toks.get(i + 1).is_some_and(|t| t.text == name)) {
-                continue;
-            }
+            let name = match (toks[i].text.as_str(), toks.get(i + 1)) {
+                ("fn", Some(n)) if n.is_ident => n.text.clone(),
+                _ => continue,
+            };
             // Walk to the body's opening brace; a `;` first means no body.
             let mut j = i + 2;
             let mut depth_angle: i32 = 0;
@@ -133,11 +145,32 @@ impl SourceFile {
             };
             let Some(open) = open else { continue };
             if let Some(close) = match_brace(toks, open) {
-                out.push((toks[i].line, toks[close].line));
+                out.push(FnSpan {
+                    name,
+                    sig_start: i,
+                    open,
+                    close,
+                    lines: (toks[i].line, toks[close].line),
+                });
             }
         }
         out
     }
+}
+
+/// One function item with a body, located by token indices.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token index of the body's `{`.
+    pub open: usize,
+    /// Token index of the body's matching `}`.
+    pub close: usize,
+    /// 1-based inclusive line extent (signature line through close brace).
+    pub lines: (usize, usize),
 }
 
 /// Parses `lint:allow(reason)` out of a comment's text.
@@ -231,40 +264,20 @@ fn mask(raw: &str) -> (String, Vec<(usize, String)>) {
                 i = j;
             }
             b'"' => {
+                i = mask_cooked_string(bytes, i, &mut out, &mut line);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') && !ident_byte_before(bytes, i) => {
+                // Cooked byte string `b"…"`: escape-aware, exactly like a
+                // plain string literal. (It must NOT take the raw-string
+                // path below — `b"\""` contains an escaped quote a raw
+                // scan would mistake for the closer.)
                 out.push(b' ');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => {
-                            out.push(b' ');
-                            if i + 1 < bytes.len() {
-                                out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
-                                if bytes[i + 1] == b'\n' {
-                                    line += 1;
-                                }
-                            }
-                            i += 2;
-                        }
-                        b'"' => {
-                            out.push(b' ');
-                            i += 1;
-                            break;
-                        }
-                        b'\n' => {
-                            out.push(b'\n');
-                            line += 1;
-                            i += 1;
-                        }
-                        _ => {
-                            out.push(b' ');
-                            i += 1;
-                        }
-                    }
-                }
+                i = mask_cooked_string(bytes, i + 1, &mut out, &mut line);
             }
             b'r' | b'b' if is_raw_string_start(bytes, i) => {
-                // r"...", r#"..."#, br"...", b"..." — find the hash count,
-                // then the matching closer.
+                // r"...", r#"..."#, br"...", br#"..."# — find the hash
+                // count, then the matching closer. Raw strings have no
+                // escapes by definition.
                 let mut j = i;
                 if bytes[j] == b'b' {
                     j += 1;
@@ -331,31 +344,72 @@ fn mask(raw: &str) -> (String, Vec<(usize, String)>) {
     )
 }
 
+/// Masks an escape-aware (cooked) string literal whose opening `"` sits at
+/// byte `i`. Returns the index one past the closing quote (or EOF).
+fn mask_cooked_string(bytes: &[u8], i: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    debug_assert_eq!(bytes[i], b'"');
+    out.push(b' ');
+    let mut i = i + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                out.push(b' ');
+                if i + 1 < bytes.len() {
+                    out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
+                    if bytes[i + 1] == b'\n' {
+                        *line += 1;
+                    }
+                }
+                i += 2;
+            }
+            b'"' => {
+                out.push(b' ');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                *line += 1;
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Whether the byte before `i` could be part of an identifier (in which
+/// case a `b`/`r` at `i` is the tail of a name, not a literal prefix).
+fn ident_byte_before(bytes: &[u8], i: usize) -> bool {
+    i > 0 && {
+        let p = bytes[i - 1];
+        p == b'_' || p.is_ascii_alphanumeric()
+    }
+}
+
 fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Raw forms only: `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#`. Cooked `b"…"`
+    // is escape-aware and handled by the string branch above.
     let mut j = i;
     if bytes[j] == b'b' {
         j += 1;
     }
-    if bytes.get(j) == Some(&b'r') {
-        j += 1;
-    } else if j == i {
-        // bare `b` must be b"..."
-        return bytes.get(j) == Some(&b'b') && bytes.get(j + 1) == Some(&b'"');
+    if bytes.get(j) != Some(&b'r') {
+        return false;
     }
-    // `j` sits after `r`/`br`; accept `"` or `#`s then `"`.
-    // Also require that `i` is not inside an identifier (caller's tokens
-    // like `number` contain `b`/`r`): previous byte must not be ident-ish.
-    if i > 0 {
-        let p = bytes[i - 1];
-        if p == b'_' || p.is_ascii_alphanumeric() {
-            return false;
-        }
+    j += 1;
+    // Require that `i` is not inside an identifier (names like `number`
+    // contain `b`/`r`): the previous byte must not be ident-ish.
+    if ident_byte_before(bytes, i) {
+        return false;
     }
     let mut k = j;
     while bytes.get(k) == Some(&b'#') {
         k += 1;
     }
-    bytes.get(k) == Some(&b'"') && (k > j || j > i)
+    bytes.get(k) == Some(&b'"')
 }
 
 /// If `i` starts a char literal, the byte index one past its closing quote.
@@ -448,7 +502,13 @@ fn tokenize(masked: &str) -> Vec<Token> {
         let text = match (b, two, three) {
             (b'<', _, Some([b'<', b'<', b'='])) => "<<=",
             (b'<', Some([b'<', b'<']), _) => "<<",
+            (b'<', Some([b'<', b'=']), _) => "<=",
             (b'>', Some([b'>', b'>']), _) => ">>",
+            (b'>', Some([b'>', b'=']), _) => ">=",
+            (b'=', Some([b'=', b'=']), _) => "==",
+            (b'!', Some([b'!', b'=']), _) => "!=",
+            (b'&', Some([b'&', b'&']), _) => "&&",
+            (b'|', Some([b'|', b'|']), _) => "||",
             (b'+', Some([b'+', b'=']), _) => "+=",
             (b'*', Some([b'*', b'=']), _) => "*=",
             (b'-', Some([b'-', b'=']), _) => "-=",
@@ -573,6 +633,57 @@ mod tests {
         let f = SourceFile::scan("t.rs", src);
         assert!(!f.masked.contains("panic"));
         assert!(f.masked.contains("'a"));
+    }
+
+    #[test]
+    fn cooked_byte_strings_honor_escapes() {
+        // `b"\""` used to be treated as a raw string: the escaped quote
+        // "closed" the literal and the trailing `unwrap()` leaked into the
+        // masked text as phantom live tokens.
+        let src = "let a = b\"\\\"unwrap()\"; let b = 1;\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(!f.masked.contains("unwrap"), "masked: {:?}", f.masked);
+        assert!(f.masked.contains("let b = 1"), "masked: {:?}", f.masked);
+    }
+
+    #[test]
+    fn raw_byte_strings_still_mask_without_escapes() {
+        // In `br"\"` the backslash is a literal byte and the quote closes.
+        let src = "let a = br\"\\\"; let live = 2;\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(f.masked.contains("let live = 2"), "masked: {:?}", f.masked);
+        let src = "let a = br#\"has \"quote\" inside\"#; let live = 3;\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(!f.masked.contains("quote"), "masked: {:?}", f.masked);
+        assert!(f.masked.contains("let live = 3"), "masked: {:?}", f.masked);
+    }
+
+    #[test]
+    fn nested_block_comments_mask_fully() {
+        let src =
+            "/* outer /* inner unwrap() */ still comment */ let live = 4;\n/**/ let also = 5;\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(!f.masked.contains("unwrap"));
+        assert!(!f.masked.contains("still"));
+        assert!(f.masked.contains("let live = 4"));
+        assert!(f.masked.contains("let also = 5"));
+    }
+
+    #[test]
+    fn comparison_operators_tokenize_as_units() {
+        let f = SourceFile::scan("t.rs", "if a <= b && c != d || e >= f { g == h; }");
+        let texts: Vec<&str> = f.tokens.iter().map(|t| t.text.as_str()).collect();
+        for op in ["<=", "&&", "!=", "||", ">=", "=="] {
+            assert!(texts.contains(&op), "missing {op} in {texts:?}");
+        }
+    }
+
+    #[test]
+    fn fn_spans_enumerate_all_bodies() {
+        let src = "fn a() { fn inner() {} }\nimpl X { fn b(&self) -> u8 { 0 } }\ntrait T { fn no_body(); }\n";
+        let f = SourceFile::scan("t.rs", src);
+        let names: Vec<String> = f.fn_spans().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["a", "inner", "b"]);
     }
 
     #[test]

@@ -1,0 +1,23 @@
+//! Seeded L7 taint: a frame-declared allocation size reaching
+//! `with_capacity` unlaundered, plus the bounded twin that must pass.
+
+pub fn decode_frame(payload: &[u8]) -> Vec<u8> {
+    let quota = le_word(payload, 0);
+    let mut out = Vec::with_capacity(quota);
+    out.extend_from_slice(payload);
+    out
+}
+
+pub fn decode_frame_bounded(payload: &[u8]) -> Vec<u8> {
+    let quota = le_word(payload, 0).min(payload.len());
+    let mut out = Vec::with_capacity(quota);
+    out.extend_from_slice(payload);
+    out
+}
+
+fn le_word(payload: &[u8], at: usize) -> usize {
+    match payload.get(at) {
+        Some(b) => *b as usize,
+        None => 0,
+    }
+}

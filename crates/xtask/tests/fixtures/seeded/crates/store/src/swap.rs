@@ -1,0 +1,20 @@
+//! Seeded L8 happens-before violations: an unpaired publish edge, a
+//! class that contradicts its op's ordering, and a Relaxed class that
+//! claims a pairing it cannot have.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(version: &AtomicU64) {
+    // ordering: Release->Acquire pairs-with version.load; no acquire partner exists anywhere
+    version.store(1, Ordering::Release);
+}
+
+pub fn misclassified(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed-counter; but the op below is Acquire
+    counter.load(Ordering::Acquire)
+}
+
+pub fn contradictory(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed-counter pairs-with counter.fetch_add; relaxed cannot pair
+    counter.fetch_add(1, Ordering::Relaxed)
+}

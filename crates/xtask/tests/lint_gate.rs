@@ -68,6 +68,18 @@ fn seeded_fixture_fires_every_lint() {
     // allowlisted kernel file, and any `unsafe` outside the allowlist.
     expect("L6", "crates/succinct/src/simd/kernels.rs", 12);
     expect("L6", "crates/core/src/persist.rs", 17);
+    // L7 dataflow taint: the frame-declared `quota` (a name the L4
+    // heuristic has no opinion about) reaches `with_capacity` unlaundered.
+    expect("L7", "crates/server/src/protocol.rs", 6);
+    // L8 happens-before: the prose `// ordering:` comment that satisfies
+    // L5 fails the machine grammar…
+    expect("L8", "crates/store/src/manifest.rs", 13);
+    // …a declared publish edge has no Acquire-side partner anywhere…
+    expect("L8", "crates/store/src/swap.rs", 9);
+    // …an Acquire op declared as a Relaxed class…
+    expect("L8", "crates/store/src/swap.rs", 14);
+    // …and a Relaxed class claiming a pairing it cannot have.
+    expect("L8", "crates/store/src/swap.rs", 19);
 
     // Both L2 headers are reported for the fixture root.
     assert_eq!(
@@ -83,6 +95,26 @@ fn seeded_fixture_fires_every_lint() {
         !got.iter()
             .any(|(l, f, n)| l == "L5" && f == "crates/store/src/manifest.rs" && *n == 13),
         "a justified ordering must pass the audit"
+    );
+
+    // The `.min(payload.len())`-bounded twin (protocol.rs line 13) must
+    // NOT fire: the sanitizer launders the taint.
+    assert!(
+        !got.iter()
+            .any(|(l, f, n)| l == "L7" && f == "crates/server/src/protocol.rs" && *n == 13),
+        "a bounded allocation size must pass the taint lint"
+    );
+    assert_eq!(
+        got.iter().filter(|(l, _, _)| l == "L7").count(),
+        1,
+        "exactly one taint violation is seeded"
+    );
+    // One finding per seeded defect: a malformed declaration is dropped
+    // from the global pairing pass rather than reported twice.
+    assert_eq!(
+        got.iter().filter(|(l, _, _)| l == "L8").count(),
+        4,
+        "exactly four happens-before violations are seeded"
     );
 
     // The `// safety:`-justified unsafe (kernels.rs line 6) must NOT fire.

@@ -1,0 +1,98 @@
+//! Offline stand-in for the [`loom`](https://crates.io/crates/loom)
+//! crate, vendored because the build environment has no crates.io access.
+//!
+//! [`model`] runs a closure under a cooperative scheduler that permits
+//! exactly **one runnable thread at a time** and yields at every atomic
+//! operation. The scheduler's choice at each yield point — *which*
+//! runnable thread goes next — is recorded, and the model is re-executed
+//! depth-first until every choice sequence has been explored. A protocol
+//! assertion that fails under *any* interleaving therefore fails the
+//! test, deterministically, with no timing luck involved.
+//!
+//! # Fidelity
+//!
+//! This shim explores interleavings at **sequential-consistency
+//! granularity**: every atomic op executes as `SeqCst` regardless of the
+//! `Ordering` passed, so it checks *protocol logic* (orderings of
+//! operations, publication sequencing, counter totals), not the C++11
+//! weak-memory model. A bug that only manifests through `Relaxed`
+//! reordering will not be found here — that is what the TSan CI leg is
+//! for. The API mirrors the real crate (`loom::model`, `loom::thread`,
+//! `loom::sync::atomic`, `loom::sync::Arc`), so swapping in the real
+//! dependency when network access is available needs no call-site
+//! changes; the only extension is that [`model`] returns the number of
+//! distinct interleavings executed, which call sites are free to ignore.
+//!
+//! # Limits
+//!
+//! Executions longer than [`MAX_STEPS`] scheduling choices abort with a
+//! livelock diagnosis (a `while !flag.load() {}` spin never terminates
+//! under exhaustive exploration — model such loops with bounded retries).
+//! Deadlocks (every live thread blocked in `join`) panic with a
+//! diagnostic rather than hanging.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+use std::panic::resume_unwind;
+use std::sync::{Arc, Mutex};
+
+use scheduler::{Choice, Exec};
+
+/// Upper bound on scheduling choices per execution; exceeding it aborts
+/// the model with a livelock diagnosis.
+pub const MAX_STEPS: usize = 20_000;
+
+/// Runs `f` under every schedule the cooperative scheduler can produce
+/// and returns how many distinct interleavings were executed. Panics
+/// (re-raising the original payload) as soon as any interleaving panics.
+pub fn model<F>(f: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    // Serialize concurrent `model` calls (parallel #[test] runners): each
+    // exploration spawns real threads, and running them one model at a
+    // time keeps failure output readable and thread counts bounded.
+    static SERIAL: Mutex<()> = Mutex::new(());
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    let f = Arc::new(f);
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let exec = Arc::new(Exec::new(prefix));
+        let root_exec = Arc::clone(&exec);
+        let root_f = Arc::clone(&f);
+        let root = std::thread::spawn(move || {
+            let id = root_exec.register();
+            scheduler::set_ctx(Arc::clone(&root_exec), id);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| root_f()));
+            root_exec.finish(id, result.err());
+        });
+        exec.wait_all_finished();
+        let _ = root.join();
+        if let Some(payload) = exec.take_panic() {
+            resume_unwind(payload);
+        }
+        prefix = exec.final_schedule();
+        // Depth-first advance: bump the deepest unexhausted choice and
+        // drop everything after it; an empty stack means the tree is done.
+        loop {
+            match prefix.last_mut() {
+                Some(last) if last.index + 1 < last.alternatives => {
+                    last.index += 1;
+                    break;
+                }
+                Some(_) => {
+                    prefix.pop();
+                }
+                None => return executions,
+            }
+        }
+    }
+}

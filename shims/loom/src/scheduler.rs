@@ -1,0 +1,265 @@
+//! The cooperative scheduler behind [`crate::model`]: one runnable thread
+//! at a time, a recorded choice at every branching yield point, and a
+//! condvar turnstile that parks every thread that is not `current`.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// One scheduling decision: which of the `alternatives` runnable threads
+/// was picked (by index into the sorted runnable set).
+#[derive(Clone, Copy, Debug)]
+pub struct Choice {
+    /// Index into the runnable set at this decision point.
+    pub index: usize,
+    /// How many threads were runnable (the branching factor).
+    pub alternatives: usize,
+}
+
+/// Panic payload used to unwind parked threads when the model aborts; the
+/// driver recognizes and discards it in favour of the primary payload.
+struct Aborted;
+
+#[derive(Default)]
+struct State {
+    /// Thread id currently allowed to run.
+    current: usize,
+    /// Per-thread completion flags.
+    finished: Vec<bool>,
+    /// Per-thread join dependency (`Some(t)` = parked until `t` finishes).
+    blocked_on: Vec<Option<usize>>,
+    /// Replay prefix plus newly recorded decisions.
+    schedule: Vec<Choice>,
+    /// Next schedule position to consume.
+    pos: usize,
+    /// Yield points taken this execution (bounds livelocks: a lone
+    /// spinning thread branches nowhere, so `schedule.len()` can't).
+    steps: usize,
+    /// Set on panic/deadlock/livelock: every parked thread unwinds.
+    abort: bool,
+    /// The primary panic payload (first failure wins).
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl State {
+    fn schedulable(&self) -> Vec<usize> {
+        (0..self.finished.len())
+            .filter(|&i| !self.finished[i] && self.blocked_on[i].is_none())
+            .collect()
+    }
+
+    /// Picks the next thread to run, consuming or recording a [`Choice`]
+    /// when more than one candidate exists. `None` means nothing can run.
+    fn choose(&mut self) -> Option<usize> {
+        let cands = self.schedulable();
+        if cands.is_empty() {
+            return None;
+        }
+        if cands.len() == 1 {
+            return Some(cands[0]);
+        }
+        let index = if self.pos < self.schedule.len() {
+            let c = self.schedule[self.pos];
+            debug_assert_eq!(
+                c.alternatives,
+                cands.len(),
+                "replay diverged: the model closure must be deterministic"
+            );
+            c.index
+        } else {
+            self.schedule.push(Choice {
+                index: 0,
+                alternatives: cands.len(),
+            });
+            0
+        };
+        self.pos += 1;
+        Some(cands[index])
+    }
+
+    fn all_finished(&self) -> bool {
+        !self.finished.is_empty() && self.finished.iter().all(|&f| f)
+    }
+}
+
+/// One exploration execution: the shared scheduler state plus the
+/// turnstile condvar.
+pub struct Exec {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Binds the current OS thread to `exec` as model thread `id`.
+pub fn set_ctx(exec: Arc<Exec>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, id)));
+    // A freshly spawned model thread must not run before it is scheduled;
+    // the root (id 0) starts as `current` and falls through immediately.
+    CTX.with(|c| {
+        let ctx = c.borrow();
+        let (exec, id) = ctx.as_ref().expect("ctx just set");
+        exec.wait_for_turn(*id);
+    });
+}
+
+/// The current thread's model binding, if it runs under [`crate::model`].
+pub fn ctx() -> Option<(Arc<Exec>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Yield point: called before every atomic operation. Outside a model
+/// this is a no-op, so the shim atomics behave as plain `SeqCst` atomics.
+pub fn yield_now() {
+    if let Some((exec, id)) = ctx() {
+        exec.yield_turn(id);
+    }
+}
+
+impl Exec {
+    /// A fresh execution replaying `prefix` before exploring new choices.
+    pub fn new(prefix: Vec<Choice>) -> Self {
+        Exec {
+            state: Mutex::new(State {
+                schedule: prefix,
+                ..State::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new model thread and returns its id. Called by the
+    /// *spawning* thread so ids are assigned deterministically.
+    pub fn register(&self) -> usize {
+        let mut s = self.lock();
+        let id = s.finished.len();
+        s.finished.push(false);
+        s.blocked_on.push(None);
+        id
+    }
+
+    /// Parks until this thread is `current` (or the model aborts).
+    fn wait_for_turn(&self, me: usize) {
+        let mut s = self.lock();
+        while s.current != me {
+            if s.abort {
+                drop(s);
+                std::panic::panic_any(Aborted);
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.abort {
+            drop(s);
+            std::panic::panic_any(Aborted);
+        }
+    }
+
+    /// One scheduling step: hand the turn to a chosen thread (possibly
+    /// this one again) and park until it comes back.
+    fn yield_turn(&self, me: usize) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            std::panic::panic_any(Aborted);
+        }
+        s.steps += 1;
+        if s.steps > crate::MAX_STEPS {
+            s.abort = true;
+            if s.panic.is_none() {
+                s.panic = Some(Box::new(
+                    "loom shim: execution exceeded MAX_STEPS scheduling choices — \
+                     likely an unbounded spin loop; exhaustive exploration cannot \
+                     terminate it"
+                        .to_string(),
+                ));
+            }
+            self.cv.notify_all();
+            drop(s);
+            std::panic::panic_any(Aborted);
+        }
+        // `me` is running, hence schedulable: choose() cannot fail here.
+        let next = s.choose().expect("running thread is always schedulable");
+        s.current = next;
+        self.cv.notify_all();
+        drop(s);
+        self.wait_for_turn(me);
+    }
+
+    /// Parks this thread until `target` finishes (scheduler-level join).
+    pub fn join_wait(&self, me: usize, target: usize) {
+        let mut s = self.lock();
+        if s.finished.get(target).copied().unwrap_or(true) {
+            return;
+        }
+        s.blocked_on[me] = Some(target);
+        match s.choose() {
+            Some(next) => s.current = next,
+            None => {
+                s.abort = true;
+                if s.panic.is_none() {
+                    s.panic = Some(Box::new(
+                        "loom shim: deadlock — every live thread is blocked in join".to_string(),
+                    ));
+                }
+            }
+        }
+        self.cv.notify_all();
+        drop(s);
+        self.wait_for_turn(me);
+    }
+
+    /// Marks `me` finished, releases its joiners, stores a panic payload
+    /// if it unwound, and hands the turn onward.
+    pub fn finish(&self, me: usize, panicked: Option<Box<dyn Any + Send>>) {
+        let mut s = self.lock();
+        s.finished[me] = true;
+        for b in s.blocked_on.iter_mut() {
+            if *b == Some(me) {
+                *b = None;
+            }
+        }
+        if let Some(payload) = panicked {
+            s.abort = true;
+            // The secondary `Aborted` unwinds of parked threads must not
+            // shadow the primary failure.
+            if s.panic.is_none() && !payload.is::<Aborted>() {
+                s.panic = Some(payload);
+            }
+        }
+        if let Some(next) = s.choose() {
+            s.current = next;
+        } else if !s.all_finished() {
+            s.abort = true;
+            if s.panic.is_none() {
+                s.panic = Some(Box::new(
+                    "loom shim: deadlock — live threads remain but none is runnable".to_string(),
+                ));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the driver until every registered thread has finished.
+    pub fn wait_all_finished(&self) {
+        let mut s = self.lock();
+        while !s.all_finished() {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The primary panic payload, if any interleaving failed.
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.lock().panic.take()
+    }
+
+    /// The full choice record of this execution (replay prefix included).
+    pub fn final_schedule(&self) -> Vec<Choice> {
+        self.lock().schedule.clone()
+    }
+}

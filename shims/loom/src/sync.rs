@@ -1,0 +1,135 @@
+//! Model-aware synchronization primitives: `Arc` (re-exported — cloning
+//! and dropping are not scheduling events at this granularity) and the
+//! atomic wrappers.
+
+pub use std::sync::Arc;
+
+/// Atomic types that yield to the model scheduler before every operation.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    use crate::scheduler::yield_now;
+
+    macro_rules! atomic_shim {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $val:ty) => {
+            $(#[$doc])*
+            ///
+            /// Every operation is a scheduling point and executes at
+            /// `SeqCst` regardless of the `Ordering` argument (the shim
+            /// explores interleavings, not weak-memory reorderings).
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $val) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// Loads the value (scheduling point).
+                pub fn load(&self, _order: Ordering) -> $val {
+                    yield_now();
+                    self.0.load(SeqCst)
+                }
+
+                /// Stores a value (scheduling point).
+                pub fn store(&self, v: $val, _order: Ordering) {
+                    yield_now();
+                    self.0.store(v, SeqCst)
+                }
+
+                /// Swaps the value, returning the previous one
+                /// (scheduling point).
+                pub fn swap(&self, v: $val, _order: Ordering) -> $val {
+                    yield_now();
+                    self.0.swap(v, SeqCst)
+                }
+
+                /// Compare-and-exchange (scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$val, $val> {
+                    yield_now();
+                    self.0.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_arith {
+        ($name:ident, $val:ty) => {
+            impl $name {
+                /// Adds, returning the previous value (scheduling point).
+                pub fn fetch_add(&self, v: $val, _order: Ordering) -> $val {
+                    yield_now();
+                    self.0.fetch_add(v, SeqCst)
+                }
+
+                /// Subtracts, returning the previous value (scheduling
+                /// point).
+                pub fn fetch_sub(&self, v: $val, _order: Ordering) -> $val {
+                    yield_now();
+                    self.0.fetch_sub(v, SeqCst)
+                }
+
+                /// Bitwise-or, returning the previous value (scheduling
+                /// point).
+                pub fn fetch_or(&self, v: $val, _order: Ordering) -> $val {
+                    yield_now();
+                    self.0.fetch_or(v, SeqCst)
+                }
+
+                /// Maximum, returning the previous value (scheduling
+                /// point).
+                pub fn fetch_max(&self, v: $val, _order: Ordering) -> $val {
+                    yield_now();
+                    self.0.fetch_max(v, SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_shim!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    atomic_arith!(AtomicU64, u64);
+
+    atomic_shim!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    atomic_arith!(AtomicUsize, usize);
+
+    atomic_shim!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+    atomic_arith!(AtomicU32, u32);
+
+    atomic_shim!(
+        /// Model-aware `AtomicBool`.
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool
+    );
+
+    impl AtomicBool {
+        /// Bitwise-or, returning the previous value (scheduling point).
+        pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+            yield_now();
+            self.0.fetch_or(v, SeqCst)
+        }
+    }
+}

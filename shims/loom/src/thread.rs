@@ -1,0 +1,77 @@
+//! Model-aware threads: `spawn`/`join` integrate with the cooperative
+//! scheduler so a `join` parks the joiner *in the model*, not just the OS.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::scheduler::{self, Exec};
+
+/// Handle to a model thread, returned by [`spawn`].
+pub struct JoinHandle<T> {
+    os: std::thread::JoinHandle<Option<T>>,
+    exec: Option<Arc<Exec>>,
+    id: usize,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model the wait is a scheduling event (other threads keep being
+    /// explored); a thread that panicked yields `Err` with a placeholder
+    /// payload — the model itself re-raises the original panic.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(exec), Some((_, me))) = (&self.exec, scheduler::ctx()) {
+            exec.join_wait(me, self.id);
+        }
+        match self.os.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("model thread panicked".to_string())),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawns a model thread. Inside [`crate::model`] the child is registered
+/// with the scheduler and does not run a single instruction until it is
+/// scheduled; outside a model this degrades to a plain `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match scheduler::ctx() {
+        Some((exec, _)) => {
+            // Registered by the *spawner* so ids are deterministic.
+            let id = exec.register();
+            let child_exec = Arc::clone(&exec);
+            let os = std::thread::spawn(move || {
+                scheduler::set_ctx(Arc::clone(&child_exec), id);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let (value, payload) = match result {
+                    Ok(v) => (Some(v), None),
+                    Err(p) => (None, Some(p)),
+                };
+                child_exec.finish(id, payload);
+                value
+            });
+            JoinHandle {
+                os,
+                exec: Some(exec),
+                id,
+            }
+        }
+        None => {
+            let os = std::thread::spawn(move || Some(f()));
+            JoinHandle {
+                os,
+                exec: None,
+                id: 0,
+            }
+        }
+    }
+}
+
+/// A scheduling point with no memory effect (mirrors
+/// `loom::thread::yield_now`).
+pub fn yield_now() {
+    scheduler::yield_now();
+}

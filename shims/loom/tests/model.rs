@@ -1,0 +1,113 @@
+//! Behavioral tests for the loom shim itself: exploration actually
+//! branches, protocol assertions hold across every interleaving, and a
+//! deliberately broken protocol is caught.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+#[test]
+fn two_increments_always_total_two_and_exploration_branches() {
+    let executions = loom::model(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let a = {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let b = {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    assert!(
+        executions > 1,
+        "two unordered increments must produce more than one interleaving, got {executions}"
+    );
+}
+
+#[test]
+fn publish_then_flag_holds_in_every_interleaving() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let ready = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (data, ready) = (Arc::clone(&data), Arc::clone(&ready));
+            thread::spawn(move || {
+                data.store(42, Ordering::Release);
+                ready.store(true, Ordering::Release);
+            })
+        };
+        if ready.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Acquire), 42);
+        }
+        writer.join().unwrap();
+    });
+}
+
+#[test]
+fn broken_publication_is_caught() {
+    // Flag first, data second: some interleaving observes the flag with
+    // stale data, and the model must surface that execution as a failure.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let ready = Arc::new(AtomicBool::new(false));
+            let writer = {
+                let (data, ready) = (Arc::clone(&data), Arc::clone(&ready));
+                thread::spawn(move || {
+                    ready.store(true, Ordering::Release); // bug: flag before data
+                    data.store(42, Ordering::Release);
+                })
+            };
+            if ready.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Acquire), 42);
+            }
+            writer.join().unwrap();
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "the flag-before-data protocol must fail under some interleaving"
+    );
+}
+
+#[test]
+fn join_returns_the_thread_value() {
+    loom::model(|| {
+        let h = thread::spawn(|| 7u64);
+        assert_eq!(h.join().unwrap(), 7);
+    });
+}
+
+#[test]
+fn compare_exchange_is_exact() {
+    loom::model(|| {
+        let v = Arc::new(AtomicU64::new(0));
+        let racer = {
+            let v = Arc::clone(&v);
+            thread::spawn(move || v.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire))
+        };
+        let mine = v.compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire);
+        let theirs = racer.join().unwrap();
+        // Exactly one CAS wins in every interleaving.
+        assert!(mine.is_ok() ^ theirs.is_ok());
+        let end = v.load(Ordering::Acquire);
+        assert!(end == 1 || end == 2);
+    });
+}
+
+#[test]
+fn shim_atomics_work_outside_a_model() {
+    let v = AtomicU64::new(3);
+    v.fetch_add(4, Ordering::SeqCst);
+    assert_eq!(v.load(Ordering::SeqCst), 7);
+}
