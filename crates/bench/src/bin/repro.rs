@@ -6,12 +6,14 @@
 //!
 //! experiments:
 //!   fig1  fig3  fig4  fig5  fig6  fig7  table1  fb  normal_check  serving
-//!   serve  hotpath  sort_ablation  ablation_pow2  ablation_snarf_overflow
-//!   ablation_batch  ablation_rosetta_tuning  ablation_bucketing
-//!   ablation_wa_bucketing  all
+//!   serve  scale  hotpath  sort_ablation  ablation_pow2
+//!   ablation_snarf_overflow  ablation_batch  ablation_rosetta_tuning
+//!   ablation_bucketing  ablation_wa_bucketing  all
 //!
 //! `serve` builds a >=100MB manifest to time mapped vs eager cold starts
-//! (writes BENCH_serve.json); it is deliberately not part of `all`.
+//! (writes BENCH_serve.json); `scale` sweeps build-thread counts over the
+//! parallel construction pipeline (writes BENCH_build.json). Both are
+//! deliberately not part of `all`.
 //! ```
 //!
 //! Defaults run at laptop scale (n = 100k keys, 20k queries; the paper used
@@ -81,6 +83,7 @@ fn main() {
         "normal_check" => experiments::normal_check(&cfg),
         "serving" => experiments::serving(&cfg),
         "serve" => experiments::serve(&cfg),
+        "scale" => experiments::scale(&cfg),
         "hotpath" => experiments::hotpath(&cfg),
         "all" => experiments::all(&cfg),
         other => {
@@ -94,8 +97,8 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fb|normal_check|serving|\
-         serve|hotpath|sort_ablation|ablation_pow2|ablation_snarf_overflow|ablation_batch|\
-         ablation_rosetta_tuning|ablation_bucketing|ablation_wa_bucketing|all> \
+         serve|scale|hotpath|sort_ablation|ablation_pow2|ablation_snarf_overflow|\
+         ablation_batch|ablation_rosetta_tuning|ablation_bucketing|ablation_wa_bucketing|all> \
          [--n N] [--queries Q] [--seed S] [--out DIR] \
          [--data DIR] [--budgets 8,12,...]"
     );

@@ -417,11 +417,11 @@ pub fn sort_ablation(cfg: &RunConfig) {
     for threads in [2usize, 4, 8] {
         let (secs, _) = time_it(|| {
             let mut v = keys.clone();
-            sort::parallel_sort(&mut v, threads);
+            sort::partition_radix_sort(&mut v, threads);
             v.len()
         });
         table.row(vec![
-            format!("parallel x{threads}"),
+            format!("partition x{threads}"),
             format!("{:.1}", secs * 1e9 / n as f64),
             format!("{:.1}x", std_secs / secs),
         ]);
@@ -1046,6 +1046,159 @@ pub fn serve(cfg: &RunConfig) {
         .obj("metrics", &metrics);
     doc.write(&cfg.out_dir, "BENCH_serve")
         .expect("write BENCH_serve.json");
+}
+
+/// Peak resident set size of this process (`VmHWM`) in KiB; 0 where
+/// `/proc` is unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The parallel-construction experiment behind `results/BENCH_build.json`:
+/// sweeps build-thread counts {1, 2, 4, 8} across two key-set sizes
+/// through the whole pipeline — parallel key sort, shard fan-out, per-shard
+/// hash → partitioned radix sort → chunked Elias–Fano assembly — on a
+/// 16-shard range-partitioned store and on a single-shard Grafite build,
+/// recording build throughput (keys/s), peak RSS, BPK drift, and the
+/// byte-identity of every artifact against its serial (threads = 1) twin.
+///
+/// CI gates the committed JSON through `scripts/check_perf.py build`:
+/// `bpk_drift == 0` and `bytes_identical == 1` always; the ≥ 1.5×
+/// eight-thread throughput floor whenever the recording machine had at
+/// least two cores (a one-core machine cannot speed anything up, but its
+/// builds must still be byte-identical). Deliberately not part of `all`.
+pub fn scale(cfg: &RunConfig) {
+    use grafite_core::{BuildableFilter, Parallelism, PersistentFilter};
+    use grafite_store::{FamilySpec, FilterStore, Partitioning, StoreConfig};
+
+    println!("== scale: parallel construction sweep (n x threads) ==");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "   (machine reports {cores} available core(s); the paper's §6.6 \
+         speedups need >= 2)"
+    );
+    let shards = 16usize;
+    let thread_counts = [1usize, 2, 4, 8];
+    let n_big = cfg.n.max(1_000_000);
+    let sizes = [n_big / 4, n_big];
+    let registry = crate::registry::standard();
+
+    let mut table = Table::new(&[
+        "n",
+        "threads",
+        "store keys/s",
+        "speedup",
+        "filter keys/s",
+        "bytes==serial",
+    ]);
+    let mut metrics = crate::report::JsonObject::new();
+    let mut gate_speedup = 0.0f64;
+    let mut gate_bpk_drift = 0.0f64;
+    let mut all_identical = true;
+    for &n in &sizes {
+        let keys = grafite_workloads::generate(Dataset::Uniform, n, cfg.seed);
+        let mut serial_manifest: Vec<u8> = Vec::new();
+        let mut serial_blob: Vec<u8> = Vec::new();
+        let mut serial_store_secs = f64::INFINITY;
+        let mut serial_bpk = 0.0f64;
+        for &threads in &thread_counts {
+            let par = Parallelism::fixed(threads);
+            let store_config = StoreConfig::new(FamilySpec::Registry(FilterSpec::Grafite))
+                .bits_per_key(16.0)
+                .max_range(32)
+                .seed(cfg.seed)
+                .partitioning(Partitioning::Range { shards })
+                .parallelism(par);
+            let mut store_secs = f64::INFINITY;
+            let mut manifest = Vec::new();
+            for _ in 0..2 {
+                let (secs, store) = time_it(|| {
+                    FilterStore::build(registry, store_config.clone(), &keys).expect("store build")
+                });
+                store_secs = store_secs.min(secs);
+                manifest = store.to_bytes();
+            }
+            let filter_config = FilterConfig::new(&keys)
+                .bits_per_key(16.0)
+                .max_range(32)
+                .seed(cfg.seed)
+                .parallelism(par);
+            let mut filter_secs = f64::INFINITY;
+            let mut blob = Vec::new();
+            for _ in 0..2 {
+                let (secs, filter) =
+                    time_it(|| GrafiteFilter::build(&filter_config).expect("filter build"));
+                filter_secs = filter_secs.min(secs);
+                blob = filter.to_bytes();
+            }
+            let bpk = (blob.len() * 8) as f64 / n as f64;
+            if threads == 1 {
+                serial_manifest = manifest.clone();
+                serial_blob = blob.clone();
+                serial_store_secs = store_secs;
+                serial_bpk = bpk;
+            }
+            let identical = manifest == serial_manifest && blob == serial_blob;
+            all_identical &= identical;
+            let drift = (bpk - serial_bpk).abs();
+            let speedup = serial_store_secs / store_secs;
+            if n == n_big {
+                gate_bpk_drift = gate_bpk_drift.max(drift);
+                if threads == 8 {
+                    gate_speedup = speedup;
+                }
+            }
+            table.row(vec![
+                n.to_string(),
+                threads.to_string(),
+                format!("{:.0}", n as f64 / store_secs),
+                format!("{speedup:.2}x"),
+                format!("{:.0}", n as f64 / filter_secs),
+                identical.to_string(),
+            ]);
+            let mut point = crate::report::JsonObject::new();
+            point
+                .int("n", n as u64)
+                .int("threads", threads as u64)
+                .num("store_keys_per_s", n as f64 / store_secs)
+                .num("filter_keys_per_s", n as f64 / filter_secs)
+                .num("store_speedup_vs_serial", speedup)
+                .num("filter_bits_per_key", bpk)
+                .int("bytes_identical", u64::from(identical));
+            metrics.obj(&format!("n{n}_t{threads}"), &point);
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "scale");
+
+    metrics
+        .num("speedup_at_8_threads", gate_speedup)
+        .num("bpk_drift", gate_bpk_drift)
+        .int("bytes_identical", u64::from(all_identical))
+        .int("peak_rss_mb", peak_rss_kb() / 1024);
+    let mut config_obj = crate::report::JsonObject::new();
+    config_obj
+        .int("n", n_big as u64)
+        .int("shards", shards as u64)
+        .int("seed", cfg.seed)
+        .int("cores", cores as u64);
+    let mut doc = crate::report::JsonObject::new();
+    doc.str_field("schema", "grafite-build-v1")
+        .obj("config", &config_obj)
+        .obj("metrics", &metrics);
+    doc.write(&cfg.out_dir, "BENCH_build")
+        .expect("write BENCH_build.json");
 }
 
 /// Minimum-of-`reps` wall-clock nanoseconds per operation for a closure

@@ -5,7 +5,9 @@ use grafite_succinct::io::{DecodeError, MappedCursor, MappedSource, WordSource, 
 use grafite_succinct::EliasFano;
 
 use crate::error::FilterError;
+use crate::parallel::Parallelism;
 use crate::persist::{spec_id, Header, FORMAT_VERSION};
+use crate::sort;
 use crate::traits::{BuildableFilter, FilterConfig, PersistentFilter, RangeFilter, DEFAULT_SEED};
 
 /// Largest supported reduced universe: the pairwise-independent family's
@@ -63,11 +65,39 @@ impl GrafiteFilter {
     /// for ablations that swap the hash family.
     #[doc(hidden)]
     pub fn from_hash(h: LocalityHash, keys: &[u64]) -> Self {
+        Self::from_hash_parallel(h, keys, Parallelism::serial())
+    }
+
+    /// [`GrafiteFilter::from_hash`] with an explicit thread budget for the
+    /// hash→sort→encode pipeline: the hash evaluations run on immutable
+    /// key chunks, the codes sort through
+    /// [`sort::partition_radix_sort`], and the Elias–Fano high bits
+    /// assemble chunked. Bit-identical to the serial path at every thread
+    /// count — parallelism here is purely a wall-clock knob.
+    #[doc(hidden)]
+    pub fn from_hash_parallel(h: LocalityHash, keys: &[u64], parallelism: Parallelism) -> Self {
         let r = h.r();
-        let mut codes: Vec<u64> = keys.iter().map(|&k| h.eval(k)).collect();
-        codes.sort_unstable();
+        let threads = parallelism.capped(keys.len());
+        let mut codes: Vec<u64> = if threads > 1 && keys.len() >= sort::PARTITION_PARALLEL_MIN {
+            let mut codes = vec![0u64; keys.len()];
+            let chunk = keys.len().div_ceil(threads);
+            let h_ref = &h;
+            std::thread::scope(|scope| {
+                for (dst, src) in codes.chunks_mut(chunk).zip(keys.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (d, &k) in dst.iter_mut().zip(src) {
+                            *d = h_ref.eval(k);
+                        }
+                    });
+                }
+            });
+            codes
+        } else {
+            keys.iter().map(|&k| h.eval(k)).collect()
+        };
+        sort::partition_radix_sort(&mut codes, threads);
         codes.dedup();
-        let codes = EliasFano::new(&codes, r);
+        let codes = EliasFano::new_parallel(&codes, r, threads);
         Self {
             h,
             codes,
@@ -440,6 +470,7 @@ pub struct GrafiteBuilder {
     sizing: Sizing,
     seed: u64,
     pow2_universe: bool,
+    parallelism: Parallelism,
 }
 
 impl Default for GrafiteBuilder {
@@ -448,6 +479,7 @@ impl Default for GrafiteBuilder {
             sizing: Sizing::BitsPerKey(16.0),
             seed: DEFAULT_SEED,
             pow2_universe: false,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -479,6 +511,14 @@ impl GrafiteBuilder {
     /// more space (up to 1 extra bit per key), strictly smaller FPP.
     pub fn pow2_reduced_universe(mut self, enable: bool) -> Self {
         self.pow2_universe = enable;
+        self
+    }
+
+    /// Sets the construction thread budget (default:
+    /// [`Parallelism::auto`]). Purely a wall-clock knob — the built filter
+    /// is bit-identical at every thread count.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -515,7 +555,7 @@ impl GrafiteBuilder {
         }
         let r = (r_target as u64).max(1);
         let h = LocalityHash::from_seed(self.seed, r);
-        Ok(GrafiteFilter::from_hash(h, keys))
+        Ok(GrafiteFilter::from_hash_parallel(h, keys, self.parallelism))
     }
 }
 
@@ -539,6 +579,7 @@ impl BuildableFilter for GrafiteFilter {
     fn build_with(cfg: &FilterConfig<'_>, tuning: &GrafiteTuning) -> Result<Self, FilterError> {
         let builder = GrafiteFilter::builder()
             .seed(cfg.seed)
+            .parallelism(cfg.parallelism)
             .pow2_reduced_universe(tuning.pow2_universe);
         let builder = match tuning.epsilon {
             Some(eps) => builder.epsilon_and_max_range(eps, cfg.max_range),

@@ -47,6 +47,7 @@
 pub mod bucketing;
 pub mod error;
 pub mod grafite;
+pub mod parallel;
 pub mod persist;
 pub mod registry;
 pub mod sort;
@@ -58,6 +59,7 @@ pub use error::FilterError;
 pub use grafite::{
     GrafiteBuilder, GrafiteFilter, GrafiteFilterView, GrafiteTuning, MappedGrafiteFilter,
 };
+pub use parallel::{Parallelism, THREADS_ENV};
 pub use persist::{Header, FORMAT_VERSION, MAGIC};
 pub use registry::{BuilderFn, FilterSpec, LoaderFn, Registry};
 pub use string_keys::{BytesPrefixCodec, IdentityCodec, KeyCodec, StringGrafite};

@@ -8,7 +8,18 @@
 //!
 //! * [`std_sort`] — `slice::sort_unstable` (pdqsort), the default;
 //! * [`radix_sort`] — an LSD radix sort with 8-bit digits;
-//! * [`parallel_sort`] — chunked sort + k-way merge on `std::thread::scope`.
+//! * [`partition_radix_sort`] — an MSD top-byte counting partition into
+//!   disjoint output ranges, then per-partition LSD radix on
+//!   `std::thread::scope` workers. No k-way merge: the partitions are
+//!   already in global order, so workers never synchronize on data and the
+//!   serial fraction is one O(n) scatter. This is the sort the Grafite
+//!   hash→sort→encode build path runs.
+
+/// Below this input size [`partition_radix_sort`] runs the serial
+/// [`radix_sort`] regardless of the requested thread count: thread spawn
+/// and histogram overhead (~tens of µs) cannot pay for itself on inputs
+/// that sort in less than that.
+pub const PARTITION_PARALLEL_MIN: usize = 1 << 15;
 
 /// Sorts in place with the standard unstable sort.
 pub fn std_sort(data: &mut [u64]) {
@@ -23,15 +34,27 @@ pub fn std_sort(data: &mut [u64]) {
 /// after every pass; a single final copy runs only when an odd number of
 /// scatter passes left the result in the scratch side.
 pub fn radix_sort(data: &mut [u64]) {
+    let mut buf = vec![0u64; data.len()];
+    radix_sort_with_scratch(data, &mut buf);
+}
+
+/// [`radix_sort`] with a caller-provided scratch buffer (`buf.len() >=
+/// data.len()`), so a worker sorting many partitions reuses one allocation
+/// instead of reallocating per partition.
+///
+/// # Panics
+/// Panics if `buf` is shorter than `data`.
+pub fn radix_sort_with_scratch(data: &mut [u64], buf: &mut [u64]) {
     let n = data.len();
     if n <= 1 {
         return;
     }
-    let mut buf = vec![0u64; n];
+    assert!(buf.len() >= n, "scratch buffer shorter than input");
+    let buf = &mut buf[..n];
     let mut in_data = true;
     {
         let mut src: &mut [u64] = data;
-        let mut dst: &mut [u64] = &mut buf;
+        let mut dst: &mut [u64] = buf;
         for pass in 0..8u32 {
             let shift = pass * 8;
             let mut counts = [0usize; 256];
@@ -59,49 +82,118 @@ pub fn radix_sort(data: &mut [u64]) {
     // An even number of scatter passes lands back in `data`; otherwise the
     // sorted run sits in the scratch buffer and needs the one copy.
     if !in_data {
-        data.copy_from_slice(&buf);
+        data.copy_from_slice(buf);
     }
 }
 
-/// Parallel merge sort: recursively split across threads, sort halves
-/// concurrently, merge. Mirrors the paper's multi-threaded construction
-/// experiment (§6.6); the final single-threaded merge bounds the speedup to
-/// the same ~1.5–2x regime the paper reports.
-pub fn parallel_sort(data: &mut [u64], threads: usize) {
+/// Parallel partition-then-sort: an MSD counting pass on the top byte
+/// splits the input into up to 256 partitions that are *already in global
+/// order*, then each partition — a disjoint contiguous range of one shared
+/// scratch buffer — is LSD-radix-sorted on the remaining bytes by scoped
+/// workers. There is no merge step and no inter-worker communication; the
+/// only serial work is the O(n) stable scatter that materializes the
+/// partitions.
+///
+/// The result is identical to `sort_unstable` (and therefore to
+/// [`radix_sort`]) for **every** input and thread count: `u64` has one
+/// representation per value, so any correct sort yields the same bytes.
+/// `threads <= 1` or small inputs take the serial [`radix_sort`] directly.
+pub fn partition_radix_sort(data: &mut [u64], threads: usize) {
     let n = data.len();
     let threads = threads.max(1).min(n.max(1));
-    if n <= 1 {
+    if threads <= 1 || n < PARTITION_PARALLEL_MIN {
+        radix_sort(data);
         return;
     }
-    let mut scratch = vec![0u64; n];
-    sort_rec(data, &mut scratch, threads);
-}
 
-fn sort_rec(data: &mut [u64], scratch: &mut [u64], threads: usize) {
-    if threads <= 1 || data.len() < 4096 {
-        data.sort_unstable();
-        return;
-    }
-    let mid = data.len() / 2;
-    let (left, right) = data.split_at_mut(mid);
-    let (s_left, s_right) = scratch.split_at_mut(mid);
+    // Phase 1: top-byte histogram, computed in parallel over immutable
+    // chunks (shared reads need no synchronization).
+    let chunk_len = n.div_ceil(threads);
+    let mut counts = [0usize; 256];
     std::thread::scope(|scope| {
-        scope.spawn(|| sort_rec(left, s_left, threads / 2));
-        sort_rec(right, s_right, threads - threads / 2);
-    });
-    // Merge the sorted halves through the scratch buffer.
-    let (mut i, mut j) = (0usize, 0usize);
-    for slot in scratch.iter_mut() {
-        let take_left = j >= right.len() || (i < left.len() && left[i] <= right[j]);
-        if take_left {
-            *slot = left[i];
-            i += 1;
-        } else {
-            *slot = right[j];
-            j += 1;
+        let handles: Vec<_> = data
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut local = [0usize; 256];
+                    for &x in chunk {
+                        local[(x >> 56) as usize] += 1;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = handle.join().expect("histogram worker panicked");
+            for (total, part) in counts.iter_mut().zip(local) {
+                *total += part;
+            }
         }
+    });
+
+    // Phase 2: one stable scatter into the scratch buffer's disjoint
+    // per-digit ranges. Serial by design: safe Rust cannot hand the
+    // interleaved write positions of a shared scatter to multiple threads,
+    // and this single sequential pass is dominated by the seven parallel
+    // radix passes below.
+    let mut scratch = vec![0u64; n];
+    let mut cursors = [0usize; 256];
+    let mut acc = 0usize;
+    for d in 0..256 {
+        cursors[d] = acc;
+        acc += counts[d];
     }
-    data.copy_from_slice(scratch);
+    for &x in data.iter() {
+        let d = (x >> 56) as usize;
+        scratch[cursors[d]] = x;
+        cursors[d] += 1;
+    }
+
+    // Phase 3: group the non-empty partitions into at most `threads`
+    // contiguous runs of roughly n/threads values each (the tail group
+    // absorbs any remainder), so each worker owns one contiguous `&mut`
+    // range of the scratch buffer and one reusable radix scratch.
+    let target = n.div_ceil(threads);
+    let mut groups: Vec<Vec<usize>> = Vec::with_capacity(threads);
+    let mut current: Vec<usize> = Vec::new();
+    let mut current_total = 0usize;
+    for &count in counts.iter().filter(|&&c| c > 0) {
+        if !current.is_empty() && current_total + count > target && groups.len() + 1 < threads {
+            groups.push(std::mem::take(&mut current));
+            current_total = 0;
+        }
+        current.push(count);
+        current_total += count;
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+
+    std::thread::scope(|scope| {
+        let mut rest: &mut [u64] = &mut scratch;
+        for lens in &groups {
+            let total: usize = lens.iter().sum();
+            let (group_slice, tail) = rest.split_at_mut(total);
+            rest = tail;
+            scope.spawn(move || {
+                // One scratch per worker, grown to its largest partition
+                // and reused across all of them.
+                let mut buf: Vec<u64> = Vec::new();
+                let mut remaining = group_slice;
+                for &len in lens {
+                    let (partition, tail) = remaining.split_at_mut(len);
+                    remaining = tail;
+                    if partition.len() > 1 {
+                        if buf.len() < partition.len() {
+                            buf.resize(partition.len(), 0);
+                        }
+                        radix_sort_with_scratch(partition, &mut buf);
+                    }
+                }
+            });
+        }
+    });
+    data.copy_from_slice(&scratch);
 }
 
 #[cfg(test)]
@@ -168,23 +260,78 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_std() {
-        for threads in [1usize, 2, 3, 8, 64] {
-            let mut a = pseudo_random(10_001, 3);
-            let mut b = a.clone();
-            a.sort_unstable();
-            parallel_sort(&mut b, threads);
-            assert_eq!(a, b, "threads={threads}");
+    fn radix_external_scratch_is_reusable() {
+        let mut buf = vec![0u64; 5000];
+        for seed in [1u64, 2, 3] {
+            let mut data = pseudo_random(5000, seed);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            radix_sort_with_scratch(&mut data, &mut buf);
+            assert_eq!(data, expect, "seed {seed}");
         }
     }
 
     #[test]
-    fn parallel_tiny_inputs() {
+    fn partition_matches_std_across_thread_counts() {
+        // Above the parallel threshold so the partitioned path actually runs.
+        let n = PARTITION_PARALLEL_MIN + 4097;
+        for threads in [1usize, 2, 3, 7, 8, 64] {
+            let mut a = pseudo_random(n, 3);
+            let mut b = a.clone();
+            a.sort_unstable();
+            partition_radix_sort(&mut b, threads);
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    /// Adversarial shapes: constant top byte (single partition), two hot
+    /// partitions, already sorted, reverse sorted, all equal.
+    #[test]
+    fn partition_adversarial_distributions() {
+        let n = PARTITION_PARALLEL_MIN + 13;
+        let shapes: Vec<Vec<u64>> = vec![
+            // One partition holds everything (top byte constant).
+            pseudo_random(n, 5)
+                .iter()
+                .map(|x| x & 0x00FF_FFFF)
+                .collect(),
+            // Two partitions, extreme skew.
+            pseudo_random(n, 6)
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    if i % 17 == 0 {
+                        x | (0xFFu64 << 56)
+                    } else {
+                        x & 0x00FF_FFFF
+                    }
+                })
+                .collect(),
+            (0..n as u64).collect(),
+            (0..n as u64).rev().collect(),
+            vec![0x4242_4242_4242_4242; n],
+        ];
+        for (i, shape) in shapes.into_iter().enumerate() {
+            for threads in [2usize, 8] {
+                let mut got = shape.clone();
+                let mut expect = shape.clone();
+                expect.sort_unstable();
+                partition_radix_sort(&mut got, threads);
+                assert_eq!(got, expect, "shape {i} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_tiny_inputs() {
         let mut v = vec![3u64, 1];
-        parallel_sort(&mut v, 16);
+        partition_radix_sort(&mut v, 16);
         assert_eq!(v, vec![1, 3]);
         let mut v: Vec<u64> = vec![];
-        parallel_sort(&mut v, 4);
+        partition_radix_sort(&mut v, 4);
         assert!(v.is_empty());
+        let mut v = vec![9u64];
+        partition_radix_sort(&mut v, 2);
+        assert_eq!(v, vec![9]);
     }
 }

@@ -9,6 +9,7 @@ use std::io;
 use grafite_succinct::io::{CountingSink, ReadSource, WordSource, WordWriter};
 
 use crate::error::FilterError;
+use crate::parallel::Parallelism;
 use crate::persist::{blob_checksum, words_of_bytes, Header, FORMAT_VERSION, HEADER_BYTES};
 
 /// The seed every builder defaults to ("grafite" in ASCII), so that a bare
@@ -112,6 +113,11 @@ pub struct FilterConfig<'a> {
     pub sample: &'a [(u64, u64)],
     /// Seed for any randomised component. Default: [`DEFAULT_SEED`].
     pub seed: u64,
+    /// Construction thread budget. Purely a wall-clock knob: every build
+    /// is bit-identical at any thread count. Default:
+    /// [`Parallelism::auto`] (`GRAFITE_THREADS`, else the machine's
+    /// available parallelism).
+    pub parallelism: Parallelism,
 }
 
 impl<'a> FilterConfig<'a> {
@@ -123,6 +129,7 @@ impl<'a> FilterConfig<'a> {
             max_range: 1 << 10,
             sample: &[],
             seed: DEFAULT_SEED,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -151,6 +158,14 @@ impl<'a> FilterConfig<'a> {
     #[must_use = "the setters move `self`; dropping the result discards the whole configuration"]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the construction thread budget (wall-clock only: builds are
+    /// bit-identical at any thread count).
+    #[must_use = "the setters move `self`; dropping the result discards the whole configuration"]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -309,11 +324,17 @@ mod tests {
         assert!(cfg.sample.is_empty());
         assert_eq!(cfg.seed, DEFAULT_SEED);
 
-        let cfg = cfg.bits_per_key(8.0).max_range(32).sample(&sample).seed(7);
+        let cfg = cfg
+            .bits_per_key(8.0)
+            .max_range(32)
+            .sample(&sample)
+            .seed(7)
+            .parallelism(Parallelism::fixed(3));
         assert_eq!(cfg.bits_per_key, 8.0);
         assert_eq!(cfg.max_range, 32);
         assert_eq!(cfg.sample, &sample);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.keys, &keys);
+        assert_eq!(cfg.parallelism.threads(), 3);
     }
 }

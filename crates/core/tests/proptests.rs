@@ -1,6 +1,7 @@
 //! Property tests for the paper's two filters: the no-false-negative
 //! invariant must hold for arbitrary key sets, budgets, and query ranges.
 
+use grafite_core::sort::partition_radix_sort;
 use grafite_core::{BucketingFilter, GrafiteFilter, RangeFilter, StringGrafite};
 use proptest::prelude::*;
 
@@ -94,6 +95,33 @@ proptest! {
         let lo = &sorted[0];
         let hi = &sorted[sorted.len() - 1];
         prop_assert!(f.may_contain_range(lo, hi));
+    }
+
+    /// The partitioned parallel radix sort agrees with `sort_unstable`
+    /// for every thread count, including inputs engineered to starve the
+    /// top-byte partition phase (shared high bytes, saturating values).
+    #[test]
+    fn partition_radix_sort_matches_std(
+        mut data in prop::collection::vec(any::<u64>(), 0..3000),
+        threads in 1usize..10,
+        skew in 0u64..4,
+    ) {
+        // Skew 1: collapse everything into one top-byte partition.
+        // Skew 2: two partitions, one huge. Skew 3: saturate extremes.
+        match skew {
+            1 => data.iter_mut().for_each(|v| *v |= 0xFF << 56),
+            2 => data.iter_mut().enumerate().for_each(|(i, v)| {
+                *v = if i % 17 == 0 { *v | (1 << 63) } else { *v & !(0xFFu64 << 56) };
+            }),
+            3 => data.iter_mut().enumerate().for_each(|(i, v)| {
+                if i % 3 == 0 { *v = u64::MAX } else if i % 3 == 1 { *v = 0 }
+            }),
+            _ => {}
+        }
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        partition_radix_sort(&mut data, threads);
+        prop_assert_eq!(data, expect, "threads={}, skew={}", threads, skew);
     }
 
     /// Grafite's FPP bound is monotone in the range size and matches the

@@ -332,7 +332,7 @@ pub fn render_json(t: &Telemetry, store: &FilterStore) -> String {
         t.rebuild_us.quantile(99, 100),
     ));
     out.push_str(&format!(
-        "\"store\":{{\"version\":{},\"published_version\":{},\"num_shards\":{},\"lazy_shard_loads\":{},\"shard_load_errors\":{},\"reloads\":{},\"degraded\":{}}}",
+        "\"store\":{{\"version\":{},\"published_version\":{},\"num_shards\":{},\"lazy_shard_loads\":{},\"shard_load_errors\":{},\"reloads\":{},\"degraded\":{},",
         snap.version(),
         store.version(),
         snap.num_shards(),
@@ -341,6 +341,20 @@ pub fn render_json(t: &Telemetry, store: &FilterStore) -> String {
         stats.reloads(),
         stats.is_degraded(),
     ));
+    // Construction parallelism: worker threads of the last build/rebuild
+    // fan-out plus the per-shard build wall-time histogram (log2 buckets,
+    // microseconds — bucket i counts builds in [2^i, 2^(i+1)) µs).
+    out.push_str(&format!(
+        "\"rebuild_workers\":{},\"shard_build_us_log2\":[",
+        stats.rebuild_workers()
+    ));
+    for (idx, count) in stats.shard_build_histogram().iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{count}"));
+    }
+    out.push_str("]}");
     out.push('}');
     out
 }

@@ -69,7 +69,7 @@ pub mod store;
 pub use family::{DynRangeFilter, FamilySpec};
 pub use manifest::{MANIFEST_HEADER_WORDS, STORE_FORMAT_VERSION, STORE_MAGIC};
 pub use mapped::MappedManifest;
-pub use stats::StoreStats;
+pub use stats::{StoreStats, BUILD_HIST_BUCKETS};
 pub use store::{
     ApplyReport, FilterStore, Partitioning, Routing, Shard, Snapshot, StoreConfig, Update,
 };

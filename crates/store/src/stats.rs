@@ -10,6 +10,12 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+/// Number of log2 buckets in the per-shard build wall-time histogram:
+/// bucket `i` counts shard builds that took `[2^i, 2^(i+1))` microseconds
+/// (bucket 0 absorbs sub-microsecond builds, the last bucket everything
+/// from ~half a minute up).
+pub const BUILD_HIST_BUCKETS: usize = 16;
+
 /// Monotonic counters shared by a [`FilterStore`](crate::FilterStore) and
 /// every lazy shard it hands out. All methods are lock-free and safe to
 /// call from any thread.
@@ -23,6 +29,12 @@ pub struct StoreStats {
     /// `Release` so a reader that observes the flag also observes the
     /// error count that preceded it.
     degraded: AtomicBool,
+    /// Worker-thread count of the most recent build or update-batch
+    /// rebuild fan-out (0 until the first one).
+    rebuild_workers: AtomicU64,
+    /// Per-shard build wall times, log2-bucketed by microsecond (see
+    /// [`BUILD_HIST_BUCKETS`]).
+    shard_build_hist: [AtomicU64; BUILD_HIST_BUCKETS],
 }
 
 impl StoreStats {
@@ -86,6 +98,40 @@ impl StoreStats {
         // ordering relationship with other memory is implied.
         self.reloads.load(Ordering::Relaxed)
     }
+
+    /// Records the worker count a build/rebuild fan-out ran with.
+    pub(crate) fn record_rebuild_workers(&self, workers: u64) {
+        // ordering: Relaxed-counter; advisory last-value gauge for
+        // telemetry, nothing synchronizes on it.
+        self.rebuild_workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// Records one shard build's wall time into the log2 histogram.
+    pub(crate) fn record_shard_build(&self, nanos: u64) {
+        let micros = nanos / 1_000;
+        let bucket = (micros.max(1).ilog2() as usize).min(BUILD_HIST_BUCKETS - 1);
+        // ordering: Relaxed-counter; pure monotonic event counter, nothing
+        // synchronizes on it.
+        self.shard_build_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker threads used by the most recent build or update-batch
+    /// rebuild fan-out (0 if the store has never built a shard — e.g. it
+    /// was opened from a manifest and not yet updated).
+    pub fn rebuild_workers(&self) -> u64 {
+        // ordering: Relaxed-counter; independent read for reporting, no
+        // ordering relationship with other memory is implied.
+        self.rebuild_workers.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-shard build wall-time histogram: entry `i`
+    /// counts builds that took `[2^i, 2^(i+1))` microseconds.
+    pub fn shard_build_histogram(&self) -> [u64; BUILD_HIST_BUCKETS] {
+        // ordering: Relaxed-counter; independent reads for reporting, no
+        // ordering relationship with other memory is implied.
+        let load = |i: usize| self.shard_build_hist[i].load(Ordering::Relaxed);
+        std::array::from_fn(load)
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +151,25 @@ mod tests {
         assert_eq!(stats.lazy_shard_loads(), 2);
         assert_eq!(stats.shard_load_errors(), 1);
         assert_eq!(stats.reloads(), 1);
+    }
+
+    #[test]
+    fn rebuild_telemetry_buckets_and_gauge() {
+        let stats = StoreStats::default();
+        assert_eq!(stats.rebuild_workers(), 0);
+        assert_eq!(stats.shard_build_histogram(), [0; BUILD_HIST_BUCKETS]);
+        stats.record_rebuild_workers(8);
+        stats.record_rebuild_workers(4); // gauge: last write wins
+        assert_eq!(stats.rebuild_workers(), 4);
+        stats.record_shard_build(500); // < 1 µs -> bucket 0
+        stats.record_shard_build(3_000); // 3 µs -> bucket 1
+        stats.record_shard_build(1_000_000); // 1 ms -> bucket 9
+        stats.record_shard_build(u64::MAX); // clamps to the last bucket
+        let hist = stats.shard_build_histogram();
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[9], 1);
+        assert_eq!(hist[BUILD_HIST_BUCKETS - 1], 1);
+        assert_eq!(hist.iter().sum::<u64>(), 4);
     }
 }

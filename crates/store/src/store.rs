@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use grafite_core::registry::Registry;
-use grafite_core::{FilterConfig, FilterError, RangeFilter, DEFAULT_SEED};
+use grafite_core::{sort, FilterConfig, FilterError, Parallelism, RangeFilter, DEFAULT_SEED};
 
 use crate::family::{DynRangeFilter, FamilySpec};
 use crate::manifest;
@@ -188,6 +188,14 @@ pub struct StoreConfig {
     /// How the key space splits across shards. Default: range partitioning
     /// into 4 shards.
     pub partitioning: Partitioning,
+    /// Construction thread budget for builds and update-batch rebuilds,
+    /// shared between the shard fan-out and each shard's internal
+    /// hash/sort/encode pipeline. Purely a wall-clock knob — the produced
+    /// snapshots and manifests are bit-identical at every thread count.
+    /// Not persisted: a reopened store resolves it afresh (so the
+    /// `GRAFITE_THREADS` override applies on the serving machine, not the
+    /// one that built the manifest). Default: [`Parallelism::auto`].
+    pub parallelism: Parallelism,
 }
 
 impl StoreConfig {
@@ -200,6 +208,7 @@ impl StoreConfig {
             seed: DEFAULT_SEED,
             sample: Vec::new(),
             partitioning: Partitioning::Range { shards: 4 },
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -238,13 +247,24 @@ impl StoreConfig {
         self
     }
 
-    /// The per-shard filter config over `keys`.
-    fn filter_config<'a>(&'a self, keys: &'a [u64]) -> FilterConfig<'a> {
+    /// Sets the construction thread budget (see
+    /// [`StoreConfig::parallelism`]).
+    #[must_use = "the setters move `self`; dropping the result discards the whole configuration"]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The per-shard filter config over `keys`. `parallelism` is the
+    /// shard's *own* thread budget — the fan-out hands each shard its
+    /// share of [`StoreConfig::parallelism`], not the whole thing.
+    fn filter_config<'a>(&'a self, keys: &'a [u64], parallelism: Parallelism) -> FilterConfig<'a> {
         FilterConfig::new(keys)
             .bits_per_key(self.bits_per_key)
             .max_range(self.max_range)
             .sample(&self.sample)
             .seed(self.seed)
+            .parallelism(parallelism)
     }
 }
 
@@ -285,6 +305,7 @@ impl Shard {
         config: &StoreConfig,
         registry: &Registry,
         keys: Vec<u64>,
+        parallelism: Parallelism,
     ) -> Result<Self, FilterError> {
         debug_assert!(
             keys.windows(2).all(|w| w[0] < w[1]),
@@ -292,7 +313,7 @@ impl Shard {
         );
         let filter = config
             .family
-            .build(registry, &config.filter_config(&keys))?;
+            .build(registry, &config.filter_config(&keys, parallelism))?;
         Ok(Self::eager(keys, filter))
     }
 
@@ -543,6 +564,64 @@ impl Snapshot {
     }
 }
 
+/// Builds one shard per job across up to `parallelism` scoped workers,
+/// returning the shards in job order (and, on failure, the error of the
+/// *lowest-indexed* failing job, after every worker has joined — callers
+/// rely on that to leave the store untouched deterministically).
+///
+/// The thread budget nests: the fan-out spawns `workers =
+/// parallelism.capped(jobs)` threads and hands each job a
+/// `threads / workers` budget for its internal hash/sort/encode pipeline —
+/// one shard gets the whole budget, eight shards on eight threads each
+/// build serially. Job order, not completion order, decides placement, so
+/// the result is identical at every thread count. Every job's wall time
+/// lands in `stats`' shard-build histogram.
+fn fan_out_shards<J, F>(
+    parallelism: Parallelism,
+    stats: &StoreStats,
+    jobs: Vec<J>,
+    build: F,
+) -> Result<Vec<Arc<Shard>>, FilterError>
+where
+    J: Send,
+    F: Fn(J, Parallelism) -> Result<Shard, FilterError> + Sync,
+{
+    let n_jobs = jobs.len();
+    let workers = parallelism.capped(n_jobs);
+    let per_shard = Parallelism::fixed(parallelism.threads() / workers.max(1));
+    stats.record_rebuild_workers(workers as u64);
+    let timed = |job: J| -> Result<Shard, FilterError> {
+        let start = std::time::Instant::now();
+        let shard = build(job, per_shard)?;
+        stats.record_shard_build(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        Ok(shard)
+    };
+    if workers <= 1 {
+        return jobs.into_iter().map(|j| timed(j).map(Arc::new)).collect();
+    }
+    // Contiguous chunks + ordered joins keep the results in job order
+    // without any cross-worker coordination.
+    let chunk = n_jobs.div_ceil(workers);
+    let mut results: Vec<Result<Shard, FilterError>> = Vec::with_capacity(n_jobs);
+    std::thread::scope(|scope| {
+        let timed = &timed;
+        let mut handles = Vec::with_capacity(workers);
+        let mut iter = jobs.into_iter();
+        loop {
+            let chunk_jobs: Vec<J> = iter.by_ref().take(chunk).collect();
+            if chunk_jobs.is_empty() {
+                break;
+            }
+            handles
+                .push(scope.spawn(move || chunk_jobs.into_iter().map(timed).collect::<Vec<_>>()));
+        }
+        for handle in handles {
+            results.extend(handle.join().expect("shard build worker panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.map(Arc::new)).collect()
+}
+
 /// What one [`FilterStore::apply`] call did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ApplyReport {
@@ -602,35 +681,42 @@ impl FilterStore {
         keys: &[u64],
     ) -> Result<Self, FilterError> {
         let mut sorted = keys.to_vec();
-        sorted.sort_unstable();
+        sort::partition_radix_sort(&mut sorted, config.parallelism.threads());
         sorted.dedup();
         let routing = Routing::plan(config.partitioning, config.seed, &sorted);
-        let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); routing.num_shards()];
-        match &routing {
+        let stats = Arc::new(StoreStats::default());
+        let shards = match &routing {
             Routing::Range { starts } => {
-                // Keys are sorted: each shard's slice is contiguous.
+                // Keys are sorted: each shard's keys are one contiguous
+                // slice of `sorted`, so the jobs are index pairs and the
+                // single per-shard copy happens inside the worker.
+                let mut bounds = Vec::with_capacity(routing.num_shards());
                 let mut from = 0usize;
-                for (s, chunk) in per_shard.iter_mut().enumerate() {
+                for s in 0..routing.num_shards() {
                     let to = match starts.get(s + 1) {
                         Some(&next) => from + sorted[from..].partition_point(|&k| k < next),
                         None => sorted.len(),
                     };
-                    chunk.extend_from_slice(&sorted[from..to]);
+                    bounds.push((from, to));
                     from = to;
                 }
+                let sorted = &sorted;
+                fan_out_shards(config.parallelism, &stats, bounds, |(from, to), par| {
+                    Shard::build(&config, registry, sorted[from..to].to_vec(), par)
+                })?
             }
             Routing::Hash { .. } => {
                 // Iterating in sorted order keeps every bucket sorted.
+                let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); routing.num_shards()];
                 for &k in &sorted {
                     per_shard[routing.shard_of(k)].push(k);
                 }
+                fan_out_shards(config.parallelism, &stats, per_shard, |ks, par| {
+                    Shard::build(&config, registry, ks, par)
+                })?
             }
-        }
-        let shards = per_shard
-            .into_iter()
-            .map(|ks| Shard::build(&config, registry, ks).map(Arc::new))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::from_parts(registry, config, routing, shards))
+        };
+        Ok(Self::from_parts(registry, config, routing, shards, stats))
     }
 
     /// Assembles a store around an initial snapshot at version 0.
@@ -639,11 +725,12 @@ impl FilterStore {
         config: StoreConfig,
         routing: Routing,
         shards: Vec<Arc<Shard>>,
+        stats: Arc<StoreStats>,
     ) -> Self {
         Self {
             registry: registry.clone(),
             config: RwLock::new(config),
-            stats: Arc::new(StoreStats::default()),
+            stats,
             current: RwLock::new(Arc::new(Snapshot::from_parts(routing, shards, 0))),
             published_version: AtomicU64::new(0),
             writer: Mutex::new(()),
@@ -681,13 +768,30 @@ impl FilterStore {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let config = self.config();
         let base = self.snapshot();
-        let n_shards = base.shards.len();
-        // Last-wins per key, grouped by shard: key -> desired presence.
-        let mut per_shard: Vec<std::collections::HashMap<u64, bool>> =
-            vec![std::collections::HashMap::new(); n_shards];
-        for u in updates {
-            let shard = base.routing.shard_of(u.key());
-            per_shard[shard].insert(u.key(), matches!(u, Update::Insert(_)));
+        // Route, then sort by (shard, key, slice position): the sort both
+        // groups the batch into per-shard runs — so the walk below scales
+        // with the *touched* shards and the batch size, never the store's
+        // shard count — and puts same-key updates in slice order, so
+        // keeping the last one per (shard, key) is exactly last-wins.
+        let mut routed: Vec<(usize, u64, usize, bool)> = updates
+            .iter()
+            .enumerate()
+            .map(|(seq, u)| {
+                (
+                    base.routing.shard_of(u.key()),
+                    u.key(),
+                    seq,
+                    matches!(u, Update::Insert(_)),
+                )
+            })
+            .collect();
+        routed.sort_unstable();
+        let mut wanted: Vec<(usize, u64, bool)> = Vec::with_capacity(routed.len());
+        for (s, k, _, present) in routed {
+            match wanted.last_mut() {
+                Some(last) if last.0 == s && last.1 == k => last.2 = present,
+                _ => wanted.push((s, k, present)),
+            }
         }
         let mut report = ApplyReport {
             dirty_shards: 0,
@@ -696,46 +800,73 @@ impl FilterStore {
             deleted: 0,
             version: base.version,
         };
-        let mut shards = Vec::with_capacity(n_shards);
-        for (s, wanted) in per_shard.into_iter().enumerate() {
+        // Walk the batch run by run; each dirty shard becomes one rebuild
+        // job carrying its post-batch key set (built by a linear merge of
+        // the shard's sorted keys with the run's sorted keys).
+        let mut jobs: Vec<(usize, Vec<u64>)> = Vec::new();
+        let mut run_start = 0usize;
+        while run_start < wanted.len() {
+            let s = wanted[run_start].0;
+            let run_end = run_start + wanted[run_start..].partition_point(|w| w.0 == s);
             let old = &base.shards[s];
             // A degraded shard lost its keys: rebuilding it from the batch
             // alone would silently drop them, so updates touching it refuse
             // with the original materialization error. (Merely *sharing* a
             // degraded shard into the next snapshot is fine — no data moves.)
-            if !wanted.is_empty() {
-                if let Some(err) = old.load_error() {
-                    return Err(err.clone());
-                }
+            if let Some(err) = old.load_error() {
+                return Err(err.clone());
             }
-            // An update only dirties its shard if it changes key presence.
-            let mut inserts: Vec<u64> = Vec::new();
-            let mut deletes: Vec<u64> = Vec::new();
-            for (key, present) in wanted {
-                let already = old.keys().binary_search(&key).is_ok();
+            let old_keys = old.keys();
+            let mut keys: Vec<u64> = Vec::with_capacity(old_keys.len());
+            let (mut inserted, mut deleted) = (0usize, 0usize);
+            let mut oi = 0usize;
+            for &(_, k, present) in &wanted[run_start..run_end] {
+                while oi < old_keys.len() && old_keys[oi] < k {
+                    keys.push(old_keys[oi]);
+                    oi += 1;
+                }
+                let already = oi < old_keys.len() && old_keys[oi] == k;
+                if already {
+                    oi += 1;
+                }
+                // An update only dirties its shard if it changes presence.
                 match (present, already) {
-                    (true, false) => inserts.push(key),
-                    (false, true) => deletes.push(key),
-                    _ => {}
+                    (true, false) => {
+                        keys.push(k);
+                        inserted += 1;
+                    }
+                    (false, true) => deleted += 1,
+                    (true, true) => keys.push(k),
+                    (false, false) => {}
                 }
             }
-            if inserts.is_empty() && deletes.is_empty() {
-                shards.push(Arc::clone(old));
-                continue;
+            keys.extend_from_slice(&old_keys[oi..]);
+            if inserted > 0 || deleted > 0 {
+                report.dirty_shards += 1;
+                report.rebuilt_keys += keys.len();
+                report.inserted += inserted;
+                report.deleted += deleted;
+                jobs.push((s, keys));
             }
-            let mut keys = old.keys().to_vec();
-            keys.extend_from_slice(&inserts);
-            keys.sort_unstable();
-            deletes.sort_unstable();
-            keys.retain(|k| deletes.binary_search(k).is_err());
-            report.dirty_shards += 1;
-            report.rebuilt_keys += keys.len();
-            report.inserted += inserts.len();
-            report.deleted += deletes.len();
-            shards.push(Arc::new(Shard::build(&config, &self.registry, keys)?));
+            run_start = run_end;
         }
-        if report.dirty_shards == 0 {
+        if jobs.is_empty() {
             return Ok(report);
+        }
+        // Rebuild the dirty shards — and only them — across the fan-out;
+        // clean shards are shared with the base snapshot by `Arc`. Any
+        // failure joins all workers and leaves the store unchanged.
+        let registry = &self.registry;
+        let slots: Vec<usize> = jobs.iter().map(|&(s, _)| s).collect();
+        let built = fan_out_shards(
+            config.parallelism,
+            &self.stats,
+            jobs.into_iter().map(|(_, ks)| ks).collect(),
+            |ks, par| Shard::build(&config, registry, ks, par),
+        )?;
+        let mut shards = base.shards.clone();
+        for (slot, shard) in slots.into_iter().zip(built) {
+            shards[slot] = shard;
         }
         report.version = base.version + 1;
         let next = Arc::new(Snapshot {
@@ -786,7 +917,8 @@ impl FilterStore {
     /// updates under its original configuration.
     pub fn open(registry: &Registry, bytes: &[u8]) -> Result<Self, FilterError> {
         let (config, routing, shards) = manifest::read(registry, bytes)?;
-        Ok(Self::from_parts(registry, config, routing, shards))
+        let stats = Arc::new(StoreStats::default());
+        Ok(Self::from_parts(registry, config, routing, shards, stats))
     }
 
     /// Opens the manifest file at `path` *lazily*: scans only the header,

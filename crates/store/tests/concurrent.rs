@@ -14,6 +14,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
 
+use grafite_core::Parallelism;
 use grafite_filters::standard_registry;
 use grafite_store::{FamilySpec, FilterStore, Partitioning, StoreConfig, Update};
 
@@ -143,6 +144,69 @@ fn run_family(family: FamilySpec, partitioning: Partitioning) {
     assert!(
         reader_rounds.load(Ordering::Relaxed) >= READERS,
         "every reader must complete at least one full scan"
+    );
+}
+
+/// `apply` rebuilding dirty shards on an 8-thread fan-out must not
+/// disturb concurrent readers: the same no-false-negative guarantee as
+/// above, but with the rebuild itself running parallel shard builds, so
+/// the snapshot swap happens under maximal construction concurrency.
+#[test]
+fn parallel_apply_under_concurrent_readers() {
+    let registry = standard_registry();
+    let core = keys(2000, 0);
+    let volatile = keys(600, 1);
+    let mut all: Vec<u64> = core.iter().chain(&volatile).copied().collect();
+    all.sort_unstable();
+    let config = StoreConfig::new(FamilySpec::ALL[0])
+        .bits_per_key(18.0)
+        .max_range(64)
+        .seed(13)
+        .sample(sample_queries(&all))
+        .partitioning(Partitioning::Range { shards: 8 })
+        .parallelism(Parallelism::fixed(8));
+    let store = FilterStore::build(&registry, config, &core).unwrap();
+
+    let stop = AtomicBool::new(false);
+    thread::scope(|s| {
+        for _ in 0..READERS {
+            s.spawn(|| {
+                let mut first = true;
+                while first || !stop.load(Ordering::Relaxed) {
+                    first = false;
+                    let snap = store.snapshot();
+                    for &k in core.iter().step_by(3) {
+                        assert!(
+                            snap.may_contain(k),
+                            "reader saw FN on core key {k} during a parallel apply \
+                             (snapshot version {})",
+                            snap.version()
+                        );
+                    }
+                }
+            });
+        }
+        s.spawn(|| {
+            for _ in 0..ROUNDS {
+                let inserts: Vec<Update> = volatile.iter().map(|&k| Update::Insert(k)).collect();
+                let report = store.apply(&inserts).unwrap();
+                assert_eq!(report.inserted, volatile.len());
+                let snap = store.snapshot();
+                assert!(volatile.iter().all(|&k| snap.may_contain(k)));
+                let deletes: Vec<Update> = volatile.iter().map(|&k| Update::Delete(k)).collect();
+                let report = store.apply(&deletes).unwrap();
+                assert_eq!(report.deleted, volatile.len());
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(store.num_keys(), core.len());
+    // The telemetry gauge must reflect the 8-way fan-out request (capped
+    // by how many shards the final batch actually dirtied).
+    let workers = store.stats().rebuild_workers();
+    assert!(
+        (1..=8).contains(&workers),
+        "rebuild_workers gauge out of range: {workers}"
     );
 }
 

@@ -3,6 +3,7 @@
 
 Usage: check_perf.py <baseline BENCH_query.json> <fresh BENCH_query.json>
        check_perf.py serve <BENCH_serve.json>
+       check_perf.py build <BENCH_build.json>
 
 Hotpath mode (two files): raw nanosecond numbers are machine-dependent, so
 every `*_ns` metric is first normalized by the run's own
@@ -31,6 +32,16 @@ serving cold-start acceptance floors — the measured manifest must be at
 least STORE_BYTES_FLOOR, and the lazy `open_mapped` scan must be at least
 MAPPED_SPEEDUP_FLOOR times faster than the eager whole-file open. Both are
 in-run ratios/sizes, so no baseline file is needed.
+
+Build mode (`build` + one file): checks a `repro scale` report against the
+parallel-construction acceptance floors. Determinism is unconditional:
+`bpk_drift` must be exactly 0 and `bytes_identical` must be 1 — a parallel
+build that produces different bytes is a correctness bug, not a perf
+miss. The BUILD_SPEEDUP_FLOOR on the in-run 8-thread-vs-serial build
+throughput ratio applies only when the recording machine had at least two
+cores (`config.cores`): a one-core machine physically cannot speed the
+build up, so its report records throughput and determinism but cannot
+attest to scaling — CI's fresh multi-core run enforces the floor there.
 """
 
 import json
@@ -64,6 +75,11 @@ UNGATED_PREFIXES = ("kernel_", "bakeoff_")
 # the floor; 10x leaves room for page-cache luck on small CI disks.
 STORE_BYTES_FLOOR = 100_000_000
 MAPPED_SPEEDUP_FLOOR = 10.0
+
+# Build-mode floor: the 8-thread store build must be >= 1.5x the serial
+# one (the paper's §6.6 reports 1.5-2.0x from 2-8 sort threads alone, and
+# the shard fan-out multiplies that), enforced only on >= 2-core machines.
+BUILD_SPEEDUP_FLOOR = 1.5
 
 
 def metrics_of(path, schema):
@@ -102,6 +118,48 @@ def check_serve(path):
             print(f"  - {failure}")
         sys.exit(1)
     print("serve perf gate passed")
+
+
+def check_build(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: cannot read report: {e}")
+    metrics = metrics_of(path, "grafite-build-v1")
+    config = doc.get("config") if isinstance(doc, dict) else None
+    cores = config.get("cores", 0) if isinstance(config, dict) else 0
+    failures = []
+
+    identical = metrics.get("bytes_identical")
+    print(f"  bytes_identical: {identical} (must be 1)")
+    if identical != 1:
+        failures.append(
+            f"bytes_identical is {identical!r}: a parallel build produced "
+            "different bytes than the serial build")
+    drift = metrics.get("bpk_drift")
+    print(f"  bpk_drift: {drift} (must be 0)")
+    if not isinstance(drift, (int, float)) or drift != 0:
+        failures.append(f"bpk_drift is {drift!r}, must be exactly 0")
+
+    speedup = metrics.get("speedup_at_8_threads", 0.0)
+    if isinstance(cores, (int, float)) and cores >= 2:
+        print(f"  speedup_at_8_threads: {speedup:.2f}x "
+              f"(floor {BUILD_SPEEDUP_FLOOR}x, {cores} cores)")
+        if not isinstance(speedup, (int, float)) or speedup < BUILD_SPEEDUP_FLOOR:
+            failures.append(
+                f"8-thread build speedup {speedup}x below the "
+                f"{BUILD_SPEEDUP_FLOOR}x floor on a {cores}-core machine")
+    else:
+        print(f"  speedup_at_8_threads: {speedup:.2f}x recorded on "
+              f"{cores} core(s); floor waived (determinism still gated)")
+
+    if failures:
+        print("\nbuild perf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("build perf gate passed")
 
 
 def normalized(metrics):
@@ -145,6 +203,9 @@ def check_kernel_speedups(fresh, failures):
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "serve":
         check_serve(sys.argv[2])
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "build":
+        check_build(sys.argv[2])
         return
     if len(sys.argv) != 3:
         sys.exit(__doc__.strip())
